@@ -1,0 +1,110 @@
+package c3_test
+
+import (
+	"testing"
+	"time"
+
+	"c3"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start flow: a C3
+// client selecting among three servers whose feedback identifies one as
+// overloaded.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ranker := c3.NewRanker(c3.RankerConfig{ConcurrencyWeight: 10, Seed: 1})
+	client := c3.New(ranker, c3.ClientConfig{RateControl: true})
+	group := []c3.ServerID{1, 2, 3}
+
+	now := int64(0)
+	respond := func(s c3.ServerID, q float64, svc time.Duration) {
+		client.OnResponse(s, c3.Feedback{QueueSize: q, ServiceTime: svc}, svc+time.Millisecond, now)
+	}
+	// Warm every server once, then make server 2 look terrible.
+	for range group {
+		s, ok, _ := client.Pick(group, now)
+		if !ok {
+			t.Fatal("pick failed during warmup")
+		}
+		q := 1.0
+		if s == 2 {
+			q = 500
+		}
+		respond(s, q, 4*time.Millisecond)
+		now += int64(time.Millisecond)
+	}
+	counts := map[c3.ServerID]int{}
+	for i := 0; i < 200; i++ {
+		now += int64(time.Millisecond)
+		s, ok, retryAt := client.Pick(group, now)
+		if !ok {
+			now = retryAt
+			continue
+		}
+		counts[s]++
+		q := 1.0
+		if s == 2 {
+			q = 500
+		}
+		respond(s, q, 4*time.Millisecond)
+	}
+	if counts[2] > counts[1]/4 || counts[2] > counts[3]/4 {
+		t.Fatalf("overloaded server not avoided: %v", counts)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	group := []c3.ServerID{1, 2, 3}
+	rankers := []c3.Ranker{
+		c3.NewLOR(1),
+		c3.NewRoundRobin(),
+		c3.NewRandom(1),
+		c3.NewTwoChoice(1),
+		c3.NewLeastResponseTime(0.9, 1),
+		c3.NewWeightedRandom(0.9, 1),
+		c3.NewOracle(func(c3.ServerID) (float64, float64) { return 0, 0.001 }, 1),
+		c3.NewDynamicSnitch(c3.SnitchConfig{Seed: 1}),
+	}
+	for _, r := range rankers {
+		cl := c3.New(r, c3.ClientConfig{})
+		if s, ok, _ := cl.Pick(group, 0); !ok || s < 1 || s > 3 {
+			t.Fatalf("%s: bad pick", r.Name())
+		}
+	}
+}
+
+func TestPublicScheduler(t *testing.T) {
+	client := c3.New(c3.NewRoundRobin(), c3.ClientConfig{
+		RateControl: true,
+		Rate:        c3.RateConfig{InitialRate: 1},
+	})
+	sched := c3.NewScheduler[string](client, []c3.ServerID{1, 2})
+	var got []string
+	emit := func(s c3.ServerID, item string) { got = append(got, item) }
+	for _, it := range []string{"a", "b", "c", "d"} {
+		sched.Submit(it, 0, emit)
+	}
+	if len(got) != 2 || sched.Backlog() != 2 {
+		t.Fatalf("dispatched %v backlog %d, want 2 dispatched 2 queued", got, sched.Backlog())
+	}
+	at, ok := sched.NextRetry(0)
+	if !ok {
+		t.Fatal("no retry time")
+	}
+	sched.Drain(at, emit)
+	if len(got) != 4 {
+		t.Fatalf("after drain: %v", got)
+	}
+}
+
+func TestCubicScoreExported(t *testing.T) {
+	if got := c3.CubicScore(0.01, 0.004, 1, 3); got != 0.01 {
+		t.Fatalf("CubicScore at q̂=1 = %v, want R̄", got)
+	}
+}
+
+func TestDefaultRateConfig(t *testing.T) {
+	cfg := c3.DefaultRateConfig()
+	if cfg.Interval != int64(20*time.Millisecond) || cfg.Beta != 0.2 || cfg.SMax != 10 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,149 @@
+// Command c3cluster runs the §5 Cassandra-like cluster model for a single
+// configuration, or — with -tcp — boots a real TCP key-value cluster on
+// loopback and drives a workload against it to demonstrate the identical C3
+// client code in a live system.
+//
+// Usage:
+//
+//	c3cluster -strategy C3 -mix read-heavy -ops 200000
+//	c3cluster -strategy DS -generators 210 -disk ssd
+//	c3cluster -tcp -nodes 5 -ops 3000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"c3/internal/cassim"
+	"c3/internal/kvstore"
+	"c3/internal/sim"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+func main() {
+	strategy := flag.String("strategy", "C3", "C3 | DS | DS-SPEC | LOR | RR")
+	mix := flag.String("mix", "read-heavy", "read-heavy | read-only | update-heavy")
+	gens := flag.Int("generators", 120, "closed-loop workload generators")
+	ops := flag.Int("ops", 200_000, "operations per run")
+	disk := flag.String("disk", "spinning", "spinning | ssd")
+	seeds := flag.Int("seeds", 3, "repetitions")
+	nodes := flag.Int("nodes", 15, "cluster size")
+	tcp := flag.Bool("tcp", false, "run the live TCP cluster demo instead of the simulation")
+	flag.Parse()
+
+	if *tcp {
+		runTCP(*nodes, *strategy, *ops)
+		return
+	}
+
+	var m workload.Mix
+	switch strings.ToLower(*mix) {
+	case "read-heavy":
+		m = workload.ReadHeavy
+	case "read-only":
+		m = workload.ReadOnly
+	case "update-heavy":
+		m = workload.UpdateHeavy
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mix)
+		os.Exit(2)
+	}
+	d := cassim.Spinning
+	if strings.EqualFold(*disk, "ssd") {
+		d = cassim.SSD
+	}
+	var p50s, p99s, p999s, thrs []float64
+	for s := 0; s < *seeds; s++ {
+		cfg := cassim.DefaultConfig()
+		cfg.Strategy = *strategy
+		cfg.Mix = m
+		cfg.Generators = *gens
+		cfg.Ops = *ops
+		cfg.Disk = d
+		cfg.Nodes = *nodes
+		cfg.Seed = uint64(s)*2741 + 5
+		res := cassim.Run(cfg)
+		p50s = append(p50s, res.Reads.P50)
+		p99s = append(p99s, res.Reads.P99)
+		p999s = append(p999s, res.Reads.P999)
+		thrs = append(thrs, res.Throughput)
+	}
+	p50, _ := stats.MeanCI95(p50s)
+	p99, _ := stats.MeanCI95(p99s)
+	p999, ci := stats.MeanCI95(p999s)
+	thr, tci := stats.MeanCI95(thrs)
+	fmt.Printf("%s / %s / %d gens / %s (%d nodes, %d ops × %d seeds)\n",
+		*strategy, m.Name, *gens, *disk, *nodes, *ops, *seeds)
+	fmt.Printf("  read latency: p50=%.2fms p99=%.2fms p99.9=%.2f±%.2fms\n", p50, p99, p999, ci)
+	fmt.Printf("  throughput  : %.0f±%.0f ops/s\n", thr, tci)
+}
+
+// runTCP is the live-system demo: boot a loopback cluster, load it, degrade
+// one node mid-run, and show C3 shifting traffic away and back.
+func runTCP(nodes int, strategy string, ops int) {
+	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s)...\n", nodes, strategy)
+	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
+		Strategy:      strategy,
+		Seed:          1,
+		ReadDelayMean: 300 * time.Microsecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	client, err := kvstore.Dial(cl.Addrs())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	keys := workload.NewScrambled(1000, 0.99)
+	r := sim.RNG(7, 7)
+	fmt.Println("loading 1000 keys...")
+	for i := uint64(0); i < 1000; i++ {
+		if err := client.Put(workload.Key(i), []byte(strings.Repeat("v", 256))); err != nil {
+			fmt.Fprintln(os.Stderr, "put:", err)
+			os.Exit(1)
+		}
+	}
+
+	lat := stats.NewSample(ops)
+	served := func() []uint64 {
+		out := make([]uint64, nodes)
+		for i, n := range cl.Nodes {
+			out[i] = n.ReadsServed()
+		}
+		return out
+	}
+	phase := func(name string, n int) {
+		before := served()
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if _, _, err := client.Get(workload.Key(keys.Next(r))); err != nil {
+				fmt.Fprintln(os.Stderr, "get:", err)
+				os.Exit(1)
+			}
+			lat.Add(float64(time.Since(start).Microseconds()) / 1000)
+		}
+		after := served()
+		fmt.Printf("  %-22s reads per node:", name)
+		for i := range after {
+			fmt.Printf(" %5d", after[i]-before[i])
+		}
+		fmt.Println()
+	}
+	phase("healthy", ops/3)
+	fmt.Println("degrading node 0 by +20ms per read...")
+	cl.Nodes[0].SetSlowdown(20 * time.Millisecond)
+	phase("node 0 degraded", ops/3)
+	fmt.Println("node 0 recovered")
+	cl.Nodes[0].SetSlowdown(0)
+	phase("recovered", ops/3)
+	fmt.Printf("overall read latency: %s\n", lat.Summarize())
+}

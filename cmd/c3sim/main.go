@@ -1,0 +1,68 @@
+// Command c3sim runs single configurations of the §6 queueing-model
+// simulator (the Go counterpart of the paper's absim): choose a policy,
+// fluctuation interval, utilization, client count and seed, and get the
+// latency distribution.
+//
+// Usage:
+//
+//	c3sim -policy C3 -interval 500ms -util 0.7 -clients 150
+//	c3sim -policy LOR -requests 600000 -seeds 5
+//	c3sim -compare            # all policies side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"c3/internal/queuesim"
+	"c3/internal/stats"
+)
+
+func main() {
+	policy := flag.String("policy", "C3", "ORA | C3 | C3-R | LOR | RR | RND | LRT | WRND | 2C")
+	interval := flag.Duration("interval", 500*time.Millisecond, "service-rate fluctuation interval")
+	util := flag.Float64("util", 0.7, "offered load as a fraction of average capacity")
+	clients := flag.Int("clients", 150, "number of client nodes")
+	requests := flag.Int("requests", 120_000, "requests per run")
+	seeds := flag.Int("seeds", 3, "repetitions")
+	skew := flag.Float64("skew", 0, "fraction of clients issuing 80% of demand (0 = uniform)")
+	compare := flag.Bool("compare", false, "run every policy with the same settings")
+	flag.Parse()
+
+	policies := []string{*policy}
+	if *compare {
+		policies = queuesim.Policies()
+	}
+	fmt.Printf("servers=50 slots=4 svc=exp(4ms) D=3 interval=%v util=%.0f%% clients=%d requests=%d seeds=%d skew=%.0f%%\n",
+		*interval, *util*100, *clients, *requests, *seeds, *skew*100)
+	for _, pol := range policies {
+		var p50s, p99s, p999s, thrs []float64
+		for s := 0; s < *seeds; s++ {
+			cfg := queuesim.DefaultConfig()
+			cfg.Policy = pol
+			cfg.Fluctuation = *interval
+			cfg.Utilization = *util
+			cfg.Clients = *clients
+			cfg.Requests = *requests
+			cfg.SkewFraction = *skew
+			cfg.Seed = uint64(s)*6151 + 1
+			res := queuesim.Run(cfg)
+			p50s = append(p50s, res.Latency.P50)
+			p99s = append(p99s, res.Latency.P99)
+			p999s = append(p999s, res.Latency.P999)
+			thrs = append(thrs, res.Throughput)
+		}
+		p50, _ := stats.MeanCI95(p50s)
+		p99, ci := stats.MeanCI95(p99s)
+		p999, _ := stats.MeanCI95(p999s)
+		thr, _ := stats.MeanCI95(thrs)
+		fmt.Printf("  %-5s p50=%7.2fms p99=%8.2f±%.2fms p99.9=%8.2fms thr=%8.0f/s\n",
+			pol, p50, p99, ci, p999, thr)
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+}

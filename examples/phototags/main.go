@@ -1,0 +1,42 @@
+// Photo-tagging service: the paper's read-heavy scenario (95% reads, the
+// YCSB mix typical of photo tagging) on the 15-node Cassandra-like cluster
+// model, comparing C3 against Cassandra's Dynamic Snitching.
+//
+// Prints the read-latency percentiles, the ECDF head/tail, and the
+// throughput — the data behind Figures 6 and 7.
+//
+//	go run ./examples/phototags
+package main
+
+import (
+	"fmt"
+
+	"c3/internal/cassim"
+	"c3/internal/workload"
+)
+
+func main() {
+	fmt.Println("photo-tagging workload: 95% reads / 5% updates, Zipfian(0.99) keys,")
+	fmt.Println("15-node cluster, RF=3, 120 closed-loop generators, spinning disks")
+	fmt.Println()
+	for _, strategy := range []string{cassim.StratC3, cassim.StratDS} {
+		cfg := cassim.DefaultConfig()
+		cfg.Strategy = strategy
+		cfg.Mix = workload.ReadHeavy
+		cfg.Ops = 120_000
+		cfg.Seed = 7
+		res := cassim.Run(cfg)
+		fmt.Printf("%s:\n", strategy)
+		fmt.Printf("  reads      %s\n", res.Reads)
+		fmt.Printf("  tail gap   p99.9−p50 = %.2f ms\n", res.Reads.P999MinusP50)
+		fmt.Printf("  throughput %.0f ops/s\n", res.Throughput)
+		fmt.Printf("  read ECDF  ")
+		for _, p := range res.ReadSample.ECDF(8) {
+			fmt.Printf(" %.0f%%≤%.1fms", p.F*100, p.X)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+	fmt.Println("C3 keeps the 99.9th percentile a small multiple of the median; Dynamic")
+	fmt.Println("Snitching's interval-frozen rankings herd coordinators and stretch the tail.")
+}

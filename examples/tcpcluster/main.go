@@ -1,0 +1,83 @@
+// TCP cluster: the same C3 client code that drives the simulators, embedded
+// in a real replicated key-value store running over loopback TCP — five
+// nodes, RF=3, LSM storage, length-prefixed binary protocol with piggybacked
+// feedback.
+//
+// The demo loads data, measures a healthy baseline, degrades one node
+// (+15 ms per read, the live analogue of the paper's tc experiment), and
+// shows C3 steering reads away within a few responses, then re-admitting the
+// node after recovery via read-repair probes.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"c3/internal/kvstore"
+	"c3/internal/sim"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+func main() {
+	cluster, err := kvstore.StartCluster(5, kvstore.Config{
+		Strategy:      kvstore.StratC3,
+		ReadDelayMean: 300 * time.Microsecond,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := kvstore.Dial(cluster.Addrs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	fmt.Println("5-node TCP cluster up at:", strings.Join(cluster.Addrs(), " "))
+	const keys = 500
+	for i := uint64(0); i < keys; i++ {
+		if err := client.Put(workload.Key(i), []byte(strings.Repeat("x", 512))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d keys (RF=3, write fan-out, CL=ONE)\n\n", keys)
+
+	chooser := workload.NewScrambled(keys, 0.99)
+	rng := sim.RNG(9, 9)
+	run := func(label string, n int) {
+		before := make([]uint64, len(cluster.Nodes))
+		for i, nd := range cluster.Nodes {
+			before[i] = nd.ReadsServed()
+		}
+		lat := stats.NewSample(n)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if _, _, err := client.Get(workload.Key(chooser.Next(rng))); err != nil {
+				log.Fatal(err)
+			}
+			lat.Add(float64(time.Since(start).Microseconds()) / 1000)
+		}
+		fmt.Printf("%-18s %s\n", label, lat.Summarize())
+		fmt.Printf("%-18s reads served per node:", "")
+		for i, nd := range cluster.Nodes {
+			fmt.Printf(" n%d=%-4d", i, nd.ReadsServed()-before[i])
+		}
+		fmt.Println()
+	}
+
+	run("healthy", 800)
+	fmt.Println("\n--- injecting +15ms storage delay on node 2 ---")
+	cluster.Nodes[2].SetSlowdown(15 * time.Millisecond)
+	run("node 2 degraded", 800)
+	fmt.Println("\n--- node 2 recovered ---")
+	cluster.Nodes[2].SetSlowdown(0)
+	run("after recovery", 800)
+	fmt.Println("\nThe identical internal/core client drives both this live cluster and the")
+	fmt.Println("paper-reproduction simulators; only the substrate differs.")
+}

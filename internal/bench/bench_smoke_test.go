@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// TestAllRunnersQuick executes every experiment at Quick scale: each must
+// produce lines and headline metrics without panicking.
+func TestAllRunnersQuick(t *testing.T) {
+	o := Options{Scale: Quick, Seeds: 1}
+	for _, rn := range All() {
+		rn := rn
+		t.Run(rn.ID, func(t *testing.T) {
+			t.Parallel()
+			rep := rn.Run(o)
+			if rep == nil || len(rep.Lines) == 0 {
+				t.Fatalf("%s produced no output", rn.ID)
+			}
+			if len(rep.Metrics) == 0 {
+				t.Fatalf("%s recorded no headline metrics", rn.ID)
+			}
+			if rep.String() == "" {
+				t.Fatal("empty render")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig14"); !ok {
+		t.Fatal("fig14 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"quick": Quick, "medium": Medium, "full": Full, "": Medium} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}

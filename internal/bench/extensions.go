@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"c3/internal/cassim"
+	"c3/internal/queuesim"
+)
+
+// ExtTokenAware evaluates the §7 future-work item the paper names first:
+// token-aware clients (Astyanax-style) that coordinate at a replica of the
+// key, avoiding overloaded non-replica coordinators.
+func ExtTokenAware(o Options) *Report {
+	r := newReport("ext-token", "extension: token-aware clients (§7)")
+	var p99 [2]float64
+	for i, aware := range []bool{false, true} {
+		aware := aware
+		rs := clusterRun(o, func(c *cassim.Config) {
+			c.Strategy = cassim.StratC3
+			c.TokenAware = aware
+		})
+		label := "C3, random coordinator"
+		if aware {
+			label = "C3, token-aware"
+		}
+		latencyRow(r, label, rs)
+		p99[i] = avg(rs, func(x *cassim.Result) float64 { return x.Reads.P99 })
+		r.Metric(map[bool]string{false: "p99_random", true: "p99_tokenaware"}[aware], p99[i])
+	}
+	r.printf("  token-aware p99 change: ×%.2f (saves a hop on self-selection; concentrates", p99[0]/p99[1])
+	r.printf("  coordination on the key's replicas — a modest net effect in this model)")
+	r.Metric("p99_improvement", p99[0]/p99[1])
+	return r
+}
+
+// ExtQuorum evaluates the §7 strongly-consistent-reads discussion: quorum
+// reads (CL=2 of RF=3) complete at the slower of two replicas, so the gains
+// from replica selection shrink — exactly the paper's caveat.
+func ExtQuorum(o Options) *Report {
+	r := newReport("ext-quorum", "extension: quorum reads (§7 strong consistency)")
+	type cell struct{ p50, p999 float64 }
+	res := map[string]cell{}
+	for _, strat := range []string{cassim.StratC3, cassim.StratDS} {
+		for _, cl := range []int{1, 2} {
+			strat, cl := strat, cl
+			rs := clusterRun(o, func(c *cassim.Config) {
+				c.Strategy = strat
+				c.ReadConsistency = cl
+			})
+			latencyRow(r, strat+" CL="+itoa(cl), rs)
+			res[strat+itoa(cl)] = cell{
+				p50:  avg(rs, func(x *cassim.Result) float64 { return x.Reads.P50 }),
+				p999: avg(rs, func(x *cassim.Result) float64 { return x.Reads.P999 }),
+			}
+		}
+	}
+	gain1 := res["DS1"].p999 / res["C31"].p999
+	gain2 := res["DS2"].p999 / res["C32"].p999
+	r.printf("  p99.9 gain of C3 over DS: CL=1 ×%.2f, CL=2 ×%.2f", gain1, gain2)
+	r.printf("  (the paper predicts smaller gains under quorum reads: a straggler cannot be avoided)")
+	r.Metric("gain_cl1", gain1)
+	r.Metric("gain_cl2", gain2)
+	return r
+}
+
+// ExtC3Spec evaluates reissues atop C3 (§8: "request reissues could be
+// introduced atop C3"), in contrast to the §5 finding that reissues atop DS
+// backfire.
+func ExtC3Spec(o Options) *Report {
+	r := newReport("ext-spec", "extension: speculative retries atop C3 (§8)")
+	var p999 [2]float64
+	for i, strat := range []string{cassim.StratC3, cassim.StratC3Spec} {
+		strat := strat
+		rs := clusterRun(o, func(c *cassim.Config) { c.Strategy = strat })
+		latencyRow(r, strat, rs)
+		p999[i] = avg(rs, func(x *cassim.Result) float64 { return x.Reads.P999 })
+		if strat == cassim.StratC3Spec {
+			r.printf("  speculative retries issued: %.0f per run",
+				avg(rs, func(x *cassim.Result) float64 { return float64(x.SpeculativeRetries) }))
+		}
+	}
+	r.printf("  p99.9 C3-SPEC/C3 = %.2fx (atop C3's load conditioning, reissues are far less harmful than atop DS)",
+		p999[1]/p999[0])
+	r.Metric("spec_p999_ratio", p999[1]/p999[0])
+	return r
+}
+
+// AblationDecreaseRule compares the paper's literal Algorithm 2 decrease
+// condition (srate > rrate, which collapses sparse flows) against this
+// implementation's robust variant (actual sends vs receipts) on the §6 model.
+func AblationDecreaseRule(o Options) *Report {
+	r := newReport("ablate-decrease", "ablation: literal vs robust rate-decrease rule")
+	robust := simP99(o, func(c *queuesim.Config) { c.Policy = queuesim.PolicyC3 })
+	literal := simP99(o, func(c *queuesim.Config) {
+		c.Policy = queuesim.PolicyC3
+		c.RateConfig.LiteralDecrease = true
+	})
+	r.printf("  robust rule (sent vs received)   p99=%8.2f ms", robust)
+	r.printf("  literal rule (allowance vs rrate) p99=%8.2f ms", literal)
+	r.printf("  literal/robust = ×%.2f — the literal rule misreads sparse per-pair flows as", literal/robust)
+	r.printf("  saturation, pins rates at the floor and inflates the tail via backpressure")
+	r.Metric("p99_robust", robust)
+	r.Metric("p99_literal", literal)
+	r.Metric("literal_penalty", literal/robust)
+	return r
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"c3/internal/queuesim"
+)
+
+// simP99 runs one queuesim configuration across seeds and reports the mean
+// 99th-percentile latency (ms) — the paper's §6 metric.
+func simP99(o Options, mut func(*queuesim.Config)) float64 {
+	sum := 0.0
+	for seed := 0; seed < o.seeds(); seed++ {
+		cfg := queuesim.DefaultConfig()
+		cfg.Requests = o.simRequests()
+		cfg.Seed = uint64(seed)*104729 + 3
+		if mut != nil {
+			mut(&cfg)
+		}
+		sum += queuesim.Run(cfg).Latency.P99
+	}
+	return sum / float64(o.seeds())
+}
+
+// sweepTable renders one Fig. 14/15-style table: policies × intervals.
+func sweepTable(r *Report, o Options, label string, policies []string,
+	mut func(*queuesim.Config)) map[string][]float64 {
+	intervals := o.intervals()
+	hdr := fmt.Sprintf("  %-28s %-5s", label, "")
+	for _, iv := range intervals {
+		hdr += fmt.Sprintf("%8dms", iv)
+	}
+	r.printf("%s", hdr)
+	out := map[string][]float64{}
+	for _, pol := range policies {
+		row := fmt.Sprintf("  %-28s %-5s", "", pol)
+		var vals []float64
+		for _, iv := range intervals {
+			iv := iv
+			v := simP99(o, func(c *queuesim.Config) {
+				c.Policy = pol
+				c.Fluctuation = time.Duration(iv) * time.Millisecond
+				if mut != nil {
+					mut(c)
+				}
+			})
+			vals = append(vals, v)
+			row += fmt.Sprintf("%10.1f", v)
+		}
+		out[pol] = vals
+		r.printf("%s", row)
+	}
+	return out
+}
+
+// Fig14 regenerates the §6 fluctuation-interval sweep: 99th-percentile
+// latency for ORA/C3/LOR/RR at high (70%) and low (45%) utilization with 150
+// and 300 clients.
+func Fig14(o Options) *Report {
+	r := newReport("fig14", "impact of time-varying service times (99th pct, ms)")
+	policies := []string{queuesim.PolicyOracle, queuesim.PolicyC3,
+		queuesim.PolicyLOR, queuesim.PolicyRR}
+	clientCounts := []int{150, 300}
+	if o.Scale == Quick {
+		clientCounts = []int{150}
+	}
+	for _, util := range []float64{0.70, 0.45} {
+		for _, clients := range clientCounts {
+			util, clients := util, clients
+			label := fmt.Sprintf("util=%.0f%% clients=%d", util*100, clients)
+			table := sweepTable(r, o, label, policies, func(c *queuesim.Config) {
+				c.Utilization = util
+				c.Clients = clients
+			})
+			last := len(o.intervals()) - 1
+			key := fmt.Sprintf("u%.0f_c%d", util*100, clients)
+			r.Metric("lor_over_c3_500ms_"+key,
+				table[queuesim.PolicyLOR][last]/table[queuesim.PolicyC3][last])
+			r.Metric("rr_over_c3_500ms_"+key,
+				table[queuesim.PolicyRR][last]/table[queuesim.PolicyC3][last])
+			r.Metric("c3_over_ora_500ms_"+key,
+				table[queuesim.PolicyC3][last]/table[queuesim.PolicyOracle][last])
+			// The paper's low-utilization observation: C3 plateaus
+			// (late ≈ mid) while LOR keeps degrading.
+			if util == 0.45 {
+				mid := len(o.intervals()) / 2
+				r.Metric("c3_late_over_mid_"+key,
+					table[queuesim.PolicyC3][last]/table[queuesim.PolicyC3][mid])
+				r.Metric("lor_late_over_mid_"+key,
+					table[queuesim.PolicyLOR][last]/table[queuesim.PolicyLOR][mid])
+			}
+		}
+	}
+	r.printf("  (paper: at 10ms all load-aware schemes converge; as T grows LOR degrades, RR is worst,")
+	r.printf("   C3 stays closest to ORA and plateaus at low utilization)")
+	return r
+}
+
+// Fig15 regenerates the demand-skew sweep: 20% / 50% of clients issue 80% of
+// requests.
+func Fig15(o Options) *Report {
+	r := newReport("fig15", "performance under client demand skew (99th pct, ms)")
+	policies := []string{queuesim.PolicyOracle, queuesim.PolicyC3,
+		queuesim.PolicyLOR, queuesim.PolicyRR}
+	clientCounts := []int{150, 300}
+	if o.Scale == Quick {
+		clientCounts = []int{150}
+	}
+	for _, skew := range []float64{0.2, 0.5} {
+		for _, clients := range clientCounts {
+			skew, clients := skew, clients
+			label := fmt.Sprintf("skew=%.0f%%→80%% clients=%d", skew*100, clients)
+			table := sweepTable(r, o, label, policies, func(c *queuesim.Config) {
+				c.SkewFraction = skew
+				c.Clients = clients
+			})
+			last := len(o.intervals()) - 1
+			key := fmt.Sprintf("s%.0f_c%d", skew*100, clients)
+			r.Metric("lor_over_c3_500ms_"+key,
+				table[queuesim.PolicyLOR][last]/table[queuesim.PolicyC3][last])
+		}
+	}
+	r.printf("  (paper: regardless of the demand skew, C3 outperforms LOR and RR)")
+	return r
+}
+
+// AblationExponent sweeps the scoring exponent b — why cubic (§3.1).
+func AblationExponent(o Options) *Report {
+	r := newReport("ablate-b", "scoring exponent b (99th pct, ms, T=500ms)")
+	for _, b := range []float64{1, 2, 3, 4} {
+		b := b
+		v := simP99(o, func(c *queuesim.Config) {
+			c.Policy = queuesim.PolicyC3
+			c.Exponent = b
+		})
+		r.printf("  b=%.0f  p99=%8.2f ms", b, v)
+		r.Metric(fmt.Sprintf("p99_b%.0f", b), v)
+	}
+	r.printf("  (paper argues b=3 balances preferring fast servers vs robustness to service-time swings)")
+	return r
+}
+
+// AblationConcurrencyComp toggles the os·w term in q̂ (§3.1).
+func AblationConcurrencyComp(o Options) *Report {
+	r := newReport("ablate-comp", "concurrency compensation (99th pct, ms, T=500ms)")
+	with := simP99(o, func(c *queuesim.Config) { c.Policy = queuesim.PolicyC3 })
+	without := simP99(o, func(c *queuesim.Config) {
+		c.Policy = queuesim.PolicyC3
+		c.NoConcurrencyComp = true
+	})
+	r.printf("  with os·w term    p99=%8.2f ms", with)
+	r.printf("  without (w=0)     p99=%8.2f ms", without)
+	r.printf("  penalty for removing it: ×%.2f", without/with)
+	r.Metric("p99_with", with)
+	r.Metric("p99_without", without)
+	r.Metric("penalty", without/with)
+	return r
+}
+
+// AblationRateControl isolates ranking vs rate control (§3.2 / §6 RR).
+func AblationRateControl(o Options) *Report {
+	r := newReport("ablate-rate", "ranking vs rate control (99th pct, ms, T=500ms)")
+	rows := []struct {
+		label  string
+		policy string
+	}{
+		{"full C3 (rank + rate)", queuesim.PolicyC3},
+		{"ranking only (C3-R)", queuesim.PolicyC3RankOnly},
+		{"rate only (RR+rate)", queuesim.PolicyRR},
+		{"neither (LOR)", queuesim.PolicyLOR},
+	}
+	for _, row := range rows {
+		row := row
+		v := simP99(o, func(c *queuesim.Config) { c.Policy = row.policy })
+		r.printf("  %-24s p99=%8.2f ms", row.label, v)
+		r.Metric("p99_"+row.policy, v)
+	}
+	r.printf("  (paper: \"rate-limiting alone does not improve the latency tail\" — ranking carries §6)")
+	return r
+}
+
+// AblationExtraSelectors evaluates the strategies §6 dismisses.
+func AblationExtraSelectors(o Options) *Report {
+	r := newReport("ablate-extra", "dismissed selectors (99th pct, ms, T=500ms)")
+	for _, pol := range []string{queuesim.PolicyC3, queuesim.PolicyLOR,
+		queuesim.PolicyRandom, queuesim.PolicyLRT, queuesim.PolicyWRand,
+		queuesim.PolicyTwoChoice} {
+		pol := pol
+		v := simP99(o, func(c *queuesim.Config) { c.Policy = pol })
+		r.printf("  %-5s p99=%8.2f ms", pol, v)
+		r.Metric("p99_"+strings.ReplaceAll(pol, "-", "_"), v)
+	}
+	r.printf("  (paper: uniform random, least-response-time and weighted random \"did not fare well\")")
+	return r
+}

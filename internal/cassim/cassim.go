@@ -1,0 +1,543 @@
+// Package cassim is the §5 evaluation substrate: a discrete-event model of
+// the paper's 15-node Cassandra cluster on EC2. It reproduces the read path
+// the paper instruments — YCSB-style closed-loop generators, coordinators
+// performing replica selection (Dynamic Snitching or C3), RF=3 replication
+// over a Murmur3 token ring, read repair, an LSM-flavoured storage service
+// time model (page-cache hits, disk seeks, compaction I/O interference), GC
+// pauses, gossiped iowait, and optional speculative retries.
+//
+// The paper ran this on m1.xlarge instances; here the same mechanisms run
+// under virtual time (see DESIGN.md §3 for the substitution argument). All
+// of Figures 2 and 6–13 regenerate from this package.
+package cassim
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"c3/internal/core"
+	"c3/internal/ratelimit"
+	"c3/internal/ring"
+	"c3/internal/sim"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+// Strategy names.
+const (
+	StratC3     = "C3"
+	StratDS     = "DS"      // Dynamic Snitching
+	StratDSSpec = "DS-SPEC" // Dynamic Snitching + speculative retries
+	StratC3Spec = "C3-SPEC" // extension (§7): request reissues atop C3
+	StratLOR    = "LOR"
+	StratRR     = "RR"
+)
+
+// Disk selects the storage latency profile.
+type Disk int
+
+// Disk kinds: the paper's RAID0 of spinning ephemeral disks (m1.xlarge) and
+// the SSD-backed m3.xlarge variant (Fig. 12).
+const (
+	Spinning Disk = iota
+	SSD
+)
+
+func (d Disk) String() string {
+	if d == SSD {
+		return "ssd"
+	}
+	return "spinning"
+}
+
+// Phase adds generators to the run at a point in time (Fig. 11's dynamic
+// workload experiment starts 80 read-heavy generators at t=0 and 40
+// update-heavy generators later).
+type Phase struct {
+	Start      time.Duration
+	Generators int
+	Mix        workload.Mix
+}
+
+// Slowdown artificially inflates one node's service times during a window —
+// the simulator's stand-in for the paper's Linux tc latency injection in the
+// Fig. 13 trace experiment.
+type Slowdown struct {
+	Node     int
+	From, To time.Duration
+	Factor   float64
+}
+
+// Config parameterizes a cluster run. Zero fields take the paper's §5 values.
+type Config struct {
+	Strategy   string
+	Nodes      int // 15
+	RF         int // 3
+	Generators int // 120 (three YCSB instances × 40 threads)
+	Mix        workload.Mix
+	Keys       uint64         // 10 million
+	Sizer      workload.Sizer // 1 KB records by default
+	Ops        int            // operations to run (paper: 10M per measurement)
+	Disk       Disk
+	Seed       uint64
+
+	NetOneWay       time.Duration // 250 µs
+	ReadRepair      float64       // 0.1
+	ReadSlots       int           // read-stage concurrency per node (4)
+	WriteSlots      int           // write-stage concurrency per node (4)
+	CacheMissProb   float64       // probability a read needs disk
+	CPUMean         time.Duration // mean CPU cost of a read
+	SeekMean        time.Duration // mean disk time per uncached read
+	WriteMean       time.Duration // mean memtable write cost
+	SizeCostPerKB   time.Duration // extra service time per KB of record
+	BaseIOWait      float64       // iowait at rest
+	IOWaitJitter    float64       // uniform jitter added per gossip tick
+	GossipInterval  time.Duration // 1 s, as in Cassandra
+	GCMeanInterval  time.Duration // mean time between GC pauses per node
+	GCMinPause      time.Duration
+	GCMaxPause      time.Duration
+	CompactInterval time.Duration // mean time between compactions per node
+	CompactDuration time.Duration
+	CompactIOFactor float64 // disk-time multiplier while compacting
+	CompactIOWait   float64 // gossiped iowait while compacting
+
+	// Duration, when nonzero, ends the run on the virtual clock instead
+	// of an operation budget.
+	Duration time.Duration
+	// Phases overrides Generators/Mix with a staged generator schedule.
+	Phases []Phase
+	// Slowdowns inject service-time inflation windows (Fig. 13).
+	Slowdowns []Slowdown
+	// RecordTimeline captures (t, latency) points for every read.
+	RecordTimeline bool
+	// TraceRates samples every coordinator's srate/rrate toward
+	// TraceTarget each 100 ms and records backpressure events (Fig. 13).
+	TraceRates  bool
+	TraceTarget int
+
+	// Rate overrides the C3 rate-controller parameters.
+	Rate ratelimit.Config
+	// SpecRetryQuantile is the wait quantile for DS-SPEC (default 99).
+	SpecRetryQuantile float64
+	// SnitchHistory bounds the per-peer latency sample window of the
+	// Dynamic Snitch (default 32 — short enough that interval recomputes
+	// react to the previous interval's herd, which is the §2.3
+	// oscillation mechanism).
+	SnitchHistory int
+
+	// TokenAware routes each generator request to a coordinator that is
+	// itself a replica of the key — the Astyanax-style client the paper's
+	// §7 names as future work ("which will avoid the problem of clients
+	// selecting overloaded coordinators").
+	TokenAware bool
+	// ReadConsistency is the number of replica responses a read needs
+	// (default 1). Setting 2 with RF=3 models the §7 strongly-consistent
+	// quorum-read discussion: the coordinator reads from the
+	// ReadConsistency best-ranked replicas and completes at the slowest
+	// of them.
+	ReadConsistency int
+}
+
+// DefaultConfig returns the paper's §5 setup (read-heavy on spinning disks).
+func DefaultConfig() Config {
+	return Config{
+		Strategy:      StratC3,
+		Nodes:         15,
+		RF:            3,
+		Generators:    120,
+		Mix:           workload.ReadHeavy,
+		Keys:          10_000_000,
+		Sizer:         workload.FixedSize(1024),
+		Ops:           200_000,
+		Disk:          Spinning,
+		NetOneWay:     250 * time.Microsecond,
+		ReadRepair:    0.1,
+		ReadSlots:     4,
+		WriteSlots:    4,
+		CacheMissProb: 0.35,
+		CPUMean:       500 * time.Microsecond,
+		// SeekMean is left zero: withDefaults assigns it by disk type
+		// (5 ms spinning, 150 µs SSD).
+		WriteMean:       200 * time.Microsecond,
+		SizeCostPerKB:   100 * time.Microsecond,
+		BaseIOWait:      0.03,
+		IOWaitJitter:    0.002,
+		GossipInterval:  time.Second,
+		GCMeanInterval:  12 * time.Second,
+		GCMinPause:      50 * time.Millisecond,
+		GCMaxPause:      250 * time.Millisecond,
+		CompactInterval: 45 * time.Second,
+		CompactDuration: 8 * time.Second,
+		CompactIOFactor: 3,
+		CompactIOWait:   0.5,
+
+		SpecRetryQuantile: 99,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Strategy == "" {
+		c.Strategy = d.Strategy
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.RF <= 0 {
+		c.RF = d.RF
+	}
+	if c.RF > c.Nodes {
+		c.RF = c.Nodes
+	}
+	if c.Generators <= 0 {
+		c.Generators = d.Generators
+	}
+	if c.Mix.Name == "" {
+		c.Mix = d.Mix
+	}
+	if c.Keys == 0 {
+		c.Keys = d.Keys
+	}
+	if c.Sizer == nil {
+		c.Sizer = d.Sizer
+	}
+	if c.Ops <= 0 && c.Duration <= 0 {
+		c.Ops = d.Ops
+	}
+	if c.NetOneWay <= 0 {
+		c.NetOneWay = d.NetOneWay
+	}
+	if c.ReadRepair < 0 {
+		c.ReadRepair = 0
+	}
+	if c.ReadSlots <= 0 {
+		c.ReadSlots = d.ReadSlots
+	}
+	if c.WriteSlots <= 0 {
+		c.WriteSlots = d.WriteSlots
+	}
+	if c.CacheMissProb <= 0 {
+		c.CacheMissProb = d.CacheMissProb
+	}
+	if c.CPUMean <= 0 {
+		c.CPUMean = d.CPUMean
+	}
+	if c.SeekMean <= 0 {
+		if c.Disk == SSD {
+			c.SeekMean = 150 * time.Microsecond
+		} else {
+			c.SeekMean = 5 * time.Millisecond
+		}
+	}
+	if c.WriteMean <= 0 {
+		c.WriteMean = d.WriteMean
+	}
+	if c.SizeCostPerKB <= 0 {
+		c.SizeCostPerKB = d.SizeCostPerKB
+	}
+	if c.BaseIOWait <= 0 {
+		c.BaseIOWait = d.BaseIOWait
+	}
+	if c.IOWaitJitter < 0 {
+		c.IOWaitJitter = 0
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = d.GossipInterval
+	}
+	if c.GCMeanInterval <= 0 {
+		c.GCMeanInterval = d.GCMeanInterval
+	}
+	if c.GCMinPause <= 0 {
+		c.GCMinPause = d.GCMinPause
+	}
+	if c.GCMaxPause <= c.GCMinPause {
+		c.GCMaxPause = c.GCMinPause + d.GCMaxPause
+	}
+	if c.CompactInterval <= 0 {
+		c.CompactInterval = d.CompactInterval
+	}
+	if c.CompactDuration <= 0 {
+		c.CompactDuration = d.CompactDuration
+	}
+	if c.CompactIOFactor <= 0 {
+		c.CompactIOFactor = d.CompactIOFactor
+	}
+	if c.CompactIOWait <= 0 {
+		c.CompactIOWait = d.CompactIOWait
+	}
+	if c.SpecRetryQuantile <= 0 {
+		c.SpecRetryQuantile = d.SpecRetryQuantile
+	}
+	if c.SnitchHistory <= 0 {
+		c.SnitchHistory = 32
+	}
+	if c.ReadConsistency <= 0 {
+		c.ReadConsistency = 1
+	}
+	if c.ReadConsistency > c.RF {
+		c.ReadConsistency = c.RF
+	}
+	if c.Disk == SSD && c.CacheMissProb == d.CacheMissProb {
+		// SSDs make misses cheap, not rare; keep probability, the cost
+		// model handles the difference.
+		_ = c
+	}
+	return c
+}
+
+// TimelinePoint is one (completion time, read latency) observation.
+type TimelinePoint struct {
+	T  time.Duration
+	Ms float64
+}
+
+// RatePoint samples one coordinator's rate state toward the traced node.
+type RatePoint struct {
+	T           time.Duration
+	Coordinator int
+	SRate       float64
+	RRate       float64
+}
+
+// Result carries the measurements of one cluster run.
+type Result struct {
+	Strategy string
+	Mix      string
+	Disk     string
+
+	Reads  stats.Summary // generator-observed read latency, ms
+	Writes stats.Summary
+	// ReadSample is the raw read latency sample (ms) for ECDFs.
+	ReadSample *stats.Sample
+
+	Throughput float64 // completed ops per simulated second
+	Ops        int
+
+	// PerNodeReads counts reads served per node per 100 ms window
+	// (Fig. 8's "reads serviced"); PerNodeArrivals counts read requests
+	// received per node per 100 ms window (Figs. 2 and 9's "requests
+	// received"), which is where herd oscillation shows.
+	PerNodeReads    []*stats.Windowed
+	PerNodeArrivals []*stats.Windowed
+
+	Backpressured      uint64
+	SpeculativeRetries uint64
+
+	Timeline     []TimelinePoint
+	RateTrace    []RatePoint
+	Backpressure []time.Duration // times backpressure engaged (Fig. 13)
+
+	SimDuration time.Duration
+}
+
+// MostLoadedNode reports the index of the node that served the most reads
+// and its served-reads windowed counter — the paper's Fig. 8 subject.
+func (r *Result) MostLoadedNode() (int, *stats.Windowed) {
+	best, bestN := 0, -1
+	for i, w := range r.PerNodeReads {
+		if t := w.Total(); t > bestN {
+			best, bestN = i, t
+		}
+	}
+	return best, r.PerNodeReads[best]
+}
+
+// MostOscillatingArrivals reports the node whose request-arrival series has
+// the highest oscillation index and that series — the Fig. 2/9 subject.
+func (r *Result) MostOscillatingArrivals() (int, *stats.Windowed) {
+	best, bestV := 0, -1.0
+	for i, w := range r.PerNodeArrivals {
+		if v := w.OscillationIndex(); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, r.PerNodeArrivals[best]
+}
+
+// Run executes one cluster simulation.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	e := newEngine(cfg)
+	e.start()
+	e.s.Run()
+	return e.finish()
+}
+
+// engine owns one run.
+type engine struct {
+	cfg Config
+	s   *sim.Sim
+	rng *rand.Rand // global decisions (coordinator choice, repair, keys)
+
+	ring   *ring.Ring
+	groups [][]core.ServerID
+	nodes  []*node
+	gens   []*generator
+
+	keys          workload.KeyChooser
+	res           *Result
+	opsIn         int // operations issued
+	done          int // operations completed
+	tLast         int64
+	backpressured uint64
+
+	stopped bool
+}
+
+// netDelay runs fn after one network hop; hops between a node and itself
+// (coordinator reading its own replica) are free.
+func (e *engine) netDelay(from, to *node, fn func()) {
+	if from != nil && from == to {
+		e.s.After(0, fn)
+		return
+	}
+	e.s.AfterDur(e.cfg.NetOneWay, fn)
+}
+
+// opDone accounts one completed operation.
+func (e *engine) opDone(now int64) {
+	e.done++
+	e.tLast = now
+}
+
+func newEngine(cfg Config) *engine {
+	e := &engine{
+		cfg: cfg,
+		s:   sim.New(),
+		rng: sim.RNG(cfg.Seed, 3),
+	}
+	e.ring = ring.New(cfg.Nodes, cfg.RF)
+	e.groups = e.ring.Groups()
+	e.keys = workload.NewScrambled(cfg.Keys, 0.99)
+	e.res = &Result{
+		Strategy:   cfg.Strategy,
+		Mix:        cfg.Mix.Name,
+		Disk:       cfg.Disk.String(),
+		ReadSample: stats.NewSample(cfg.Ops),
+	}
+	e.nodes = make([]*node, cfg.Nodes)
+	for i := range e.nodes {
+		e.nodes[i] = newNode(e, i)
+		e.res.PerNodeReads = append(e.res.PerNodeReads, stats.NewWindowed(100*sim.Millisecond))
+		e.res.PerNodeArrivals = append(e.res.PerNodeArrivals, stats.NewWindowed(100*sim.Millisecond))
+	}
+	return e
+}
+
+// start arms generators, disturbance processes, gossip and tracing.
+func (e *engine) start() {
+	cfg := e.cfg
+	phases := cfg.Phases
+	if len(phases) == 0 {
+		phases = []Phase{{Start: 0, Generators: cfg.Generators, Mix: cfg.Mix}}
+	}
+	gid := 0
+	for _, ph := range phases {
+		for i := 0; i < ph.Generators; i++ {
+			g := newGenerator(e, gid, ph.Mix)
+			e.gens = append(e.gens, g)
+			start := int64(ph.Start)
+			e.s.At(start, g.issueNext)
+			gid++
+		}
+	}
+	for _, n := range e.nodes {
+		n.scheduleDisturbances()
+	}
+	e.scheduleGossip()
+	if cfg.TraceRates {
+		e.scheduleRateTrace()
+	}
+	if cfg.Duration > 0 {
+		e.s.AfterDur(cfg.Duration, func() { e.stopped = true })
+	}
+}
+
+// shouldStop reports whether issuing must cease.
+func (e *engine) shouldStop() bool {
+	if e.stopped {
+		return true
+	}
+	return e.cfg.Ops > 0 && e.opsIn >= e.cfg.Ops
+}
+
+// running reports whether background processes should keep rescheduling.
+func (e *engine) running() bool {
+	if e.stopped {
+		return false
+	}
+	if e.cfg.Ops > 0 {
+		return e.done < e.cfg.Ops
+	}
+	return true
+}
+
+// scheduleGossip disseminates each node's iowait to every coordinator's
+// snitch once per gossip interval (one-hop delayed, as in Cassandra's
+// one-second gossip averages).
+func (e *engine) scheduleGossip() {
+	var tick func()
+	tick = func() {
+		for _, src := range e.nodes {
+			w := src.iowait(e.s.Now())
+			id := core.ServerID(src.id)
+			for _, dst := range e.nodes {
+				if dst == src {
+					continue
+				}
+				dst := dst
+				e.s.AfterDur(e.cfg.NetOneWay, func() {
+					if ds, ok := dst.sel.Ranker().(*core.DynamicSnitch); ok {
+						ds.SetSeverity(id, w)
+					}
+				})
+			}
+		}
+		if e.running() {
+			e.s.AfterDur(e.cfg.GossipInterval, tick)
+		}
+	}
+	e.s.AfterDur(e.cfg.GossipInterval, tick)
+}
+
+// scheduleRateTrace samples coordinators' rate state toward the traced node.
+func (e *engine) scheduleRateTrace() {
+	var tick func()
+	tick = func() {
+		target := core.ServerID(e.cfg.TraceTarget)
+		for _, n := range e.nodes {
+			if n.id == e.cfg.TraceTarget {
+				continue
+			}
+			e.res.RateTrace = append(e.res.RateTrace, RatePoint{
+				T:           time.Duration(e.s.Now()),
+				Coordinator: n.id,
+				SRate:       n.sel.SendRate(target),
+				RRate:       n.sel.ReceiveRate(target, e.s.Now()),
+			})
+		}
+		if e.running() {
+			e.s.After(100*sim.Millisecond, tick)
+		}
+	}
+	e.s.After(100*sim.Millisecond, tick)
+}
+
+// finish produces the Result.
+func (e *engine) finish() *Result {
+	e.res.Reads = e.res.ReadSample.Summarize()
+	e.res.Ops = e.done
+	e.res.SimDuration = time.Duration(e.tLast)
+	if e.tLast > 0 {
+		e.res.Throughput = float64(e.done) / (float64(e.tLast) / 1e9)
+	}
+	ws := stats.NewSample(1024)
+	for _, g := range e.gens {
+		for _, w := range g.writeLat {
+			ws.Add(w)
+		}
+	}
+	e.res.Writes = ws.Summarize()
+	e.res.Backpressured = e.backpressured
+	return e.res
+}

@@ -1,0 +1,390 @@
+package cassim
+
+import (
+	"testing"
+	"time"
+
+	"c3/internal/ratelimit"
+	"c3/internal/workload"
+)
+
+func small(strategy string, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Strategy = strategy
+	cfg.Ops = 30_000
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestAllStrategiesComplete(t *testing.T) {
+	for _, st := range []string{StratC3, StratDS, StratDSSpec, StratLOR, StratRR} {
+		st := st
+		t.Run(st, func(t *testing.T) {
+			t.Parallel()
+			cfg := small(st, 1)
+			cfg.Ops = 10_000
+			res := Run(cfg)
+			total := res.Reads.Count + res.Writes.Count
+			if total != cfg.Ops {
+				t.Fatalf("completed %d ops, want %d", total, cfg.Ops)
+			}
+			if res.Reads.Min <= 0 {
+				t.Fatalf("non-positive read latency %v", res.Reads.Min)
+			}
+			if res.Throughput <= 0 {
+				t.Fatal("zero throughput")
+			}
+		})
+	}
+}
+
+func TestOpMixRatios(t *testing.T) {
+	cfg := small(StratC3, 2)
+	cfg.Mix = workload.UpdateHeavy
+	res := Run(cfg)
+	frac := float64(res.Reads.Count) / float64(res.Reads.Count+res.Writes.Count)
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("read fraction = %v, want ≈0.5", frac)
+	}
+	cfg.Mix = workload.ReadOnly
+	res = Run(cfg)
+	if res.Writes.Count != 0 {
+		t.Fatalf("read-only workload produced %d writes", res.Writes.Count)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	a := Run(small(StratC3, 42))
+	b := Run(small(StratC3, 42))
+	if a.Reads.Mean != b.Reads.Mean || a.Reads.P999 != b.Reads.P999 ||
+		a.Throughput != b.Throughput {
+		t.Fatalf("same seed diverged: %v vs %v", a.Reads, b.Reads)
+	}
+}
+
+func TestC3BeatsDynamicSnitching(t *testing.T) {
+	// The headline §5 result, averaged over seeds: C3 improves the tail
+	// and throughput over DS.
+	var c3p99, dsp99, c3thr, dsthr float64
+	for seed := uint64(0); seed < 3; seed++ {
+		cc := small(StratC3, seed)
+		cc.Ops = 60_000
+		dc := small(StratDS, seed)
+		dc.Ops = 60_000
+		rc, rd := Run(cc), Run(dc)
+		c3p99 += rc.Reads.P99 / 3
+		dsp99 += rd.Reads.P99 / 3
+		c3thr += rc.Throughput / 3
+		dsthr += rd.Throughput / 3
+	}
+	if c3p99 >= dsp99 {
+		t.Fatalf("C3 p99 (%.1f) should beat DS (%.1f)", c3p99, dsp99)
+	}
+	if c3thr <= dsthr {
+		t.Fatalf("C3 throughput (%.0f) should beat DS (%.0f)", c3thr, dsthr)
+	}
+}
+
+func TestDSOscillatesMoreThanC3(t *testing.T) {
+	// Fig. 2 / Fig. 9: the request-arrival series of DS shows herd
+	// oscillation that C3 lacks.
+	var dsOsc, c3Osc float64
+	for seed := uint64(0); seed < 3; seed++ {
+		dc := small(StratDS, seed)
+		dc.Ops = 60_000
+		cc := small(StratC3, seed)
+		cc.Ops = 60_000
+		_, dw := Run(dc).MostOscillatingArrivals()
+		_, cw := Run(cc).MostOscillatingArrivals()
+		dsOsc += dw.OscillationIndex() / 3
+		c3Osc += cw.OscillationIndex() / 3
+	}
+	if dsOsc <= c3Osc {
+		t.Fatalf("DS oscillation (%.2f) should exceed C3 (%.2f)", dsOsc, c3Osc)
+	}
+}
+
+func TestSSDFasterThanSpinning(t *testing.T) {
+	sp := small(StratC3, 3)
+	ssd := small(StratC3, 3)
+	ssd.Disk = SSD
+	rsp, rssd := Run(sp), Run(ssd)
+	if rssd.Reads.P99 >= rsp.Reads.P99 {
+		t.Fatalf("SSD p99 (%.1f) should beat spinning (%.1f)", rssd.Reads.P99, rsp.Reads.P99)
+	}
+	if rssd.Throughput <= rsp.Throughput {
+		t.Fatalf("SSD throughput (%.0f) should beat spinning (%.0f)",
+			rssd.Throughput, rsp.Throughput)
+	}
+}
+
+func TestReadOnlySlowerThanReadHeavy(t *testing.T) {
+	// §5: "the read-heavy workload results in lower latencies than the
+	// read-only workload (since the latter causes more random seeks)".
+	rh := small(StratC3, 4)
+	rh.Mix = workload.ReadHeavy
+	ro := small(StratC3, 4)
+	ro.Mix = workload.ReadOnly
+	rrh, rro := Run(rh), Run(ro)
+	if rro.Reads.Mean <= rrh.Reads.Mean {
+		t.Fatalf("read-only mean (%.2f) should exceed read-heavy (%.2f)",
+			rro.Reads.Mean, rrh.Reads.Mean)
+	}
+}
+
+func TestMoreGeneratorsDegradeLatency(t *testing.T) {
+	// Fig. 10: 120 → 210 generators.
+	lo := small(StratC3, 5)
+	hi := small(StratC3, 5)
+	hi.Generators = 210
+	rlo, rhi := Run(lo), Run(hi)
+	if rhi.Reads.P99 <= rlo.Reads.P99 {
+		t.Fatalf("210-generator p99 (%.1f) should exceed 120-generator (%.1f)",
+			rhi.Reads.P99, rlo.Reads.P99)
+	}
+	// The cluster is already near capacity at 120 closed-loop generators;
+	// more generators deepen queues but must not crater throughput.
+	if rhi.Throughput < rlo.Throughput*0.85 {
+		t.Fatalf("throughput cratered under load: %.0f vs %.0f",
+			rhi.Throughput, rlo.Throughput)
+	}
+}
+
+func TestPhasesAndTimeline(t *testing.T) {
+	// Fig. 11 machinery: an update-heavy wave joins mid-run; the read
+	// timeline must contain points before and after the join.
+	cfg := DefaultConfig()
+	cfg.Strategy = StratC3
+	cfg.Seed = 6
+	cfg.Ops = 0
+	cfg.Duration = 4 * time.Second
+	cfg.RecordTimeline = true
+	cfg.Phases = []Phase{
+		{Start: 0, Generators: 80, Mix: workload.ReadHeavy},
+		{Start: 2 * time.Second, Generators: 40, Mix: workload.UpdateHeavy},
+	}
+	res := Run(cfg)
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline points recorded")
+	}
+	var before, after int
+	for _, p := range res.Timeline {
+		if p.T < 2*time.Second {
+			before++
+		} else {
+			after++
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Fatalf("timeline lopsided: %d before, %d after join", before, after)
+	}
+	if res.Writes.Count == 0 {
+		t.Fatal("phase-2 update generators produced no writes")
+	}
+}
+
+func TestDurationBoundedRunStops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Ops = 0
+	cfg.Duration = time.Second
+	res := Run(cfg)
+	if res.SimDuration > 1200*time.Millisecond {
+		t.Fatalf("run overshot its duration: %v", res.SimDuration)
+	}
+	if res.Reads.Count == 0 {
+		t.Fatal("no reads completed in a duration-bounded run")
+	}
+}
+
+func TestSlowdownAndRateTrace(t *testing.T) {
+	// Fig. 13 machinery: a 7-node cluster, one node slowed mid-run; the
+	// coordinators' send rates toward it must dip during the window.
+	cfg := DefaultConfig()
+	cfg.Strategy = StratC3
+	cfg.Nodes = 7
+	cfg.Generators = 60
+	cfg.Seed = 8
+	cfg.Ops = 0
+	cfg.Duration = 6 * time.Second
+	cfg.TraceRates = true
+	cfg.TraceTarget = 3
+	// The paper's Fig. 13 rate collapse comes from Algorithm 2's literal
+	// allowance-vs-rrate decrease rule; run the trace with it.
+	cfg.Rate = ratelimit.Config{LiteralDecrease: true}
+	cfg.Slowdowns = []Slowdown{{Node: 3, From: 2 * time.Second, To: 4 * time.Second, Factor: 8}}
+	res := Run(cfg)
+	if len(res.RateTrace) == 0 {
+		t.Fatal("no rate trace recorded")
+	}
+	// Average srate toward the target before vs during the slowdown.
+	var pre, mid, preN, midN float64
+	for _, p := range res.RateTrace {
+		switch {
+		case p.T < 2*time.Second:
+			pre += p.SRate
+			preN++
+		case p.T >= 2500*time.Millisecond && p.T < 4*time.Second:
+			mid += p.SRate
+			midN++
+		}
+	}
+	if preN == 0 || midN == 0 {
+		t.Fatal("trace windows empty")
+	}
+	if mid/midN >= pre/preN {
+		t.Fatalf("srate toward slowed node did not drop: pre=%.2f mid=%.2f",
+			pre/preN, mid/midN)
+	}
+}
+
+func TestSpeculativeRetriesFire(t *testing.T) {
+	cfg := small(StratDSSpec, 9)
+	cfg.Ops = 40_000
+	res := Run(cfg)
+	if res.SpeculativeRetries == 0 {
+		t.Fatal("DS-SPEC recorded no speculative retries")
+	}
+	total := res.Reads.Count + res.Writes.Count
+	if total != cfg.Ops {
+		t.Fatalf("spec-retry run lost ops: %d/%d", total, cfg.Ops)
+	}
+}
+
+func TestSkewedRecordSizes(t *testing.T) {
+	cfg := small(StratC3, 10)
+	cfg.Sizer = workload.NewZipfianFields(10, 2048)
+	res := Run(cfg)
+	if res.Reads.Count == 0 {
+		t.Fatal("skewed-record run produced no reads")
+	}
+}
+
+func TestPerNodeAccounting(t *testing.T) {
+	cfg := small(StratC3, 11)
+	cfg.ReadRepair = 0
+	res := Run(cfg)
+	served := 0
+	for _, w := range res.PerNodeReads {
+		served += w.Total()
+	}
+	arrived := 0
+	for _, w := range res.PerNodeArrivals {
+		arrived += w.Total()
+	}
+	// Without read repair or retries, arrivals == served == reads done
+	// (plus at most a handful still in flight at shutdown).
+	if served < res.Reads.Count {
+		t.Fatalf("served %d < completed reads %d", served, res.Reads.Count)
+	}
+	if arrived < served {
+		t.Fatalf("arrivals %d < served %d", arrived, served)
+	}
+	if arrived-res.Reads.Count > res.Reads.Count/10 {
+		t.Fatalf("arrivals %d wildly exceed reads %d without repair", arrived, res.Reads.Count)
+	}
+}
+
+func TestReadRepairIncreasesReplicaLoad(t *testing.T) {
+	base := small(StratC3, 12)
+	base.ReadRepair = 0
+	rep := small(StratC3, 12)
+	rep.ReadRepair = 0.5
+	rb, rr := Run(base), Run(rep)
+	arrB, arrR := 0, 0
+	for _, w := range rb.PerNodeArrivals {
+		arrB += w.Total()
+	}
+	for _, w := range rr.PerNodeArrivals {
+		arrR += w.Total()
+	}
+	// 50% repair over RF=3 ⇒ ≈2× read arrivals per completed read.
+	ratioB := float64(arrB) / float64(rb.Reads.Count)
+	ratioR := float64(arrR) / float64(rr.Reads.Count)
+	if ratioR < ratioB*1.5 {
+		t.Fatalf("repair did not amplify arrivals: %.2f vs %.2f", ratioR, ratioB)
+	}
+}
+
+func TestUnknownStrategyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown strategy did not panic")
+		}
+	}()
+	Run(Config{Strategy: "NOPE", Ops: 10})
+}
+
+func TestMostLoadedNodeIndexValid(t *testing.T) {
+	res := Run(small(StratDS, 13))
+	i, w := res.MostLoadedNode()
+	if i < 0 || i >= len(res.PerNodeReads) || w == nil {
+		t.Fatalf("bad most-loaded node %d", i)
+	}
+	j, a := res.MostOscillatingArrivals()
+	if j < 0 || j >= len(res.PerNodeArrivals) || a == nil {
+		t.Fatalf("bad most-oscillating node %d", j)
+	}
+}
+
+func BenchmarkRunC3_10kOps(b *testing.B) {
+	cfg := small(StratC3, 1)
+	cfg.Ops = 10_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		Run(cfg)
+	}
+}
+
+func TestTokenAwareCompletes(t *testing.T) {
+	cfg := small(StratC3, 20)
+	cfg.TokenAware = true
+	res := Run(cfg)
+	if res.Reads.Count+res.Writes.Count != cfg.Ops {
+		t.Fatalf("token-aware run incomplete: %d/%d", res.Reads.Count+res.Writes.Count, cfg.Ops)
+	}
+	// Token-aware coordination skips a hop when the coordinator selects
+	// itself but concentrates coordination on hot replicas; net effect is
+	// modest. Assert it is not worse beyond noise.
+	plain := Run(small(StratC3, 20))
+	if res.Reads.P50 > plain.Reads.P50*1.1 {
+		t.Fatalf("token-aware p50 (%.2f) clearly worse than random coordinator (%.2f)",
+			res.Reads.P50, plain.Reads.P50)
+	}
+}
+
+func TestQuorumReadsSlowerThanOne(t *testing.T) {
+	one := small(StratC3, 21)
+	two := small(StratC3, 21)
+	two.ReadConsistency = 2
+	r1, r2 := Run(one), Run(two)
+	if r2.Reads.P50 <= r1.Reads.P50 {
+		t.Fatalf("CL=2 median (%.2f) should exceed CL=1 (%.2f): max of two replicas",
+			r2.Reads.P50, r1.Reads.P50)
+	}
+	if r2.Reads.Count+r2.Writes.Count != two.Ops {
+		t.Fatal("quorum run incomplete")
+	}
+}
+
+func TestReadConsistencyClampedToRF(t *testing.T) {
+	cfg := small(StratC3, 22)
+	cfg.ReadConsistency = 99 // must clamp to RF=3
+	res := Run(cfg)
+	if res.Reads.Count == 0 {
+		t.Fatal("clamped consistency run produced no reads")
+	}
+}
+
+func TestC3SpecFiresRetries(t *testing.T) {
+	cfg := small(StratC3Spec, 23)
+	cfg.Ops = 40_000
+	res := Run(cfg)
+	if res.SpeculativeRetries == 0 {
+		t.Fatal("C3-SPEC recorded no speculative retries")
+	}
+	if res.Reads.Count+res.Writes.Count != cfg.Ops {
+		t.Fatal("C3-SPEC run lost ops")
+	}
+}

@@ -1,0 +1,87 @@
+package cassim
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"c3/internal/sim"
+	"c3/internal/workload"
+)
+
+// generator is one closed-loop YCSB worker thread: it keeps exactly one
+// operation outstanding (issue → wait → record → issue), which is why
+// latency improvements translate directly into throughput gains (Fig. 7).
+type generator struct {
+	e   *engine
+	id  int
+	mix workload.Mix
+	rng *rand.Rand
+
+	writeLat []float64
+}
+
+func newGenerator(e *engine, id int, mix workload.Mix) *generator {
+	return &generator{
+		e:   e,
+		id:  id,
+		mix: mix,
+		rng: sim.RNG(e.cfg.Seed, 5000+uint64(id)),
+	}
+}
+
+// issueNext creates and dispatches the generator's next operation, choosing
+// a uniformly random coordinator per request (the paper's non-token-aware
+// client behaviour).
+func (g *generator) issueNext() {
+	if g.e.shouldStop() {
+		return
+	}
+	g.e.opsIn++
+	op := g.mix.Choose(g.rng)
+	item := g.e.keys.Next(g.rng)
+	size := g.e.cfg.Sizer.Size(g.rng)
+	var coord *node
+	if g.e.cfg.TokenAware {
+		// Token-aware client (§7 extension): coordinate at one of the
+		// key's own replicas, saving the extra hop.
+		grp := g.e.groups[g.e.ring.GroupIndexFor(tokenOf(item))]
+		coord = g.e.nodes[int(grp[g.rng.IntN(len(grp))])]
+	} else {
+		coord = g.e.nodes[g.rng.IntN(len(g.e.nodes))]
+	}
+	tIssued := g.e.s.Now()
+	if op == workload.OpRead {
+		rop := &readOp{gen: g, key: item, sizeB: size, tIssued: tIssued}
+		g.e.netDelay(nil, nil, func() {
+			rop.tStart = g.e.s.Now()
+			coord.coordinateRead(rop)
+		})
+	} else {
+		wop := &writeOp{gen: g, tIssued: tIssued}
+		g.e.netDelay(nil, nil, func() {
+			wop.tStart = g.e.s.Now()
+			coord.coordinateWrite(wop, item, size)
+		})
+	}
+}
+
+// onReadDone records the generator-observed read latency and closes the loop.
+func (g *generator) onReadDone(op *readOp, _ float64) {
+	now := g.e.s.Now()
+	ms := float64(now-op.tIssued) / 1e6
+	g.e.res.ReadSample.Add(ms)
+	if g.e.cfg.RecordTimeline {
+		g.e.res.Timeline = append(g.e.res.Timeline, TimelinePoint{
+			T: time.Duration(now), Ms: ms,
+		})
+	}
+	g.e.opDone(now)
+	g.issueNext()
+}
+
+// onWriteDone records the update latency and closes the loop.
+func (g *generator) onWriteDone(ms float64) {
+	g.writeLat = append(g.writeLat, ms)
+	g.e.opDone(g.e.s.Now())
+	g.issueNext()
+}

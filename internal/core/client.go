@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"c3/internal/ratelimit"
+)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// RateControl enables the per-server cubic rate limiters and
+	// backpressure (§3.2). C3 and the RR baseline run with it on; LOR and
+	// the oracle run with it off.
+	RateControl bool
+	// Rate configures the limiters (zero fields take the paper defaults).
+	Rate ratelimit.Config
+}
+
+// Client combines a replica Ranker with optional per-server rate control —
+// the complete client side of C3 (Algorithm 1). It is safe for concurrent
+// use; under the single-threaded simulators the lock is uncontended.
+type Client struct {
+	mu     sync.Mutex
+	ranker Ranker
+	cfg    ClientConfig
+	rc     map[ServerID]*ratelimit.Cubic
+
+	scratch []ServerID
+}
+
+// NewClient returns a Client driving the given ranker.
+func NewClient(r Ranker, cfg ClientConfig) *Client {
+	if r == nil {
+		panic("core: nil ranker")
+	}
+	c := &Client{ranker: r, cfg: cfg}
+	if cfg.RateControl {
+		c.rc = make(map[ServerID]*ratelimit.Cubic)
+	}
+	return c
+}
+
+// Name reports the underlying strategy name.
+func (c *Client) Name() string { return c.ranker.Name() }
+
+// RateControlled reports whether rate control is enabled.
+func (c *Client) RateControlled() bool { return c.cfg.RateControl }
+
+// Ranker exposes the underlying ranker (for substrate glue such as gossip
+// feeding a DynamicSnitch).
+func (c *Client) Ranker() Ranker { return c.ranker }
+
+func (c *Client) limiter(s ServerID) *ratelimit.Cubic {
+	l, ok := c.rc[s]
+	if !ok {
+		l = ratelimit.New(c.cfg.Rate)
+		c.rc[s] = l
+	}
+	return l
+}
+
+// Pick ranks the replica group and reserves the best replica that is within
+// its send rate: the token is consumed and the send is recorded with the
+// ranker. When every replica is over rate, ok is false and retryAt is the
+// earliest time a token will free up — the caller should backpressure until
+// then (GroupScheduler does this bookkeeping).
+//
+// Without rate control, Pick always succeeds with the top-ranked replica.
+func (c *Client) Pick(group []ServerID, now int64) (s ServerID, ok bool, retryAt int64) {
+	if len(group) == 0 {
+		return 0, false, now
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scratch = c.ranker.Rank(c.scratch, group, now)
+	if !c.cfg.RateControl {
+		s = c.scratch[0]
+		c.ranker.OnSend(s, now)
+		return s, true, now
+	}
+	for _, cand := range c.scratch {
+		if c.limiter(cand).TryAcquire(now) {
+			c.ranker.OnSend(cand, now)
+			return cand, true, now
+		}
+	}
+	retryAt = int64(math.MaxInt64)
+	for _, cand := range c.scratch {
+		if at := c.limiter(cand).NextAvailable(now); at < retryAt {
+			retryAt = at
+		}
+	}
+	if retryAt <= now {
+		retryAt = now + 1
+	}
+	return 0, false, retryAt
+}
+
+// OnSend records a request dispatched to s outside of Pick — e.g. the extra
+// replicas of a read-repair broadcast or a write fan-out. It updates
+// outstanding-request accounting but does not consume a rate token.
+func (c *Client) OnSend(s ServerID, now int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ranker.OnSend(s, now)
+}
+
+// OnResponse records a response from s: it feeds the ranker's EWMAs and runs
+// one step of the cubic rate adaptation for s.
+func (c *Client) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ranker.OnResponse(s, fb, rtt, now)
+	if c.cfg.RateControl {
+		c.limiter(s).OnResponse(now)
+	}
+}
+
+// SendRate reports the current srate toward s (requests per δ), or +Inf when
+// rate control is disabled. Used by the Fig. 13 trace.
+func (c *Client) SendRate(s ServerID) float64 {
+	if !c.cfg.RateControl {
+		return math.Inf(1)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limiter(s).Rate()
+}
+
+// ReceiveRate reports the last measured rrate from s (responses per δ).
+func (c *Client) ReceiveRate(s ServerID, now int64) float64 {
+	if !c.cfg.RateControl {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limiter(s).ReceiveRate(now)
+}
+
+// Dispatch is one backlog item released to a server.
+type Dispatch[T any] struct {
+	Server ServerID
+	Item   T
+}
+
+// GroupScheduler is the per-replica-group scheduler of Algorithm 1: requests
+// that cannot be sent because all replicas exceed their rate wait in a FIFO
+// backlog until a limiter frees up. In the Cassandra implementation this is
+// the per-replica-group actor; here it is a deterministic queue the substrate
+// drives (a sim event or a goroutine timer wakes it at NextRetry).
+type GroupScheduler[T any] struct {
+	c     *Client
+	group []ServerID
+
+	backlog   []T
+	head      int
+	highWater int
+	enqueued  uint64
+}
+
+// NewGroupScheduler returns a scheduler for one replica group.
+func NewGroupScheduler[T any](c *Client, group []ServerID) *GroupScheduler[T] {
+	if len(group) == 0 {
+		panic("core: empty replica group")
+	}
+	g := make([]ServerID, len(group))
+	copy(g, group)
+	return &GroupScheduler[T]{c: c, group: g}
+}
+
+// Group reports the scheduler's replica group (callers must not modify it).
+func (g *GroupScheduler[T]) Group() []ServerID { return g.group }
+
+// Submit enqueues item and immediately dispatches as much of the backlog as
+// rates permit, calling emit for each released (server, item) pair in FIFO
+// order. It reports the number of items dispatched.
+func (g *GroupScheduler[T]) Submit(item T, now int64, emit func(ServerID, T)) int {
+	g.backlog = append(g.backlog, item)
+	g.enqueued++
+	if n := g.Backlog(); n > g.highWater {
+		g.highWater = n
+	}
+	return g.Drain(now, emit)
+}
+
+// Drain dispatches backlogged items while some replica is within rate,
+// preserving FIFO order, and reports how many were dispatched.
+func (g *GroupScheduler[T]) Drain(now int64, emit func(ServerID, T)) int {
+	n := 0
+	for g.head < len(g.backlog) {
+		s, ok, _ := g.c.Pick(g.group, now)
+		if !ok {
+			break
+		}
+		item := g.backlog[g.head]
+		var zero T
+		g.backlog[g.head] = zero // release references promptly
+		g.head++
+		n++
+		emit(s, item)
+	}
+	if g.head == len(g.backlog) && g.head > 0 {
+		g.backlog = g.backlog[:0]
+		g.head = 0
+	} else if g.head > 1024 && g.head*2 > len(g.backlog) {
+		m := copy(g.backlog, g.backlog[g.head:])
+		g.backlog = g.backlog[:m]
+		g.head = 0
+	}
+	return n
+}
+
+// Backlog reports the number of items waiting.
+func (g *GroupScheduler[T]) Backlog() int { return len(g.backlog) - g.head }
+
+// HighWater reports the maximum backlog length observed.
+func (g *GroupScheduler[T]) HighWater() int { return g.highWater }
+
+// Enqueued reports the total number of items ever submitted.
+func (g *GroupScheduler[T]) Enqueued() uint64 { return g.enqueued }
+
+// NextRetry reports when to attempt the next Drain: the earliest time any
+// replica's limiter will have a token. ok is false when the backlog is empty
+// (nothing to retry) or rate control is off (Drain never blocks).
+func (g *GroupScheduler[T]) NextRetry(now int64) (at int64, ok bool) {
+	if g.Backlog() == 0 || !g.c.cfg.RateControl {
+		return 0, false
+	}
+	_, picked, retryAt := g.c.peekRetry(g.group, now)
+	if picked {
+		// A token became available between Drain and NextRetry; retry
+		// immediately.
+		return now, true
+	}
+	return retryAt, true
+}
+
+// peekRetry reports whether any replica currently has a token (without
+// consuming it) and, if not, the earliest availability time.
+func (c *Client) peekRetry(group []ServerID, now int64) (ServerID, bool, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	retryAt := int64(math.MaxInt64)
+	for _, s := range group {
+		l := c.limiter(s)
+		at := l.NextAvailable(now)
+		if at <= now {
+			return s, true, now
+		}
+		if at < retryAt {
+			retryAt = at
+		}
+	}
+	return 0, false, retryAt
+}

@@ -1,0 +1,63 @@
+// Package core implements the C3 replica-selection algorithm (NSDI'15):
+// cubic replica ranking driven by piggybacked server feedback, per-server
+// cubic rate control, and replica-group backpressure scheduling. It also
+// implements every baseline the paper evaluates against — least-outstanding
+// requests (LOR), rate-limited round-robin (RR), an oracle, Cassandra-style
+// Dynamic Snitching, and the "did not fare well" §6 extras (uniform random,
+// least-response-time, weighted random, power-of-two-choices).
+//
+// The package is deliberately substrate-neutral: nothing here reads a wall
+// clock, sleeps, or spawns goroutines. Every method takes an explicit
+// timestamp (int64 nanoseconds), so the identical code runs inside the
+// discrete-event simulators (internal/queuesim, internal/cassim) and inside
+// the live TCP key-value store (internal/kvstore).
+package core
+
+import (
+	"time"
+)
+
+// ServerID identifies a replica server within a cluster.
+type ServerID int32
+
+// Feedback is the per-response server feedback that C3 piggybacks on every
+// reply (§3.1): the server's queue size sampled as the response is
+// dispatched, and the service time of the request.
+type Feedback struct {
+	// QueueSize is the number of requests pending at the server when the
+	// response was sent.
+	QueueSize float64
+	// ServiceTime is how long the server spent serving the request.
+	ServiceTime time.Duration
+}
+
+// Ranker orders the replicas of a group by preference. Implementations keep
+// per-server client-side state (EWMAs, outstanding counts, histories) and are
+// not safe for concurrent use; Client adds locking for multi-goroutine
+// substrates.
+type Ranker interface {
+	// Name identifies the strategy in experiment output ("C3", "LOR", ...).
+	Name() string
+	// Rank writes group into dst in preference order (best first) and
+	// returns dst[:len(group)]. dst must not alias group and must have
+	// capacity ≥ len(group); pass nil to allocate.
+	Rank(dst, group []ServerID, now int64) []ServerID
+	// OnSend records that a request was dispatched to s at time now.
+	OnSend(s ServerID, now int64)
+	// OnResponse records a response from s carrying feedback fb, observed
+	// after round-trip time rtt, at time now.
+	OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64)
+}
+
+// prepare copies group into dst, allocating if needed.
+func prepare(dst, group []ServerID) []ServerID {
+	if cap(dst) < len(group) {
+		dst = make([]ServerID, len(group))
+	}
+	dst = dst[:len(group)]
+	copy(dst, group)
+	return dst
+}
+
+// seconds converts a duration to float64 seconds.
+func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"time"
+
+	"c3/internal/ewma"
+	"c3/internal/sim"
+)
+
+// LOR is the least-outstanding-requests strategy (§2.2): each client prefers
+// the server to which it currently has the fewest requests in flight. It is
+// what Nginx/ELB-style load balancers do and is the primary baseline in the
+// paper's simulations.
+type LOR struct {
+	rng         *rand.Rand
+	outstanding map[ServerID]float64
+	scratch     []scored
+}
+
+// NewLOR returns a LOR ranker seeded for tie-breaking.
+func NewLOR(seed uint64) *LOR {
+	return &LOR{rng: sim.RNG(seed, 0x10f), outstanding: make(map[ServerID]float64)}
+}
+
+// Name implements Ranker.
+func (l *LOR) Name() string { return "LOR" }
+
+// OnSend implements Ranker.
+func (l *LOR) OnSend(s ServerID, now int64) { l.outstanding[s]++ }
+
+// OnResponse implements Ranker.
+func (l *LOR) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	if l.outstanding[s] > 0 {
+		l.outstanding[s]--
+	}
+}
+
+// Outstanding reports this client's in-flight count toward s.
+func (l *LOR) Outstanding(s ServerID) float64 { return l.outstanding[s] }
+
+// Rank implements Ranker: ascending outstanding count, random ties.
+func (l *LOR) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	if cap(l.scratch) < len(dst) {
+		l.scratch = make([]scored, len(dst))
+	}
+	sc := l.scratch[:0]
+	for _, s := range dst {
+		sc = append(sc, scored{s, l.outstanding[s]})
+	}
+	shuffleScored(l.rng, sc)
+	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
+	for i := range sc {
+		dst[i] = sc[i].s
+	}
+	return dst
+}
+
+// RoundRobin rotates through each replica group's members in turn. Combined
+// with rate control in a Client, it is the paper's "RR" baseline (§6), used
+// to isolate the contribution of rate limiting from that of ranking.
+type RoundRobin struct {
+	next map[string]int
+	key  []byte
+}
+
+// NewRoundRobin returns a RoundRobin ranker.
+func NewRoundRobin() *RoundRobin {
+	return &RoundRobin{next: make(map[string]int)}
+}
+
+// Name implements Ranker.
+func (r *RoundRobin) Name() string { return "RR" }
+
+// OnSend implements Ranker.
+func (r *RoundRobin) OnSend(ServerID, int64) {}
+
+// OnResponse implements Ranker.
+func (r *RoundRobin) OnResponse(ServerID, Feedback, time.Duration, int64) {}
+
+// groupKey builds a map key identifying the replica group.
+func (r *RoundRobin) groupKey(group []ServerID) string {
+	r.key = r.key[:0]
+	for _, s := range group {
+		r.key = strconv.AppendInt(r.key, int64(s), 36)
+		r.key = append(r.key, ',')
+	}
+	return string(r.key)
+}
+
+// Rank implements Ranker: the group rotated by a per-group counter.
+func (r *RoundRobin) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	if len(dst) == 0 {
+		return dst
+	}
+	k := r.groupKey(group)
+	off := r.next[k] % len(dst)
+	r.next[k] = off + 1
+	rotate(dst, off)
+	return dst
+}
+
+func rotate(xs []ServerID, off int) {
+	if off == 0 || len(xs) == 0 {
+		return
+	}
+	buf := make([]ServerID, len(xs))
+	for i := range xs {
+		buf[i] = xs[(i+off)%len(xs)]
+	}
+	copy(xs, buf)
+}
+
+// Random is the uniform random strategy (evaluated and dismissed in §6).
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random ranker.
+func NewRandom(seed uint64) *Random { return &Random{rng: sim.RNG(seed, 0xa11d)} }
+
+// Name implements Ranker.
+func (r *Random) Name() string { return "RND" }
+
+// OnSend implements Ranker.
+func (r *Random) OnSend(ServerID, int64) {}
+
+// OnResponse implements Ranker.
+func (r *Random) OnResponse(ServerID, Feedback, time.Duration, int64) {}
+
+// Rank implements Ranker: a uniform shuffle.
+func (r *Random) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.rng.IntN(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// TwoChoice implements the power-of-two-choices strategy (Mitzenmacher,
+// discussed in §8): sample two random replicas and prefer the one with fewer
+// outstanding requests.
+type TwoChoice struct {
+	rng         *rand.Rand
+	outstanding map[ServerID]float64
+}
+
+// NewTwoChoice returns a TwoChoice ranker.
+func NewTwoChoice(seed uint64) *TwoChoice {
+	return &TwoChoice{rng: sim.RNG(seed, 0x2c), outstanding: make(map[ServerID]float64)}
+}
+
+// Name implements Ranker.
+func (t *TwoChoice) Name() string { return "2C" }
+
+// OnSend implements Ranker.
+func (t *TwoChoice) OnSend(s ServerID, now int64) { t.outstanding[s]++ }
+
+// OnResponse implements Ranker.
+func (t *TwoChoice) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	if t.outstanding[s] > 0 {
+		t.outstanding[s]--
+	}
+}
+
+// Rank implements Ranker: shuffle, then ensure the better of the first two
+// (by outstanding count) leads.
+func (t *TwoChoice) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	for i := len(dst) - 1; i > 0; i-- {
+		j := t.rng.IntN(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	if len(dst) >= 2 && t.outstanding[dst[1]] < t.outstanding[dst[0]] {
+		dst[0], dst[1] = dst[1], dst[0]
+	}
+	return dst
+}
+
+// LeastResponseTime prefers the server with the lowest smoothed end-to-end
+// response time (one of the §6 "did not fare well" strategies).
+type LeastResponseTime struct {
+	rng     *rand.Rand
+	alpha   float64
+	rt      map[ServerID]*ewma.EWMA
+	scratch []scored
+}
+
+// NewLeastResponseTime returns a ranker smoothing RTTs with factor alpha
+// (defaulted like RankerConfig.Alpha when out of range).
+func NewLeastResponseTime(alpha float64, seed uint64) *LeastResponseTime {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.9
+	}
+	return &LeastResponseTime{
+		rng:   sim.RNG(seed, 0x1e57),
+		alpha: alpha,
+		rt:    make(map[ServerID]*ewma.EWMA),
+	}
+}
+
+// Name implements Ranker.
+func (l *LeastResponseTime) Name() string { return "LRT" }
+
+// OnSend implements Ranker.
+func (l *LeastResponseTime) OnSend(ServerID, int64) {}
+
+// OnResponse implements Ranker.
+func (l *LeastResponseTime) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	e, ok := l.rt[s]
+	if !ok {
+		v := ewma.New(l.alpha)
+		e = &v
+		l.rt[s] = e
+	}
+	e.Add(seconds(rtt))
+}
+
+// Rank implements Ranker: ascending smoothed RTT; unseen servers first.
+func (l *LeastResponseTime) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	if cap(l.scratch) < len(dst) {
+		l.scratch = make([]scored, len(dst))
+	}
+	sc := l.scratch[:0]
+	for _, s := range dst {
+		v := math.Inf(-1)
+		if e, ok := l.rt[s]; ok && e.Initialized() {
+			v = e.Value()
+		}
+		sc = append(sc, scored{s, v})
+	}
+	shuffleScored(l.rng, sc)
+	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
+	for i := range sc {
+		dst[i] = sc[i].s
+	}
+	return dst
+}
+
+// WeightedRandom samples replicas with probability proportional to the
+// inverse of their smoothed response time (another dismissed §6 strategy).
+type WeightedRandom struct {
+	rng   *rand.Rand
+	alpha float64
+	rt    map[ServerID]*ewma.EWMA
+}
+
+// NewWeightedRandom returns a WeightedRandom ranker.
+func NewWeightedRandom(alpha float64, seed uint64) *WeightedRandom {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.9
+	}
+	return &WeightedRandom{rng: sim.RNG(seed, 0x33d), alpha: alpha, rt: make(map[ServerID]*ewma.EWMA)}
+}
+
+// Name implements Ranker.
+func (w *WeightedRandom) Name() string { return "WRND" }
+
+// OnSend implements Ranker.
+func (w *WeightedRandom) OnSend(ServerID, int64) {}
+
+// OnResponse implements Ranker.
+func (w *WeightedRandom) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	e, ok := w.rt[s]
+	if !ok {
+		v := ewma.New(w.alpha)
+		e = &v
+		w.rt[s] = e
+	}
+	e.Add(seconds(rtt))
+}
+
+// Rank implements Ranker: weighted sampling without replacement, weight
+// 1/R̄_s (unseen servers get the best observed weight to force exploration).
+func (w *WeightedRandom) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	weights := make([]float64, len(dst))
+	best := 0.0
+	for i, s := range dst {
+		if e, ok := w.rt[s]; ok && e.Initialized() && e.Value() > 0 {
+			weights[i] = 1 / e.Value()
+			if weights[i] > best {
+				best = weights[i]
+			}
+		}
+	}
+	for i := range weights {
+		if weights[i] == 0 {
+			if best > 0 {
+				weights[i] = best
+			} else {
+				weights[i] = 1
+			}
+		}
+	}
+	// Repeated weighted draws without replacement.
+	for i := 0; i < len(dst)-1; i++ {
+		total := 0.0
+		for j := i; j < len(dst); j++ {
+			total += weights[j]
+		}
+		x := w.rng.Float64() * total
+		pick := i
+		for j := i; j < len(dst); j++ {
+			x -= weights[j]
+			if x <= 0 {
+				pick = j
+				break
+			}
+		}
+		dst[i], dst[pick] = dst[pick], dst[i]
+		weights[i], weights[pick] = weights[pick], weights[i]
+	}
+	return dst
+}
+
+// OracleFn exposes a server's instantaneous queue length and mean service
+// time (seconds) to the Oracle ranker. Only simulations can implement it.
+type OracleFn func(s ServerID) (queue float64, serviceTime float64)
+
+// Oracle ranks replicas by perfect knowledge of the instantaneous q/µ ratio
+// (the paper's ORA baseline, §6). It needs no feedback.
+type Oracle struct {
+	rng     *rand.Rand
+	fn      OracleFn
+	scratch []scored
+}
+
+// NewOracle returns an Oracle ranker reading server state through fn.
+func NewOracle(fn OracleFn, seed uint64) *Oracle {
+	if fn == nil {
+		panic("core: Oracle requires a state function")
+	}
+	return &Oracle{rng: sim.RNG(seed, 0x04ac1e), fn: fn}
+}
+
+// Name implements Ranker.
+func (o *Oracle) Name() string { return "ORA" }
+
+// OnSend implements Ranker.
+func (o *Oracle) OnSend(ServerID, int64) {}
+
+// OnResponse implements Ranker.
+func (o *Oracle) OnResponse(ServerID, Feedback, time.Duration, int64) {}
+
+// Rank implements Ranker: ascending (q+1)·serviceTime, random ties.
+func (o *Oracle) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	if cap(o.scratch) < len(dst) {
+		o.scratch = make([]scored, len(dst))
+	}
+	sc := o.scratch[:0]
+	for _, s := range dst {
+		q, t := o.fn(s)
+		sc = append(sc, scored{s, (q + 1) * t})
+	}
+	shuffleScored(o.rng, sc)
+	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
+	for i := range sc {
+		dst[i] = sc[i].s
+	}
+	return dst
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"c3/internal/ewma"
+	"c3/internal/sim"
+)
+
+// RankerConfig holds the tunables of the C3 scoring function (§3.1).
+type RankerConfig struct {
+	// Alpha is the EWMA smoothing factor for the q̄, µ̄ and R̄ signals.
+	// The paper does not publish a value; 0.9 (strongly favouring fresh
+	// feedback) matches the published C3 Cassandra patch and is the
+	// default.
+	Alpha float64
+	// ConcurrencyWeight is w in q̂ = 1 + os·w + q̄ — the multiplier that
+	// extrapolates this client's outstanding requests into an estimate of
+	// system-wide in-flight demand. The paper sets w = number of clients.
+	// Zero takes the default (1); a negative value disables concurrency
+	// compensation entirely (w = 0), used by the ablation experiments.
+	ConcurrencyWeight float64
+	// Exponent is b in (q̂)^b/µ̄. The paper chooses b = 3 ("cubic
+	// replica selection"); the ablation bench sweeps it.
+	Exponent float64
+	// Seed drives tie-breaking randomness.
+	Seed uint64
+}
+
+func (c RankerConfig) withDefaults() RankerConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.9
+	}
+	if c.ConcurrencyWeight == 0 {
+		c.ConcurrencyWeight = 1
+	} else if c.ConcurrencyWeight < 0 {
+		c.ConcurrencyWeight = 0
+	}
+	if c.Exponent <= 0 {
+		c.Exponent = 3
+	}
+	return c
+}
+
+// CubicScore evaluates the C3 scoring function
+//
+//	Ψ = R̄ − T̄ + (q̂)^b · T̄
+//
+// where R̄ is the smoothed client-observed response time (seconds), T̄ the
+// smoothed service time 1/µ̄ (seconds), q̂ the concurrency-compensated
+// queue-size estimate and b the queue exponent. Exposed as a pure function so
+// experiments (Fig. 4) can plot it directly.
+func CubicScore(rbar, tbar, qhat, b float64) float64 {
+	return rbar - tbar + math.Pow(qhat, b)*tbar
+}
+
+// c3State is the per-server client-side state of the C3 ranker.
+type c3State struct {
+	outstanding float64
+	qbar        ewma.EWMA // queue-size feedback
+	tbar        ewma.EWMA // service-time feedback, seconds
+	rbar        ewma.EWMA // client-observed response time, seconds
+}
+
+// CubicRanker implements C3's replica ranking.
+type CubicRanker struct {
+	cfg RankerConfig
+	rng *rand.Rand
+	st  map[ServerID]*c3State
+
+	scratch []scored
+}
+
+type scored struct {
+	s     ServerID
+	score float64
+}
+
+// NewCubicRanker returns a C3 ranker with cfg (zero fields take defaults).
+func NewCubicRanker(cfg RankerConfig) *CubicRanker {
+	cfg = cfg.withDefaults()
+	return &CubicRanker{
+		cfg: cfg,
+		rng: sim.RNG(cfg.Seed, 0xc3),
+		st:  make(map[ServerID]*c3State),
+	}
+}
+
+// Name implements Ranker.
+func (c *CubicRanker) Name() string { return "C3" }
+
+func (c *CubicRanker) state(s ServerID) *c3State {
+	st, ok := c.st[s]
+	if !ok {
+		st = &c3State{
+			qbar: ewma.New(c.cfg.Alpha),
+			tbar: ewma.New(c.cfg.Alpha),
+			rbar: ewma.New(c.cfg.Alpha),
+		}
+		c.st[s] = st
+	}
+	return st
+}
+
+// OnSend implements Ranker.
+func (c *CubicRanker) OnSend(s ServerID, now int64) {
+	c.state(s).outstanding++
+}
+
+// OnResponse implements Ranker.
+func (c *CubicRanker) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	st := c.state(s)
+	if st.outstanding > 0 {
+		st.outstanding--
+	}
+	st.qbar.Add(fb.QueueSize)
+	st.tbar.Add(seconds(fb.ServiceTime))
+	st.rbar.Add(seconds(rtt))
+}
+
+// QueueEstimate reports q̂ = 1 + os·w + q̄ for server s.
+func (c *CubicRanker) QueueEstimate(s ServerID) float64 {
+	st := c.state(s)
+	return 1 + st.outstanding*c.cfg.ConcurrencyWeight + st.qbar.Value()
+}
+
+// Outstanding reports the number of requests in flight to s from this client.
+func (c *CubicRanker) Outstanding(s ServerID) float64 { return c.state(s).outstanding }
+
+// Score reports Ψ_s. Servers that have never produced feedback score −Inf so
+// that they are explored first.
+func (c *CubicRanker) Score(s ServerID, now int64) float64 {
+	st := c.state(s)
+	if !st.tbar.Initialized() {
+		return math.Inf(-1)
+	}
+	return CubicScore(st.rbar.Value(), st.tbar.Value(), c.QueueEstimate(s), c.cfg.Exponent)
+}
+
+// Rank implements Ranker: ascending Ψ with random tie-breaking (a pre-shuffle
+// followed by a stable sort, so equal-score replicas are load-spread rather
+// than biased toward low server IDs).
+func (c *CubicRanker) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	if cap(c.scratch) < len(dst) {
+		c.scratch = make([]scored, len(dst))
+	}
+	sc := c.scratch[:0]
+	for _, s := range dst {
+		sc = append(sc, scored{s, c.Score(s, now)})
+	}
+	shuffleScored(c.rng, sc)
+	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
+	for i := range sc {
+		dst[i] = sc[i].s
+	}
+	return dst
+}
+
+func shuffleScored(r *rand.Rand, sc []scored) {
+	for i := len(sc) - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		sc[i], sc[j] = sc[j], sc[i]
+	}
+}

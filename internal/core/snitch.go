@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"c3/internal/sim"
+)
+
+// SnitchConfig holds the tunables of the Dynamic Snitching model. The
+// defaults replicate the behaviour the paper describes in §2.3 for Cassandra:
+// scores recomputed on a fixed 100 ms interval from decayed read-latency
+// histories, gossiped one-second iowait averages dominating the score by
+// about two orders of magnitude, and a full history reset every 10 minutes.
+type SnitchConfig struct {
+	// UpdateInterval is how often peer scores are recomputed (default
+	// 100 ms). Between recomputes the ranking is frozen — the staleness
+	// and synchronization weakness §2.3 identifies.
+	UpdateInterval int64
+	// ResetInterval flushes all latency histories (default 10 min).
+	ResetInterval int64
+	// HistorySize bounds the per-peer latency sample ring (default 128).
+	HistorySize int
+	// SeverityWeight multiplies the gossiped iowait fraction relative to
+	// the normalized (≤1) latency score. The paper reports iowait has "up
+	// to two orders of magnitude more influence"; default 100.
+	SeverityWeight float64
+	// Seed drives tie-breaking randomness.
+	Seed uint64
+}
+
+func (c SnitchConfig) withDefaults() SnitchConfig {
+	if c.UpdateInterval <= 0 {
+		c.UpdateInterval = 100 * 1e6
+	}
+	if c.ResetInterval <= 0 {
+		c.ResetInterval = 10 * 60 * 1e9
+	}
+	if c.HistorySize <= 0 {
+		c.HistorySize = 128
+	}
+	if c.SeverityWeight <= 0 {
+		c.SeverityWeight = 100
+	}
+	return c
+}
+
+type snitchPeer struct {
+	samples  []float64 // ring buffer of response times, seconds
+	idx, n   int
+	severity float64 // gossiped iowait fraction [0,1]
+	score    float64 // cached score from last recompute
+}
+
+// DynamicSnitch models Cassandra's Dynamic Snitching as a Ranker, serving as
+// the §5 baseline ("DS"). Its interval-frozen rankings are what produce the
+// synchronized load oscillations of Fig. 2.
+type DynamicSnitch struct {
+	cfg SnitchConfig
+	rng *rand.Rand
+
+	peers       map[ServerID]*snitchPeer
+	lastCompute int64
+	lastReset   int64
+	began       bool
+	scratch     []scored
+}
+
+// NewDynamicSnitch returns a Dynamic Snitching ranker.
+func NewDynamicSnitch(cfg SnitchConfig) *DynamicSnitch {
+	cfg = cfg.withDefaults()
+	return &DynamicSnitch{
+		cfg:   cfg,
+		rng:   sim.RNG(cfg.Seed, 0xd5),
+		peers: make(map[ServerID]*snitchPeer),
+	}
+}
+
+// Name implements Ranker.
+func (d *DynamicSnitch) Name() string { return "DS" }
+
+func (d *DynamicSnitch) peer(s ServerID) *snitchPeer {
+	p, ok := d.peers[s]
+	if !ok {
+		p = &snitchPeer{samples: make([]float64, d.cfg.HistorySize)}
+		d.peers[s] = p
+	}
+	return p
+}
+
+// OnSend implements Ranker.
+func (d *DynamicSnitch) OnSend(ServerID, int64) {}
+
+// OnResponse implements Ranker: appends the observed response time to the
+// peer's latency history.
+func (d *DynamicSnitch) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	p := d.peer(s)
+	p.samples[p.idx] = seconds(rtt)
+	p.idx = (p.idx + 1) % len(p.samples)
+	if p.n < len(p.samples) {
+		p.n++
+	}
+}
+
+// SetSeverity records the gossiped iowait fraction (0..1) for peer s. In the
+// cluster substrates this is fed by the gossip subsystem's one-second
+// averages.
+func (d *DynamicSnitch) SetSeverity(s ServerID, iowait float64) {
+	if iowait < 0 {
+		iowait = 0
+	}
+	d.peer(s).severity = iowait
+}
+
+// Severity reports the last gossiped iowait fraction for s.
+func (d *DynamicSnitch) Severity(s ServerID) float64 { return d.peer(s).severity }
+
+// medianLatency computes the median of the peer's history ring.
+func medianLatency(p *snitchPeer, buf []float64) (float64, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	buf = append(buf[:0], p.samples[:p.n]...)
+	sort.Float64s(buf)
+	m := len(buf)
+	if m%2 == 1 {
+		return buf[m/2], true
+	}
+	return (buf[m/2-1] + buf[m/2]) / 2, true
+}
+
+// recompute refreshes all cached peer scores:
+//
+//	score = medianLatency/maxMedianLatency + SeverityWeight·iowait
+//
+// The latency term is normalized to ≤1, so a gossiped iowait of just a few
+// percent dominates the ranking — reproducing the §2.3 observation.
+func (d *DynamicSnitch) recompute(now int64) {
+	var buf []float64
+	maxMed := 0.0
+	meds := make(map[ServerID]float64, len(d.peers))
+	for id, p := range d.peers {
+		if med, ok := medianLatency(p, buf); ok {
+			meds[id] = med
+			if med > maxMed {
+				maxMed = med
+			}
+		}
+	}
+	for id, p := range d.peers {
+		latScore := 0.0
+		if med, ok := meds[id]; ok && maxMed > 0 {
+			latScore = med / maxMed
+		}
+		p.score = latScore + d.cfg.SeverityWeight*p.severity
+	}
+	d.lastCompute = now
+}
+
+// maybeTick applies interval recomputation and the periodic history reset.
+func (d *DynamicSnitch) maybeTick(now int64) {
+	if !d.began {
+		d.began = true
+		d.lastCompute = now
+		d.lastReset = now
+		return
+	}
+	if now-d.lastReset >= d.cfg.ResetInterval {
+		for _, p := range d.peers {
+			p.n, p.idx = 0, 0
+		}
+		d.lastReset = now
+	}
+	if now-d.lastCompute >= d.cfg.UpdateInterval {
+		d.recompute(now)
+	}
+}
+
+// Score reports the cached score of s as of the last recompute tick.
+func (d *DynamicSnitch) Score(s ServerID) float64 { return d.peer(s).score }
+
+// Rank implements Ranker: ascending cached score. Crucially the scores are
+// only refreshed every UpdateInterval, so all requests within an interval see
+// the same ordering.
+func (d *DynamicSnitch) Rank(dst, group []ServerID, now int64) []ServerID {
+	d.maybeTick(now)
+	dst = prepare(dst, group)
+	if cap(d.scratch) < len(dst) {
+		d.scratch = make([]scored, len(dst))
+	}
+	sc := d.scratch[:0]
+	for _, s := range dst {
+		sc = append(sc, scored{s, d.peer(s).score})
+	}
+	// Deterministic order within an interval is the point: Cassandra
+	// sorts by score, so every coordinator repeatedly picks the same
+	// "best" peer until the next recompute. Ties broken by ID.
+	sort.SliceStable(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score < sc[j].score
+		}
+		return sc[i].s < sc[j].s
+	})
+	for i := range sc {
+		dst[i] = sc[i].s
+	}
+	return dst
+}

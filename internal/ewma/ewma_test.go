@@ -1,0 +1,210 @@
+package ewma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAFirstSampleInitializes(t *testing.T) {
+	e := New(0.5)
+	e.Add(42)
+	if got := e.Value(); got != 42 {
+		t.Fatalf("Value after first sample = %v, want 42", got)
+	}
+	if !e.Initialized() {
+		t.Fatal("Initialized() = false after a sample")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := New(0.3)
+	for i := 0; i < 200; i++ {
+		e.Add(7)
+	}
+	if got := e.Value(); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("Value = %v, want 7", got)
+	}
+}
+
+func TestEWMARecurrence(t *testing.T) {
+	e := New(0.25)
+	e.Add(4)
+	e.Add(8)
+	// v = 0.25*8 + 0.75*4 = 5
+	if got := e.Value(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Value = %v, want 5", got)
+	}
+	e.Add(0)
+	// v = 0.25*0 + 0.75*5 = 3.75
+	if got := e.Value(); math.Abs(got-3.75) > 1e-12 {
+		t.Fatalf("Value = %v, want 3.75", got)
+	}
+}
+
+func TestEWMAAlphaOneTracksLastSample(t *testing.T) {
+	e := New(1)
+	for _, x := range []float64{3, 9, -2, 0.5} {
+		e.Add(x)
+		if e.Value() != x {
+			t.Fatalf("alpha=1: Value = %v, want %v", e.Value(), x)
+		}
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := New(0.5)
+	e.Add(10)
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 || e.Count() != 0 {
+		t.Fatalf("Reset did not clear state: %+v", e)
+	}
+	e.Add(3)
+	if e.Value() != 3 {
+		t.Fatalf("first sample after Reset = %v, want 3", e.Value())
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", a)
+				}
+			}()
+			New(a)
+		}()
+	}
+}
+
+// Property: EWMA output is always within [min, max] of the samples seen.
+func TestEWMABoundedByInputsProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		clean := samples[:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				clean = append(clean, s)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		e := New(0.37)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range clean {
+			e.Add(s)
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+			v := e.Value()
+			if v < lo-1e-9*math.Abs(lo)-1e-9 || v > hi+1e-9*math.Abs(hi)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayingHalfLife(t *testing.T) {
+	d := NewDecaying(1000)
+	d.Add(10, 0)
+	d.Add(0, 1000) // exactly one half-life later: v = 0.5*10 + 0.5*0 = 5
+	if got := d.Value(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Value = %v, want 5", got)
+	}
+}
+
+func TestDecayingLongGapForgets(t *testing.T) {
+	d := NewDecaying(1000)
+	d.Add(100, 0)
+	d.Add(1, 100_000) // 100 half-lives later, old value weight ~2^-100
+	if got := d.Value(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Value = %v, want ~1", got)
+	}
+}
+
+func TestDecayingOutOfOrderSample(t *testing.T) {
+	d := NewDecaying(1000)
+	d.Add(10, 5000)
+	d.Add(20, 4000) // earlier timestamp: treated as dt=0, weight of old = 1
+	if got := d.Value(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Value = %v, want 10 (old value fully kept at dt=0)", got)
+	}
+}
+
+func TestWindowRateBasic(t *testing.T) {
+	w := NewWindowRate(100)
+	w.Add(0)
+	w.Add(10)
+	w.Add(99)
+	if got := w.Rate(50); got != 0 {
+		t.Fatalf("Rate mid-first-window = %v, want 0 (no completed window)", got)
+	}
+	if got := w.Rate(100); got != 3 {
+		t.Fatalf("Rate after first window = %v, want 3", got)
+	}
+	w.Add(150)
+	if got := w.Rate(210); got != 1 {
+		t.Fatalf("Rate after second window = %v, want 1", got)
+	}
+}
+
+func TestWindowRateEmptyGapReportsZero(t *testing.T) {
+	w := NewWindowRate(100)
+	w.Add(0)
+	// Jump 5 windows ahead: the last completed window is empty.
+	if got := w.Rate(550); got != 0 {
+		t.Fatalf("Rate after gap = %v, want 0", got)
+	}
+}
+
+func TestWindowRateAddN(t *testing.T) {
+	w := NewWindowRate(100)
+	w.AddN(0, 5)
+	w.AddN(20, 2.5)
+	if got := w.Rate(120); got != 7.5 {
+		t.Fatalf("Rate = %v, want 7.5", got)
+	}
+}
+
+// Property: WindowRate never reports more events than were added in total.
+func TestWindowRateNeverExceedsTotalProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		w := NewWindowRate(1000)
+		var now int64
+		total := 0.0
+		for _, o := range offsets {
+			now += int64(o)
+			w.Add(now)
+			total++
+			if w.Rate(now) > total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorsPanicOnNonPositive(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"NewDecaying(0)":    func() { NewDecaying(0) },
+		"NewDecaying(-1)":   func() { NewDecaying(-1) },
+		"NewWindowRate(0)":  func() { NewWindowRate(0) },
+		"NewWindowRate(-5)": func() { NewWindowRate(-5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,125 @@
+package kvstore
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c3/internal/ring"
+)
+
+// Client is an external (application-side) client of the store. It holds one
+// pipelined connection per node and spreads requests across coordinators
+// round-robin — the paper's non-token-aware access pattern, where any node
+// may coordinate any key.
+type Client struct {
+	addrs []string
+
+	mu    sync.Mutex
+	conns []*rpcConn
+
+	next atomic.Uint64
+
+	// tokenRing, when set, routes each key to its primary replica as
+	// coordinator (the Astyanax-style token-aware client of the paper's
+	// §7, which avoids overloaded non-replica coordinators).
+	tokenRing *ring.Ring
+}
+
+// Dial connects a client to the cluster at addrs (connections are
+// established lazily).
+func Dial(addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("kvstore: no addresses")
+	}
+	return &Client{
+		addrs: append([]string(nil), addrs...),
+		conns: make([]*rpcConn, len(addrs)),
+	}, nil
+}
+
+func (c *Client) conn(i int) (*rpcConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.conns[i]; p != nil && !p.dead() {
+		return p, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addrs[i], time.Second)
+	if err != nil {
+		return nil, err
+	}
+	p := newRPCConn(nc)
+	c.conns[i] = p
+	return p, nil
+}
+
+// DialTokenAware returns a Client that coordinates every operation at the
+// key's primary replica instead of round-robining, given the cluster's
+// replication factor.
+func DialTokenAware(addrs []string, rf int) (*Client, error) {
+	c, err := Dial(addrs)
+	if err != nil {
+		return nil, err
+	}
+	c.tokenRing = ring.New(len(addrs), rf)
+	return c, nil
+}
+
+// pick chooses the coordinator for a key: its primary replica when token
+// aware, round-robin otherwise.
+func (c *Client) pick(key string) int {
+	if c.tokenRing != nil {
+		return int(c.tokenRing.PrimaryFor([]byte(key)))
+	}
+	return int(c.next.Add(1)-1) % len(c.addrs)
+}
+
+// Get reads key through a coordinator, reporting whether it exists.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < len(c.addrs); attempt++ {
+		p, err := c.conn(c.pick(key))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := p.clientRead(key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp.Value, resp.Found, nil
+	}
+	return nil, false, lastErr
+}
+
+// Put writes key=val through a coordinator.
+func (c *Client) Put(key string, val []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < len(c.addrs); attempt++ {
+		p, err := c.conn(c.pick(key))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := p.clientWrite(key, val); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Close drops all connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.conns {
+		if p != nil {
+			p.close()
+		}
+	}
+}

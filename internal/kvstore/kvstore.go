@@ -1,0 +1,571 @@
+// Package kvstore is a real, networked replicated key-value store built on
+// the substrates in this repository: loopback/LAN TCP with the wire protocol,
+// the LSM storage engine, the Murmur3 token ring, and — the point of the
+// exercise — the identical internal/core replica-selection code that drives
+// the simulators. Every node is both a storage replica and a coordinator
+// (exactly Cassandra's architecture in §4): client requests land on any
+// node, the coordinator ranks the key's replica group with C3 (or a baseline
+// strategy), applies per-server cubic rate limiting with backpressure, and
+// forwards the read to the chosen replica. Responses piggyback queue-size
+// and service-time feedback.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c3/internal/core"
+	"c3/internal/lsm"
+	"c3/internal/ratelimit"
+	"c3/internal/ring"
+	"c3/internal/sim"
+	"c3/internal/wire"
+)
+
+// Strategy names for coordinators.
+const (
+	StratC3  = "C3"
+	StratLOR = "LOR"
+	StratRR  = "RR"
+	StratRND = "RND"
+)
+
+// Config configures a node.
+type Config struct {
+	// RF is the replication factor (default 3).
+	RF int
+	// Strategy selects the coordinator's replica-selection policy
+	// (default C3).
+	Strategy string
+	// Rate configures C3's rate controller.
+	Rate ratelimit.Config
+	// ReadDelayMean adds an exponentially distributed artificial storage
+	// delay per replica read — the stand-in for disk seeks when the
+	// store runs entirely in memory. Zero disables it.
+	ReadDelayMean time.Duration
+	// ReadRepair is the probability a read is broadcast to every replica
+	// (Cassandra's anti-entropy read repair, 10% by default). Beyond
+	// consistency, it is what keeps coordinators' views of currently
+	// unselected replicas fresh — without it, a replica that turned slow
+	// and was abandoned would never be observed recovering. Negative
+	// disables it.
+	ReadRepair float64
+	// BackpressureTimeout bounds how long a coordinator holds a request
+	// waiting for a rate token before failing open (default 2s).
+	BackpressureTimeout time.Duration
+	// Store tunes the LSM engine.
+	Store lsm.Options
+	// Seed drives the node's randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RF <= 0 {
+		c.RF = 3
+	}
+	if c.Strategy == "" {
+		c.Strategy = StratC3
+	}
+	if c.BackpressureTimeout <= 0 {
+		c.BackpressureTimeout = 2 * time.Second
+	}
+	if c.ReadRepair == 0 {
+		c.ReadRepair = 0.1
+	} else if c.ReadRepair < 0 {
+		c.ReadRepair = 0
+	}
+	return c
+}
+
+// Node is one store process: TCP listener, storage engine, coordinator.
+type Node struct {
+	id    core.ServerID
+	cfg   Config
+	ring  *ring.Ring
+	addrs []string // addrs[i] is node i's listen address
+
+	store *lsm.Store
+	ln    net.Listener
+
+	sel *core.Client
+
+	peersMu sync.Mutex
+	peers   map[core.ServerID]*rpcConn
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{} // inbound connections, closed on shutdown
+
+	pendingReads atomic.Int64  // queue-size feedback
+	svcNs        atomic.Uint64 // smoothed service time feedback
+	slowNs       atomic.Int64  // injected extra delay per read (demos/tests)
+
+	served atomic.Uint64 // reads served by this node's storage
+	coord  atomic.Uint64 // reads coordinated by this node
+	waited atomic.Uint64 // reads that hit backpressure at this coordinator
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+}
+
+// newRanker builds the strategy for a coordinator in a cluster of the given
+// size (C3's concurrency weight w = number of coordinating clients = nodes).
+func newRanker(strategy string, nodes int, seed uint64) (core.Ranker, bool) {
+	switch strategy {
+	case StratC3:
+		return core.NewCubicRanker(core.RankerConfig{
+			ConcurrencyWeight: float64(nodes),
+			Seed:              seed,
+		}), true
+	case StratLOR:
+		return core.NewLOR(seed), false
+	case StratRR:
+		return core.NewRoundRobin(), true
+	case StratRND:
+		return core.NewRandom(seed), false
+	default:
+		panic("kvstore: unknown strategy " + strategy)
+	}
+}
+
+// StartNode launches node id of a cluster whose node addresses are addrs
+// (addrs[id] must be this node's address to listen on; use "127.0.0.1:0"
+// and read back Addr for tests).
+func StartNode(id int, addrs []string, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("kvstore: node id %d outside cluster of %d", id, len(addrs))
+	}
+	ranker, rc := newRanker(cfg.Strategy, len(addrs), cfg.Seed^uint64(id)<<8)
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id:     core.ServerID(id),
+		cfg:    cfg,
+		ring:   ring.New(len(addrs), cfg.RF),
+		addrs:  append([]string(nil), addrs...),
+		store:  lsm.Open(cfg.Store),
+		ln:     ln,
+		sel:    core.NewClient(ranker, core.ClientConfig{RateControl: rc, Rate: cfg.Rate}),
+		peers:  make(map[core.ServerID]*rpcConn),
+		conns:  make(map[net.Conn]struct{}),
+		rng:    sim.RNG(cfg.Seed, 0xfeed+uint64(id)),
+		closed: make(chan struct{}),
+	}
+	n.addrs[id] = ln.Addr().String()
+	n.svcNs.Store(uint64(time.Millisecond)) // prior before first read
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr reports the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID reports the node's cluster id.
+func (n *Node) ID() int { return int(n.id) }
+
+// Store exposes the underlying LSM engine (diagnostics).
+func (n *Node) Store() *lsm.Store { return n.store }
+
+// ReadsServed reports reads served by this node's storage.
+func (n *Node) ReadsServed() uint64 { return n.served.Load() }
+
+// ReadsCoordinated reports reads coordinated by this node.
+func (n *Node) ReadsCoordinated() uint64 { return n.coord.Load() }
+
+// BackpressureWaits reports coordinator reads that waited for a rate token.
+func (n *Node) BackpressureWaits() uint64 { return n.waited.Load() }
+
+// SetSlowdown injects extra artificial latency per local read — the live
+// analogue of the paper's tc-based degradation in Fig. 13.
+func (n *Node) SetSlowdown(d time.Duration) { n.slowNs.Store(int64(d)) }
+
+// SendRateToward exposes the coordinator's current srate toward a peer.
+func (n *Node) SendRateToward(peer int) float64 {
+	return n.sel.SendRate(core.ServerID(peer))
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() {
+	n.closing.Do(func() {
+		close(n.closed)
+		n.ln.Close()
+		n.peersMu.Lock()
+		for _, p := range n.peers {
+			p.close()
+		}
+		n.peersMu.Unlock()
+		// Inbound connections (from clients and from peers that have
+		// not shut down yet) must be severed too, or their serve
+		// loops would keep this node's WaitGroup pinned.
+		n.connsMu.Lock()
+		for c := range n.conns {
+			c.Close()
+		}
+		n.connsMu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound connection (client or peer).
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	n.connsMu.Lock()
+	n.conns[conn] = struct{}{}
+	n.connsMu.Unlock()
+	defer func() {
+		n.connsMu.Lock()
+		delete(n.conns, conn)
+		n.connsMu.Unlock()
+	}()
+	r := wire.NewReader(conn)
+	w := wire.NewWriter(conn)
+	var wmu sync.Mutex
+	for {
+		typ, payload, err := r.Next()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.MsgRead:
+			m, err := wire.ParseReadReq(payload)
+			if err != nil {
+				return
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				resp := n.coordinateRead(m)
+				wmu.Lock()
+				defer wmu.Unlock()
+				w.WriteReadResp(resp)
+			}()
+		case wire.MsgReadInternal:
+			m, err := wire.ParseReadReq(payload)
+			if err != nil {
+				return
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				resp := n.localRead(m)
+				wmu.Lock()
+				defer wmu.Unlock()
+				w.WriteReadResp(resp)
+			}()
+		case wire.MsgWrite:
+			m, err := wire.ParseWriteReq(payload)
+			if err != nil {
+				return
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				resp := n.coordinateWrite(m)
+				wmu.Lock()
+				defer wmu.Unlock()
+				w.WriteWriteResp(resp)
+			}()
+		case wire.MsgWriteInternal:
+			m, err := wire.ParseWriteReq(payload)
+			if err != nil {
+				return
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				resp := n.localWrite(m)
+				wmu.Lock()
+				defer wmu.Unlock()
+				w.WriteWriteResp(resp)
+			}()
+		default:
+			return // protocol error: drop the connection
+		}
+	}
+}
+
+// feedback samples the node's current C3 feedback fields.
+func (n *Node) feedback() wire.Feedback {
+	return wire.Feedback{
+		QueueSize: float64(n.pendingReads.Load()),
+		ServiceNs: int64(n.svcNs.Load()),
+	}
+}
+
+// localRead serves a replica-local read with queue accounting, artificial
+// disk delay, and feedback sampling — the server half of C3 (§3.1).
+func (n *Node) localRead(m wire.ReadReq) wire.ReadResp {
+	n.pendingReads.Add(1)
+	start := time.Now()
+	if d := n.readDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	val, ok := n.store.Get(m.Key)
+	svc := time.Since(start)
+	n.pendingReads.Add(-1)
+	n.served.Add(1)
+	// Smoothed service time: new = 0.2·sample + 0.8·old, CAS-free since
+	// small races only blur the estimate.
+	old := n.svcNs.Load()
+	n.svcNs.Store(uint64(0.2*float64(svc) + 0.8*float64(old)))
+	return wire.ReadResp{ID: m.ID, Found: ok, Value: val, FB: n.feedback()}
+}
+
+// readDelay draws the configured artificial storage delay plus any injected
+// slowdown.
+func (n *Node) readDelay() time.Duration {
+	var d int64
+	if n.cfg.ReadDelayMean > 0 {
+		n.rngMu.Lock()
+		d = sim.Exp(n.rng, float64(n.cfg.ReadDelayMean))
+		n.rngMu.Unlock()
+	}
+	return time.Duration(d + n.slowNs.Load())
+}
+
+// localWrite applies a replica-local write.
+func (n *Node) localWrite(m wire.WriteReq) wire.WriteResp {
+	n.store.Put(m.Key, m.Value)
+	return wire.WriteResp{ID: m.ID, FB: n.feedback()}
+}
+
+// coordinateRead is Algorithm 1 over real TCP: rank the key's replica group,
+// wait for a rate token under backpressure, forward, record feedback.
+func (n *Node) coordinateRead(m wire.ReadReq) wire.ReadResp {
+	n.coord.Add(1)
+	group := n.ring.ReplicasFor([]byte(m.Key), nil)
+	deadline := time.Now().Add(n.cfg.BackpressureTimeout)
+	var target core.ServerID
+	waited := false
+	for {
+		now := time.Now().UnixNano()
+		s, ok, retryAt := n.sel.Pick(group, now)
+		if ok {
+			target = s
+			break
+		}
+		waited = true
+		if time.Now().After(deadline) {
+			// Fail open: rank without consuming a token so the
+			// request cannot starve.
+			target = group[0]
+			n.sel.OnSend(target, now)
+			break
+		}
+		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
+	}
+	if waited {
+		n.waited.Add(1)
+	}
+	// Read repair: occasionally consult every replica, which refreshes
+	// the coordinator's feedback state for replicas it has stopped
+	// selecting.
+	if n.cfg.ReadRepair > 0 {
+		n.rngMu.Lock()
+		repair := n.rng.Float64() < n.cfg.ReadRepair
+		n.rngMu.Unlock()
+		if repair {
+			for _, s := range group {
+				if s == target || s == n.id {
+					continue
+				}
+				s := s
+				n.sel.OnSend(s, time.Now().UnixNano())
+				n.wg.Add(1)
+				go func() {
+					defer n.wg.Done()
+					sent := time.Now()
+					if out, err := n.rpcRead(s, m); err == nil {
+						n.sel.OnResponse(s, core.Feedback{
+							QueueSize:   out.FB.QueueSize,
+							ServiceTime: time.Duration(out.FB.ServiceNs),
+						}, time.Since(sent), time.Now().UnixNano())
+					}
+				}()
+			}
+		}
+	}
+	sent := time.Now()
+	var resp wire.ReadResp
+	if target == n.id {
+		resp = n.localRead(m)
+	} else {
+		out, err := n.rpcRead(target, m)
+		if err != nil {
+			// Peer unreachable: serve from the next replica and
+			// record a punishing response time for the ranker.
+			n.sel.OnResponse(target, core.Feedback{QueueSize: 1e6,
+				ServiceTime: time.Second}, time.Second, time.Now().UnixNano())
+			return n.readFallback(m, group, target)
+		}
+		resp = out
+	}
+	n.sel.OnResponse(target, core.Feedback{
+		QueueSize:   resp.FB.QueueSize,
+		ServiceTime: time.Duration(resp.FB.ServiceNs),
+	}, time.Since(sent), time.Now().UnixNano())
+	resp.ID = m.ID
+	return resp
+}
+
+// readFallback tries the remaining replicas in order after an RPC failure.
+func (n *Node) readFallback(m wire.ReadReq, group []core.ServerID, failed core.ServerID) wire.ReadResp {
+	for _, s := range group {
+		if s == failed {
+			continue
+		}
+		if s == n.id {
+			return n.localRead(m)
+		}
+		if out, err := n.rpcRead(s, m); err == nil {
+			out.ID = m.ID
+			return out
+		}
+	}
+	return wire.ReadResp{ID: m.ID, Found: false}
+}
+
+// coordinateWrite fans a write to all replicas and acknowledges on the first
+// success (CL=ONE), completing the rest in the background.
+func (n *Node) coordinateWrite(m wire.WriteReq) wire.WriteResp {
+	group := n.ring.ReplicasFor([]byte(m.Key), nil)
+	first := make(chan wire.WriteResp, len(group))
+	for _, s := range group {
+		s := s
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if s == n.id {
+				first <- n.localWrite(m)
+				return
+			}
+			if out, err := n.rpcWrite(s, m); err == nil {
+				first <- out
+			} else {
+				first <- wire.WriteResp{ID: m.ID}
+			}
+		}()
+	}
+	resp := <-first
+	resp.ID = m.ID
+	return resp
+}
+
+var errClosed = errors.New("kvstore: node closed")
+
+// peer returns (establishing if needed) the RPC connection to a peer node.
+func (n *Node) peer(id core.ServerID) (*rpcConn, error) {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	if p, ok := n.peers[id]; ok && !p.dead() {
+		return p, nil
+	}
+	select {
+	case <-n.closed:
+		return nil, errClosed
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", n.addrs[int(id)], time.Second)
+	if err != nil {
+		return nil, err
+	}
+	p := newRPCConn(conn)
+	n.peers[id] = p
+	return p, nil
+}
+
+func (n *Node) rpcRead(id core.ServerID, m wire.ReadReq) (wire.ReadResp, error) {
+	p, err := n.peer(id)
+	if err != nil {
+		return wire.ReadResp{}, err
+	}
+	return p.read(m.Key)
+}
+
+func (n *Node) rpcWrite(id core.ServerID, m wire.WriteReq) (wire.WriteResp, error) {
+	p, err := n.peer(id)
+	if err != nil {
+		return wire.WriteResp{}, err
+	}
+	return p.write(m.Key, m.Value)
+}
+
+// Cluster is a convenience harness that runs n nodes on loopback.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// StartCluster boots n nodes with the shared config on 127.0.0.1 ports.
+func StartCluster(nodes int, cfg Config) (*Cluster, error) {
+	if nodes < 1 {
+		return nil, errors.New("kvstore: need at least one node")
+	}
+	// Reserve addresses first so every node knows the full topology.
+	lns := make([]net.Listener, nodes)
+	addrs := make([]string, nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	c := &Cluster{}
+	for i := range lns {
+		lns[i].Close() // free the port for the node to rebind
+		n, err := StartNode(i, addrs, cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		// Rebinding may race with another process grabbing the port;
+		// in practice on loopback this is reliable enough for tests.
+		addrs[i] = n.Addr()
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Addrs lists the node addresses.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Addr()
+	}
+	return out
+}
+
+// Close shuts all nodes down.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}

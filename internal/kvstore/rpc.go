@@ -1,0 +1,186 @@
+package kvstore
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"c3/internal/wire"
+)
+
+// rpcConn is a pipelined request/response connection: many in-flight
+// requests multiplex over one TCP stream, matched back by request id. Both
+// coordinator→replica links and the external Client use it.
+type rpcConn struct {
+	conn net.Conn
+	w    *wire.Writer
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan any // ReadResp or WriteResp
+	isDead  bool
+
+	nextID atomic.Uint64
+}
+
+var errConnDead = errors.New("kvstore: connection closed")
+
+func newRPCConn(conn net.Conn) *rpcConn {
+	p := &rpcConn{
+		conn:    conn,
+		w:       wire.NewWriter(conn),
+		pending: make(map[uint64]chan any),
+	}
+	go p.readLoop()
+	return p
+}
+
+func (p *rpcConn) dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.isDead
+}
+
+func (p *rpcConn) close() {
+	p.conn.Close()
+}
+
+// readLoop demultiplexes responses to their waiters; on error it fails every
+// outstanding call.
+func (p *rpcConn) readLoop() {
+	r := wire.NewReader(p.conn)
+	for {
+		typ, payload, err := r.Next()
+		if err != nil {
+			p.failAll()
+			return
+		}
+		var id uint64
+		var msg any
+		switch typ {
+		case wire.MsgReadResp:
+			m, err := wire.ParseReadResp(payload)
+			if err != nil {
+				p.failAll()
+				return
+			}
+			id, msg = m.ID, m
+		case wire.MsgWriteResp:
+			m, err := wire.ParseWriteResp(payload)
+			if err != nil {
+				p.failAll()
+				return
+			}
+			id, msg = m.ID, m
+		default:
+			p.failAll()
+			return
+		}
+		p.mu.Lock()
+		ch, ok := p.pending[id]
+		delete(p.pending, id)
+		p.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+func (p *rpcConn) failAll() {
+	p.conn.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isDead = true
+	for id, ch := range p.pending {
+		close(ch)
+		delete(p.pending, id)
+	}
+}
+
+// register allocates an id and a response channel.
+func (p *rpcConn) register() (uint64, chan any, error) {
+	id := p.nextID.Add(1)
+	ch := make(chan any, 1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.isDead {
+		return 0, nil, errConnDead
+	}
+	p.pending[id] = ch
+	return id, ch, nil
+}
+
+func (p *rpcConn) await(ch chan any) (any, error) {
+	msg, ok := <-ch
+	if !ok {
+		return nil, errConnDead
+	}
+	return msg, nil
+}
+
+// read performs an internal (replica-local) read RPC.
+func (p *rpcConn) read(key string) (wire.ReadResp, error) {
+	return p.readTyped(wire.MsgReadInternal, key)
+}
+
+// clientRead performs a coordinated read RPC (external client use).
+func (p *rpcConn) clientRead(key string) (wire.ReadResp, error) {
+	return p.readTyped(wire.MsgRead, key)
+}
+
+func (p *rpcConn) readTyped(typ uint8, key string) (wire.ReadResp, error) {
+	id, ch, err := p.register()
+	if err != nil {
+		return wire.ReadResp{}, err
+	}
+	p.wmu.Lock()
+	err = p.w.WriteRead(typ, wire.ReadReq{ID: id, Key: key})
+	p.wmu.Unlock()
+	if err != nil {
+		p.failAll()
+		return wire.ReadResp{}, err
+	}
+	msg, err := p.await(ch)
+	if err != nil {
+		return wire.ReadResp{}, err
+	}
+	m, ok := msg.(wire.ReadResp)
+	if !ok {
+		return wire.ReadResp{}, errors.New("kvstore: mismatched response type")
+	}
+	return m, nil
+}
+
+// write performs an internal write RPC.
+func (p *rpcConn) write(key string, val []byte) (wire.WriteResp, error) {
+	return p.writeTyped(wire.MsgWriteInternal, key, val)
+}
+
+// clientWrite performs a coordinated write RPC.
+func (p *rpcConn) clientWrite(key string, val []byte) (wire.WriteResp, error) {
+	return p.writeTyped(wire.MsgWrite, key, val)
+}
+
+func (p *rpcConn) writeTyped(typ uint8, key string, val []byte) (wire.WriteResp, error) {
+	id, ch, err := p.register()
+	if err != nil {
+		return wire.WriteResp{}, err
+	}
+	p.wmu.Lock()
+	err = p.w.WriteWrite(typ, wire.WriteReq{ID: id, Key: key, Value: val})
+	p.wmu.Unlock()
+	if err != nil {
+		p.failAll()
+		return wire.WriteResp{}, err
+	}
+	msg, err := p.await(ch)
+	if err != nil {
+		return wire.WriteResp{}, err
+	}
+	m, ok := msg.(wire.WriteResp)
+	if !ok {
+		return wire.WriteResp{}, errors.New("kvstore: mismatched response type")
+	}
+	return m, nil
+}

@@ -1,0 +1,59 @@
+package lsm
+
+import "hash/fnv"
+
+// Bloom is a fixed-size Bloom filter with double hashing (Kirsch–Mitzenmacher
+// construction over two FNV-derived hashes).
+type Bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // hash functions
+}
+
+// NewBloom sizes a filter for n expected keys at roughly a 1% false-positive
+// rate (m ≈ 9.6 n bits, k = 7).
+func NewBloom(n int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	m := uint64(n) * 10
+	if m < 64 {
+		m = 64
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: 7}
+}
+
+func bloomHashes(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	// Second hash: re-mix with a different offset basis by appending a
+	// salt byte.
+	h.Write([]byte{0x5c})
+	h2 := h.Sum64()
+	if h2%2 == 0 { // ensure h2 is odd so probes cover the space
+		h2++
+	}
+	return h1, h2
+}
+
+// Add inserts key.
+func (b *Bloom) Add(key string) {
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < b.k; i++ {
+		idx := (h1 + uint64(i)*h2) % b.m
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// MayContain reports whether key might be present (no false negatives).
+func (b *Bloom) MayContain(key string) bool {
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < b.k; i++ {
+		idx := (h1 + uint64(i)*h2) % b.m
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,271 @@
+// Package lsm is a compact log-structured merge storage engine: an in-memory
+// memtable that flushes into immutable sorted runs guarded by Bloom filters,
+// with size-triggered full compaction. It is the storage substrate behind the
+// TCP key-value store (internal/kvstore) — the real-system counterpart of
+// the service-time model in internal/cassim, exhibiting the same phenomena
+// the paper discusses: read amplification growing with the number of runs,
+// and compaction as a period of concentrated work.
+package lsm
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Store.
+type Options struct {
+	// FlushBytes triggers a memtable flush once its payload exceeds this
+	// size. Default 4 MiB.
+	FlushBytes int
+	// MaxRuns triggers a full compaction when exceeded. Default 8.
+	MaxRuns int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 4 << 20
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 8
+	}
+	return o
+}
+
+// Stats is a snapshot of storage activity counters. RunsConsulted/Gets is
+// the engine's read amplification; BloomSkips counts runs skipped by filters.
+type Stats struct {
+	Gets, Puts, Deletes  uint64
+	Flushes, Compactions uint64
+	RunsConsulted        uint64
+	BloomSkips           uint64
+}
+
+// counters are the live atomic counters behind Stats (reads update them
+// under the shared lock, so they must be atomic).
+type counters struct {
+	gets, puts, deletes  atomic.Uint64
+	flushes, compactions atomic.Uint64
+	runsConsulted        atomic.Uint64
+	bloomSkips           atomic.Uint64
+}
+
+// run is an immutable sorted key/value file image. Tombstones are nil values.
+type run struct {
+	keys  []string
+	vals  [][]byte
+	bloom *Bloom
+	bytes int
+}
+
+func (r *run) get(key string) ([]byte, bool) {
+	i := sort.SearchStrings(r.keys, key)
+	if i < len(r.keys) && r.keys[i] == key {
+		return r.vals[i], true
+	}
+	return nil, false
+}
+
+// Store is the engine. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	opts Options
+	mem  map[string][]byte // nil value = tombstone
+	memB int
+	runs []*run // newest first
+	c    counters
+}
+
+// Open returns an empty store.
+func Open(opts Options) *Store {
+	return &Store{opts: opts.withDefaults(), mem: make(map[string][]byte)}
+}
+
+// Put stores a copy of val under key.
+func (s *Store) Put(key string, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.puts.Add(1)
+	s.putLocked(key, cp)
+}
+
+// Delete removes key (writes a tombstone).
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.deletes.Add(1)
+	s.putLocked(key, nil)
+}
+
+func (s *Store) putLocked(key string, val []byte) {
+	if old, ok := s.mem[key]; ok {
+		s.memB -= len(key) + len(old)
+	}
+	s.mem[key] = val
+	s.memB += len(key) + len(val)
+	if s.memB >= s.opts.FlushBytes {
+		s.flushLocked()
+	}
+}
+
+// Get reads the newest value of key, consulting the memtable and then each
+// run from newest to oldest, skipping runs whose Bloom filter excludes the
+// key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.c.gets.Add(1)
+	if v, ok := s.mem[key]; ok {
+		if v == nil {
+			return nil, false
+		}
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out, true
+	}
+	for _, r := range s.runs {
+		if !r.bloom.MayContain(key) {
+			s.c.bloomSkips.Add(1)
+			continue
+		}
+		s.c.runsConsulted.Add(1)
+		if v, ok := r.get(key); ok {
+			if v == nil {
+				return nil, false
+			}
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Flush forces the memtable into a new run.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+func (s *Store) flushLocked() {
+	if len(s.mem) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	r := &run{
+		keys:  keys,
+		vals:  make([][]byte, len(keys)),
+		bloom: NewBloom(len(keys)),
+	}
+	for i, k := range keys {
+		r.vals[i] = s.mem[k]
+		r.bytes += len(k) + len(s.mem[k])
+		r.bloom.Add(k)
+	}
+	s.runs = append([]*run{r}, s.runs...)
+	s.mem = make(map[string][]byte)
+	s.memB = 0
+	s.c.flushes.Add(1)
+	if len(s.runs) > s.opts.MaxRuns {
+		s.compactLocked()
+	}
+}
+
+// Compact merges every run into one, dropping shadowed versions and
+// tombstones.
+func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactLocked()
+}
+
+func (s *Store) compactLocked() {
+	if len(s.runs) <= 1 {
+		return
+	}
+	// Newest-wins merge: walk runs oldest → newest into a map, then sort.
+	merged := make(map[string][]byte)
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		r := s.runs[i]
+		for j, k := range r.keys {
+			merged[k] = r.vals[j]
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k, v := range merged {
+		if v == nil {
+			continue // tombstones die at full compaction
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := &run{
+		keys:  keys,
+		vals:  make([][]byte, len(keys)),
+		bloom: NewBloom(len(keys)),
+	}
+	for i, k := range keys {
+		out.vals[i] = merged[k]
+		out.bytes += len(k) + len(merged[k])
+		out.bloom.Add(k)
+	}
+	s.runs = []*run{out}
+	s.c.compactions.Add(1)
+}
+
+// Runs reports the current number of immutable runs.
+func (s *Store) Runs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.runs)
+}
+
+// MemBytes reports the memtable payload size.
+func (s *Store) MemBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.memB
+}
+
+// Len reports the number of live keys (linear scan; diagnostics only).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	live := make(map[string]bool)
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		r := s.runs[i]
+		for j, k := range r.keys {
+			live[k] = r.vals[j] != nil
+		}
+	}
+	for k, v := range s.mem {
+		live[k] = v != nil
+	}
+	n := 0
+	for _, alive := range live {
+		if alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Gets:          s.c.gets.Load(),
+		Puts:          s.c.puts.Load(),
+		Deletes:       s.c.deletes.Load(),
+		Flushes:       s.c.flushes.Load(),
+		Compactions:   s.c.compactions.Load(),
+		RunsConsulted: s.c.runsConsulted.Load(),
+		BloomSkips:    s.c.bloomSkips.Load(),
+	}
+}

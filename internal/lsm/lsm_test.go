@@ -1,0 +1,295 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"c3/internal/sim"
+)
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := Open(Options{})
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q,%v", v, ok)
+	}
+	if v, ok := s.Get("b"); !ok || string(v) != "2" {
+		t.Fatalf("Get(b) = %q,%v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) found something")
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	s := Open(Options{})
+	s.Put("k", []byte("old"))
+	s.Flush()
+	s.Put("k", []byte("new"))
+	if v, _ := s.Get("k"); string(v) != "new" {
+		t.Fatalf("memtable should shadow run: %q", v)
+	}
+	s.Flush()
+	if v, _ := s.Get("k"); string(v) != "new" {
+		t.Fatalf("newer run should shadow older: %q", v)
+	}
+}
+
+func TestDeleteTombstoneAcrossFlush(t *testing.T) {
+	s := Open(Options{})
+	s.Put("k", []byte("v"))
+	s.Flush()
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key visible via memtable tombstone")
+	}
+	s.Flush()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key visible via run tombstone")
+	}
+	s.Compact()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestAutoFlushOnThreshold(t *testing.T) {
+	s := Open(Options{FlushBytes: 64})
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("key-%02d", i), []byte("0123456789"))
+	}
+	if s.Stats().Flushes == 0 {
+		t.Fatal("no automatic flush despite exceeding threshold")
+	}
+	if s.Runs() == 0 {
+		t.Fatal("no runs after flush")
+	}
+	// All data still readable.
+	for i := 0; i < 20; i++ {
+		if _, ok := s.Get(fmt.Sprintf("key-%02d", i)); !ok {
+			t.Fatalf("key-%02d lost after flush", i)
+		}
+	}
+}
+
+func TestAutoCompactionBoundsRuns(t *testing.T) {
+	s := Open(Options{FlushBytes: 1 << 30, MaxRuns: 3})
+	for f := 0; f < 10; f++ {
+		s.Put(fmt.Sprintf("k%d", f), []byte("v"))
+		s.Flush()
+	}
+	if got := s.Runs(); got > 3+1 {
+		t.Fatalf("runs = %d, want bounded by MaxRuns", got)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no compactions despite run pressure")
+	}
+	for f := 0; f < 10; f++ {
+		if v, ok := s.Get(fmt.Sprintf("k%d", f)); !ok || string(v) != "v" {
+			t.Fatalf("k%d lost after compaction", f)
+		}
+	}
+}
+
+func TestCompactionPreservesNewestVersion(t *testing.T) {
+	s := Open(Options{})
+	s.Put("k", []byte("v1"))
+	s.Flush()
+	s.Put("k", []byte("v2"))
+	s.Flush()
+	s.Put("k", []byte("v3"))
+	s.Flush()
+	s.Compact()
+	if s.Runs() != 1 {
+		t.Fatalf("runs after compact = %d", s.Runs())
+	}
+	if v, _ := s.Get("k"); string(v) != "v3" {
+		t.Fatalf("compaction kept %q, want v3", v)
+	}
+}
+
+func TestBloomSkipsCounted(t *testing.T) {
+	s := Open(Options{})
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("present-%d", i), []byte("v"))
+	}
+	s.Flush()
+	for i := 0; i < 1000; i++ {
+		s.Get(fmt.Sprintf("absent-%d", i))
+	}
+	st := s.Stats()
+	// ≈99% of absent lookups should be bloom-skipped.
+	if st.BloomSkips < 900 {
+		t.Fatalf("bloom skips = %d/1000, filter ineffective", st.BloomSkips)
+	}
+}
+
+func TestReadAmplificationGrowsWithRuns(t *testing.T) {
+	// The cassim storage model assumes more runs → more work per read;
+	// verify the real engine exhibits it.
+	s := Open(Options{FlushBytes: 1 << 30, MaxRuns: 100})
+	for f := 0; f < 8; f++ {
+		for i := 0; i < 100; i++ {
+			s.Put(fmt.Sprintf("f%d-k%d", f, i), []byte("v"))
+		}
+		s.Flush()
+	}
+	before := s.Stats().RunsConsulted
+	// Keys in the oldest run require walking past newer runs (bloom
+	// filters prune most, but hits on the right run still count).
+	for i := 0; i < 100; i++ {
+		s.Get(fmt.Sprintf("f0-k%d", i))
+	}
+	consulted := s.Stats().RunsConsulted - before
+	if consulted < 100 {
+		t.Fatalf("consulted %d runs for 100 oldest-run reads", consulted)
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := Open(Options{})
+	buf := []byte("mutable")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "mutable" {
+		t.Fatalf("store aliased caller buffer: %q", v)
+	}
+	v[0] = 'Y'
+	v2, _ := s.Get("k")
+	if string(v2) != "mutable" {
+		t.Fatalf("returned buffer aliased store: %q", v2)
+	}
+}
+
+func TestEmptyFlushNoop(t *testing.T) {
+	s := Open(Options{})
+	s.Flush()
+	if s.Runs() != 0 || s.Stats().Flushes != 0 {
+		t.Fatal("empty flush created a run")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := Open(Options{FlushBytes: 4096})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("g%d-k%d", g, i%50)
+				s.Put(k, []byte(fmt.Sprintf("v%d", i)))
+				s.Get(k)
+				if i%100 == 0 {
+					s.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait() // run with -race
+}
+
+// Property: the store agrees with a plain map reference model under any
+// sequence of put/delete/flush/compact operations.
+func TestModelEquivalenceProperty(t *testing.T) {
+	r := sim.RNG(1, 1)
+	f := func(ops []uint16) bool {
+		s := Open(Options{FlushBytes: 1 << 30, MaxRuns: 4})
+		model := map[string]string{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%17)
+			switch op % 5 {
+			case 0, 1, 2:
+				val := fmt.Sprintf("v%d", r.IntN(1000))
+				s.Put(key, []byte(val))
+				model[key] = val
+			case 3:
+				s.Delete(key)
+				delete(model, key)
+			case 4:
+				s.Flush()
+			}
+		}
+		for k, want := range model {
+			got, ok := s.Get(k)
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+		for i := 0; i < 17; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if _, inModel := model[k]; !inModel {
+				if _, ok := s.Get(k); ok {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		b := NewBloom(len(keys))
+		for _, k := range keys {
+			b.Add(k)
+		}
+		for _, k := range keys {
+			if !b.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(10000)
+	for i := 0; i < 10000; i++ {
+		b.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.MayContain(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.03 {
+		t.Fatalf("false positive rate = %v, want < 3%%", rate)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := Open(Options{})
+	val := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%d", i%100000), val)
+	}
+}
+
+func BenchmarkGetHot(b *testing.B) {
+	s := Open(Options{})
+	val := make([]byte, 1024)
+	for i := 0; i < 10000; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), val)
+	}
+	s.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("key-%d", i%10000))
+	}
+}

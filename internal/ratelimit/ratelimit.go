@@ -1,0 +1,320 @@
+// Package ratelimit implements C3's distributed rate control (§3.2 of the
+// paper): a per-(client, server) token bucket whose sending rate (srate,
+// permitted requests per δ-wide window) adapts with a CUBIC-inspired control
+// law against the measured receive rate (rrate, responses per δ window).
+//
+//   - When the flow shows saturation — responses persistently lagging the
+//     requests actually sent — and a hysteresis period has passed, the client
+//     remembers the saturation rate R0 = srate and multiplicatively decreases
+//     srate by β.
+//   - When srate lags the receive rate, the client raises srate along the
+//     cubic curve γ·(ΔT − ∛(β·R0/γ))³ + R0, where ΔT is the time since the
+//     last decrease, with each step capped at smax. The curve yields the
+//     paper's three operating regions: steep recovery at low rates, a saddle
+//     around R0, and optimistic probing beyond it (Fig. 5).
+//
+// Measurement detail: the paper compares srate against the count of
+// responses in the last δ window. With many clients and servers, per-pair
+// traffic is sparse (fractions of a request per window), so raw single-window
+// counts are Poisson noise and srate (an allowance, not a measurement) says
+// nothing about saturation when the flow is idle. This implementation
+// therefore (a) compares the smoothed *actual* send rate against the smoothed
+// receive rate for decreases, and (b) smooths both meters with a per-window
+// EWMA on a single shared window clock. Under a saturated flow — the regime
+// the paper's condition targets — sent ≈ srate and the two conditions agree.
+//
+// The controller is driven entirely by explicit timestamps so that it behaves
+// identically under simulated and wall-clock time.
+package ratelimit
+
+import "math"
+
+// Config holds the tunables of the cubic rate controller. The defaults
+// (DefaultConfig) are the values used in the paper's evaluation (§4).
+type Config struct {
+	// Interval is δ, the width of a rate window in nanoseconds. Rates are
+	// expressed in requests per Interval. Default 20 ms.
+	Interval int64
+	// Beta is the multiplicative decrease factor. Default 0.2.
+	Beta float64
+	// Gamma scales the cubic growth curve and hence the saddle length.
+	// The paper tunes γ for a ≈100 ms saddle region; DefaultConfig does
+	// the same for a saturation rate around the initial rate.
+	Gamma float64
+	// SMax caps a single rate-increase step. Default 10.
+	SMax float64
+	// Hysteresis is the minimum time between rate adaptations in opposite
+	// directions, giving measurements time to catch up. Default 2δ.
+	Hysteresis int64
+	// InitialRate is the starting srate in requests per Interval.
+	InitialRate float64
+	// MinRate floors srate so a throttled server keeps being probed.
+	MinRate float64
+	// MaxRate caps srate (and the cubic curve, which otherwise grows
+	// without bound as ΔT³).
+	MaxRate float64
+	// DecreaseMargin is the relative shortfall of the receive rate below
+	// the send rate required to call the flow saturated. Default 0.1.
+	DecreaseMargin float64
+	// SmoothAlpha is the per-window EWMA factor for the send/receive
+	// meters. Default 0.2 (≈5-window horizon).
+	SmoothAlpha float64
+	// LiteralDecrease switches the saturation test to the paper's literal
+	// Algorithm 2 condition — decrease whenever the *allowance* srate
+	// exceeds the measured receive rate. On sparse flows this reads
+	// idleness as overload and collapses srate toward the floor (which is
+	// precisely the behaviour visible in the paper's Fig. 13 trace: rates
+	// pinned near 1 during degradation, with optimistic probes above).
+	// The default, robust rule compares actual sends against receipts.
+	LiteralDecrease bool
+}
+
+// DefaultConfig returns the paper's §4 parameter choices: δ = 20 ms, β = 0.2,
+// smax = 10, hysteresis = 2δ, and γ set for a saddle region of roughly 100 ms.
+func DefaultConfig() Config {
+	cfg := Config{
+		Interval:       20 * 1e6, // 20ms in ns
+		Beta:           0.2,
+		SMax:           10,
+		InitialRate:    10,
+		MinRate:        0.5,
+		MaxRate:        10000,
+		DecreaseMargin: 0.1,
+		SmoothAlpha:    0.2,
+	}
+	cfg.Hysteresis = 2 * cfg.Interval
+	cfg.Gamma = GammaForSaddle(cfg.Beta, cfg.InitialRate, 100*1e6)
+	return cfg
+}
+
+// GammaForSaddle computes γ so that the plateau of the cubic curve (the time
+// from the last decrease until the curve returns to R0) lasts saddleNanos for
+// a saturation rate r0: the curve's inflection sits at K = ∛(β·R0/γ) seconds,
+// so γ = β·R0/K³.
+func GammaForSaddle(beta, r0 float64, saddleNanos int64) float64 {
+	k := float64(saddleNanos) / 1e9 // seconds
+	if k <= 0 || r0 <= 0 || beta <= 0 {
+		panic("ratelimit: saddle, beta and r0 must be positive")
+	}
+	return beta * r0 / (k * k * k)
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.Beta <= 0 {
+		c.Beta = d.Beta
+	}
+	if c.SMax <= 0 {
+		c.SMax = d.SMax
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2 * c.Interval
+	}
+	if c.InitialRate <= 0 {
+		c.InitialRate = d.InitialRate
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = d.MinRate
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = d.MaxRate
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = GammaForSaddle(c.Beta, c.InitialRate, 100*1e6)
+	}
+	if c.DecreaseMargin <= 0 {
+		c.DecreaseMargin = d.DecreaseMargin
+	}
+	if c.SmoothAlpha <= 0 || c.SmoothAlpha > 1 {
+		c.SmoothAlpha = d.SmoothAlpha
+	}
+	return c
+}
+
+// Cubic is the per-server rate limiter: a token bucket refilled at srate
+// tokens per δ, where srate follows the cubic adaptation law.
+type Cubic struct {
+	cfg Config
+
+	srate float64 // current sending rate, requests per δ
+	r0    float64 // saturation rate at last decrease
+	tDec  int64   // time of last rate decrease
+	tInc  int64   // time of last rate increase
+
+	// Token bucket and the shared window clock.
+	tokens   float64
+	winStart int64
+	begun    bool
+
+	// Per-window meters: raw counts for the current window, EWMAs over
+	// completed windows.
+	sentWin, recvWin float64
+	sentSm, recvSm   float64
+	windows          uint64 // completed windows
+
+	decreases, increases uint64
+}
+
+// New returns a controller with cfg (zero fields take defaults).
+func New(cfg Config) *Cubic {
+	cfg = cfg.withDefaults()
+	return &Cubic{
+		cfg:    cfg,
+		srate:  cfg.InitialRate,
+		r0:     cfg.InitialRate,
+		tokens: math.Max(cfg.InitialRate, 1),
+	}
+}
+
+// Rate reports the current sending rate in requests per δ.
+func (c *Cubic) Rate() float64 { return c.srate }
+
+// SaturationRate reports R0, the remembered saturation rate.
+func (c *Cubic) SaturationRate() float64 { return c.r0 }
+
+// ReceiveRate reports the smoothed responses-per-δ measurement.
+func (c *Cubic) ReceiveRate(now int64) float64 {
+	c.roll(now)
+	return c.recvSm
+}
+
+// SendRateMeasured reports the smoothed admitted-sends-per-δ measurement.
+func (c *Cubic) SendRateMeasured(now int64) float64 {
+	c.roll(now)
+	return c.sentSm
+}
+
+// Decreases and Increases report how many rate adaptations have occurred;
+// experiments use them to trace controller activity (Fig. 13).
+func (c *Cubic) Decreases() uint64 { return c.decreases }
+func (c *Cubic) Increases() uint64 { return c.increases }
+
+// Interval reports δ in nanoseconds.
+func (c *Cubic) Interval() int64 { return c.cfg.Interval }
+
+// roll advances the shared window clock to now: completed windows fold their
+// counts into the smoothed meters and refill the token bucket.
+func (c *Cubic) roll(now int64) {
+	if !c.begun {
+		c.winStart = now
+		c.begun = true
+		return
+	}
+	if now < c.winStart+c.cfg.Interval {
+		return
+	}
+	steps := (now - c.winStart) / c.cfg.Interval
+	a := c.cfg.SmoothAlpha
+	fold := func(sent, recv float64) {
+		if c.windows == 0 {
+			c.sentSm, c.recvSm = sent, recv
+		} else {
+			c.sentSm = a*sent + (1-a)*c.sentSm
+			c.recvSm = a*recv + (1-a)*c.recvSm
+		}
+		c.windows++
+	}
+	fold(c.sentWin, c.recvWin)
+	if empty := steps - 1; empty > 0 {
+		// A long idle gap decays both meters; cap the loop — beyond
+		// ~40 empty windows the EWMAs are numerically zero anyway.
+		n := empty
+		if n > 40 {
+			c.sentSm, c.recvSm = 0, 0
+			c.windows += uint64(empty)
+		} else {
+			for i := int64(0); i < n; i++ {
+				fold(0, 0)
+			}
+		}
+	}
+	c.sentWin, c.recvWin = 0, 0
+	c.winStart += steps * c.cfg.Interval
+	c.tokens += float64(steps) * c.srate
+	if burst := math.Max(c.srate, 1); c.tokens > burst {
+		c.tokens = burst
+	}
+}
+
+// TryAcquire consumes one send token if available, reporting whether the
+// request may be sent now ("s within srate_s" in Algorithm 1).
+func (c *Cubic) TryAcquire(now int64) bool {
+	c.roll(now)
+	if c.tokens >= 1 {
+		c.tokens--
+		c.sentWin++
+		return true
+	}
+	return false
+}
+
+// NextAvailable reports the earliest time at or after now when TryAcquire
+// could succeed, assuming the rate does not change. Backpressure schedulers
+// use it to decide when to retry a backlogged request.
+func (c *Cubic) NextAvailable(now int64) int64 {
+	c.roll(now)
+	if c.tokens >= 1 {
+		return now
+	}
+	need := 1 - c.tokens
+	rate := math.Max(c.srate, c.cfg.MinRate)
+	windows := int64(math.Ceil(need / rate))
+	if windows < 1 {
+		windows = 1
+	}
+	return c.winStart + windows*c.cfg.Interval
+}
+
+// OnResponse records a received response at time now and runs one step of the
+// cubic adaptation (Algorithm 2, lines 2–11).
+func (c *Cubic) OnResponse(now int64) {
+	c.roll(now)
+	c.recvWin++
+	// Saturation evidence requires at least a few completed measurement
+	// windows; adapting on a cold meter reads silence as overload.
+	warm := c.windows >= 3
+	saturated := c.sentSm > 0 && c.recvSm < c.sentSm*(1-c.cfg.DecreaseMargin)
+	if c.cfg.LiteralDecrease {
+		saturated = c.srate > c.recvSm
+	}
+	switch {
+	case warm && saturated &&
+		now-c.tInc > c.cfg.Hysteresis && now-c.tDec > c.cfg.Hysteresis:
+		c.r0 = c.srate
+		c.srate = math.Max(c.cfg.MinRate, c.srate*c.cfg.Beta)
+		c.tDec = now
+		c.decreases++
+		// Shrink stored burst so the new rate takes effect promptly.
+		if burst := math.Max(c.srate, 1); c.tokens > burst {
+			c.tokens = burst
+		}
+	case c.srate < c.recvSm ||
+		(warm && c.recvSm >= c.sentSm*(1-c.cfg.DecreaseMargin) && c.sentSm >= c.srate*0.5):
+		// Either the server demonstrably delivers more than the current
+		// allowance (the paper's literal condition), or the flow is
+		// actively using its allowance and the server keeps pace — in
+		// both cases probe upward along the cubic curve.
+		dt := float64(now-c.tDec) / 1e9 // seconds since last decrease
+		c.tInc = now
+		k := math.Cbrt(c.cfg.Beta * c.r0 / c.cfg.Gamma)
+		target := c.cfg.Gamma*math.Pow(dt-k, 3) + c.r0
+		next := math.Min(c.srate+c.cfg.SMax, target)
+		if next > c.srate {
+			c.srate = math.Min(next, c.cfg.MaxRate)
+			c.increases++
+		}
+	}
+}
+
+// CurveAt evaluates the raw cubic growth curve at ΔT nanoseconds after a
+// decrease from saturation rate r0 (used to render Fig. 5).
+func CurveAt(cfg Config, r0 float64, deltaT int64) float64 {
+	cfg = cfg.withDefaults()
+	dt := float64(deltaT) / 1e9
+	k := math.Cbrt(cfg.Beta * r0 / cfg.Gamma)
+	return cfg.Gamma*math.Pow(dt-k, 3) + r0
+}

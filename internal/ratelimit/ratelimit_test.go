@@ -1,0 +1,428 @@
+package ratelimit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const ms = int64(1e6)
+
+func TestDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Interval != 20*ms || cfg.Beta != 0.2 || cfg.SMax != 10 {
+		t.Fatalf("defaults mismatch paper §4: %+v", cfg)
+	}
+	if cfg.Hysteresis != 2*cfg.Interval {
+		t.Fatalf("hysteresis = %d, want 2δ", cfg.Hysteresis)
+	}
+}
+
+func TestGammaForSaddle(t *testing.T) {
+	// With γ from GammaForSaddle, the curve must return exactly to R0
+	// after the requested saddle time.
+	const saddle = 100 * ms
+	g := GammaForSaddle(0.2, 10, saddle)
+	cfg := Config{Gamma: g, Beta: 0.2}
+	at := CurveAt(cfg, 10, saddle)
+	if math.Abs(at-10) > 1e-9 {
+		t.Fatalf("curve at saddle end = %v, want 10", at)
+	}
+	// Before the saddle end the curve is below R0, after it above.
+	if CurveAt(cfg, 10, saddle/2) >= 10 {
+		t.Fatal("curve should be below R0 mid-saddle")
+	}
+	if CurveAt(cfg, 10, saddle*2) <= 10 {
+		t.Fatal("curve should be above R0 after the saddle")
+	}
+}
+
+func TestGammaForSaddlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GammaForSaddle(0.2, 0, 100*ms)
+}
+
+func TestTokenBucketBasics(t *testing.T) {
+	c := New(Config{InitialRate: 3})
+	now := int64(0)
+	// Burst capacity = max(srate,1) = 3.
+	for i := 0; i < 3; i++ {
+		if !c.TryAcquire(now) {
+			t.Fatalf("acquire %d failed", i)
+		}
+	}
+	if c.TryAcquire(now) {
+		t.Fatal("4th acquire in one window should fail")
+	}
+	// Next window refills srate tokens.
+	now += c.Interval()
+	for i := 0; i < 3; i++ {
+		if !c.TryAcquire(now) {
+			t.Fatalf("acquire %d after refill failed", i)
+		}
+	}
+	if c.TryAcquire(now) {
+		t.Fatal("over-rate acquire should fail")
+	}
+}
+
+func TestTokensCapAtBurst(t *testing.T) {
+	c := New(Config{InitialRate: 5})
+	now := int64(0)
+	c.TryAcquire(now) // start the window clock
+	// Skip 100 windows: tokens must cap at one window's worth, not 500.
+	now += 100 * c.Interval()
+	n := 0
+	for c.TryAcquire(now) {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("acquired %d after long idle, want burst cap 5", n)
+	}
+}
+
+func TestNextAvailable(t *testing.T) {
+	c := New(Config{InitialRate: 2})
+	now := int64(0)
+	if got := c.NextAvailable(now); got != now {
+		t.Fatalf("NextAvailable with tokens = %d, want now", got)
+	}
+	c.TryAcquire(now)
+	c.TryAcquire(now)
+	next := c.NextAvailable(now)
+	if next != c.Interval() {
+		t.Fatalf("NextAvailable = %d, want %d (next window)", next, c.Interval())
+	}
+	if !c.TryAcquire(next) {
+		t.Fatal("acquire at NextAvailable time failed")
+	}
+}
+
+// saturate runs `windows` consecutive windows in which the client sends
+// `sends` requests per window and receives none, then delivers one response
+// (which is when adaptation runs). Returns the time after the response.
+func saturate(c *Cubic, start int64, windows, sends int) int64 {
+	iv := c.Interval()
+	for w := int64(0); w < int64(windows); w++ {
+		for i := int64(0); i < int64(sends); i++ {
+			c.TryAcquire(start + w*iv + i)
+		}
+	}
+	now := start + int64(windows)*iv + 1
+	c.OnResponse(now)
+	return now
+}
+
+func TestMultiplicativeDecrease(t *testing.T) {
+	c := New(Config{InitialRate: 10, Beta: 0.2})
+	now := saturate(c, 0, 4, 5)
+	if got := c.Rate(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("rate after decrease = %v, want 10·0.2 = 2", got)
+	}
+	if c.SaturationRate() != 10 {
+		t.Fatalf("R0 = %v, want 10", c.SaturationRate())
+	}
+	if c.Decreases() != 1 {
+		t.Fatalf("decreases = %d, want 1", c.Decreases())
+	}
+	_ = now
+}
+
+func TestNoDecreaseWithoutActualSends(t *testing.T) {
+	// A sparse flow (allowance unused) must not be interpreted as server
+	// saturation: srate > rrate alone is not evidence.
+	c := New(Config{InitialRate: 10})
+	for w := int64(0); w <= 20; w++ {
+		c.OnResponse(w * 3 * c.Interval())
+	}
+	if c.Decreases() != 0 {
+		t.Fatalf("decreases = %d on an idle flow, want 0", c.Decreases())
+	}
+	if c.Rate() != 10 {
+		t.Fatalf("rate = %v, want untouched 10", c.Rate())
+	}
+}
+
+func TestNoDecreaseWhenResponsesKeepUp(t *testing.T) {
+	// A healthy saturated flow: every window sends 5 and receives 5.
+	c := New(Config{InitialRate: 5})
+	iv := c.Interval()
+	for w := int64(0); w < 50; w++ {
+		for i := int64(0); i < 5; i++ {
+			c.TryAcquire(w*iv + i)
+			c.OnResponse(w*iv + i + 1000)
+		}
+	}
+	if c.Decreases() != 0 {
+		t.Fatalf("decreases = %d on a healthy flow, want 0", c.Decreases())
+	}
+}
+
+func TestDecreaseSpacingHysteresis(t *testing.T) {
+	// Two decreases cannot happen within one hysteresis period even under
+	// sustained saturation.
+	c := New(Config{InitialRate: 100})
+	now := saturate(c, 0, 4, 20)
+	if c.Decreases() != 1 {
+		t.Fatalf("decreases = %d, want 1", c.Decreases())
+	}
+	// More saturation evidence, response within hysteresis (2δ = 40ms).
+	c.TryAcquire(now + 1)
+	c.OnResponse(now + 2)
+	if c.Decreases() != 1 {
+		t.Fatalf("second decrease inside hysteresis: %d", c.Decreases())
+	}
+}
+
+func TestCubicIncreaseTowardCurve(t *testing.T) {
+	cfg := Config{InitialRate: 100, SMax: 10}
+	c := New(cfg)
+	// Decrease first: R0=100, srate=20.
+	now := saturate(c, 0, 4, 20)
+	if math.Abs(c.Rate()-20) > 1e-9 {
+		t.Fatalf("rate = %v, want 20", c.Rate())
+	}
+	// Then deliver responses faster than srate: recvSm climbs above
+	// srate and increases fire, each step capped at smax.
+	prev := c.Rate()
+	iv := c.Interval()
+	for w := int64(0); w < 60; w++ {
+		base := now + w*iv
+		for i := int64(0); i < 40; i++ {
+			c.OnResponse(base + i*1000)
+			r := c.Rate()
+			if r-prev > cfg.SMax+1e-9 {
+				t.Fatalf("step %v -> %v exceeds smax", prev, r)
+			}
+			prev = r
+		}
+	}
+	if c.Rate() <= 20 {
+		t.Fatal("rate never recovered despite high receive rate")
+	}
+	if c.Increases() == 0 {
+		t.Fatal("no increases recorded")
+	}
+}
+
+func TestRateNeverExceedsMaxRate(t *testing.T) {
+	cfg := Config{InitialRate: 50, MaxRate: 60}
+	c := New(cfg)
+	iv := c.Interval()
+	for w := int64(0); w < 200; w++ {
+		base := w * iv
+		for i := int64(0); i < 100; i++ {
+			c.OnResponse(base + i*1000)
+		}
+		if c.Rate() > cfg.MaxRate+1e-9 {
+			t.Fatalf("rate %v exceeded MaxRate %v", c.Rate(), cfg.MaxRate)
+		}
+	}
+}
+
+func TestRateNeverBelowMinRate(t *testing.T) {
+	cfg := Config{InitialRate: 10, MinRate: 1}
+	c := New(cfg)
+	now := int64(0)
+	for i := 0; i < 20; i++ {
+		now = saturate(c, now, 4, 3)
+		if c.Rate() < cfg.MinRate {
+			t.Fatalf("rate %v below MinRate", c.Rate())
+		}
+	}
+	if c.Rate() != cfg.MinRate {
+		t.Fatalf("sustained saturation should pin the floor; rate = %v", c.Rate())
+	}
+}
+
+func TestNextAvailableFractionalRate(t *testing.T) {
+	cfg := Config{InitialRate: 4, MinRate: 0.25}
+	c := New(cfg)
+	now := saturate(c, 0, 4, 2)
+	if got := c.Rate(); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("rate = %v, want fractional 0.8", got)
+	}
+	// Drain any accrued tokens so the bucket is empty.
+	for c.TryAcquire(now) {
+	}
+	next := c.NextAvailable(now)
+	if next <= now {
+		t.Fatal("NextAvailable should be in the future when bucket is empty")
+	}
+	if !c.TryAcquire(next) {
+		t.Fatalf("token not available at NextAvailable=%d (now=%d, rate=%v)", next, now, c.Rate())
+	}
+}
+
+func TestRecoveryAfterDecrease(t *testing.T) {
+	// End-to-end controller behaviour: saturate (decrease), then serve
+	// healthily with demand above the crushed rate — the controller must
+	// climb back toward the demand level.
+	c := New(Config{InitialRate: 20})
+	now := saturate(c, 0, 4, 10)
+	low := c.Rate() // 4
+	iv := c.Interval()
+	// Healthy phase: demand 10/window, server echoes everything.
+	for w := int64(0); w < 100; w++ {
+		base := now + w*iv
+		sent := 0
+		for i := int64(0); i < 10; i++ {
+			if c.TryAcquire(base + i) {
+				sent++
+			}
+		}
+		for i := 0; i < sent; i++ {
+			c.OnResponse(base + int64(i) + 5*ms)
+		}
+	}
+	if c.Rate() <= low {
+		t.Fatalf("rate %v did not recover above the post-decrease %v", c.Rate(), low)
+	}
+}
+
+func TestMetersSmoothed(t *testing.T) {
+	c := New(Config{InitialRate: 10})
+	iv := c.Interval()
+	for w := int64(0); w < 10; w++ {
+		for i := int64(0); i < 4; i++ {
+			c.TryAcquire(w*iv + i)
+			c.OnResponse(w*iv + i + 1000)
+		}
+	}
+	now := 10 * iv
+	if got := c.SendRateMeasured(now); math.Abs(got-4) > 1 {
+		t.Fatalf("smoothed send rate = %v, want ≈4", got)
+	}
+	if got := c.ReceiveRate(now); math.Abs(got-4) > 1 {
+		t.Fatalf("smoothed receive rate = %v, want ≈4", got)
+	}
+}
+
+func TestLongIdleDecaysMeters(t *testing.T) {
+	c := New(Config{InitialRate: 10})
+	iv := c.Interval()
+	for w := int64(0); w < 5; w++ {
+		for i := int64(0); i < 8; i++ {
+			c.TryAcquire(w*iv + i)
+			c.OnResponse(w*iv + i + 1000)
+		}
+	}
+	// 100 idle windows later, the meters must have decayed to ~0.
+	now := 105 * iv
+	if got := c.ReceiveRate(now); got > 0.01 {
+		t.Fatalf("receive meter = %v after long idle, want ~0", got)
+	}
+	if got := c.SendRateMeasured(now); got > 0.01 {
+		t.Fatalf("send meter = %v after long idle, want ~0", got)
+	}
+}
+
+// Property: under any interleaving of acquires and responses, the rate stays
+// within [MinRate, MaxRate] and tokens stay within [0, max(srate,1)].
+func TestInvariantsProperty(t *testing.T) {
+	cfg := Config{InitialRate: 8, MinRate: 0.5, MaxRate: 200}
+	f := func(ops []uint8, gaps []uint16) bool {
+		c := New(cfg)
+		now := int64(0)
+		for i, op := range ops {
+			if i < len(gaps) {
+				now += int64(gaps[i]) * 1000
+			}
+			if op%2 == 0 {
+				c.TryAcquire(now)
+			} else {
+				c.OnResponse(now)
+			}
+			if c.Rate() < cfg.MinRate-1e-9 || c.Rate() > cfg.MaxRate+1e-9 {
+				return false
+			}
+			if c.tokens < -1e-9 || c.tokens > math.Max(c.srate, 1)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: admissions per window never exceed burst capacity.
+func TestAdmissionBoundProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		c := New(Config{InitialRate: float64(seed%7) + 1})
+		burst := math.Max(c.Rate(), 1)
+		for w := int64(0); w < 50; w++ {
+			admitted := 0.0
+			base := w * c.Interval()
+			for i := 0; i < 100; i++ {
+				if c.TryAcquire(base + int64(i)) {
+					admitted++
+				}
+			}
+			if admitted > burst+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveRegions(t *testing.T) {
+	cfg := DefaultConfig()
+	r0 := 10.0
+	// Low-rate region: steep growth right after decrease.
+	early := CurveAt(cfg, r0, 1*ms) - CurveAt(cfg, r0, 0)
+	// Saddle: flat around K.
+	k := int64(math.Cbrt(cfg.Beta*r0/cfg.Gamma) * 1e9)
+	mid := CurveAt(cfg, r0, k+1*ms) - CurveAt(cfg, r0, k-1*ms)
+	if early <= mid {
+		t.Fatalf("growth near origin (%v) should exceed growth at saddle (%v)", early, mid)
+	}
+	// Probing region: growth resumes past the saddle.
+	late := CurveAt(cfg, r0, 2*k+50*ms) - CurveAt(cfg, r0, 2*k+49*ms)
+	if late <= mid {
+		t.Fatalf("probing growth (%v) should exceed saddle growth (%v)", late, mid)
+	}
+}
+
+func BenchmarkTryAcquire(b *testing.B) {
+	c := New(Config{})
+	for i := 0; i < b.N; i++ {
+		c.TryAcquire(int64(i) * 1000)
+	}
+}
+
+func BenchmarkOnResponse(b *testing.B) {
+	c := New(Config{})
+	for i := 0; i < b.N; i++ {
+		c.OnResponse(int64(i) * 1000)
+	}
+}
+
+func TestLiteralDecreaseCollapsesSparseFlow(t *testing.T) {
+	// The paper's literal Algorithm 2 condition: srate > rrate decreases
+	// even when the client barely sends — the Fig. 13 "pinned near the
+	// floor" behaviour on thinned flows.
+	c := New(Config{InitialRate: 10, MinRate: 1, LiteralDecrease: true})
+	iv := c.Interval()
+	now := int64(0)
+	for w := int64(0); w < 30; w++ {
+		now = w * 3 * iv
+		c.TryAcquire(now)
+		c.OnResponse(now + ms)
+	}
+	if c.Rate() != 1 {
+		t.Fatalf("literal mode should pin the floor on a sparse flow; rate = %v", c.Rate())
+	}
+	if c.Decreases() == 0 {
+		t.Fatal("no decreases recorded in literal mode")
+	}
+}

@@ -1,0 +1,314 @@
+// Package wire is the binary protocol of the TCP key-value store: length-
+// prefixed frames carrying read/write requests and responses. Every response
+// piggybacks the C3 feedback fields — the server's pending-read count and its
+// smoothed service time — exactly as §4 describes for the Cassandra
+// implementation ("this information is piggybacked to the coordinator and
+// serves as the feedback for the replica ranking").
+//
+// Frame layout (little endian):
+//
+//	uint32  payload length (excluding these 4 bytes)
+//	uint8   message type
+//	uint64  request id
+//	...     type-specific payload
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Message types.
+const (
+	// MsgRead is a client→coordinator read.
+	MsgRead uint8 = iota + 1
+	// MsgReadInternal is a coordinator→replica read (served locally by
+	// the replica rather than re-coordinated).
+	MsgReadInternal
+	MsgReadResp
+	// MsgWrite is a client→coordinator write.
+	MsgWrite
+	// MsgWriteInternal is a coordinator→replica write.
+	MsgWriteInternal
+	MsgWriteResp
+)
+
+// MaxFrame bounds a frame payload; anything larger is a protocol error.
+const MaxFrame = 16 << 20
+
+// Limits within a frame.
+const (
+	MaxKeyLen   = 1 << 16
+	MaxValueLen = 8 << 20
+)
+
+// ErrFrameTooLarge reports an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// Feedback is the per-response server feedback (§3.1's q_s and 1/µ_s).
+type Feedback struct {
+	QueueSize float64
+	ServiceNs int64
+}
+
+// ReadReq asks for a key. Internal requests are replica-local reads.
+type ReadReq struct {
+	ID  uint64
+	Key string
+}
+
+// ReadResp answers a read.
+type ReadResp struct {
+	ID    uint64
+	Found bool
+	Value []byte
+	FB    Feedback
+}
+
+// WriteReq stores a value.
+type WriteReq struct {
+	ID    uint64
+	Key   string
+	Value []byte
+}
+
+// WriteResp acknowledges a write.
+type WriteResp struct {
+	ID uint64
+	FB Feedback
+}
+
+// Writer frames outgoing messages onto a buffered writer. Not safe for
+// concurrent use; callers serialize.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) flushFrame(typ uint8) error {
+	if len(w.buf) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(w.buf)+1))
+	hdr[4] = typ
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) reset() { w.buf = w.buf[:0] }
+
+func (w *Writer) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *Writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *Writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *Writer) u8(v uint8)    { w.buf = append(w.buf, v) }
+func (w *Writer) str(s string) error {
+	if len(s) > MaxKeyLen {
+		return fmt.Errorf("wire: key length %d exceeds limit", len(s))
+	}
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(s)))
+	w.buf = append(w.buf, s...)
+	return nil
+}
+func (w *Writer) bytes(b []byte) error {
+	if len(b) > MaxValueLen {
+		return fmt.Errorf("wire: value length %d exceeds limit", len(b))
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(b)))
+	w.buf = append(w.buf, b...)
+	return nil
+}
+
+// WriteRead sends a read request frame of the given type (MsgRead or
+// MsgReadInternal).
+func (w *Writer) WriteRead(typ uint8, m ReadReq) error {
+	w.reset()
+	w.u64(m.ID)
+	if err := w.str(m.Key); err != nil {
+		return err
+	}
+	return w.flushFrame(typ)
+}
+
+// WriteReadResp sends a read response.
+func (w *Writer) WriteReadResp(m ReadResp) error {
+	w.reset()
+	w.u64(m.ID)
+	if m.Found {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.f64(m.FB.QueueSize)
+	w.i64(m.FB.ServiceNs)
+	if err := w.bytes(m.Value); err != nil {
+		return err
+	}
+	return w.flushFrame(MsgReadResp)
+}
+
+// WriteWrite sends a write request frame of the given type (MsgWrite or
+// MsgWriteInternal).
+func (w *Writer) WriteWrite(typ uint8, m WriteReq) error {
+	w.reset()
+	w.u64(m.ID)
+	if err := w.str(m.Key); err != nil {
+		return err
+	}
+	if err := w.bytes(m.Value); err != nil {
+		return err
+	}
+	return w.flushFrame(typ)
+}
+
+// WriteWriteResp sends a write acknowledgement.
+func (w *Writer) WriteWriteResp(m WriteResp) error {
+	w.reset()
+	w.u64(m.ID)
+	w.f64(m.FB.QueueSize)
+	w.i64(m.FB.ServiceNs)
+	return w.flushFrame(MsgWriteResp)
+}
+
+// Reader parses incoming frames. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next reads one frame, returning its type and payload. The payload slice is
+// reused across calls.
+func (r *Reader) Next() (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	typ := hdr[4]
+	body := int(n) - 1
+	if cap(r.buf) < body {
+		r.buf = make([]byte, body)
+	}
+	r.buf = r.buf[:body]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return 0, nil, err
+	}
+	return typ, r.buf, nil
+}
+
+// decoder walks a payload with bounds checks.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil || len(d.b) < n {
+		d.err = errors.New("wire: truncated frame")
+		return false
+	}
+	return true
+}
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+func (d *decoder) str() string {
+	if !d.need(2) {
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(d.b))
+	d.b = d.b[2:]
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+func (d *decoder) bytes() []byte {
+	if !d.need(4) {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(d.b))
+	d.b = d.b[4:]
+	if n > MaxValueLen || !d.need(n) {
+		d.err = errors.New("wire: bad value length")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[:n])
+	d.b = d.b[n:]
+	return out
+}
+
+// ParseReadReq decodes a MsgRead/MsgReadInternal payload.
+func ParseReadReq(b []byte) (ReadReq, error) {
+	d := decoder{b: b}
+	m := ReadReq{ID: d.u64(), Key: d.str()}
+	return m, d.err
+}
+
+// ParseReadResp decodes a MsgReadResp payload.
+func ParseReadResp(b []byte) (ReadResp, error) {
+	d := decoder{b: b}
+	m := ReadResp{ID: d.u64()}
+	m.Found = d.u8() == 1
+	m.FB.QueueSize = d.f64()
+	m.FB.ServiceNs = d.i64()
+	m.Value = d.bytes()
+	return m, d.err
+}
+
+// ParseWriteReq decodes a MsgWrite/MsgWriteInternal payload.
+func ParseWriteReq(b []byte) (WriteReq, error) {
+	d := decoder{b: b}
+	m := WriteReq{ID: d.u64(), Key: d.str()}
+	m.Value = d.bytes()
+	return m, d.err
+}
+
+// ParseWriteResp decodes a MsgWriteResp payload.
+func ParseWriteResp(b []byte) (WriteResp, error) {
+	d := decoder{b: b}
+	m := WriteResp{ID: d.u64()}
+	m.FB.QueueSize = d.f64()
+	m.FB.ServiceNs = d.i64()
+	return m, d.err
+}
