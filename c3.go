@@ -56,8 +56,14 @@ type Feedback = core.Feedback
 type Ranker = core.Ranker
 
 // RankerConfig tunes the C3 scoring function (EWMA smoothing, concurrency
-// weight w, queue exponent b).
+// weight w, queue exponent b) and optionally names the shared Registry.
 type RankerConfig = core.RankerConfig
+
+// Registry interns server IDs to dense indices so rankers and clients keep
+// per-server state in flat slices instead of maps. Processes that run many
+// clients against one cluster view should construct a single Registry,
+// pre-register every server, and share it via RankerConfig.Registry.
+type Registry = core.Registry
 
 // CubicRanker is the C3 replica ranking implementation.
 type CubicRanker = core.CubicRanker
@@ -94,6 +100,9 @@ func New(r Ranker, cfg ClientConfig) *Client { return core.NewClient(r, cfg) }
 // of clients performing selection against the same servers (the paper's w).
 func NewRanker(cfg RankerConfig) *CubicRanker { return core.NewCubicRanker(cfg) }
 
+// NewRegistry returns a registry with ids pre-interned in argument order.
+func NewRegistry(ids ...ServerID) *Registry { return core.NewRegistry(ids...) }
+
 // NewScheduler returns a backpressure scheduler for one replica group.
 func NewScheduler[T any](c *Client, group []ServerID) *GroupScheduler[T] {
 	return core.NewGroupScheduler[T](c, group)
@@ -112,26 +121,26 @@ func DefaultRateConfig() RateConfig { return ratelimit.DefaultConfig() }
 // Baseline selection strategies evaluated by the paper.
 
 // NewLOR returns the least-outstanding-requests baseline.
-func NewLOR(seed uint64) Ranker { return core.NewLOR(seed) }
+func NewLOR(seed uint64) Ranker { return core.NewLOR(nil, seed) }
 
 // NewRoundRobin returns the round-robin baseline (combine with rate control
 // for the paper's "RR" configuration).
-func NewRoundRobin() Ranker { return core.NewRoundRobin() }
+func NewRoundRobin() Ranker { return core.NewRoundRobin(nil) }
 
 // NewRandom returns the uniform random baseline.
 func NewRandom(seed uint64) Ranker { return core.NewRandom(seed) }
 
 // NewTwoChoice returns the power-of-two-choices baseline.
-func NewTwoChoice(seed uint64) Ranker { return core.NewTwoChoice(seed) }
+func NewTwoChoice(seed uint64) Ranker { return core.NewTwoChoice(nil, seed) }
 
 // NewLeastResponseTime returns the least-smoothed-RTT baseline.
 func NewLeastResponseTime(alpha float64, seed uint64) Ranker {
-	return core.NewLeastResponseTime(alpha, seed)
+	return core.NewLeastResponseTime(nil, alpha, seed)
 }
 
 // NewWeightedRandom returns the inverse-RTT weighted random baseline.
 func NewWeightedRandom(alpha float64, seed uint64) Ranker {
-	return core.NewWeightedRandom(alpha, seed)
+	return core.NewWeightedRandom(nil, alpha, seed)
 }
 
 // NewOracle returns the perfect-information baseline (simulations only).

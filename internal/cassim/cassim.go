@@ -371,6 +371,7 @@ type engine struct {
 
 	ring   *ring.Ring
 	groups [][]core.ServerID
+	reg    *core.Registry // cluster-wide server index, shared by all nodes
 	nodes  []*node
 	gens   []*generator
 
@@ -408,6 +409,11 @@ func newEngine(cfg Config) *engine {
 	}
 	e.ring = ring.New(cfg.Nodes, cfg.RF)
 	e.groups = e.ring.Groups()
+	ids := make([]core.ServerID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = core.ServerID(i)
+	}
+	e.reg = core.NewRegistry(ids...)
 	e.keys = workload.NewScrambled(cfg.Keys, 0.99)
 	e.res = &Result{
 		Strategy:   cfg.Strategy,

@@ -121,14 +121,20 @@ func TestSSDFasterThanSpinning(t *testing.T) {
 func TestReadOnlySlowerThanReadHeavy(t *testing.T) {
 	// §5: "the read-heavy workload results in lower latencies than the
 	// read-only workload (since the latter causes more random seeks)".
-	rh := small(StratC3, 4)
-	rh.Mix = workload.ReadHeavy
-	ro := small(StratC3, 4)
-	ro.Mix = workload.ReadOnly
-	rrh, rro := Run(rh), Run(ro)
-	if rro.Reads.Mean <= rrh.Reads.Mean {
+	// The margin is small at this scale, so average over seeds like the
+	// oscillation test does rather than betting on one RNG stream.
+	var rhMean, roMean float64
+	for seed := uint64(0); seed < 3; seed++ {
+		rh := small(StratC3, seed)
+		rh.Mix = workload.ReadHeavy
+		ro := small(StratC3, seed)
+		ro.Mix = workload.ReadOnly
+		rhMean += Run(rh).Reads.Mean / 3
+		roMean += Run(ro).Reads.Mean / 3
+	}
+	if roMean <= rhMean {
 		t.Fatalf("read-only mean (%.2f) should exceed read-heavy (%.2f)",
-			rro.Reads.Mean, rrh.Reads.Mean)
+			roMean, rhMean)
 	}
 }
 

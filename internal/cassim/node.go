@@ -100,6 +100,7 @@ func newNode(e *engine, id int) *node {
 	rcfg := core.RankerConfig{
 		ConcurrencyWeight: float64(cfg.Nodes), // coordinators are the C3 clients
 		Seed:              seed,
+		Registry:          e.reg,
 	}
 	var ranker core.Ranker
 	rateControl := false
@@ -111,11 +112,12 @@ func newNode(e *engine, id int) *node {
 		ranker = core.NewDynamicSnitch(core.SnitchConfig{
 			Seed:        seed,
 			HistorySize: cfg.SnitchHistory,
+			Registry:    e.reg,
 		})
 	case StratLOR:
-		ranker = core.NewLOR(seed)
+		ranker = core.NewLOR(e.reg, seed)
 	case StratRR:
-		ranker = core.NewRoundRobin()
+		ranker = core.NewRoundRobin(e.reg)
 		rateControl = true
 	default:
 		panic("cassim: unknown strategy " + cfg.Strategy)

@@ -24,20 +24,31 @@ type ClientConfig struct {
 type Client struct {
 	mu     sync.Mutex
 	ranker Ranker
+	best   BestPicker // cached type assertion of ranker; nil if unsupported
 	cfg    ClientConfig
-	rc     map[ServerID]*ratelimit.Cubic
+	reg    *Registry          // shared with the ranker when it holds one
+	rc     []*ratelimit.Cubic // dense, indexed by reg.Index
 
 	scratch []ServerID
 }
 
-// NewClient returns a Client driving the given ranker.
+// NewClient returns a Client driving the given ranker. When the ranker keys
+// its state by a Registry (RegistryHolder), the client's limiter table shares
+// the same registry so both sides agree on dense indices.
 func NewClient(r Ranker, cfg ClientConfig) *Client {
 	if r == nil {
 		panic("core: nil ranker")
 	}
 	c := &Client{ranker: r, cfg: cfg}
+	if bp, ok := r.(BestPicker); ok {
+		c.best = bp
+	}
 	if cfg.RateControl {
-		c.rc = make(map[ServerID]*ratelimit.Cubic)
+		if rh, ok := r.(RegistryHolder); ok {
+			c.reg = rh.Registry()
+		} else {
+			c.reg = NewRegistry()
+		}
 	}
 	return c
 }
@@ -53,10 +64,12 @@ func (c *Client) RateControlled() bool { return c.cfg.RateControl }
 func (c *Client) Ranker() Ranker { return c.ranker }
 
 func (c *Client) limiter(s ServerID) *ratelimit.Cubic {
-	l, ok := c.rc[s]
-	if !ok {
+	i := c.reg.Index(s)
+	c.rc = grown(c.rc, i, nil)
+	l := c.rc[i]
+	if l == nil {
 		l = ratelimit.New(c.cfg.Rate)
-		c.rc[s] = l
+		c.rc[i] = l
 	}
 	return l
 }
@@ -74,21 +87,33 @@ func (c *Client) Pick(group []ServerID, now int64) (s ServerID, ok bool, retryAt
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Top-1 fast path: the full ordering is only needed when the best
+	// replica is over its send rate.
+	if c.best != nil {
+		if b, bok := c.best.Best(group, now); bok {
+			if !c.cfg.RateControl || c.limiter(b).TryAcquire(now) {
+				c.ranker.OnSend(b, now)
+				return b, true, now
+			}
+		}
+	}
 	c.scratch = c.ranker.Rank(c.scratch, group, now)
 	if !c.cfg.RateControl {
 		s = c.scratch[0]
 		c.ranker.OnSend(s, now)
 		return s, true, now
 	}
+	// One pass: try each replica in preference order, accumulating the
+	// earliest token availability so an all-over-rate outcome needs no
+	// second walk.
+	retryAt = int64(math.MaxInt64)
 	for _, cand := range c.scratch {
-		if c.limiter(cand).TryAcquire(now) {
+		l := c.limiter(cand)
+		if l.TryAcquire(now) {
 			c.ranker.OnSend(cand, now)
 			return cand, true, now
 		}
-	}
-	retryAt = int64(math.MaxInt64)
-	for _, cand := range c.scratch {
-		if at := c.limiter(cand).NextAvailable(now); at < retryAt {
+		if at := l.NextAvailable(now); at < retryAt {
 			retryAt = at
 		}
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestClientWithoutRateControlAlwaysPicks(t *testing.T) {
-	c := NewClient(NewLOR(1), ClientConfig{})
+	c := NewClient(NewLOR(nil, 1), ClientConfig{})
 	group := []ServerID{1, 2, 3}
 	for i := 0; i < 100; i++ {
 		s, ok, _ := c.Pick(group, int64(i))
@@ -23,7 +23,7 @@ func TestClientWithoutRateControlAlwaysPicks(t *testing.T) {
 }
 
 func TestClientPickEmptyGroup(t *testing.T) {
-	c := NewClient(NewLOR(1), ClientConfig{})
+	c := NewClient(NewLOR(nil, 1), ClientConfig{})
 	if _, ok, _ := c.Pick(nil, 0); ok {
 		t.Fatal("Pick of empty group should fail")
 	}
@@ -40,7 +40,7 @@ func TestClientNilRankerPanics(t *testing.T) {
 
 func TestClientRateControlBlocksAndRecovers(t *testing.T) {
 	cfg := ClientConfig{RateControl: true, Rate: ratelimit.Config{InitialRate: 2}}
-	c := NewClient(NewRoundRobin(), cfg)
+	c := NewClient(NewRoundRobin(nil), cfg)
 	group := []ServerID{1, 2}
 	now := int64(0)
 	// Burst capacity: 2 tokens per server → 4 picks.
@@ -71,7 +71,7 @@ func TestClientRateControlBlocksAndRecovers(t *testing.T) {
 }
 
 func TestClientPickTracksOutstanding(t *testing.T) {
-	lor := NewLOR(3)
+	lor := NewLOR(nil, 3)
 	c := NewClient(lor, ClientConfig{})
 	group := []ServerID{7}
 	c.Pick(group, 0)
@@ -89,12 +89,12 @@ func TestClientPickTracksOutstanding(t *testing.T) {
 }
 
 func TestClientSendRateVisibility(t *testing.T) {
-	c := NewClient(NewRoundRobin(), ClientConfig{RateControl: true,
+	c := NewClient(NewRoundRobin(nil), ClientConfig{RateControl: true,
 		Rate: ratelimit.Config{InitialRate: 7}})
 	if got := c.SendRate(1); got != 7 {
 		t.Fatalf("SendRate = %v, want 7", got)
 	}
-	noRC := NewClient(NewRoundRobin(), ClientConfig{})
+	noRC := NewClient(NewRoundRobin(nil), ClientConfig{})
 	if got := noRC.SendRate(1); got <= 1e18 {
 		t.Fatalf("SendRate without RC = %v, want +Inf", got)
 	}
@@ -128,7 +128,7 @@ func dispatchAll[T any](g *GroupScheduler[T], now int64) []Dispatch[T] {
 }
 
 func TestSchedulerDispatchesImmediatelyUnderRate(t *testing.T) {
-	c := NewClient(NewRoundRobin(), ClientConfig{RateControl: true,
+	c := NewClient(NewRoundRobin(nil), ClientConfig{RateControl: true,
 		Rate: ratelimit.Config{InitialRate: 10}})
 	g := NewGroupScheduler[int](c, []ServerID{1, 2})
 	var got []Dispatch[int]
@@ -142,7 +142,7 @@ func TestSchedulerDispatchesImmediatelyUnderRate(t *testing.T) {
 }
 
 func TestSchedulerBackpressureFIFO(t *testing.T) {
-	c := NewClient(NewRoundRobin(), ClientConfig{RateControl: true,
+	c := NewClient(NewRoundRobin(nil), ClientConfig{RateControl: true,
 		Rate: ratelimit.Config{InitialRate: 1}})
 	g := NewGroupScheduler[int](c, []ServerID{1, 2})
 	var order []int
@@ -178,7 +178,7 @@ func TestSchedulerBackpressureFIFO(t *testing.T) {
 }
 
 func TestSchedulerNextRetryEmptyBacklog(t *testing.T) {
-	c := NewClient(NewRoundRobin(), ClientConfig{RateControl: true,
+	c := NewClient(NewRoundRobin(nil), ClientConfig{RateControl: true,
 		Rate: ratelimit.Config{InitialRate: 5}})
 	g := NewGroupScheduler[int](c, []ServerID{1})
 	if _, ok := g.NextRetry(0); ok {
@@ -187,7 +187,7 @@ func TestSchedulerNextRetryEmptyBacklog(t *testing.T) {
 }
 
 func TestSchedulerNoRateControlNeverQueues(t *testing.T) {
-	c := NewClient(NewLOR(1), ClientConfig{})
+	c := NewClient(NewLOR(nil, 1), ClientConfig{})
 	g := NewGroupScheduler[int](c, []ServerID{1, 2, 3})
 	n := 0
 	for i := 0; i < 1000; i++ {
@@ -202,7 +202,7 @@ func TestSchedulerNoRateControlNeverQueues(t *testing.T) {
 }
 
 func TestSchedulerEmptyGroupPanics(t *testing.T) {
-	c := NewClient(NewLOR(1), ClientConfig{})
+	c := NewClient(NewLOR(nil, 1), ClientConfig{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("empty group did not panic")
@@ -212,7 +212,7 @@ func TestSchedulerEmptyGroupPanics(t *testing.T) {
 }
 
 func TestSchedulerLargeBacklogCompaction(t *testing.T) {
-	c := NewClient(NewRoundRobin(), ClientConfig{RateControl: true,
+	c := NewClient(NewRoundRobin(nil), ClientConfig{RateControl: true,
 		Rate: ratelimit.Config{InitialRate: 1, MaxRate: 1}})
 	g := NewGroupScheduler[int](c, []ServerID{1})
 	emit := func(ServerID, int) {}
@@ -243,7 +243,7 @@ func TestDispatchZeroValueReleased(t *testing.T) {
 	// Submitting pointers must not leak them after dispatch (slots are
 	// zeroed); this is a behavioural proxy: drain all, then internal
 	// buffer should be reset.
-	c := NewClient(NewLOR(9), ClientConfig{})
+	c := NewClient(NewLOR(nil, 9), ClientConfig{})
 	g := NewGroupScheduler[*int](c, []ServerID{1})
 	v := 5
 	g.Submit(&v, 0, func(ServerID, *int) {})

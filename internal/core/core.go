@@ -14,6 +14,7 @@
 package core
 
 import (
+	"math/rand/v2"
 	"time"
 )
 
@@ -49,6 +50,22 @@ type Ranker interface {
 	OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64)
 }
 
+// BestPicker is an optional fast path a Ranker may implement: Best returns
+// the replica Rank would place first — with the same tie-breaking
+// distribution — without materializing the full ordering. Client.Pick uses it
+// to skip sorting entirely in the common case where the top replica is within
+// its send rate.
+type BestPicker interface {
+	Best(group []ServerID, now int64) (s ServerID, ok bool)
+}
+
+// RegistryHolder is implemented by rankers that key per-server state by a
+// Registry's dense indices. Client shares the ranker's registry for its
+// limiter table so both sides agree on indices.
+type RegistryHolder interface {
+	Registry() *Registry
+}
+
 // prepare copies group into dst, allocating if needed.
 func prepare(dst, group []ServerID) []ServerID {
 	if cap(dst) < len(group) {
@@ -61,3 +78,80 @@ func prepare(dst, group []ServerID) []ServerID {
 
 // seconds converts a duration to float64 seconds.
 func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+
+// scored pairs a server with its score inside ranking scratch buffers.
+type scored struct {
+	s     ServerID
+	score float64
+}
+
+// shuffleScored Fisher–Yates-shuffles sc so that a following stable sort
+// breaks score ties uniformly at random.
+func shuffleScored(r *rand.Rand, sc []scored) {
+	for i := len(sc) - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		sc[i], sc[j] = sc[j], sc[i]
+	}
+}
+
+// insertionSortScored stably sorts sc by ascending score, in place. Replica
+// groups are replication-factor sized (≤ a handful), where insertion sort
+// beats the generic sort by a wide margin and allocates nothing.
+func insertionSortScored(sc []scored) {
+	for i := 1; i < len(sc); i++ {
+		x := sc[i]
+		j := i - 1
+		for j >= 0 && sc[j].score > x.score {
+			sc[j+1] = sc[j]
+			j--
+		}
+		sc[j+1] = x
+	}
+}
+
+// rankScored applies the shared ordering pipeline — random tie-break shuffle,
+// stable in-place sort — and writes the resulting server order into dst.
+func rankScored(r *rand.Rand, dst []ServerID, sc []scored) {
+	shuffleScored(r, sc)
+	insertionSortScored(sc)
+	for i := range sc {
+		dst[i] = sc[i].s
+	}
+}
+
+// grown extends sl so that index i is valid, filling new slots with mk's
+// value (nil mk fills zero values) — the growth step of every dense
+// registry-indexed state table. Steady state (i already covered) is a single
+// length check.
+func grown[T any](sl []T, i int, mk func() T) []T {
+	for len(sl) <= i {
+		var v T
+		if mk != nil {
+			v = mk()
+		}
+		sl = append(sl, v)
+	}
+	return sl
+}
+
+// bestScored returns the index of the minimum-score entry among the first n
+// scores produced by score(i), breaking ties uniformly at random — the same
+// tie distribution as shuffle + stable sort, at O(n) with no scratch.
+func bestScored(r *rand.Rand, n int, score func(int) float64) int {
+	bi := 0
+	bs := score(0)
+	ties := 1
+	for i := 1; i < n; i++ {
+		s := score(i)
+		switch {
+		case s < bs:
+			bi, bs, ties = i, s, 1
+		case s == bs:
+			ties++
+			if r.IntN(ties) == 0 {
+				bi = i
+			}
+		}
+	}
+	return bi
+}

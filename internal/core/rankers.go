@@ -3,8 +3,7 @@ package core
 import (
 	"math"
 	"math/rand/v2"
-	"sort"
-	"strconv"
+	"slices"
 	"time"
 
 	"c3/internal/ewma"
@@ -17,64 +16,103 @@ import (
 // paper's simulations.
 type LOR struct {
 	rng         *rand.Rand
-	outstanding map[ServerID]float64
+	reg         *Registry
+	outstanding []float64 // dense, indexed by reg.Index
 	scratch     []scored
 }
 
-// NewLOR returns a LOR ranker seeded for tie-breaking.
-func NewLOR(seed uint64) *LOR {
-	return &LOR{rng: sim.RNG(seed, 0x10f), outstanding: make(map[ServerID]float64)}
+// NewLOR returns a LOR ranker seeded for tie-breaking. A nil registry
+// creates a private one.
+func NewLOR(reg *Registry, seed uint64) *LOR {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &LOR{rng: sim.RNG(seed, 0x10f), reg: reg}
 }
 
 // Name implements Ranker.
 func (l *LOR) Name() string { return "LOR" }
 
+// Registry implements RegistryHolder.
+func (l *LOR) Registry() *Registry { return l.reg }
+
+func (l *LOR) idx(s ServerID) int {
+	i := l.reg.Index(s)
+	l.outstanding = grown(l.outstanding, i, nil)
+	return i
+}
+
 // OnSend implements Ranker.
-func (l *LOR) OnSend(s ServerID, now int64) { l.outstanding[s]++ }
+func (l *LOR) OnSend(s ServerID, now int64) {
+	i := l.idx(s) // hoisted: idx may grow the slice it indexes
+	l.outstanding[i]++
+}
 
 // OnResponse implements Ranker.
 func (l *LOR) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
-	if l.outstanding[s] > 0 {
-		l.outstanding[s]--
+	if i := l.idx(s); l.outstanding[i] > 0 {
+		l.outstanding[i]--
 	}
 }
 
-// Outstanding reports this client's in-flight count toward s.
-func (l *LOR) Outstanding(s ServerID) float64 { return l.outstanding[s] }
+// Outstanding reports this client's in-flight count toward s. It is a pure
+// read: unknown servers report 0 without being interned.
+func (l *LOR) Outstanding(s ServerID) float64 {
+	if i, ok := l.reg.Lookup(s); ok && i < len(l.outstanding) {
+		return l.outstanding[i]
+	}
+	return 0
+}
 
 // Rank implements Ranker: ascending outstanding count, random ties.
 func (l *LOR) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
 	if cap(l.scratch) < len(dst) {
-		l.scratch = make([]scored, len(dst))
+		l.scratch = make([]scored, 0, len(dst))
 	}
 	sc := l.scratch[:0]
 	for _, s := range dst {
-		sc = append(sc, scored{s, l.outstanding[s]})
+		i := l.idx(s)
+		sc = append(sc, scored{s, l.outstanding[i]})
 	}
-	shuffleScored(l.rng, sc)
-	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
-	for i := range sc {
-		dst[i] = sc[i].s
-	}
+	rankScored(l.rng, dst, sc)
 	return dst
+}
+
+// Best implements BestPicker: the fewest-outstanding replica, uniform ties.
+func (l *LOR) Best(group []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	bi := bestScored(l.rng, len(group), func(i int) float64 {
+		j := l.idx(group[i])
+		return l.outstanding[j]
+	})
+	return group[bi], true
 }
 
 // RoundRobin rotates through each replica group's members in turn. Combined
 // with rate control in a Client, it is the paper's "RR" baseline (§6), used
 // to isolate the contribution of rate limiting from that of ranking.
 type RoundRobin struct {
-	next map[string]int
-	key  []byte
+	reg  *Registry
+	next []int // dense, indexed by reg.GroupIndex
 }
 
-// NewRoundRobin returns a RoundRobin ranker.
-func NewRoundRobin() *RoundRobin {
-	return &RoundRobin{next: make(map[string]int)}
+// NewRoundRobin returns a RoundRobin ranker. A nil registry creates a
+// private one.
+func NewRoundRobin(reg *Registry) *RoundRobin {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &RoundRobin{reg: reg}
 }
 
 // Name implements Ranker.
 func (r *RoundRobin) Name() string { return "RR" }
+
+// Registry implements RegistryHolder.
+func (r *RoundRobin) Registry() *Registry { return r.reg }
 
 // OnSend implements Ranker.
 func (r *RoundRobin) OnSend(ServerID, int64) {}
@@ -82,38 +120,30 @@ func (r *RoundRobin) OnSend(ServerID, int64) {}
 // OnResponse implements Ranker.
 func (r *RoundRobin) OnResponse(ServerID, Feedback, time.Duration, int64) {}
 
-// groupKey builds a map key identifying the replica group.
-func (r *RoundRobin) groupKey(group []ServerID) string {
-	r.key = r.key[:0]
-	for _, s := range group {
-		r.key = strconv.AppendInt(r.key, int64(s), 36)
-		r.key = append(r.key, ',')
-	}
-	return string(r.key)
-}
-
-// Rank implements Ranker: the group rotated by a per-group counter.
+// Rank implements Ranker: the group rotated by a per-group counter. The group
+// is interned once by the registry; steady-state calls do no hashing of
+// string keys and no allocation.
 func (r *RoundRobin) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
 	if len(dst) == 0 {
 		return dst
 	}
-	k := r.groupKey(group)
-	off := r.next[k] % len(dst)
-	r.next[k] = off + 1
+	g := r.reg.GroupIndex(group)
+	r.next = grown(r.next, g, nil)
+	off := r.next[g] % len(dst)
+	r.next[g] = off + 1
 	rotate(dst, off)
 	return dst
 }
 
+// rotate rotates xs left by off positions in place (three-reversal trick).
 func rotate(xs []ServerID, off int) {
-	if off == 0 || len(xs) == 0 {
+	if off <= 0 || off >= len(xs) {
 		return
 	}
-	buf := make([]ServerID, len(xs))
-	for i := range xs {
-		buf[i] = xs[(i+off)%len(xs)]
-	}
-	copy(xs, buf)
+	slices.Reverse(xs[:off])
+	slices.Reverse(xs[off:])
+	slices.Reverse(xs)
 }
 
 // Random is the uniform random strategy (evaluated and dismissed in §6).
@@ -143,30 +173,64 @@ func (r *Random) Rank(dst, group []ServerID, now int64) []ServerID {
 	return dst
 }
 
+// Best implements BestPicker: one uniform draw.
+func (r *Random) Best(group []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	return group[r.rng.IntN(len(group))], true
+}
+
 // TwoChoice implements the power-of-two-choices strategy (Mitzenmacher,
 // discussed in §8): sample two random replicas and prefer the one with fewer
 // outstanding requests.
 type TwoChoice struct {
 	rng         *rand.Rand
-	outstanding map[ServerID]float64
+	reg         *Registry
+	outstanding []float64 // dense, indexed by reg.Index
 }
 
-// NewTwoChoice returns a TwoChoice ranker.
-func NewTwoChoice(seed uint64) *TwoChoice {
-	return &TwoChoice{rng: sim.RNG(seed, 0x2c), outstanding: make(map[ServerID]float64)}
+// NewTwoChoice returns a TwoChoice ranker. A nil registry creates a private
+// one.
+func NewTwoChoice(reg *Registry, seed uint64) *TwoChoice {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &TwoChoice{rng: sim.RNG(seed, 0x2c), reg: reg}
 }
 
 // Name implements Ranker.
 func (t *TwoChoice) Name() string { return "2C" }
 
+// Registry implements RegistryHolder.
+func (t *TwoChoice) Registry() *Registry { return t.reg }
+
+func (t *TwoChoice) idx(s ServerID) int {
+	i := t.reg.Index(s)
+	t.outstanding = grown(t.outstanding, i, nil)
+	return i
+}
+
 // OnSend implements Ranker.
-func (t *TwoChoice) OnSend(s ServerID, now int64) { t.outstanding[s]++ }
+func (t *TwoChoice) OnSend(s ServerID, now int64) {
+	i := t.idx(s) // hoisted: idx may grow the slice it indexes
+	t.outstanding[i]++
+}
 
 // OnResponse implements Ranker.
 func (t *TwoChoice) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
-	if t.outstanding[s] > 0 {
-		t.outstanding[s]--
+	if i := t.idx(s); t.outstanding[i] > 0 {
+		t.outstanding[i]--
 	}
+}
+
+// Outstanding reports this client's in-flight count toward s. It is a pure
+// read: unknown servers report 0 without being interned.
+func (t *TwoChoice) Outstanding(s ServerID) float64 {
+	if i, ok := t.reg.Lookup(s); ok && i < len(t.outstanding) {
+		return t.outstanding[i]
+	}
+	return 0
 }
 
 // Rank implements Ranker: shuffle, then ensure the better of the first two
@@ -177,10 +241,35 @@ func (t *TwoChoice) Rank(dst, group []ServerID, now int64) []ServerID {
 		j := t.rng.IntN(i + 1)
 		dst[i], dst[j] = dst[j], dst[i]
 	}
-	if len(dst) >= 2 && t.outstanding[dst[1]] < t.outstanding[dst[0]] {
-		dst[0], dst[1] = dst[1], dst[0]
+	if len(dst) >= 2 {
+		a, b := t.idx(dst[0]), t.idx(dst[1])
+		if t.outstanding[b] < t.outstanding[a] {
+			dst[0], dst[1] = dst[1], dst[0]
+		}
 	}
 	return dst
+}
+
+// Best implements BestPicker: sample two distinct replicas, keep the one
+// with fewer outstanding requests.
+func (t *TwoChoice) Best(group []ServerID, now int64) (ServerID, bool) {
+	n := len(group)
+	if n == 0 {
+		return 0, false
+	}
+	if n == 1 {
+		return group[0], true
+	}
+	i := t.rng.IntN(n)
+	j := t.rng.IntN(n - 1)
+	if j >= i {
+		j++
+	}
+	a, b := t.idx(group[i]), t.idx(group[j])
+	if t.outstanding[b] < t.outstanding[a] {
+		return group[j], true
+	}
+	return group[i], true
 }
 
 // LeastResponseTime prefers the server with the lowest smoothed end-to-end
@@ -188,103 +277,139 @@ func (t *TwoChoice) Rank(dst, group []ServerID, now int64) []ServerID {
 type LeastResponseTime struct {
 	rng     *rand.Rand
 	alpha   float64
-	rt      map[ServerID]*ewma.EWMA
+	reg     *Registry
+	rt      []ewma.EWMA // dense, indexed by reg.Index
 	scratch []scored
 }
 
 // NewLeastResponseTime returns a ranker smoothing RTTs with factor alpha
-// (defaulted like RankerConfig.Alpha when out of range).
-func NewLeastResponseTime(alpha float64, seed uint64) *LeastResponseTime {
+// (defaulted like RankerConfig.Alpha when out of range). A nil registry
+// creates a private one.
+func NewLeastResponseTime(reg *Registry, alpha float64, seed uint64) *LeastResponseTime {
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.9
+	}
+	if reg == nil {
+		reg = NewRegistry()
 	}
 	return &LeastResponseTime{
 		rng:   sim.RNG(seed, 0x1e57),
 		alpha: alpha,
-		rt:    make(map[ServerID]*ewma.EWMA),
+		reg:   reg,
 	}
 }
 
 // Name implements Ranker.
 func (l *LeastResponseTime) Name() string { return "LRT" }
 
+// Registry implements RegistryHolder.
+func (l *LeastResponseTime) Registry() *Registry { return l.reg }
+
+func (l *LeastResponseTime) idx(s ServerID) int {
+	i := l.reg.Index(s)
+	l.rt = grown(l.rt, i, func() ewma.EWMA { return ewma.New(l.alpha) })
+	return i
+}
+
 // OnSend implements Ranker.
 func (l *LeastResponseTime) OnSend(ServerID, int64) {}
 
 // OnResponse implements Ranker.
 func (l *LeastResponseTime) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
-	e, ok := l.rt[s]
-	if !ok {
-		v := ewma.New(l.alpha)
-		e = &v
-		l.rt[s] = e
+	i := l.idx(s) // hoisted: idx may grow the slice it indexes
+	l.rt[i].Add(seconds(rtt))
+}
+
+// rtScore reports the smoothed RTT of the server at dense index i, or −Inf
+// when unseen (so exploration ranks first).
+func (l *LeastResponseTime) rtScore(i int) float64 {
+	if e := &l.rt[i]; e.Initialized() {
+		return e.Value()
 	}
-	e.Add(seconds(rtt))
+	return math.Inf(-1)
 }
 
 // Rank implements Ranker: ascending smoothed RTT; unseen servers first.
 func (l *LeastResponseTime) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
 	if cap(l.scratch) < len(dst) {
-		l.scratch = make([]scored, len(dst))
+		l.scratch = make([]scored, 0, len(dst))
 	}
 	sc := l.scratch[:0]
 	for _, s := range dst {
-		v := math.Inf(-1)
-		if e, ok := l.rt[s]; ok && e.Initialized() {
-			v = e.Value()
-		}
-		sc = append(sc, scored{s, v})
+		i := l.idx(s)
+		sc = append(sc, scored{s, l.rtScore(i)})
 	}
-	shuffleScored(l.rng, sc)
-	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
-	for i := range sc {
-		dst[i] = sc[i].s
-	}
+	rankScored(l.rng, dst, sc)
 	return dst
+}
+
+// Best implements BestPicker: the lowest smoothed-RTT replica, uniform ties.
+func (l *LeastResponseTime) Best(group []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	bi := bestScored(l.rng, len(group), func(i int) float64 {
+		return l.rtScore(l.idx(group[i]))
+	})
+	return group[bi], true
 }
 
 // WeightedRandom samples replicas with probability proportional to the
 // inverse of their smoothed response time (another dismissed §6 strategy).
 type WeightedRandom struct {
-	rng   *rand.Rand
-	alpha float64
-	rt    map[ServerID]*ewma.EWMA
+	rng     *rand.Rand
+	alpha   float64
+	reg     *Registry
+	rt      []ewma.EWMA // dense, indexed by reg.Index
+	weights []float64   // reusable sampling scratch
 }
 
-// NewWeightedRandom returns a WeightedRandom ranker.
-func NewWeightedRandom(alpha float64, seed uint64) *WeightedRandom {
+// NewWeightedRandom returns a WeightedRandom ranker. A nil registry creates a
+// private one.
+func NewWeightedRandom(reg *Registry, alpha float64, seed uint64) *WeightedRandom {
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.9
 	}
-	return &WeightedRandom{rng: sim.RNG(seed, 0x33d), alpha: alpha, rt: make(map[ServerID]*ewma.EWMA)}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &WeightedRandom{rng: sim.RNG(seed, 0x33d), alpha: alpha, reg: reg}
 }
 
 // Name implements Ranker.
 func (w *WeightedRandom) Name() string { return "WRND" }
+
+// Registry implements RegistryHolder.
+func (w *WeightedRandom) Registry() *Registry { return w.reg }
+
+func (w *WeightedRandom) idx(s ServerID) int {
+	i := w.reg.Index(s)
+	w.rt = grown(w.rt, i, func() ewma.EWMA { return ewma.New(w.alpha) })
+	return i
+}
 
 // OnSend implements Ranker.
 func (w *WeightedRandom) OnSend(ServerID, int64) {}
 
 // OnResponse implements Ranker.
 func (w *WeightedRandom) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
-	e, ok := w.rt[s]
-	if !ok {
-		v := ewma.New(w.alpha)
-		e = &v
-		w.rt[s] = e
-	}
-	e.Add(seconds(rtt))
+	i := w.idx(s) // hoisted: idx may grow the slice it indexes
+	w.rt[i].Add(seconds(rtt))
 }
 
-// Rank implements Ranker: weighted sampling without replacement, weight
-// 1/R̄_s (unseen servers get the best observed weight to force exploration).
-func (w *WeightedRandom) Rank(dst, group []ServerID, now int64) []ServerID {
-	dst = prepare(dst, group)
-	weights := make([]float64, len(dst))
+// fillWeights computes 1/R̄ sampling weights for dst into the reusable
+// scratch (unseen servers get the best observed weight to force exploration).
+func (w *WeightedRandom) fillWeights(dst []ServerID) []float64 {
+	if cap(w.weights) < len(dst) {
+		w.weights = make([]float64, len(dst))
+	}
+	weights := w.weights[:len(dst)]
 	best := 0.0
 	for i, s := range dst {
-		if e, ok := w.rt[s]; ok && e.Initialized() && e.Value() > 0 {
+		weights[i] = 0
+		j := w.idx(s)
+		if e := &w.rt[j]; e.Initialized() && e.Value() > 0 {
 			weights[i] = 1 / e.Value()
 			if weights[i] > best {
 				best = weights[i]
@@ -300,6 +425,14 @@ func (w *WeightedRandom) Rank(dst, group []ServerID, now int64) []ServerID {
 			}
 		}
 	}
+	return weights
+}
+
+// Rank implements Ranker: weighted sampling without replacement, weight
+// 1/R̄_s (unseen servers get the best observed weight to force exploration).
+func (w *WeightedRandom) Rank(dst, group []ServerID, now int64) []ServerID {
+	dst = prepare(dst, group)
+	weights := w.fillWeights(dst)
 	// Repeated weighted draws without replacement.
 	for i := 0; i < len(dst)-1; i++ {
 		total := 0.0
@@ -319,6 +452,26 @@ func (w *WeightedRandom) Rank(dst, group []ServerID, now int64) []ServerID {
 		weights[i], weights[pick] = weights[pick], weights[i]
 	}
 	return dst
+}
+
+// Best implements BestPicker: a single weighted draw.
+func (w *WeightedRandom) Best(group []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	weights := w.fillWeights(group)
+	total := 0.0
+	for _, wt := range weights {
+		total += wt
+	}
+	x := w.rng.Float64() * total
+	for i, wt := range weights {
+		x -= wt
+		if x <= 0 {
+			return group[i], true
+		}
+	}
+	return group[len(group)-1], true
 }
 
 // OracleFn exposes a server's instantaneous queue length and mean service
@@ -354,17 +507,26 @@ func (o *Oracle) OnResponse(ServerID, Feedback, time.Duration, int64) {}
 func (o *Oracle) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
 	if cap(o.scratch) < len(dst) {
-		o.scratch = make([]scored, len(dst))
+		o.scratch = make([]scored, 0, len(dst))
 	}
 	sc := o.scratch[:0]
 	for _, s := range dst {
 		q, t := o.fn(s)
 		sc = append(sc, scored{s, (q + 1) * t})
 	}
-	shuffleScored(o.rng, sc)
-	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
-	for i := range sc {
-		dst[i] = sc[i].s
-	}
+	rankScored(o.rng, dst, sc)
 	return dst
+}
+
+// Best implements BestPicker: the minimum (q+1)·serviceTime replica, uniform
+// ties.
+func (o *Oracle) Best(group []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	bi := bestScored(o.rng, len(group), func(i int) float64 {
+		q, t := o.fn(group[i])
+		return (q + 1) * t
+	})
+	return group[bi], true
 }

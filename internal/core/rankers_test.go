@@ -6,7 +6,7 @@ import (
 )
 
 func TestLORPrefersFewestOutstanding(t *testing.T) {
-	l := NewLOR(1)
+	l := NewLOR(nil, 1)
 	group := []ServerID{1, 2, 3}
 	l.OnSend(1, 0)
 	l.OnSend(1, 0)
@@ -28,7 +28,7 @@ func TestLORPrefersFewestOutstanding(t *testing.T) {
 }
 
 func TestLORTieBreakUniformish(t *testing.T) {
-	l := NewLOR(2)
+	l := NewLOR(nil, 2)
 	group := []ServerID{1, 2}
 	counts := map[ServerID]int{}
 	for i := 0; i < 2000; i++ {
@@ -40,7 +40,7 @@ func TestLORTieBreakUniformish(t *testing.T) {
 }
 
 func TestRoundRobinCyclesThroughGroup(t *testing.T) {
-	r := NewRoundRobin()
+	r := NewRoundRobin(nil)
 	group := []ServerID{10, 20, 30}
 	var firsts []ServerID
 	for i := 0; i < 6; i++ {
@@ -55,7 +55,7 @@ func TestRoundRobinCyclesThroughGroup(t *testing.T) {
 }
 
 func TestRoundRobinIndependentPerGroup(t *testing.T) {
-	r := NewRoundRobin()
+	r := NewRoundRobin(nil)
 	a := []ServerID{1, 2}
 	b := []ServerID{3, 4}
 	if r.Rank(nil, a, 0)[0] != 1 || r.Rank(nil, b, 0)[0] != 3 {
@@ -70,7 +70,7 @@ func TestRoundRobinIndependentPerGroup(t *testing.T) {
 }
 
 func TestRoundRobinRotationIsCompleteOrder(t *testing.T) {
-	r := NewRoundRobin()
+	r := NewRoundRobin(nil)
 	group := []ServerID{1, 2, 3}
 	r.Rank(nil, group, 0)
 	got := r.Rank(nil, group, 0)
@@ -97,7 +97,7 @@ func TestRandomCoversAllServers(t *testing.T) {
 }
 
 func TestTwoChoicePrefersLessLoadedOfPair(t *testing.T) {
-	tc := NewTwoChoice(4)
+	tc := NewTwoChoice(nil, 4)
 	group := []ServerID{1, 2}
 	for i := 0; i < 5; i++ {
 		tc.OnSend(1, 0)
@@ -109,13 +109,13 @@ func TestTwoChoicePrefersLessLoadedOfPair(t *testing.T) {
 		}
 	}
 	tc.OnResponse(1, Feedback{}, time.Millisecond, 0)
-	if tc.outstanding[1] != 4 {
-		t.Fatalf("outstanding = %v, want 4", tc.outstanding[1])
+	if got := tc.Outstanding(1); got != 4 {
+		t.Fatalf("outstanding = %v, want 4", got)
 	}
 }
 
 func TestLeastResponseTimePrefersFastServer(t *testing.T) {
-	l := NewLeastResponseTime(0.9, 5)
+	l := NewLeastResponseTime(nil, 0.9, 5)
 	group := []ServerID{1, 2}
 	for i := 0; i < 10; i++ {
 		l.OnResponse(1, Feedback{}, 2*time.Millisecond, 0)
@@ -129,7 +129,7 @@ func TestLeastResponseTimePrefersFastServer(t *testing.T) {
 }
 
 func TestLeastResponseTimeExploresUnseen(t *testing.T) {
-	l := NewLeastResponseTime(0.9, 6)
+	l := NewLeastResponseTime(nil, 0.9, 6)
 	group := []ServerID{1, 2}
 	l.OnResponse(1, Feedback{}, time.Millisecond, 0)
 	if got := l.Rank(nil, group, 0)[0]; got != 2 {
@@ -138,7 +138,7 @@ func TestLeastResponseTimeExploresUnseen(t *testing.T) {
 }
 
 func TestWeightedRandomSkewsTowardFastServer(t *testing.T) {
-	w := NewWeightedRandom(0.9, 7)
+	w := NewWeightedRandom(nil, 0.9, 7)
 	group := []ServerID{1, 2}
 	for i := 0; i < 10; i++ {
 		w.OnResponse(1, Feedback{}, 2*time.Millisecond, 0)  // weight 500
@@ -155,7 +155,7 @@ func TestWeightedRandomSkewsTowardFastServer(t *testing.T) {
 }
 
 func TestWeightedRandomUnseenGetsExplored(t *testing.T) {
-	w := NewWeightedRandom(0.9, 8)
+	w := NewWeightedRandom(nil, 0.9, 8)
 	group := []ServerID{1, 2}
 	w.OnResponse(1, Feedback{}, 10*time.Millisecond, 0)
 	counts := map[ServerID]int{}
@@ -199,12 +199,12 @@ func TestAllRankersNameAndPermutation(t *testing.T) {
 	group := []ServerID{5, 6, 7, 8}
 	rankers := []Ranker{
 		NewCubicRanker(RankerConfig{Seed: 1}),
-		NewLOR(1),
-		NewRoundRobin(),
+		NewLOR(nil, 1),
+		NewRoundRobin(nil),
 		NewRandom(1),
-		NewTwoChoice(1),
-		NewLeastResponseTime(0.9, 1),
-		NewWeightedRandom(0.9, 1),
+		NewTwoChoice(nil, 1),
+		NewLeastResponseTime(nil, 0.9, 1),
+		NewWeightedRandom(nil, 0.9, 1),
 		NewOracle(func(ServerID) (float64, float64) { return 0, 0.001 }, 1),
 		NewDynamicSnitch(SnitchConfig{Seed: 1}),
 	}

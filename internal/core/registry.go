@@ -1,0 +1,240 @@
+package core
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// maxDirect bounds the registry's direct-lookup table: server IDs in
+// [0, maxDirect) resolve through a flat slice; anything outside (negative or
+// huge IDs) falls back to a map. 2^20 entries = 4 MB worst case, far above
+// any realistic cluster size.
+const maxDirect = 1 << 20
+
+// regTable is one immutable snapshot of the intern tables. Interning installs
+// a fresh snapshot (copy-on-write), so readers never take a lock: the hot
+// path is an atomic load plus a bounds-checked slice index.
+type regTable struct {
+	direct []int32            // direct[id] = index+1 for small non-negative ids; 0 = unknown
+	sparse map[ServerID]int32 // index for ids outside [0, len(direct))
+	ids    []ServerID         // index -> id
+
+	groups    [][]ServerID // group index -> member ids
+	groupHash map[uint64][]int32
+}
+
+func (t *regTable) lookup(s ServerID) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	if uint32(s) < uint32(len(t.direct)) {
+		if v := t.direct[s]; v != 0 {
+			return int(v - 1), true
+		}
+		return 0, false
+	}
+	v, ok := t.sparse[s]
+	return int(v), ok
+}
+
+// Registry interns ServerIDs (and replica groups) to dense small-int indices.
+// Every ranker and the Client's limiter table key their per-server state by
+// these indices, so steady-state selection never touches a hash map: state
+// lives in flat slices and lookup is one array read.
+//
+// Interning is idempotent and concurrency-safe; an ID keeps its index for the
+// registry's lifetime. Substrates construct one Registry per cluster view,
+// pre-register every server at build time, and share it across the rankers
+// and clients of that view — after warmup the registry is effectively
+// read-only and lookups are lock-free.
+type Registry struct {
+	mu sync.Mutex
+	t  atomic.Pointer[regTable]
+}
+
+// NewRegistry returns a registry with ids pre-interned in argument order
+// (so ids[i] gets dense index i).
+func NewRegistry(ids ...ServerID) *Registry {
+	r := &Registry{}
+	r.InternAll(ids...)
+	return r
+}
+
+// InternAll interns ids in order under a single copy-on-write step — O(N)
+// where per-id Index calls would clone the table N times. Substrates use it
+// to pre-register a whole cluster view at build time.
+func (r *Registry) InternAll(ids ...ServerID) {
+	if len(ids) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nt := cloneTable(r.t.Load())
+	changed := false
+	for _, s := range ids {
+		if _, ok := nt.lookup(s); ok {
+			continue
+		}
+		nt.insert(s)
+		changed = true
+	}
+	if changed {
+		r.t.Store(nt)
+	}
+}
+
+// Index interns s, returning its dense index. Known IDs resolve lock-free.
+func (r *Registry) Index(s ServerID) int {
+	if i, ok := r.t.Load().lookup(s); ok {
+		return i
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lockedIntern(s)
+}
+
+// Lookup reports the dense index of s without interning it.
+func (r *Registry) Lookup(s ServerID) (int, bool) {
+	return r.t.Load().lookup(s)
+}
+
+// ID reports the ServerID interned at index idx. It panics when idx has not
+// been assigned.
+func (r *Registry) ID(idx int) ServerID {
+	return r.t.Load().ids[idx]
+}
+
+// Len reports how many ServerIDs have been interned.
+func (r *Registry) Len() int {
+	t := r.t.Load()
+	if t == nil {
+		return 0
+	}
+	return len(t.ids)
+}
+
+// lockedIntern interns s (idempotently) with r.mu held, installing a
+// copy-on-write snapshot, and returns its index.
+func (r *Registry) lockedIntern(s ServerID) int {
+	old := r.t.Load()
+	if i, ok := old.lookup(s); ok { // re-check: raced with another intern
+		return i
+	}
+	nt := cloneTable(old)
+	idx := nt.insert(s)
+	r.t.Store(nt)
+	return int(idx)
+}
+
+// insert appends s (assumed absent) to the table and returns its new index.
+func (t *regTable) insert(s ServerID) int32 {
+	t.ids = append(t.ids, s)
+	idx := int32(len(t.ids) - 1)
+	if s >= 0 && int64(s) < maxDirect {
+		if int(s) >= len(t.direct) {
+			// Clamp at maxDirect so len(direct) never covers ids that
+			// intern into the sparse map — lookup's bounds check is the
+			// direct/sparse boundary.
+			grownDirect := make([]int32, min(maxDirect, max(int(s)+1, 2*len(t.direct))))
+			copy(grownDirect, t.direct)
+			t.direct = grownDirect
+		}
+		t.direct[s] = idx + 1
+	} else {
+		if t.sparse == nil {
+			t.sparse = make(map[ServerID]int32, 1)
+		}
+		t.sparse[s] = idx
+	}
+	return idx
+}
+
+func cloneTable(old *regTable) *regTable {
+	nt := &regTable{}
+	if old == nil {
+		return nt
+	}
+	nt.ids = append([]ServerID(nil), old.ids...)
+	nt.direct = append([]int32(nil), old.direct...)
+	nt.groups = append([][]ServerID(nil), old.groups...)
+	if len(old.sparse) > 0 {
+		nt.sparse = make(map[ServerID]int32, len(old.sparse))
+		for k, v := range old.sparse {
+			nt.sparse[k] = v
+		}
+	}
+	if len(old.groupHash) > 0 {
+		nt.groupHash = make(map[uint64][]int32, len(old.groupHash))
+		for k, v := range old.groupHash {
+			nt.groupHash[k] = v
+		}
+	}
+	return nt
+}
+
+// groupKey hashes a replica group's members in order (FNV-1a over the id
+// words). Order matters: the same members in a different order are a
+// different group, matching how substrates address replica groups.
+func groupKey(group []ServerID) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, s := range group {
+		h ^= uint64(uint32(s))
+		h *= prime64
+	}
+	return h
+}
+
+func (t *regTable) lookupGroup(h uint64, group []ServerID) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	for _, gi := range t.groupHash[h] {
+		if slices.Equal(t.groups[gi], group) {
+			return int(gi), true
+		}
+	}
+	return 0, false
+}
+
+// GroupIndex interns the replica group, returning its dense group index.
+// Hash collisions are resolved by exact member comparison, so distinct groups
+// always get distinct indices. Known groups resolve lock-free with zero
+// allocations.
+func (r *Registry) GroupIndex(group []ServerID) int {
+	h := groupKey(group)
+	if gi, ok := r.t.Load().lookupGroup(h, group); ok {
+		return gi
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.t.Load()
+	if gi, ok := old.lookupGroup(h, group); ok {
+		return gi
+	}
+	nt := cloneTable(old)
+	nt.groups = append(nt.groups, append([]ServerID(nil), group...))
+	gi := int32(len(nt.groups) - 1)
+	if nt.groupHash == nil {
+		nt.groupHash = make(map[uint64][]int32, 1)
+	}
+	nt.groupHash[h] = append(append([]int32(nil), nt.groupHash[h]...), gi)
+	// Intern the members too, so rankers sharing the registry see them.
+	for _, s := range group {
+		if _, ok := nt.lookup(s); !ok {
+			nt.insert(s)
+		}
+	}
+	r.t.Store(nt)
+	return int(gi)
+}
+
+// Groups reports how many replica groups have been interned.
+func (r *Registry) Groups() int {
+	t := r.t.Load()
+	if t == nil {
+		return 0
+	}
+	return len(t.groups)
+}

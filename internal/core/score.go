@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 	"math/rand/v2"
-	"sort"
 	"time"
 
 	"c3/internal/ewma"
@@ -24,10 +23,16 @@ type RankerConfig struct {
 	// compensation entirely (w = 0), used by the ablation experiments.
 	ConcurrencyWeight float64
 	// Exponent is b in (q̂)^b/µ̄. The paper chooses b = 3 ("cubic
-	// replica selection"); the ablation bench sweeps it.
+	// replica selection"); the ablation bench sweeps it. The hot path
+	// special-cases b = 3 as q̂·q̂·q̂, falling back to math.Pow for the
+	// sweeps.
 	Exponent float64
 	// Seed drives tie-breaking randomness.
 	Seed uint64
+	// Registry interns server IDs to the dense indices this ranker keys
+	// its per-server state by. Substrates share one registry per cluster
+	// view; nil creates a private one.
+	Registry *Registry
 }
 
 func (c RankerConfig) withDefaults() RankerConfig {
@@ -57,7 +62,8 @@ func CubicScore(rbar, tbar, qhat, b float64) float64 {
 	return rbar - tbar + math.Pow(qhat, b)*tbar
 }
 
-// c3State is the per-server client-side state of the C3 ranker.
+// c3State is the per-server client-side state of the C3 ranker, stored by
+// value in a flat slice indexed by the registry's dense index.
 type c3State struct {
 	outstanding float64
 	qbar        ewma.EWMA // queue-size feedback
@@ -67,42 +73,61 @@ type c3State struct {
 
 // CubicRanker implements C3's replica ranking.
 type CubicRanker struct {
-	cfg RankerConfig
-	rng *rand.Rand
-	st  map[ServerID]*c3State
+	cfg  RankerConfig
+	cube bool // Exponent == 3: use q̂·q̂·q̂ instead of math.Pow
+	rng  *rand.Rand
+	reg  *Registry
+	st   []c3State // dense, indexed by reg.Index
 
 	scratch []scored
-}
-
-type scored struct {
-	s     ServerID
-	score float64
 }
 
 // NewCubicRanker returns a C3 ranker with cfg (zero fields take defaults).
 func NewCubicRanker(cfg RankerConfig) *CubicRanker {
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	return &CubicRanker{
-		cfg: cfg,
-		rng: sim.RNG(cfg.Seed, 0xc3),
-		st:  make(map[ServerID]*c3State),
+		cfg:  cfg,
+		cube: cfg.Exponent == 3,
+		rng:  sim.RNG(cfg.Seed, 0xc3),
+		reg:  reg,
 	}
 }
 
 // Name implements Ranker.
 func (c *CubicRanker) Name() string { return "C3" }
 
-func (c *CubicRanker) state(s ServerID) *c3State {
-	st, ok := c.st[s]
-	if !ok {
-		st = &c3State{
+// Registry implements RegistryHolder.
+func (c *CubicRanker) Registry() *Registry { return c.reg }
+
+// idx interns s and grows the dense state table to cover it.
+func (c *CubicRanker) idx(s ServerID) int {
+	i := c.reg.Index(s)
+	c.st = grown(c.st, i, func() c3State {
+		return c3State{
 			qbar: ewma.New(c.cfg.Alpha),
 			tbar: ewma.New(c.cfg.Alpha),
 			rbar: ewma.New(c.cfg.Alpha),
 		}
-		c.st[s] = st
+	})
+	return i
+}
+
+func (c *CubicRanker) state(s ServerID) *c3State {
+	i := c.idx(s) // hoisted: idx may grow the slice it indexes
+	return &c.st[i]
+}
+
+// stateRO is the read-only counterpart of state: it reports nil for servers
+// this ranker has never seen, without interning them.
+func (c *CubicRanker) stateRO(s ServerID) *c3State {
+	if i, ok := c.reg.Lookup(s); ok && i < len(c.st) {
+		return &c.st[i]
 	}
-	return st
+	return nil
 }
 
 // OnSend implements Ranker.
@@ -121,23 +146,50 @@ func (c *CubicRanker) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now
 	st.rbar.Add(seconds(rtt))
 }
 
-// QueueEstimate reports q̂ = 1 + os·w + q̄ for server s.
+// QueueEstimate reports q̂ = 1 + os·w + q̄ for server s (1 for unseen
+// servers). It is a pure read and does not intern s.
 func (c *CubicRanker) QueueEstimate(s ServerID) float64 {
-	st := c.state(s)
+	st := c.stateRO(s)
+	if st == nil {
+		return 1
+	}
 	return 1 + st.outstanding*c.cfg.ConcurrencyWeight + st.qbar.Value()
 }
 
 // Outstanding reports the number of requests in flight to s from this client.
-func (c *CubicRanker) Outstanding(s ServerID) float64 { return c.state(s).outstanding }
+// It is a pure read and does not intern s.
+func (c *CubicRanker) Outstanding(s ServerID) float64 {
+	if st := c.stateRO(s); st != nil {
+		return st.outstanding
+	}
+	return 0
+}
 
-// Score reports Ψ_s. Servers that have never produced feedback score −Inf so
-// that they are explored first.
-func (c *CubicRanker) Score(s ServerID, now int64) float64 {
-	st := c.state(s)
+// scoreState evaluates Ψ for one state entry: the allocation-free inner-loop
+// form of CubicScore, with the paper's b = 3 specialized to three multiplies.
+func (c *CubicRanker) scoreState(st *c3State) float64 {
 	if !st.tbar.Initialized() {
 		return math.Inf(-1)
 	}
-	return CubicScore(st.rbar.Value(), st.tbar.Value(), c.QueueEstimate(s), c.cfg.Exponent)
+	qhat := 1 + st.outstanding*c.cfg.ConcurrencyWeight + st.qbar.Value()
+	tbar := st.tbar.Value()
+	var qb float64
+	if c.cube {
+		qb = qhat * qhat * qhat
+	} else {
+		qb = math.Pow(qhat, c.cfg.Exponent)
+	}
+	return st.rbar.Value() - tbar + qb*tbar
+}
+
+// Score reports Ψ_s. Servers that have never produced feedback score −Inf so
+// that they are explored first. It is a pure read and does not intern s.
+func (c *CubicRanker) Score(s ServerID, now int64) float64 {
+	st := c.stateRO(s)
+	if st == nil {
+		return math.Inf(-1)
+	}
+	return c.scoreState(st)
 }
 
 // Rank implements Ranker: ascending Ψ with random tie-breaking (a pre-shuffle
@@ -146,23 +198,24 @@ func (c *CubicRanker) Score(s ServerID, now int64) float64 {
 func (c *CubicRanker) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
 	if cap(c.scratch) < len(dst) {
-		c.scratch = make([]scored, len(dst))
+		c.scratch = make([]scored, 0, len(dst))
 	}
 	sc := c.scratch[:0]
 	for _, s := range dst {
-		sc = append(sc, scored{s, c.Score(s, now)})
+		sc = append(sc, scored{s, c.scoreState(c.state(s))})
 	}
-	shuffleScored(c.rng, sc)
-	sort.SliceStable(sc, func(i, j int) bool { return sc[i].score < sc[j].score })
-	for i := range sc {
-		dst[i] = sc[i].s
-	}
+	rankScored(c.rng, dst, sc)
 	return dst
 }
 
-func shuffleScored(r *rand.Rand, sc []scored) {
-	for i := len(sc) - 1; i > 0; i-- {
-		j := r.IntN(i + 1)
-		sc[i], sc[j] = sc[j], sc[i]
+// Best implements BestPicker: the minimum-Ψ replica with uniform tie-breaking,
+// without sorting.
+func (c *CubicRanker) Best(group []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
 	}
+	bi := bestScored(c.rng, len(group), func(i int) float64 {
+		return c.scoreState(c.state(group[i]))
+	})
+	return group[bi], true
 }

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"math"
 	"math/rand/v2"
-	"sort"
+	"slices"
 	"time"
 
 	"c3/internal/sim"
@@ -28,6 +29,9 @@ type SnitchConfig struct {
 	SeverityWeight float64
 	// Seed drives tie-breaking randomness.
 	Seed uint64
+	// Registry interns server IDs to the dense indices this ranker keys
+	// its per-peer state by; nil creates a private one.
+	Registry *Registry
 }
 
 func (c SnitchConfig) withDefaults() SnitchConfig {
@@ -47,7 +51,7 @@ func (c SnitchConfig) withDefaults() SnitchConfig {
 }
 
 type snitchPeer struct {
-	samples  []float64 // ring buffer of response times, seconds
+	samples  []float64 // ring buffer of response times, seconds (lazy)
 	idx, n   int
 	severity float64 // gossiped iowait fraction [0,1]
 	score    float64 // cached score from last recompute
@@ -59,32 +63,43 @@ type snitchPeer struct {
 type DynamicSnitch struct {
 	cfg SnitchConfig
 	rng *rand.Rand
+	reg *Registry
 
-	peers       map[ServerID]*snitchPeer
+	peers       []snitchPeer // dense, indexed by reg.Index
 	lastCompute int64
 	lastReset   int64
 	began       bool
 	scratch     []scored
+	medBuf      []float64 // median sort scratch, reused across peers
+	meds        []float64 // recompute scratch; NaN = no samples
 }
 
 // NewDynamicSnitch returns a Dynamic Snitching ranker.
 func NewDynamicSnitch(cfg SnitchConfig) *DynamicSnitch {
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	return &DynamicSnitch{
-		cfg:   cfg,
-		rng:   sim.RNG(cfg.Seed, 0xd5),
-		peers: make(map[ServerID]*snitchPeer),
+		cfg: cfg,
+		rng: sim.RNG(cfg.Seed, 0xd5),
+		reg: reg,
 	}
 }
 
 // Name implements Ranker.
 func (d *DynamicSnitch) Name() string { return "DS" }
 
+// Registry implements RegistryHolder.
+func (d *DynamicSnitch) Registry() *Registry { return d.reg }
+
 func (d *DynamicSnitch) peer(s ServerID) *snitchPeer {
-	p, ok := d.peers[s]
-	if !ok {
-		p = &snitchPeer{samples: make([]float64, d.cfg.HistorySize)}
-		d.peers[s] = p
+	i := d.reg.Index(s)
+	d.peers = grown(d.peers, i, nil)
+	p := &d.peers[i]
+	if p.samples == nil {
+		p.samples = make([]float64, d.cfg.HistorySize)
 	}
 	return p
 }
@@ -113,16 +128,35 @@ func (d *DynamicSnitch) SetSeverity(s ServerID, iowait float64) {
 	d.peer(s).severity = iowait
 }
 
-// Severity reports the last gossiped iowait fraction for s.
-func (d *DynamicSnitch) Severity(s ServerID) float64 { return d.peer(s).severity }
+// peerRO is the read-only counterpart of peer: nil for unseen servers,
+// without interning them.
+func (d *DynamicSnitch) peerRO(s ServerID) *snitchPeer {
+	if i, ok := d.reg.Lookup(s); ok && i < len(d.peers) {
+		return &d.peers[i]
+	}
+	return nil
+}
 
-// medianLatency computes the median of the peer's history ring.
-func medianLatency(p *snitchPeer, buf []float64) (float64, bool) {
+// Severity reports the last gossiped iowait fraction for s (0 when unseen).
+// It is a pure read and does not intern s.
+func (d *DynamicSnitch) Severity(s ServerID) float64 {
+	if p := d.peerRO(s); p != nil {
+		return p.severity
+	}
+	return 0
+}
+
+// medianLatency computes the median of the peer's history ring using the
+// shared scratch buffer.
+func (d *DynamicSnitch) medianLatency(p *snitchPeer) (float64, bool) {
 	if p.n == 0 {
 		return 0, false
 	}
-	buf = append(buf[:0], p.samples[:p.n]...)
-	sort.Float64s(buf)
+	if cap(d.medBuf) < p.n {
+		d.medBuf = make([]float64, 0, cap(p.samples))
+	}
+	buf := append(d.medBuf[:0], p.samples[:p.n]...)
+	slices.Sort(buf)
 	m := len(buf)
 	if m%2 == 1 {
 		return buf[m/2], true
@@ -137,21 +171,25 @@ func medianLatency(p *snitchPeer, buf []float64) (float64, bool) {
 // The latency term is normalized to ≤1, so a gossiped iowait of just a few
 // percent dominates the ranking — reproducing the §2.3 observation.
 func (d *DynamicSnitch) recompute(now int64) {
-	var buf []float64
+	if cap(d.meds) < len(d.peers) {
+		d.meds = make([]float64, len(d.peers))
+	}
+	meds := d.meds[:len(d.peers)]
 	maxMed := 0.0
-	meds := make(map[ServerID]float64, len(d.peers))
-	for id, p := range d.peers {
-		if med, ok := medianLatency(p, buf); ok {
-			meds[id] = med
+	for i := range d.peers {
+		meds[i] = math.NaN()
+		if med, ok := d.medianLatency(&d.peers[i]); ok {
+			meds[i] = med
 			if med > maxMed {
 				maxMed = med
 			}
 		}
 	}
-	for id, p := range d.peers {
+	for i := range d.peers {
+		p := &d.peers[i]
 		latScore := 0.0
-		if med, ok := meds[id]; ok && maxMed > 0 {
-			latScore = med / maxMed
+		if !math.IsNaN(meds[i]) && maxMed > 0 {
+			latScore = meds[i] / maxMed
 		}
 		p.score = latScore + d.cfg.SeverityWeight*p.severity
 	}
@@ -167,8 +205,8 @@ func (d *DynamicSnitch) maybeTick(now int64) {
 		return
 	}
 	if now-d.lastReset >= d.cfg.ResetInterval {
-		for _, p := range d.peers {
-			p.n, p.idx = 0, 0
+		for i := range d.peers {
+			d.peers[i].n, d.peers[i].idx = 0, 0
 		}
 		d.lastReset = now
 	}
@@ -177,8 +215,28 @@ func (d *DynamicSnitch) maybeTick(now int64) {
 	}
 }
 
-// Score reports the cached score of s as of the last recompute tick.
-func (d *DynamicSnitch) Score(s ServerID) float64 { return d.peer(s).score }
+// Score reports the cached score of s as of the last recompute tick (0 when
+// unseen). It is a pure read and does not intern s.
+func (d *DynamicSnitch) Score(s ServerID) float64 {
+	if p := d.peerRO(s); p != nil {
+		return p.score
+	}
+	return 0
+}
+
+// insertionSortScoredByID stably sorts sc ascending by (score, server id) —
+// Dynamic Snitching's fully deterministic comparator.
+func insertionSortScoredByID(sc []scored) {
+	for i := 1; i < len(sc); i++ {
+		x := sc[i]
+		j := i - 1
+		for j >= 0 && (sc[j].score > x.score || (sc[j].score == x.score && sc[j].s > x.s)) {
+			sc[j+1] = sc[j]
+			j--
+		}
+		sc[j+1] = x
+	}
+}
 
 // Rank implements Ranker: ascending cached score. Crucially the scores are
 // only refreshed every UpdateInterval, so all requests within an interval see
@@ -187,7 +245,7 @@ func (d *DynamicSnitch) Rank(dst, group []ServerID, now int64) []ServerID {
 	d.maybeTick(now)
 	dst = prepare(dst, group)
 	if cap(d.scratch) < len(dst) {
-		d.scratch = make([]scored, len(dst))
+		d.scratch = make([]scored, 0, len(dst))
 	}
 	sc := d.scratch[:0]
 	for _, s := range dst {
@@ -196,14 +254,27 @@ func (d *DynamicSnitch) Rank(dst, group []ServerID, now int64) []ServerID {
 	// Deterministic order within an interval is the point: Cassandra
 	// sorts by score, so every coordinator repeatedly picks the same
 	// "best" peer until the next recompute. Ties broken by ID.
-	sort.SliceStable(sc, func(i, j int) bool {
-		if sc[i].score != sc[j].score {
-			return sc[i].score < sc[j].score
-		}
-		return sc[i].s < sc[j].s
-	})
+	insertionSortScoredByID(sc)
 	for i := range sc {
 		dst[i] = sc[i].s
 	}
 	return dst
+}
+
+// Best implements BestPicker: the minimum (score, id) peer — the same fully
+// deterministic comparator as Rank, without sorting.
+func (d *DynamicSnitch) Best(group []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	d.maybeTick(now)
+	best := group[0]
+	bestScore := d.peer(group[0]).score
+	for _, s := range group[1:] {
+		sc := d.peer(s).score
+		if sc < bestScore || (sc == bestScore && s < best) {
+			best, bestScore = s, sc
+		}
+	}
+	return best, true
 }

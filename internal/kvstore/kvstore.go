@@ -118,17 +118,20 @@ type Node struct {
 
 // newRanker builds the strategy for a coordinator in a cluster of the given
 // size (C3's concurrency weight w = number of coordinating clients = nodes).
-func newRanker(strategy string, nodes int, seed uint64) (core.Ranker, bool) {
+// The registry carries the cluster's dense server index; the returned
+// ranker (and the Client built on it) key all per-server state by it.
+func newRanker(strategy string, reg *core.Registry, nodes int, seed uint64) (core.Ranker, bool) {
 	switch strategy {
 	case StratC3:
 		return core.NewCubicRanker(core.RankerConfig{
 			ConcurrencyWeight: float64(nodes),
 			Seed:              seed,
+			Registry:          reg,
 		}), true
 	case StratLOR:
-		return core.NewLOR(seed), false
+		return core.NewLOR(reg, seed), false
 	case StratRR:
-		return core.NewRoundRobin(), true
+		return core.NewRoundRobin(reg), true
 	case StratRND:
 		return core.NewRandom(seed), false
 	default:
@@ -144,7 +147,14 @@ func StartNode(id int, addrs []string, cfg Config) (*Node, error) {
 	if id < 0 || id >= len(addrs) {
 		return nil, fmt.Errorf("kvstore: node id %d outside cluster of %d", id, len(addrs))
 	}
-	ranker, rc := newRanker(cfg.Strategy, len(addrs), cfg.Seed^uint64(id)<<8)
+	// Pre-register the whole cluster so steady-state selection never takes
+	// the registry's intern slow path.
+	ids := make([]core.ServerID, len(addrs))
+	for i := range ids {
+		ids[i] = core.ServerID(i)
+	}
+	reg := core.NewRegistry(ids...)
+	ranker, rc := newRanker(cfg.Strategy, reg, len(addrs), cfg.Seed^uint64(id)<<8)
 	ln, err := net.Listen("tcp", addrs[id])
 	if err != nil {
 		return nil, err

@@ -211,6 +211,7 @@ type engine struct {
 	servers []*server
 	clients []*client
 	groups  [][]core.ServerID
+	reg     *core.Registry // cluster-wide server index, shared by all clients
 
 	baseMean  float64 // ns
 	arrived   int
@@ -272,6 +273,11 @@ func (e *engine) build() {
 			svcEst: ewma.New(0.2),
 		}
 	}
+	ids := make([]core.ServerID, cfg.Servers)
+	for i := range ids {
+		ids[i] = core.ServerID(i)
+	}
+	e.reg = core.NewRegistry(ids...)
 	// Replica groups: RF consecutive servers on a ring, one group per
 	// server (the consistent-hashing layout without modelling keys, as
 	// the paper prescribes).
@@ -302,6 +308,7 @@ func (e *engine) newClient(id int) *client {
 		ConcurrencyWeight: w,
 		Exponent:          cfg.Exponent,
 		Seed:              seed,
+		Registry:          e.reg,
 	}
 	var ranker core.Ranker
 	rateControl := false
@@ -312,20 +319,20 @@ func (e *engine) newClient(id int) *client {
 	case PolicyC3RankOnly:
 		ranker = core.NewCubicRanker(rcfg)
 	case PolicyLOR:
-		ranker = core.NewLOR(seed)
+		ranker = core.NewLOR(e.reg, seed)
 	case PolicyRR:
-		ranker = core.NewRoundRobin()
+		ranker = core.NewRoundRobin(e.reg)
 		rateControl = true
 	case PolicyOracle:
 		ranker = core.NewOracle(e.oracle, seed)
 	case PolicyRandom:
 		ranker = core.NewRandom(seed)
 	case PolicyLRT:
-		ranker = core.NewLeastResponseTime(0, seed)
+		ranker = core.NewLeastResponseTime(e.reg, 0, seed)
 	case PolicyWRand:
-		ranker = core.NewWeightedRandom(0, seed)
+		ranker = core.NewWeightedRandom(e.reg, 0, seed)
 	case PolicyTwoChoice:
-		ranker = core.NewTwoChoice(seed)
+		ranker = core.NewTwoChoice(e.reg, seed)
 	default:
 		panic(fmt.Sprintf("queuesim: unknown policy %q", cfg.Policy))
 	}
