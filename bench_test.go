@@ -97,3 +97,7 @@ func BenchmarkExtQuorumReads(b *testing.B) { runFigure(b, "ext-quorum") }
 
 // Extension (§8): speculative retries atop C3.
 func BenchmarkExtSpecRetryAtopC3(b *testing.B) { runFigure(b, "ext-spec") }
+
+// Live TCP store: the network hot path's throughput/latency/alloc record
+// (machine-readable trajectory in BENCH_kv.json via cmd/c3bench).
+func BenchmarkKVStoreHotPath(b *testing.B) { runFigure(b, "kv") }

@@ -23,6 +23,8 @@ func main() {
 	fig := flag.String("fig", "all", "experiment id (see -list) or 'all'")
 	scale := flag.String("scale", "medium", "quick | medium | full")
 	seeds := flag.Int("seeds", 0, "repetitions per configuration (0 = scale default)")
+	kvjson := flag.String("kvjson", "BENCH_kv.json",
+		"path for the machine-readable live-store benchmark record (written when the kv experiment runs; empty disables)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	o := bench.Options{Scale: sc, Seeds: *seeds}
+	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson}
 
 	runners := bench.All()
 	if *fig != "all" {

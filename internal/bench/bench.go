@@ -40,6 +40,9 @@ func ParseScale(s string) (Scale, error) {
 type Options struct {
 	Scale Scale
 	Seeds int // number of repetitions; 0 takes a scale-based default
+	// KVJSONPath, when non-empty, makes the kv runner also write its
+	// machine-readable result (BENCH_kv.json) to this path.
+	KVJSONPath string
 }
 
 func (o Options) seeds() int {
@@ -163,6 +166,7 @@ func All() []Runner {
 		{"ext-token", "extension: token-aware clients (§7)", ExtTokenAware},
 		{"ext-quorum", "extension: quorum reads (§7)", ExtQuorum},
 		{"ext-spec", "extension: reissues atop C3 (§8)", ExtC3Spec},
+		{"kv", "live TCP store throughput/latency (network hot path)", KV},
 	}
 }
 

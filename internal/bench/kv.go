@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"c3/internal/kvstore"
+	"c3/internal/sim"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+// KVResult is the machine-readable record of the live TCP store benchmark —
+// the repo's own hot-path trajectory, tracked across PRs in BENCH_kv.json.
+type KVResult struct {
+	Nodes         int     `json:"nodes"`
+	Workers       int     `json:"workers"`
+	Keys          int     `json:"keys"`
+	ValueBytes    int     `json:"value_bytes"`
+	ReadFraction  float64 `json:"read_fraction"`
+	Ops           int     `json:"ops"`
+	Seconds       float64 `json:"seconds"`
+	ThroughputOps float64 `json:"throughput_ops_per_sec"`
+	ReadP50Us     float64 `json:"read_p50_us"`
+	ReadP99Us     float64 `json:"read_p99_us"`
+	ReadP999Us    float64 `json:"read_p999_us"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+}
+
+// kvOps reports the live-store operation budget for the scale.
+func (o Options) kvOps() int {
+	switch o.Scale {
+	case Full:
+		return 1_000_000
+	case Medium:
+		return 150_000
+	default:
+		return 30_000
+	}
+}
+
+// RunKV drives a loopback cluster with a read-heavy Zipfian workload and
+// measures end-to-end throughput, read latency percentiles, and whole-
+// process allocation rate (client, coordinators, and replicas share the
+// runtime, so allocs/op covers the entire serving path). Read repair is
+// disabled so every read costs exactly one coordinator→replica hop.
+func RunKV(o Options) (KVResult, error) {
+	const (
+		nodes        = 3
+		workers      = 8
+		nKeys        = 512
+		valueBytes   = 256
+		readFraction = 0.95
+	)
+	ops := o.kvOps()
+
+	cluster, err := kvstore.StartCluster(nodes, kvstore.Config{Seed: 1, ReadRepair: -1})
+	if err != nil {
+		return KVResult{}, err
+	}
+	defer cluster.Close()
+	cl, err := kvstore.Dial(cluster.Addrs())
+	if err != nil {
+		return KVResult{}, err
+	}
+	defer cl.Close()
+
+	keys := make([]string, nKeys)
+	val := make([]byte, valueBytes)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("kvbench-%05d", i)
+		if err := cl.Put(keys[i], val); err != nil {
+			return KVResult{}, err
+		}
+	}
+	// CL=ONE acks before the fan-out lands everywhere; wait until every key
+	// reads back from round-robin coordinators.
+	for i := range keys {
+		for attempt := 0; ; attempt++ {
+			if _, ok, err := cl.Get(keys[i]); err == nil && ok {
+				break
+			} else if attempt > 200 {
+				return KVResult{}, fmt.Errorf("bench: key %q never became readable: %v", keys[i], err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	perWorker := ops / workers
+	zipf := workload.NewScrambled(nKeys, 0.99)
+	lat := make([][]float64, workers)
+	errs := make([]error, workers)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.RNG(uint64(o.seeds()), uint64(w)+7)
+			samples := make([]float64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				k := keys[int(zipf.Next(r))%nKeys]
+				if r.Float64() < readFraction {
+					t0 := time.Now()
+					_, ok, err := cl.Get(k)
+					d := time.Since(t0)
+					if err != nil || !ok {
+						errs[w] = fmt.Errorf("bench: Get(%s) ok=%v err=%v", k, ok, err)
+						return
+					}
+					samples = append(samples, float64(d.Nanoseconds())/1e3)
+				} else {
+					if err := cl.Put(k, val); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+			lat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for _, err := range errs {
+		if err != nil {
+			return KVResult{}, err
+		}
+	}
+
+	reads := stats.NewSample(ops)
+	for _, s := range lat {
+		for _, x := range s {
+			reads.Add(x)
+		}
+	}
+	total := perWorker * workers
+	return KVResult{
+		Nodes:         nodes,
+		Workers:       workers,
+		Keys:          nKeys,
+		ValueBytes:    valueBytes,
+		ReadFraction:  readFraction,
+		Ops:           total,
+		Seconds:       elapsed.Seconds(),
+		ThroughputOps: float64(total) / elapsed.Seconds(),
+		ReadP50Us:     reads.Percentile(50),
+		ReadP99Us:     reads.Percentile(99),
+		ReadP999Us:    reads.Percentile(99.9),
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(total),
+		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(total),
+	}, nil
+}
+
+// writeKVJSON writes the machine-readable record to path.
+func writeKVJSON(res KVResult, path string) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// KV is the runner for the live TCP store hot path. With
+// Options.KVJSONPath set it also writes the machine-readable record
+// (BENCH_kv.json, the repo's benchmark trajectory).
+func KV(o Options) *Report {
+	r := newReport("kv", "live TCP store throughput/latency (network hot path)")
+	res, err := RunKV(o)
+	if err != nil {
+		r.printf("error: %v", err)
+		return r
+	}
+	r.printf("%d nodes, %d workers, %d keys × %dB values, %.0f%% reads, %d ops in %.2fs",
+		res.Nodes, res.Workers, res.Keys, res.ValueBytes, res.ReadFraction*100, res.Ops, res.Seconds)
+	r.printf("throughput %.0f ops/s; read latency p50 %.0fµs p99 %.0fµs p99.9 %.0fµs; %.1f allocs/op, %.0f B/op",
+		res.ThroughputOps, res.ReadP50Us, res.ReadP99Us, res.ReadP999Us, res.AllocsPerOp, res.BytesPerOp)
+	r.Metric("kv_throughput_ops_per_sec", res.ThroughputOps)
+	r.Metric("kv_read_p99_us", res.ReadP99Us)
+	r.Metric("kv_allocs_per_op", res.AllocsPerOp)
+	if o.KVJSONPath != "" {
+		if err := writeKVJSON(res, o.KVJSONPath); err != nil {
+			r.printf("write %s: %v", o.KVJSONPath, err)
+		} else {
+			r.printf("wrote %s", o.KVJSONPath)
+		}
+	}
+	return r
+}

@@ -123,6 +123,29 @@ func (c *Client) Pick(group []ServerID, now int64) (s ServerID, ok bool, retryAt
 	return 0, false, retryAt
 }
 
+// PickBest ranks the group and records a send to the best replica without
+// consuming a rate token — the coordinator's fail-open path once its
+// backpressure deadline expires. The choice still follows the ranker, so
+// timeout traffic spreads by replica quality instead of piling onto a fixed
+// group member. ok is false only for an empty group.
+func (c *Client) PickBest(group []ServerID, now int64) (s ServerID, ok bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.best != nil {
+		if b, bok := c.best.Best(group, now); bok {
+			c.ranker.OnSend(b, now)
+			return b, true
+		}
+	}
+	c.scratch = c.ranker.Rank(c.scratch, group, now)
+	s = c.scratch[0]
+	c.ranker.OnSend(s, now)
+	return s, true
+}
+
 // OnSend records a request dispatched to s outside of Pick — e.g. the extra
 // replicas of a read-repair broadcast or a write fan-out. It updates
 // outstanding-request accounting but does not consume a rate token.

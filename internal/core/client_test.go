@@ -251,3 +251,41 @@ func TestDispatchZeroValueReleased(t *testing.T) {
 		t.Fatalf("backlog not reset after full drain: len=%d head=%d", len(g.backlog), g.head)
 	}
 }
+
+func TestClientPickBestIgnoresRateTokens(t *testing.T) {
+	// PickBest is the backpressure fail-open path: it must return a ranked
+	// replica even when every limiter is exhausted, and must not consume or
+	// restore tokens.
+	cfg := ClientConfig{RateControl: true, Rate: ratelimit.Config{InitialRate: 2}}
+	c := NewClient(NewRoundRobin(nil), cfg)
+	group := []ServerID{1, 2}
+	now := int64(0)
+	for {
+		if _, ok, _ := c.Pick(group, now); !ok {
+			break
+		}
+	}
+	seen := map[ServerID]bool{}
+	for i := 0; i < 10; i++ {
+		s, ok := c.PickBest(group, now)
+		if !ok {
+			t.Fatal("PickBest failed on a non-empty group")
+		}
+		if s != 1 && s != 2 {
+			t.Fatalf("PickBest returned unknown server %d", s)
+		}
+		seen[s] = true
+	}
+	// Round-robin ranking: fail-open traffic spreads across the group
+	// instead of piling onto one member.
+	if len(seen) != 2 {
+		t.Fatalf("PickBest used %d servers, want 2", len(seen))
+	}
+	// Tokens stayed exhausted throughout.
+	if _, ok, _ := c.Pick(group, now); ok {
+		t.Fatal("PickBest leaked a rate token")
+	}
+	if _, ok := c.PickBest(nil, now); ok {
+		t.Fatal("PickBest of empty group should fail")
+	}
+}

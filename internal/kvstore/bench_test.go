@@ -1,0 +1,120 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// benchCluster boots a loopback cluster pre-loaded with nKeys values of
+// valSize bytes and returns a connected client. Read repair is disabled so
+// the benchmark measures exactly one coordinator→replica hop per read.
+func benchCluster(b *testing.B, nodes, nKeys, valSize int) (*Cluster, *Client) {
+	b.Helper()
+	cfg := Config{Seed: 42, ReadRepair: -1}
+	c, err := StartCluster(nodes, cfg)
+	if err != nil {
+		b.Fatalf("StartCluster: %v", err)
+	}
+	b.Cleanup(c.Close)
+	cl, err := Dial(c.Addrs())
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	b.Cleanup(cl.Close)
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := 0; i < nKeys; i++ {
+		if err := cl.Put(benchKey(i), val); err != nil {
+			b.Fatalf("Put: %v", err)
+		}
+	}
+	// Writes ack at CL=ONE; let the fan-out land everywhere before reading.
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < nKeys; i++ {
+		for attempt := 0; ; attempt++ {
+			if _, ok, err := cl.Get(benchKey(i)); err == nil && ok {
+				break
+			} else if attempt > 100 {
+				b.Fatalf("warm Get(%s): ok=%v err=%v", benchKey(i), ok, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return c, cl
+}
+
+func benchKey(i int) string { return fmt.Sprintf("bench-key-%04d", i) }
+
+// benchKeys pre-renders key names so the measured loop does not charge
+// fmt.Sprintf allocations to the store.
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = benchKey(i)
+	}
+	return keys
+}
+
+// BenchmarkClusterRead is the end-to-end hot path: parallel client reads over
+// loopback TCP through round-robin coordinators that forward to C3-ranked
+// replicas. allocs/op covers the whole in-process cluster (client, all
+// coordinators, all replicas share the runtime).
+func BenchmarkClusterRead(b *testing.B) {
+	const nKeys = 256
+	_, cl := benchCluster(b, 3, nKeys, 128)
+	keys := benchKeys(nKeys)
+	b.SetBytes(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		for pb.Next() {
+			if _, ok, err := cl.Get(keys[r.IntN(nKeys)]); err != nil || !ok {
+				b.Errorf("Get: ok=%v err=%v", ok, err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkClusterReadSerial measures single-stream round-trip latency
+// (one in-flight request; no coalescing opportunity — the worst case for a
+// batched flush path).
+func BenchmarkClusterReadSerial(b *testing.B) {
+	const nKeys = 64
+	_, cl := benchCluster(b, 3, nKeys, 128)
+	keys := benchKeys(nKeys)
+	b.SetBytes(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := cl.Get(keys[r.IntN(nKeys)]); err != nil || !ok {
+			b.Fatalf("Get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkClusterWrite measures the CL=ONE write fan-out path.
+func BenchmarkClusterWrite(b *testing.B) {
+	const nKeys = 256
+	_, cl := benchCluster(b, 3, nKeys, 128)
+	keys := benchKeys(nKeys)
+	val := make([]byte, 128)
+	b.SetBytes(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		for pb.Next() {
+			if err := cl.Put(keys[r.IntN(nKeys)], val); err != nil {
+				b.Errorf("Put: %v", err)
+				return
+			}
+		}
+	})
+}

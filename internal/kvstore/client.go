@@ -85,12 +85,18 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 			lastErr = err
 			continue
 		}
-		resp, err := p.clientRead(key)
+		// nil destination: the value lands in a fresh buffer owned by
+		// the application.
+		resp, err := p.clientRead(key, nil)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		return resp.Value, resp.Found, nil
+		val := resp.Value
+		if resp.Found && val == nil {
+			val = []byte{} // present but empty: distinguishable from missing
+		}
+		return val, resp.Found, nil
 	}
 	return nil, false, lastErr
 }

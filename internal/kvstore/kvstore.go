@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -143,8 +144,24 @@ func newRanker(strategy string, reg *core.Registry, nodes int, seed uint64) (cor
 // (addrs[id] must be this node's address to listen on; use "127.0.0.1:0"
 // and read back Addr for tests).
 func StartNode(id int, addrs []string, cfg Config) (*Node, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("kvstore: node id %d outside cluster of %d", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, err
+	}
+	return StartNodeWithListener(id, addrs, ln, cfg)
+}
+
+// StartNodeWithListener launches node id on an already-bound listener —
+// the race-free path for harnesses that reserve every port up front
+// (StartCluster) instead of closing and re-binding. The node takes
+// ownership of ln.
+func StartNodeWithListener(id int, addrs []string, ln net.Listener, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	if id < 0 || id >= len(addrs) {
+		ln.Close()
 		return nil, fmt.Errorf("kvstore: node id %d outside cluster of %d", id, len(addrs))
 	}
 	// Pre-register the whole cluster so steady-state selection never takes
@@ -155,10 +172,6 @@ func StartNode(id int, addrs []string, cfg Config) (*Node, error) {
 	}
 	reg := core.NewRegistry(ids...)
 	ranker, rc := newRanker(cfg.Strategy, reg, len(addrs), cfg.Seed^uint64(id)<<8)
-	ln, err := net.Listen("tcp", addrs[id])
-	if err != nil {
-		return nil, err
-	}
 	n := &Node{
 		id:     core.ServerID(id),
 		cfg:    cfg,
@@ -240,10 +253,14 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// serveConn handles one inbound connection (client or peer).
+// serveConn handles one inbound connection (client or peer). Responses are
+// pre-encoded into pooled frames and coalesced by the connection's writer
+// goroutine; replica-local requests are served inline on the read loop when
+// no artificial delay is configured (goroutine-per-frame costs more than the
+// storage read itself), while coordinator requests always dispatch so reads
+// stay concurrent across replicas.
 func (n *Node) serveConn(conn net.Conn) {
 	defer n.wg.Done()
-	defer conn.Close()
 	n.connsMu.Lock()
 	n.conns[conn] = struct{}{}
 	n.connsMu.Unlock()
@@ -252,71 +269,159 @@ func (n *Node) serveConn(conn net.Conn) {
 		delete(n.conns, conn)
 		n.connsMu.Unlock()
 	}()
+	cw := newConnWriter(conn)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		cw.loop()
+	}()
+	defer cw.close()
+	defer conn.Close() // runs before cw.close, unblocking a stuck writer
 	r := wire.NewReader(conn)
-	w := wire.NewWriter(conn)
-	var wmu sync.Mutex
 	for {
 		typ, payload, err := r.Next()
 		if err != nil {
 			return
 		}
+		// Parsed Keys and Values alias the frame buffer (valid until the
+		// next r.Next): inline handlers may use them directly, dispatched
+		// handlers get copies.
 		switch typ {
 		case wire.MsgRead:
 			m, err := wire.ParseReadReq(payload)
 			if err != nil {
 				return
 			}
+			m.Key = strings.Clone(m.Key)
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				resp := n.coordinateRead(m)
-				wmu.Lock()
-				defer wmu.Unlock()
-				w.WriteReadResp(resp)
+				n.respondCoordRead(cw, m)
 			}()
 		case wire.MsgReadInternal:
 			m, err := wire.ParseReadReq(payload)
 			if err != nil {
 				return
 			}
+			if n.inlineLocalReads() {
+				n.respondLocalRead(cw, m)
+				continue
+			}
+			m.Key = strings.Clone(m.Key)
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				resp := n.localRead(m)
-				wmu.Lock()
-				defer wmu.Unlock()
-				w.WriteReadResp(resp)
+				n.respondLocalRead(cw, m)
 			}()
 		case wire.MsgWrite:
 			m, err := wire.ParseWriteReq(payload)
 			if err != nil {
 				return
 			}
+			m.Key = strings.Clone(m.Key)
+			vb := getBuf()
+			*vb = append((*vb)[:0], m.Value...)
+			m.Value = *vb
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				resp := n.coordinateWrite(m)
-				wmu.Lock()
-				defer wmu.Unlock()
-				w.WriteWriteResp(resp)
+				n.respondCoordWrite(cw, m, vb)
 			}()
 		case wire.MsgWriteInternal:
 			m, err := wire.ParseWriteReq(payload)
 			if err != nil {
 				return
 			}
+			// Dispatched, unlike local reads: a Put can trigger a memtable
+			// flush or compaction, which must not stall every pipelined
+			// frame on this link.
+			m.Key = strings.Clone(m.Key)
+			vb := getBuf()
+			*vb = append((*vb)[:0], m.Value...)
+			m.Value = *vb
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				resp := n.localWrite(m)
-				wmu.Lock()
-				defer wmu.Unlock()
-				w.WriteWriteResp(resp)
+				n.respondLocalWrite(cw, m, vb)
 			}()
 		default:
 			return // protocol error: drop the connection
 		}
 	}
+}
+
+// inlineLocalReads reports whether replica-local reads are served on the
+// connection's read loop. Any configured storage delay or injected slowdown
+// restores per-frame dispatch so a slow read does not serialize the link.
+func (n *Node) inlineLocalReads() bool {
+	return n.cfg.ReadDelayMean == 0 && n.slowNs.Load() == 0
+}
+
+// respondLocalRead serves a replica-local read and enqueues the response,
+// streaming the value straight from the LSM store into the frame buffer —
+// no intermediate value copy.
+func (n *Node) respondLocalRead(cw *connWriter, m wire.ReadReq) {
+	start := n.beginRead()
+	fb := getBuf()
+	b, mark := wire.BeginReadResp((*fb)[:0], m.ID)
+	b, found := n.store.GetAppend(b, m.Key)
+	b, err := wire.FinishReadResp(b, mark, found, n.finishRead(start))
+	if err != nil {
+		putBuf(fb)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}
+
+// respondCoordRead coordinates a client read and enqueues the response. The
+// value — whether fetched from a replica or served from the local store —
+// is appended directly onto the open response frame, so the coordinator
+// adds no extra value copy.
+func (n *Node) respondCoordRead(cw *connWriter, m wire.ReadReq) {
+	fb := getBuf()
+	b, mark := wire.BeginReadResp((*fb)[:0], m.ID)
+	resp := n.coordinateRead(m, b)
+	if resp.Value != nil {
+		b = resp.Value // the frame extended by the value (possibly regrown)
+	}
+	b, err := wire.FinishReadResp(b, mark, resp.Found, resp.FB)
+	if err != nil {
+		putBuf(fb)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}
+
+// respondLocalWrite applies a replica-local write and enqueues the ack. vb
+// is the pooled buffer holding m.Value, recycled here.
+func (n *Node) respondLocalWrite(cw *connWriter, m wire.WriteReq, vb *[]byte) {
+	resp := n.localWrite(m)
+	putBuf(vb)
+	fb := getBuf()
+	b, err := wire.AppendWriteResp((*fb)[:0], resp)
+	if err != nil {
+		putBuf(fb)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}
+
+// respondCoordWrite coordinates a client write and enqueues the ack. vb is
+// the pooled buffer holding m.Value; coordinateWrite recycles it once every
+// replica write has finished with it.
+func (n *Node) respondCoordWrite(cw *connWriter, m wire.WriteReq, vb *[]byte) {
+	resp := n.coordinateWrite(m, vb)
+	fb := getBuf()
+	b, err := wire.AppendWriteResp((*fb)[:0], resp)
+	if err != nil {
+		putBuf(fb)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
 }
 
 // feedback samples the node's current C3 feedback fields.
@@ -328,14 +433,30 @@ func (n *Node) feedback() wire.Feedback {
 }
 
 // localRead serves a replica-local read with queue accounting, artificial
-// disk delay, and feedback sampling — the server half of C3 (§3.1).
-func (n *Node) localRead(m wire.ReadReq) wire.ReadResp {
+// disk delay, and feedback sampling — the server half of C3 (§3.1). The
+// value is appended to dst (the coordinator's open response frame when it
+// serves one of its own keys).
+func (n *Node) localRead(m wire.ReadReq, dst []byte) wire.ReadResp {
+	start := n.beginRead()
+	val, ok := n.store.GetAppend(dst, m.Key)
+	return wire.ReadResp{ID: m.ID, Found: ok, Value: val, FB: n.finishRead(start)}
+}
+
+// beginRead is the server half's prologue: queue accounting plus the
+// artificial storage delay. Every beginRead pairs with exactly one
+// finishRead, which undoes the queue accounting.
+func (n *Node) beginRead() time.Time {
 	n.pendingReads.Add(1)
 	start := time.Now()
 	if d := n.readDelay(); d > 0 {
 		time.Sleep(d)
 	}
-	val, ok := n.store.Get(m.Key)
+	return start
+}
+
+// finishRead completes the server half of a read: queue accounting, the
+// smoothed service-time update, and a post-read feedback sample.
+func (n *Node) finishRead(start time.Time) wire.Feedback {
 	svc := time.Since(start)
 	n.pendingReads.Add(-1)
 	n.served.Add(1)
@@ -343,7 +464,7 @@ func (n *Node) localRead(m wire.ReadReq) wire.ReadResp {
 	// small races only blur the estimate.
 	old := n.svcNs.Load()
 	n.svcNs.Store(uint64(0.2*float64(svc) + 0.8*float64(old)))
-	return wire.ReadResp{ID: m.ID, Found: ok, Value: val, FB: n.feedback()}
+	return n.feedback()
 }
 
 // readDelay draws the configured artificial storage delay plus any injected
@@ -358,15 +479,17 @@ func (n *Node) readDelay() time.Duration {
 	return time.Duration(d + n.slowNs.Load())
 }
 
-// localWrite applies a replica-local write.
+// localWrite applies a replica-local write. The key must not alias a frame
+// buffer (the memtable retains it); the value may, Put copies it.
 func (n *Node) localWrite(m wire.WriteReq) wire.WriteResp {
 	n.store.Put(m.Key, m.Value)
 	return wire.WriteResp{ID: m.ID, FB: n.feedback()}
 }
 
 // coordinateRead is Algorithm 1 over real TCP: rank the key's replica group,
-// wait for a rate token under backpressure, forward, record feedback.
-func (n *Node) coordinateRead(m wire.ReadReq) wire.ReadResp {
+// wait for a rate token under backpressure, forward, record feedback. The
+// value of the response is appended to dst.
+func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) wire.ReadResp {
 	n.coord.Add(1)
 	group := n.ring.ReplicasFor([]byte(m.Key), nil)
 	deadline := time.Now().Add(n.cfg.BackpressureTimeout)
@@ -381,10 +504,11 @@ func (n *Node) coordinateRead(m wire.ReadReq) wire.ReadResp {
 		}
 		waited = true
 		if time.Now().After(deadline) {
-			// Fail open: rank without consuming a token so the
-			// request cannot starve.
-			target = group[0]
-			n.sel.OnSend(target, now)
+			// Fail open: take the ranker's current best without
+			// consuming a token so the request cannot starve. Unlike
+			// sending to group[0], timeout traffic still spreads by
+			// replica quality instead of piling onto one server.
+			target, _ = n.sel.PickBest(group, now)
 			break
 		}
 		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
@@ -409,13 +533,18 @@ func (n *Node) coordinateRead(m wire.ReadReq) wire.ReadResp {
 				n.wg.Add(1)
 				go func() {
 					defer n.wg.Done()
+					rb := getBuf()
 					sent := time.Now()
-					if out, err := n.rpcRead(s, m); err == nil {
+					if out, err := n.rpcRead(s, m, (*rb)[:0]); err == nil {
 						n.sel.OnResponse(s, core.Feedback{
 							QueueSize:   out.FB.QueueSize,
 							ServiceTime: time.Duration(out.FB.ServiceNs),
 						}, time.Since(sent), time.Now().UnixNano())
+						if out.Value != nil {
+							*rb = out.Value[:0]
+						}
 					}
+					putBuf(rb)
 				}()
 			}
 		}
@@ -423,15 +552,15 @@ func (n *Node) coordinateRead(m wire.ReadReq) wire.ReadResp {
 	sent := time.Now()
 	var resp wire.ReadResp
 	if target == n.id {
-		resp = n.localRead(m)
+		resp = n.localRead(m, dst)
 	} else {
-		out, err := n.rpcRead(target, m)
+		out, err := n.rpcRead(target, m, dst)
 		if err != nil {
 			// Peer unreachable: serve from the next replica and
 			// record a punishing response time for the ranker.
 			n.sel.OnResponse(target, core.Feedback{QueueSize: 1e6,
 				ServiceTime: time.Second}, time.Second, time.Now().UnixNano())
-			return n.readFallback(m, group, target)
+			return n.readFallback(m, group, target, dst)
 		}
 		resp = out
 	}
@@ -444,15 +573,15 @@ func (n *Node) coordinateRead(m wire.ReadReq) wire.ReadResp {
 }
 
 // readFallback tries the remaining replicas in order after an RPC failure.
-func (n *Node) readFallback(m wire.ReadReq, group []core.ServerID, failed core.ServerID) wire.ReadResp {
+func (n *Node) readFallback(m wire.ReadReq, group []core.ServerID, failed core.ServerID, dst []byte) wire.ReadResp {
 	for _, s := range group {
 		if s == failed {
 			continue
 		}
 		if s == n.id {
-			return n.localRead(m)
+			return n.localRead(m, dst)
 		}
-		if out, err := n.rpcRead(s, m); err == nil {
+		if out, err := n.rpcRead(s, m, dst); err == nil {
 			out.ID = m.ID
 			return out
 		}
@@ -461,15 +590,26 @@ func (n *Node) readFallback(m wire.ReadReq, group []core.ServerID, failed core.S
 }
 
 // coordinateWrite fans a write to all replicas and acknowledges on the first
-// success (CL=ONE), completing the rest in the background.
-func (n *Node) coordinateWrite(m wire.WriteReq) wire.WriteResp {
+// success (CL=ONE), completing the rest in the background. vb, when not nil,
+// is the pooled buffer backing m.Value; it is recycled once every replica
+// write — including the post-ack background ones — has finished with it.
+func (n *Node) coordinateWrite(m wire.WriteReq, vb *[]byte) wire.WriteResp {
 	group := n.ring.ReplicasFor([]byte(m.Key), nil)
 	first := make(chan wire.WriteResp, len(group))
+	// Refcount the value buffer across the fan-out: the last replica write
+	// to finish recycles it.
+	remaining := new(atomic.Int32)
+	remaining.Store(int32(len(group)))
 	for _, s := range group {
 		s := s
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
+			defer func() {
+				if remaining.Add(-1) == 0 {
+					putBuf(vb)
+				}
+			}()
 			if s == n.id {
 				first <- n.localWrite(m)
 				return
@@ -509,12 +649,12 @@ func (n *Node) peer(id core.ServerID) (*rpcConn, error) {
 	return p, nil
 }
 
-func (n *Node) rpcRead(id core.ServerID, m wire.ReadReq) (wire.ReadResp, error) {
+func (n *Node) rpcRead(id core.ServerID, m wire.ReadReq, dst []byte) (wire.ReadResp, error) {
 	p, err := n.peer(id)
 	if err != nil {
 		return wire.ReadResp{}, err
 	}
-	return p.read(m.Key)
+	return p.read(m.Key, dst)
 }
 
 func (n *Node) rpcWrite(id core.ServerID, m wire.WriteReq) (wire.WriteResp, error) {
@@ -531,16 +671,21 @@ type Cluster struct {
 }
 
 // StartCluster boots n nodes with the shared config on 127.0.0.1 ports.
+// Listeners are bound once and handed to the nodes, so no other process can
+// grab a port between reservation and startup.
 func StartCluster(nodes int, cfg Config) (*Cluster, error) {
 	if nodes < 1 {
 		return nil, errors.New("kvstore: need at least one node")
 	}
-	// Reserve addresses first so every node knows the full topology.
+	// Reserve every port first so all nodes know the full topology.
 	lns := make([]net.Listener, nodes)
 	addrs := make([]string, nodes)
 	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			for _, bound := range lns[:i] {
+				bound.Close()
+			}
 			return nil, err
 		}
 		lns[i] = ln
@@ -548,15 +693,14 @@ func StartCluster(nodes int, cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{}
 	for i := range lns {
-		lns[i].Close() // free the port for the node to rebind
-		n, err := StartNode(i, addrs, cfg)
+		n, err := StartNodeWithListener(i, addrs, lns[i], cfg)
 		if err != nil {
+			for _, ln := range lns[i+1:] {
+				ln.Close()
+			}
 			c.Close()
 			return nil, err
 		}
-		// Rebinding may race with another process grabbing the port;
-		// in practice on loopback this is reliable enough for tests.
-		addrs[i] = n.Addr()
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c, nil

@@ -12,38 +12,105 @@ import (
 // rpcConn is a pipelined request/response connection: many in-flight
 // requests multiplex over one TCP stream, matched back by request id. Both
 // coordinator→replica links and the external Client use it.
+//
+// The round trip is allocation-free in steady state: requests are encoded
+// into pooled frame buffers and coalesced by the connection's writer
+// goroutine; responses are matched through a sharded pending table to pooled
+// call records with reusable completion channels, and read values are
+// appended directly into the destination buffer the caller supplied.
 type rpcConn struct {
 	conn net.Conn
-	w    *wire.Writer
-	wmu  sync.Mutex
+	cw   *connWriter
 
-	mu      sync.Mutex
-	pending map[uint64]chan any // ReadResp or WriteResp
-	isDead  bool
+	shards [pendingShards]pendingShard
 
+	isDead atomic.Bool
 	nextID atomic.Uint64
 }
 
-var errConnDead = errors.New("kvstore: connection closed")
+// pendingShards spreads the pending table's lock across cores (must be a
+// power of two).
+const pendingShards = 8
+
+type pendingShard struct {
+	mu     sync.Mutex
+	m      map[uint64]*call
+	failed bool
+}
+
+// call is one in-flight RPC. Records are pooled; delivery is exactly-once
+// (a call is removed from the pending table under its shard lock before it
+// is signalled), so a recycled record can never receive a stale response.
+type call struct {
+	done   chan struct{} // buffered(1); reused across lives
+	dst    []byte        // read-value destination: read.Value = append(dst, value...)
+	isRead bool
+	read   wire.ReadResp
+	write  wire.WriteResp
+	err    error
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+func getCall(isRead bool, dst []byte) *call {
+	c := callPool.Get().(*call)
+	c.isRead = isRead
+	c.dst = dst
+	return c
+}
+
+func putCall(c *call) {
+	c.dst = nil
+	c.read = wire.ReadResp{}
+	c.write = wire.WriteResp{}
+	c.err = nil
+	callPool.Put(c)
+}
+
+var (
+	errConnDead       = errors.New("kvstore: connection closed")
+	errMismatchedResp = errors.New("kvstore: mismatched response type")
+)
 
 func newRPCConn(conn net.Conn) *rpcConn {
-	p := &rpcConn{
-		conn:    conn,
-		w:       wire.NewWriter(conn),
-		pending: make(map[uint64]chan any),
+	p := &rpcConn{conn: conn, cw: newConnWriter(conn)}
+	for i := range p.shards {
+		p.shards[i].m = make(map[uint64]*call)
 	}
+	go p.cw.loop()
 	go p.readLoop()
 	return p
 }
 
-func (p *rpcConn) dead() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.isDead
+func (p *rpcConn) dead() bool { return p.isDead.Load() }
+
+func (p *rpcConn) close() { p.conn.Close() }
+
+func (p *rpcConn) shard(id uint64) *pendingShard { return &p.shards[id&(pendingShards-1)] }
+
+// register installs c under a fresh request id.
+func (p *rpcConn) register(c *call) (uint64, error) {
+	id := p.nextID.Add(1)
+	s := p.shard(id)
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return 0, errConnDead
+	}
+	s.m[id] = c
+	s.mu.Unlock()
+	return id, nil
 }
 
-func (p *rpcConn) close() {
-	p.conn.Close()
+// take removes and returns the call registered under id, or nil if it is
+// gone (already delivered or failed).
+func (p *rpcConn) take(id uint64) *call {
+	s := p.shard(id)
+	s.mu.Lock()
+	c := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	return c
 }
 
 // readLoop demultiplexes responses to their waiters; on error it fails every
@@ -56,100 +123,122 @@ func (p *rpcConn) readLoop() {
 			p.failAll()
 			return
 		}
-		var id uint64
-		var msg any
 		switch typ {
 		case wire.MsgReadResp:
-			m, err := wire.ParseReadResp(payload)
+			m, err := wire.ParseReadResp(payload) // Value aliases payload
 			if err != nil {
 				p.failAll()
 				return
 			}
-			id, msg = m.ID, m
+			c := p.take(m.ID)
+			if c == nil {
+				continue
+			}
+			if !c.isRead {
+				c.err = errMismatchedResp
+				c.done <- struct{}{}
+				p.failAll()
+				return
+			}
+			c.read = m
+			// Copy the value out of the frame buffer into the waiter's
+			// destination before the buffer is reused by the next frame.
+			c.read.Value = append(c.dst, m.Value...)
+			c.done <- struct{}{}
 		case wire.MsgWriteResp:
 			m, err := wire.ParseWriteResp(payload)
 			if err != nil {
 				p.failAll()
 				return
 			}
-			id, msg = m.ID, m
+			c := p.take(m.ID)
+			if c == nil {
+				continue
+			}
+			if c.isRead {
+				c.err = errMismatchedResp
+				c.done <- struct{}{}
+				p.failAll()
+				return
+			}
+			c.write = m
+			c.done <- struct{}{}
 		default:
 			p.failAll()
 			return
 		}
-		p.mu.Lock()
-		ch, ok := p.pending[id]
-		delete(p.pending, id)
-		p.mu.Unlock()
-		if ok {
-			ch <- msg
+	}
+}
+
+// failAll severs the connection and fails every outstanding call exactly
+// once. Safe to run concurrently with registrations and deliveries: shards
+// are marked failed under their locks, so no new call can slip in after its
+// shard was drained.
+func (p *rpcConn) failAll() {
+	p.isDead.Store(true)
+	p.conn.Close()
+	p.cw.close()
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.failed = true
+		calls := make([]*call, 0, len(s.m))
+		for id, c := range s.m {
+			calls = append(calls, c)
+			delete(s.m, id)
+		}
+		s.mu.Unlock()
+		for _, c := range calls {
+			c.err = errConnDead
+			c.done <- struct{}{}
 		}
 	}
 }
 
-func (p *rpcConn) failAll() {
-	p.conn.Close()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.isDead = true
-	for id, ch := range p.pending {
-		close(ch)
-		delete(p.pending, id)
+// abort cleans up a registered call whose request never made it out. If the
+// call is already claimed (a concurrent failAll), the claimant owns delivery:
+// consume its signal so the pooled record carries no stale wakeup.
+func (p *rpcConn) abort(c *call, id uint64) {
+	if p.take(id) == nil {
+		<-c.done
 	}
+	putCall(c)
 }
 
-// register allocates an id and a response channel.
-func (p *rpcConn) register() (uint64, chan any, error) {
-	id := p.nextID.Add(1)
-	ch := make(chan any, 1)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.isDead {
-		return 0, nil, errConnDead
-	}
-	p.pending[id] = ch
-	return id, ch, nil
-}
-
-func (p *rpcConn) await(ch chan any) (any, error) {
-	msg, ok := <-ch
-	if !ok {
-		return nil, errConnDead
-	}
-	return msg, nil
-}
-
-// read performs an internal (replica-local) read RPC.
-func (p *rpcConn) read(key string) (wire.ReadResp, error) {
-	return p.readTyped(wire.MsgReadInternal, key)
+// read performs an internal (replica-local) read RPC. The response value is
+// appended to dst; passing nil allocates a fresh caller-owned buffer.
+func (p *rpcConn) read(key string, dst []byte) (wire.ReadResp, error) {
+	return p.readTyped(wire.MsgReadInternal, key, dst)
 }
 
 // clientRead performs a coordinated read RPC (external client use).
-func (p *rpcConn) clientRead(key string) (wire.ReadResp, error) {
-	return p.readTyped(wire.MsgRead, key)
+func (p *rpcConn) clientRead(key string, dst []byte) (wire.ReadResp, error) {
+	return p.readTyped(wire.MsgRead, key, dst)
 }
 
-func (p *rpcConn) readTyped(typ uint8, key string) (wire.ReadResp, error) {
-	id, ch, err := p.register()
+func (p *rpcConn) readTyped(typ uint8, key string, dst []byte) (wire.ReadResp, error) {
+	c := getCall(true, dst)
+	id, err := p.register(c)
 	if err != nil {
+		putCall(c)
 		return wire.ReadResp{}, err
 	}
-	p.wmu.Lock()
-	err = p.w.WriteRead(typ, wire.ReadReq{ID: id, Key: key})
-	p.wmu.Unlock()
+	fb := getBuf()
+	b, err := wire.AppendReadReq((*fb)[:0], typ, wire.ReadReq{ID: id, Key: key})
 	if err != nil {
-		p.failAll()
+		putBuf(fb)
+		p.abort(c, id)
 		return wire.ReadResp{}, err
 	}
-	msg, err := p.await(ch)
-	if err != nil {
+	*fb = b
+	if err := p.cw.enqueue(fb); err != nil {
+		p.abort(c, id)
 		return wire.ReadResp{}, err
 	}
-	m, ok := msg.(wire.ReadResp)
-	if !ok {
-		return wire.ReadResp{}, errors.New("kvstore: mismatched response type")
-	}
-	return m, nil
+	<-c.done
+	resp, err := c.read, c.err
+	putCall(c)
+	return resp, err
 }
 
 // write performs an internal write RPC.
@@ -163,24 +252,26 @@ func (p *rpcConn) clientWrite(key string, val []byte) (wire.WriteResp, error) {
 }
 
 func (p *rpcConn) writeTyped(typ uint8, key string, val []byte) (wire.WriteResp, error) {
-	id, ch, err := p.register()
+	c := getCall(false, nil)
+	id, err := p.register(c)
 	if err != nil {
+		putCall(c)
 		return wire.WriteResp{}, err
 	}
-	p.wmu.Lock()
-	err = p.w.WriteWrite(typ, wire.WriteReq{ID: id, Key: key, Value: val})
-	p.wmu.Unlock()
+	fb := getBuf()
+	b, err := wire.AppendWriteReq((*fb)[:0], typ, wire.WriteReq{ID: id, Key: key, Value: val})
 	if err != nil {
-		p.failAll()
+		putBuf(fb)
+		p.abort(c, id)
 		return wire.WriteResp{}, err
 	}
-	msg, err := p.await(ch)
-	if err != nil {
+	*fb = b
+	if err := p.cw.enqueue(fb); err != nil {
+		p.abort(c, id)
 		return wire.WriteResp{}, err
 	}
-	m, ok := msg.(wire.WriteResp)
-	if !ok {
-		return wire.WriteResp{}, errors.New("kvstore: mismatched response type")
-	}
-	return m, nil
+	<-c.done
+	resp, err := c.write, c.err
+	putCall(c)
+	return resp, err
 }

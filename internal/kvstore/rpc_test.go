@@ -1,0 +1,223 @@
+package kvstore
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"c3/internal/wire"
+)
+
+// fakeReplica serves MsgReadInternal/MsgWriteInternal on conn. Read values
+// are produced by val(key); a nil val echoes the key bytes. It exits on the
+// first connection error.
+func fakeReplica(conn net.Conn, val func(key string, dst []byte) []byte) {
+	defer conn.Close()
+	r := wire.NewReader(conn)
+	var frame []byte
+	var scratch []byte
+	for {
+		typ, payload, err := r.Next()
+		if err != nil {
+			return
+		}
+		var b []byte
+		switch typ {
+		case wire.MsgReadInternal, wire.MsgRead:
+			m, err := wire.ParseReadReq(payload)
+			if err != nil {
+				return
+			}
+			if val != nil {
+				scratch = val(m.Key, scratch[:0])
+			} else {
+				scratch = append(scratch[:0], m.Key...)
+			}
+			b, err = wire.AppendReadResp(frame[:0], wire.ReadResp{ID: m.ID, Found: true, Value: scratch})
+			if err != nil {
+				return
+			}
+		case wire.MsgWriteInternal, wire.MsgWrite:
+			m, err := wire.ParseWriteReq(payload)
+			if err != nil {
+				return
+			}
+			b, err = wire.AppendWriteResp(frame[:0], wire.WriteResp{ID: m.ID})
+			if err != nil {
+				return
+			}
+		default:
+			return
+		}
+		frame = b[:0]
+		if _, err := conn.Write(b); err != nil {
+			return
+		}
+	}
+}
+
+// TestRPCConnRoundTripZeroAllocs is the client half of the PR's allocation
+// budget: a steady-state pipelined RPC round trip — pooled call record,
+// pooled request frame, sharded pending table, value appended into the
+// caller's buffer — performs zero heap allocations.
+func TestRPCConnRoundTripZeroAllocs(t *testing.T) {
+	client, server := net.Pipe()
+	fixed := []byte("fixed-value-0123456789")
+	go fakeReplica(server, func(_ string, dst []byte) []byte { return append(dst, fixed...) })
+	p := newRPCConn(client)
+	defer p.close()
+
+	dst := make([]byte, 0, 256)
+	read := func() {
+		resp, err := p.read("steady-key", dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Found || len(resp.Value) != len(fixed) {
+			t.Fatalf("resp = %+v", resp)
+		}
+		dst = resp.Value[:0]
+	}
+	write := func() {
+		if _, err := p.write("steady-key", fixed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		read()
+		write()
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on channel handoffs")
+	}
+	if n := testing.AllocsPerRun(300, read); n > 0 {
+		t.Errorf("read round trip allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(300, write); n > 0 {
+		t.Errorf("write round trip allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestRPCConnPoolReuseUnderFailure hammers connections with concurrent
+// reads while killing the transport mid-flight, across enough rounds that
+// call records recycle through the pool between failures. Every read must
+// either fail with the connection error or return exactly the value for its
+// own key — a response delivered to a recycled waiter would surface as a
+// mismatched value or a stale wakeup panic.
+func TestRPCConnPoolReuseUnderFailure(t *testing.T) {
+	const rounds = 25
+	const workers = 8
+	for round := 0; round < rounds; round++ {
+		client, server := net.Pipe()
+		go fakeReplica(server, nil) // echo the key back as the value
+		p := newRPCConn(client)
+
+		var wg sync.WaitGroup
+		var okOps, failedOps atomic.Uint64
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					key := fmt.Sprintf("r%d-g%d-i%d", round, g, i)
+					resp, err := p.read(key, nil)
+					if err != nil {
+						failedOps.Add(1)
+						return
+					}
+					if string(resp.Value) != key {
+						t.Errorf("read %q returned %q: response crossed to the wrong waiter", key, resp.Value)
+						return
+					}
+					okOps.Add(1)
+				}
+			}(g)
+		}
+		time.Sleep(time.Duration(round%5) * time.Millisecond)
+		server.Close() // fail the transport mid-flight
+		wg.Wait()
+		if !p.dead() {
+			t.Fatal("connection not marked dead after transport failure")
+		}
+		if _, err := p.read("post-mortem", nil); err == nil {
+			t.Fatal("read on dead connection succeeded")
+		}
+		p.close()
+		if failedOps.Load() == 0 {
+			t.Fatalf("round %d: no operation observed the failure", round)
+		}
+	}
+}
+
+// TestRPCConnConcurrentPipelining: many goroutines multiplex one connection
+// and each gets its own answer back.
+func TestRPCConnConcurrentPipelining(t *testing.T) {
+	client, server := net.Pipe()
+	go fakeReplica(server, nil)
+	p := newRPCConn(client)
+	defer p.close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-i%d", g, i)
+				resp, err := p.read(key, nil)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if string(resp.Value) != key {
+					t.Errorf("read %q got %q", key, resp.Value)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestStartNodeWithListener: a pre-bound listener is adopted as-is — no
+// close-and-rebind race.
+func TestStartNodeWithListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	n, err := StartNodeWithListener(0, []string{addr}, ln, Config{RF: 1, Seed: 3})
+	if err != nil {
+		t.Fatalf("StartNodeWithListener: %v", err)
+	}
+	t.Cleanup(n.Close)
+	if n.Addr() != addr {
+		t.Fatalf("node rebound: %s != %s", n.Addr(), addr)
+	}
+	cl, err := Dial([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+
+	// Out-of-range ids still close the handed-over listener.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartNodeWithListener(5, []string{ln2.Addr().String()}, ln2, Config{}); err == nil {
+		t.Fatal("out-of-range node id accepted")
+	}
+	if err := ln2.Close(); err == nil {
+		t.Fatal("listener not closed on argument error")
+	}
+}

@@ -110,20 +110,33 @@ func (s *Store) putLocked(key string, val []byte) {
 	}
 }
 
-// Get reads the newest value of key, consulting the memtable and then each
-// run from newest to oldest, skipping runs whose Bloom filter excludes the
-// key.
+// Get reads the newest value of key into a fresh buffer, consulting the
+// memtable and then each run from newest to oldest, skipping runs whose
+// Bloom filter excludes the key.
 func (s *Store) Get(key string) ([]byte, bool) {
+	v, ok := s.GetAppend(nil, key)
+	if !ok {
+		return nil, false
+	}
+	if v == nil {
+		v = []byte{} // present but empty: stay distinguishable from missing
+	}
+	return v, true
+}
+
+// GetAppend appends the newest value of key to dst, reporting whether the
+// key exists (when it does not, dst is returned unchanged). This is Get
+// without the intermediate allocation: the TCP store streams values straight
+// into outgoing frame buffers with it.
+func (s *Store) GetAppend(dst []byte, key string) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	s.c.gets.Add(1)
 	if v, ok := s.mem[key]; ok {
 		if v == nil {
-			return nil, false
+			return dst, false
 		}
-		out := make([]byte, len(v))
-		copy(out, v)
-		return out, true
+		return append(dst, v...), true
 	}
 	for _, r := range s.runs {
 		if !r.bloom.MayContain(key) {
@@ -133,14 +146,12 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.c.runsConsulted.Add(1)
 		if v, ok := r.get(key); ok {
 			if v == nil {
-				return nil, false
+				return dst, false
 			}
-			out := make([]byte, len(v))
-			copy(out, v)
-			return out, true
+			return append(dst, v...), true
 		}
 	}
-	return nil, false
+	return dst, false
 }
 
 // Flush forces the memtable into a new run.

@@ -293,3 +293,35 @@ func BenchmarkGetHot(b *testing.B) {
 		s.Get(fmt.Sprintf("key-%d", i%10000))
 	}
 }
+
+func TestGetAppend(t *testing.T) {
+	s := Open(Options{})
+	s.Put("k", []byte("value"))
+	s.Put("empty", nil)
+	s.Delete("dead")
+
+	dst := []byte("prefix-")
+	out, ok := s.GetAppend(dst, "k")
+	if !ok || string(out) != "prefix-value" {
+		t.Fatalf("GetAppend = %q, %v", out, ok)
+	}
+	// Missing and tombstoned keys leave dst untouched.
+	if out, ok := s.GetAppend(dst, "nope"); ok || string(out) != "prefix-" {
+		t.Fatalf("missing: %q, %v", out, ok)
+	}
+	if out, ok := s.GetAppend(dst, "dead"); ok || string(out) != "prefix-" {
+		t.Fatalf("tombstone: %q, %v", out, ok)
+	}
+
+	// Values served from immutable runs append identically, and appending
+	// to the returned slice must never corrupt the stored value.
+	s.Flush()
+	out, ok = s.GetAppend(nil, "k")
+	if !ok || string(out) != "value" {
+		t.Fatalf("after flush: %q, %v", out, ok)
+	}
+	_ = append(out, "-scribble"...)
+	if v, ok := s.Get("k"); !ok || string(v) != "value" {
+		t.Fatalf("stored value corrupted: %q, %v", v, ok)
+	}
+}

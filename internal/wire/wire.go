@@ -11,6 +11,26 @@
 //	uint8   message type
 //	uint64  request id
 //	...     type-specific payload
+//
+// Read responses carry the value bytes *before* the feedback fields so a
+// server can stream the value straight out of its storage engine and only
+// then sample its queue-size/service-time feedback — the feedback describes
+// the state after the read completed, as in §3.1.
+//
+// # Hot-path contract
+//
+// The package is built for an allocation-free steady state:
+//
+//   - Encoding is exposed as pure append functions (AppendReadReq, …) that
+//     extend a caller-owned buffer, so connection writers can pool frame
+//     buffers and coalesce many frames per flush.
+//   - Writer no longer flushes per frame: frames accumulate in its buffer
+//     until an explicit Flush, amortizing write syscalls under load.
+//   - Decoding is zero-copy: parsed Value slices alias the input payload and
+//     parsed Key strings alias it via unsafe.String. Both are valid only
+//     until the frame buffer is reused (for Reader payloads: until the next
+//     call to Next). Callers that retain or escape them must copy
+//     (strings.Clone / append) first.
 package wire
 
 import (
@@ -20,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"unsafe"
 )
 
 // Message types.
@@ -40,11 +61,18 @@ const (
 // MaxFrame bounds a frame payload; anything larger is a protocol error.
 const MaxFrame = 16 << 20
 
-// Limits within a frame.
+// Limits within a frame. MaxKeyLen must fit the uint16 length prefix — a
+// 1<<16 key would silently wrap the prefix to 0 and corrupt the frame.
 const (
-	MaxKeyLen   = 1 << 16
+	MaxKeyLen   = 1<<16 - 1
 	MaxValueLen = 8 << 20
 )
+
+// MaxRetainedBuffer caps the frame buffer a Reader keeps across frames. A
+// single MaxFrame-sized frame would otherwise pin megabytes for the
+// connection's lifetime; after serving an oversized frame the Reader shrinks
+// back to this cap.
+const MaxRetainedBuffer = 64 << 10
 
 // ErrFrameTooLarge reports an oversized frame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
@@ -82,8 +110,141 @@ type WriteResp struct {
 	FB Feedback
 }
 
-// Writer frames outgoing messages onto a buffered writer. Not safe for
-// concurrent use; callers serialize.
+// --- encoding -------------------------------------------------------------
+
+// beginFrame appends the 5-byte frame header with a length placeholder,
+// returning the extended buffer and the header's offset for endFrame.
+func beginFrame(dst []byte, typ uint8) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, typ)
+	return dst, start
+}
+
+// endFrame patches the length prefix of the frame begun at start.
+func endFrame(dst []byte, start int) ([]byte, error) {
+	n := len(dst) - start - 4 // payload length, including the type byte
+	if n-1 > MaxFrame {
+		return dst[:start], ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(n))
+	return dst, nil
+}
+
+func appendU64(dst []byte, v uint64) []byte  { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte   { return appendU64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte { return appendU64(dst, math.Float64bits(v)) }
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendStr(dst []byte, s string) ([]byte, error) {
+	if len(s) > MaxKeyLen {
+		return dst, fmt.Errorf("wire: key length %d exceeds limit", len(s))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendBytes(dst []byte, b []byte) ([]byte, error) {
+	if len(b) > MaxValueLen {
+		return dst, fmt.Errorf("wire: value length %d exceeds limit", len(b))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...), nil
+}
+
+func appendFeedback(dst []byte, fb Feedback) []byte {
+	dst = appendF64(dst, fb.QueueSize)
+	return appendI64(dst, fb.ServiceNs)
+}
+
+// AppendReadReq appends a complete framed read request of the given type
+// (MsgRead or MsgReadInternal) to dst. On error dst is returned unchanged.
+func AppendReadReq(dst []byte, typ uint8, m ReadReq) ([]byte, error) {
+	dst, start := beginFrame(dst, typ)
+	dst, err := appendStr(appendU64(dst, m.ID), m.Key)
+	if err != nil {
+		return dst[:start], err
+	}
+	return endFrame(dst, start)
+}
+
+// AppendReadResp appends a complete framed read response to dst.
+func AppendReadResp(dst []byte, m ReadResp) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgReadResp)
+	dst = appendBool(appendU64(dst, m.ID), m.Found)
+	dst, err := appendBytes(dst, m.Value)
+	if err != nil {
+		return dst[:start], err
+	}
+	return endFrame(appendFeedback(dst, m.FB), start)
+}
+
+// ReadRespMark tracks an in-progress streamed read response between
+// BeginReadResp and FinishReadResp.
+type ReadRespMark struct{ start, foundAt, lenAt int }
+
+// BeginReadResp starts a read-response frame whose value bytes the caller
+// appends directly — the zero-copy server path: the storage engine writes
+// the value straight into the outgoing frame buffer. Append only, then call
+// FinishReadResp with the same mark.
+func BeginReadResp(dst []byte, id uint64) ([]byte, ReadRespMark) {
+	dst, start := beginFrame(dst, MsgReadResp)
+	dst = appendU64(dst, id)
+	m := ReadRespMark{start: start, foundAt: len(dst)}
+	dst = append(dst, 0)
+	m.lenAt = len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	return dst, m
+}
+
+// FinishReadResp completes a frame begun with BeginReadResp: it patches the
+// found flag and value length, then appends the feedback — sampled after the
+// value was produced, so it reflects the post-read server state. On error
+// dst is returned with the partial frame removed.
+func FinishReadResp(dst []byte, m ReadRespMark, found bool, fb Feedback) ([]byte, error) {
+	vlen := len(dst) - m.lenAt - 4
+	if vlen < 0 {
+		return dst[:m.start], errors.New("wire: value bytes truncated the buffer")
+	}
+	if vlen > MaxValueLen {
+		return dst[:m.start], fmt.Errorf("wire: value length %d exceeds limit", vlen)
+	}
+	if found {
+		dst[m.foundAt] = 1
+	}
+	binary.LittleEndian.PutUint32(dst[m.lenAt:m.lenAt+4], uint32(vlen))
+	return endFrame(appendFeedback(dst, fb), m.start)
+}
+
+// AppendWriteReq appends a complete framed write request of the given type
+// (MsgWrite or MsgWriteInternal) to dst.
+func AppendWriteReq(dst []byte, typ uint8, m WriteReq) ([]byte, error) {
+	dst, start := beginFrame(dst, typ)
+	dst, err := appendStr(appendU64(dst, m.ID), m.Key)
+	if err != nil {
+		return dst[:start], err
+	}
+	if dst, err = appendBytes(dst, m.Value); err != nil {
+		return dst[:start], err
+	}
+	return endFrame(dst, start)
+}
+
+// AppendWriteResp appends a complete framed write acknowledgement to dst.
+func AppendWriteResp(dst []byte, m WriteResp) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgWriteResp)
+	return endFrame(appendFeedback(appendU64(dst, m.ID), m.FB), start)
+}
+
+// Writer frames outgoing messages into a buffer. Frames accumulate until an
+// explicit Flush — a per-connection writer goroutine coalesces many frames
+// per flush to amortize write syscalls. Not safe for concurrent use; callers
+// serialize.
 type Writer struct {
 	w   *bufio.Writer
 	buf []byte
@@ -94,100 +255,62 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriter(w)}
 }
 
-func (w *Writer) flushFrame(typ uint8) error {
-	if len(w.buf) > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(w.buf)+1))
-	hdr[4] = typ
-	if _, err := w.w.Write(hdr[:]); err != nil {
+// Flush pushes every buffered frame to the underlying writer in one write.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Buffered reports how many framed bytes await a Flush.
+func (w *Writer) Buffered() int { return w.w.Buffered() }
+
+// WriteRaw buffers one already-encoded frame (built by the Append*
+// functions). The frame bytes are copied; the caller may recycle them.
+func (w *Writer) WriteRaw(frame []byte) error {
+	_, err := w.w.Write(frame)
+	return err
+}
+
+// buffer stashes an encoded frame, retaining the (possibly grown) scratch
+// buffer for the next message — unless it grew past MaxRetainedBuffer, so
+// one oversized message does not pin its memory for the Writer's lifetime.
+func (w *Writer) buffer(b []byte, err error) error {
+	if err != nil {
 		return err
 	}
-	if _, err := w.w.Write(w.buf); err != nil {
-		return err
+	if cap(b) <= MaxRetainedBuffer {
+		w.buf = b[:0]
+	} else {
+		w.buf = nil
 	}
-	return w.w.Flush()
+	_, err = w.w.Write(b)
+	return err
 }
 
-func (w *Writer) reset() { w.buf = w.buf[:0] }
-
-func (w *Writer) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
-func (w *Writer) i64(v int64)   { w.u64(uint64(v)) }
-func (w *Writer) f64(v float64) { w.u64(math.Float64bits(v)) }
-func (w *Writer) u8(v uint8)    { w.buf = append(w.buf, v) }
-func (w *Writer) str(s string) error {
-	if len(s) > MaxKeyLen {
-		return fmt.Errorf("wire: key length %d exceeds limit", len(s))
-	}
-	w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(s)))
-	w.buf = append(w.buf, s...)
-	return nil
-}
-func (w *Writer) bytes(b []byte) error {
-	if len(b) > MaxValueLen {
-		return fmt.Errorf("wire: value length %d exceeds limit", len(b))
-	}
-	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(b)))
-	w.buf = append(w.buf, b...)
-	return nil
-}
-
-// WriteRead sends a read request frame of the given type (MsgRead or
+// WriteRead buffers a read request frame of the given type (MsgRead or
 // MsgReadInternal).
 func (w *Writer) WriteRead(typ uint8, m ReadReq) error {
-	w.reset()
-	w.u64(m.ID)
-	if err := w.str(m.Key); err != nil {
-		return err
-	}
-	return w.flushFrame(typ)
+	return w.buffer(AppendReadReq(w.buf[:0], typ, m))
 }
 
-// WriteReadResp sends a read response.
+// WriteReadResp buffers a read response.
 func (w *Writer) WriteReadResp(m ReadResp) error {
-	w.reset()
-	w.u64(m.ID)
-	if m.Found {
-		w.u8(1)
-	} else {
-		w.u8(0)
-	}
-	w.f64(m.FB.QueueSize)
-	w.i64(m.FB.ServiceNs)
-	if err := w.bytes(m.Value); err != nil {
-		return err
-	}
-	return w.flushFrame(MsgReadResp)
+	return w.buffer(AppendReadResp(w.buf[:0], m))
 }
 
-// WriteWrite sends a write request frame of the given type (MsgWrite or
+// WriteWrite buffers a write request frame of the given type (MsgWrite or
 // MsgWriteInternal).
 func (w *Writer) WriteWrite(typ uint8, m WriteReq) error {
-	w.reset()
-	w.u64(m.ID)
-	if err := w.str(m.Key); err != nil {
-		return err
-	}
-	if err := w.bytes(m.Value); err != nil {
-		return err
-	}
-	return w.flushFrame(typ)
+	return w.buffer(AppendWriteReq(w.buf[:0], typ, m))
 }
 
-// WriteWriteResp sends a write acknowledgement.
+// WriteWriteResp buffers a write acknowledgement.
 func (w *Writer) WriteWriteResp(m WriteResp) error {
-	w.reset()
-	w.u64(m.ID)
-	w.f64(m.FB.QueueSize)
-	w.i64(m.FB.ServiceNs)
-	return w.flushFrame(MsgWriteResp)
+	return w.buffer(AppendWriteResp(w.buf[:0], m))
 }
 
 // Reader parses incoming frames. Not safe for concurrent use.
 type Reader struct {
 	r   *bufio.Reader
 	buf []byte
+	hdr [5]byte // header scratch; a field so it does not escape per call
 }
 
 // NewReader wraps r.
@@ -195,23 +318,37 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
-// Next reads one frame, returning its type and payload. The payload slice is
-// reused across calls.
+// Reset redirects the Reader to a new source, retaining its buffers — this
+// is what makes a steady-state decode loop allocation-free (see the
+// AllocsPerRun round-trip test) and supports future connection reuse.
+func (r *Reader) Reset(src io.Reader) { r.r.Reset(src) }
+
+// Next reads one frame, returning its type and payload. The payload aliases
+// the Reader's internal buffer and is valid only until the next call to
+// Next; anything parsed out of it that must outlive the frame (Key strings,
+// Value slices — see the package contract) has to be copied. Frames larger
+// than MaxRetainedBuffer are served from a temporary buffer that is shrunk
+// back afterwards, so one oversized frame does not pin its memory for the
+// connection's lifetime.
 func (r *Reader) Next() (uint8, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
+	n := binary.LittleEndian.Uint32(r.hdr[:4])
 	if n < 1 || n > MaxFrame {
 		return 0, nil, ErrFrameTooLarge
 	}
-	typ := hdr[4]
+	typ := r.hdr[4]
 	body := int(n) - 1
-	if cap(r.buf) < body {
+	switch {
+	case cap(r.buf) < body:
 		r.buf = make([]byte, body)
+	case body <= MaxRetainedBuffer && cap(r.buf) > MaxRetainedBuffer:
+		// A past oversized frame grew the buffer; shrink back to the cap.
+		r.buf = make([]byte, body, MaxRetainedBuffer)
+	default:
+		r.buf = r.buf[:body]
 	}
-	r.buf = r.buf[:body]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
 		return 0, nil, err
 	}
@@ -249,19 +386,30 @@ func (d *decoder) u8() uint8 {
 	d.b = d.b[1:]
 	return v
 }
+
+// str returns a string aliasing the payload (zero-copy). The string is valid
+// only as long as the payload's backing buffer; retainers must
+// strings.Clone.
 func (d *decoder) str() string {
 	if !d.need(2) {
 		return ""
 	}
 	n := int(binary.LittleEndian.Uint16(d.b))
 	d.b = d.b[2:]
+	if n == 0 {
+		return ""
+	}
 	if !d.need(n) {
 		return ""
 	}
-	s := string(d.b[:n])
+	s := unsafe.String(&d.b[0], n)
 	d.b = d.b[n:]
 	return s
 }
+
+// bytes returns a slice aliasing the payload (zero-copy, capacity clamped so
+// appends cannot scribble on the rest of the frame). Valid only as long as
+// the payload's backing buffer; retainers must copy.
 func (d *decoder) bytes() []byte {
 	if !d.need(4) {
 		return nil
@@ -272,31 +420,33 @@ func (d *decoder) bytes() []byte {
 		d.err = errors.New("wire: bad value length")
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.b[:n])
+	out := d.b[:n:n]
 	d.b = d.b[n:]
 	return out
 }
 
-// ParseReadReq decodes a MsgRead/MsgReadInternal payload.
+// ParseReadReq decodes a MsgRead/MsgReadInternal payload. The returned Key
+// aliases b (see the package contract).
 func ParseReadReq(b []byte) (ReadReq, error) {
 	d := decoder{b: b}
 	m := ReadReq{ID: d.u64(), Key: d.str()}
 	return m, d.err
 }
 
-// ParseReadResp decodes a MsgReadResp payload.
+// ParseReadResp decodes a MsgReadResp payload. The returned Value aliases b
+// (see the package contract).
 func ParseReadResp(b []byte) (ReadResp, error) {
 	d := decoder{b: b}
 	m := ReadResp{ID: d.u64()}
 	m.Found = d.u8() == 1
+	m.Value = d.bytes()
 	m.FB.QueueSize = d.f64()
 	m.FB.ServiceNs = d.i64()
-	m.Value = d.bytes()
 	return m, d.err
 }
 
-// ParseWriteReq decodes a MsgWrite/MsgWriteInternal payload.
+// ParseWriteReq decodes a MsgWrite/MsgWriteInternal payload. The returned
+// Key and Value alias b (see the package contract).
 func ParseWriteReq(b []byte) (WriteReq, error) {
 	d := decoder{b: b}
 	m := WriteReq{ID: d.u64(), Key: d.str()}

@@ -15,6 +15,9 @@ func roundtrip(t *testing.T, send func(*Writer) error) (uint8, []byte) {
 	if err := send(w); err != nil {
 		t.Fatalf("send: %v", err)
 	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
 	r := NewReader(&buf)
 	typ, payload, err := r.Next()
 	if err != nil {
@@ -103,6 +106,12 @@ func TestMultipleFramesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if w.Buffered() == 0 {
+		t.Fatal("frames flushed eagerly; want coalescing until Flush")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	r := NewReader(&buf)
 	for i := uint64(0); i < 10; i++ {
 		typ, payload, err := r.Next()
@@ -123,6 +132,9 @@ func TestTruncatedFrameDetected(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	if err := w.WriteReadResp(ReadResp{ID: 1, Found: true, Value: []byte("xyz")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
@@ -177,6 +189,9 @@ func TestReadRespRoundtripProperty(t *testing.T) {
 		if err := w.WriteReadResp(in); err != nil {
 			return false
 		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
 		r := NewReader(&buf)
 		_, payload, err := r.Next()
 		if err != nil {
@@ -207,12 +222,20 @@ func BenchmarkReadRespRoundtrip(b *testing.B) {
 	w := NewWriter(&buf)
 	r := NewReader(&buf)
 	b.SetBytes(1024)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
 		if err := w.WriteReadResp(ReadResp{ID: uint64(i), Found: true, Value: val}); err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := r.Next(); err != nil {
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		typ, payload, err := r.Next()
+		if err != nil || typ != MsgReadResp {
+			b.Fatal(err)
+		}
+		if _, err := ParseReadResp(payload); err != nil {
 			b.Fatal(err)
 		}
 	}
