@@ -34,6 +34,15 @@
 //	    ServiceTime: resp.ServiceTime,
 //	}, rtt, time.Now().UnixNano())
 //
+// A request that is cancelled, times out locally, or loses its connection
+// before the reply must release its accounting with Client.OnAbandon — never
+// synthesize feedback for it. Speculative (hedged) duplicates are recorded
+// with Client.PickHedge / Client.OnHedge, which skip the rate controller:
+// a hedge duplicates a request it already admitted. Every send must be
+// balanced by exactly one OnResponse or OnAbandon, or the outstanding-
+// request term of q̂ drifts; Client.Outstanding exposes the count for
+// invariant checks.
+//
 // Everything is driven by explicit timestamps, so the same client runs under
 // simulated or wall-clock time. See examples/ for runnable programs, and
 // DESIGN.md / EXPERIMENTS.md for the paper reproduction.

@@ -25,6 +25,8 @@ func main() {
 	seeds := flag.Int("seeds", 0, "repetitions per configuration (0 = scale default)")
 	kvjson := flag.String("kvjson", "BENCH_kv.json",
 		"path for the machine-readable live-store benchmark record (written when the kv experiment runs; empty disables)")
+	tailjson := flag.String("tailjson", "BENCH_tail.json",
+		"path for the machine-readable tail-tolerance benchmark record (written when the tail experiment runs; empty disables)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson}
+	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson, TailJSONPath: *tailjson}
 
 	runners := bench.All()
 	if *fig != "all" {
@@ -50,10 +52,15 @@ func main() {
 		}
 		runners = []bench.Runner{r}
 	}
+	failed := false
 	for _, r := range runners {
 		start := time.Now()
 		rep := r.Run(o)
 		fmt.Print(rep.String())
 		fmt.Printf("   [%s in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		failed = failed || rep.Failed
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -43,6 +43,9 @@ type Options struct {
 	// KVJSONPath, when non-empty, makes the kv runner also write its
 	// machine-readable result (BENCH_kv.json) to this path.
 	KVJSONPath string
+	// TailJSONPath, when non-empty, makes the tail runner also write its
+	// machine-readable result (BENCH_tail.json) to this path.
+	TailJSONPath string
 }
 
 func (o Options) seeds() int {
@@ -97,6 +100,10 @@ type Report struct {
 	Title   string
 	Lines   []string
 	Metrics map[string]float64
+	// Failed marks a runner that could not produce its result (harness
+	// error, cluster boot failure). cmd/c3bench exits non-zero when any
+	// report failed, so CI smoke runs catch broken experiments.
+	Failed bool
 }
 
 func newReport(id, title string) *Report {
@@ -105,6 +112,12 @@ func newReport(id, title string) *Report {
 
 func (r *Report) printf(format string, args ...any) {
 	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// fail records a fatal runner error.
+func (r *Report) fail(err error) {
+	r.Failed = true
+	r.printf("error: %v", err)
 }
 
 // Metric records a named headline number.
@@ -167,6 +180,7 @@ func All() []Runner {
 		{"ext-quorum", "extension: quorum reads (§7)", ExtQuorum},
 		{"ext-spec", "extension: reissues atop C3 (§8)", ExtC3Spec},
 		{"kv", "live TCP store throughput/latency (network hot path)", KV},
+		{"tail", "tail tolerance under injected failures (hedged vs unhedged)", Tail},
 	}
 }
 

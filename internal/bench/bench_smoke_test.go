@@ -14,6 +14,9 @@ func TestAllRunnersQuick(t *testing.T) {
 			if rep == nil || len(rep.Lines) == 0 {
 				t.Fatalf("%s produced no output", rn.ID)
 			}
+			if rep.Failed {
+				t.Fatalf("%s failed: %v", rn.ID, rep.Lines)
+			}
 			if len(rep.Metrics) == 0 {
 				t.Fatalf("%s recorded no headline metrics", rn.ID)
 			}

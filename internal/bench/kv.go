@@ -181,7 +181,7 @@ func KV(o Options) *Report {
 	r := newReport("kv", "live TCP store throughput/latency (network hot path)")
 	res, err := RunKV(o)
 	if err != nil {
-		r.printf("error: %v", err)
+		r.fail(err)
 		return r
 	}
 	r.printf("%d nodes, %d workers, %d keys × %dB values, %.0f%% reads, %d ops in %.2fs",

@@ -1,0 +1,372 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c3/internal/kvstore"
+	"c3/internal/sim"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+// Tail scenarios: the failure modes a production replica-selection
+// deployment lives with, injected into the live TCP store.
+const (
+	// tailSlow degrades one replica's storage to slowFactor× the healthy
+	// mean — the paper's Fig. 13 tc-style degradation.
+	tailSlow = "slow"
+	// tailCrash kills one node a third of the way into the run.
+	tailCrash = "crash"
+	// tailFlap oscillates one replica between degraded and healthy every
+	// flapPeriod.
+	tailFlap = "flap"
+)
+
+// TailRow is one (scenario, strategy, hedging) cell of the tail benchmark.
+type TailRow struct {
+	Scenario      string  `json:"scenario"`
+	Strategy      string  `json:"strategy"`
+	Hedged        bool    `json:"hedged"`
+	Ops           int     `json:"ops"`
+	Errors        int     `json:"errors"`
+	Seconds       float64 `json:"seconds"`
+	ThroughputOps float64 `json:"throughput_ops_per_sec"`
+	ReadP50Us     float64 `json:"read_p50_us"`
+	ReadP99Us     float64 `json:"read_p99_us"`
+	ReadP999Us    float64 `json:"read_p999_us"`
+	// Hedges / HedgeWins aggregate the coordinators' speculative duplicates
+	// and the reads they answered; DuplicatePct is the extra replica load
+	// hedging cost (hedges per hundred reads).
+	Hedges       uint64  `json:"hedges"`
+	HedgeWins    uint64  `json:"hedge_wins"`
+	DuplicatePct float64 `json:"duplicate_load_pct"`
+	// WriteFailures counts coordinated writes no replica acknowledged
+	// (must be zero in every scenario here: a replica always survives).
+	WriteFailures uint64 `json:"write_failures"`
+	// OutstandingResidual is the cluster-wide selector accounting left
+	// after the run quiesced — any non-zero value is a leak.
+	OutstandingResidual float64 `json:"outstanding_residual"`
+}
+
+// TailResult is the machine-readable record of the tail benchmark
+// (BENCH_tail.json): hedging on/off across strategies under injected
+// failures.
+type TailResult struct {
+	Nodes           int       `json:"nodes"`
+	Workers         int       `json:"workers"`
+	Keys            int       `json:"keys"`
+	ValueBytes      int       `json:"value_bytes"`
+	ReadFraction    float64   `json:"read_fraction"`
+	ReadDelayMeanUs float64   `json:"read_delay_mean_us"`
+	SlowFactor      float64   `json:"slow_factor"`
+	Rows            []TailRow `json:"rows"`
+}
+
+// tailOps reports the per-run operation budget for the scale.
+func (o Options) tailOps() int {
+	switch o.Scale {
+	case Full:
+		return 60_000
+	case Medium:
+		return 15_000
+	default:
+		return 2_000
+	}
+}
+
+// tailStrategies reports the strategies compared at the scale. Quick runs
+// (CI, unit smoke) cover C3 only; medium and full add the baselines.
+func (o Options) tailStrategies() []string {
+	if o.Scale == Quick {
+		return []string{kvstore.StratC3}
+	}
+	return []string{kvstore.StratC3, kvstore.StratLOR, kvstore.StratRR}
+}
+
+const (
+	tailNodes        = 5
+	tailWorkers      = 6
+	tailKeys         = 256
+	tailValueBytes   = 128
+	tailReadFraction = 0.9
+	tailReadDelay    = 1 * time.Millisecond
+	tailSlowFactor   = 5 // degraded replica's mean read delay vs healthy
+	tailFlapPeriod   = 150 * time.Millisecond
+)
+
+// tailSlowdown is the extra constant delay that makes one replica's mean
+// read delay slowFactor× the healthy mean.
+func tailSlowdown() time.Duration {
+	return time.Duration(tailSlowFactor-1) * tailReadDelay
+}
+
+// runTailRow boots a cluster, injects one failure scenario, drives the
+// workload, and measures the row.
+func runTailRow(o Options, scenario, strategy string, hedged bool, seed uint64) (TailRow, error) {
+	row := TailRow{Scenario: scenario, Strategy: strategy, Hedged: hedged}
+	cfg := kvstore.Config{
+		Strategy:      strategy,
+		Seed:          seed,
+		ReadDelayMean: tailReadDelay,
+	}
+	cfg.Hedge.Disabled = !hedged
+	cluster, err := kvstore.StartCluster(tailNodes, cfg)
+	if err != nil {
+		return row, err
+	}
+	defer cluster.Close()
+	cl, err := kvstore.Dial(cluster.Addrs())
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+
+	keys := make([]string, tailKeys)
+	val := make([]byte, tailValueBytes)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tail-%05d", i)
+		if err := cl.Put(keys[i], val); err != nil {
+			return row, err
+		}
+	}
+	for i := range keys { // CL=ONE: wait until readable from any coordinator
+		for attempt := 0; ; attempt++ {
+			if _, ok, err := cl.Get(keys[i]); err == nil && ok {
+				break
+			} else if attempt > 200 {
+				return row, fmt.Errorf("bench: key %q never became readable: %v", keys[i], err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// The injected victim: never node 0, so the external client always has
+	// a healthy first coordinator to fall back to.
+	victim := cluster.Nodes[tailNodes-1]
+	ops := o.tailOps()
+	perWorker := ops / tailWorkers
+	var done atomic.Int64
+	stopFlap := make(chan struct{})
+	var injectorWG sync.WaitGroup
+	var crashOnce sync.Once
+	switch scenario {
+	case tailSlow:
+		victim.SetSlowdown(tailSlowdown())
+	case tailFlap:
+		injectorWG.Add(1)
+		go func() {
+			defer injectorWG.Done()
+			tick := time.NewTicker(tailFlapPeriod)
+			defer tick.Stop()
+			up := false
+			for {
+				select {
+				case <-stopFlap:
+					victim.SetSlowdown(0)
+					return
+				case <-tick.C:
+					if up {
+						victim.SetSlowdown(0)
+					} else {
+						victim.SetSlowdown(2 * tailSlowdown())
+					}
+					up = !up
+				}
+			}
+		}()
+	}
+
+	zipf := workload.NewScrambled(tailKeys, 0.99)
+	lat := make([][]float64, tailWorkers)
+	errCounts := make([]int, tailWorkers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < tailWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.RNG(seed, uint64(w)+13)
+			samples := make([]float64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				if scenario == tailCrash && done.Add(1) == int64(ops/3) {
+					crashOnce.Do(victim.Close)
+				}
+				k := keys[int(zipf.Next(r))%tailKeys]
+				if r.Float64() < tailReadFraction {
+					t0 := time.Now()
+					_, ok, err := cl.Get(k)
+					d := time.Since(t0)
+					if err != nil || !ok {
+						errCounts[w]++
+						continue
+					}
+					samples = append(samples, float64(d.Nanoseconds())/1e3)
+				} else if err := cl.Put(k, val); err != nil {
+					errCounts[w]++
+				}
+			}
+			lat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopFlap)
+	injectorWG.Wait()
+	if scenario == tailCrash {
+		crashOnce.Do(victim.Close) // tiny runs may never reach the trigger
+	}
+
+	// Quiesce, then read the accounting residual: the invariant is that
+	// every failure path released its outstanding counts.
+	residual := func() float64 {
+		total := 0.0
+		for i, n := range cluster.Nodes {
+			if scenario == tailCrash && i == tailNodes-1 {
+				continue
+			}
+			for p := 0; p < tailNodes; p++ {
+				total += n.OutstandingToward(p)
+			}
+		}
+		return total
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for residual() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	reads := stats.NewSample(ops)
+	measured := 0
+	for _, s := range lat {
+		measured += len(s)
+		for _, x := range s {
+			reads.Add(x)
+		}
+	}
+	for i, n := range cluster.Nodes {
+		if scenario == tailCrash && i == tailNodes-1 {
+			continue
+		}
+		row.Hedges += n.HedgesIssued()
+		row.HedgeWins += n.HedgeWins()
+		row.WriteFailures += n.WriteFailures()
+	}
+	for _, c := range errCounts {
+		row.Errors += c
+	}
+	row.Ops = perWorker * tailWorkers
+	row.Seconds = elapsed.Seconds()
+	row.ThroughputOps = float64(row.Ops) / elapsed.Seconds()
+	row.ReadP50Us = reads.Percentile(50)
+	row.ReadP99Us = reads.Percentile(99)
+	row.ReadP999Us = reads.Percentile(99.9)
+	if measured > 0 {
+		row.DuplicatePct = 100 * float64(row.Hedges) / float64(measured)
+	}
+	row.OutstandingResidual = residual()
+	return row, nil
+}
+
+// RunTail executes the full scenario × strategy × hedging grid.
+func RunTail(o Options) (TailResult, error) {
+	res := TailResult{
+		Nodes:           tailNodes,
+		Workers:         tailWorkers,
+		Keys:            tailKeys,
+		ValueBytes:      tailValueBytes,
+		ReadFraction:    tailReadFraction,
+		ReadDelayMeanUs: float64(tailReadDelay) / 1e3,
+		SlowFactor:      tailSlowFactor,
+	}
+	seed := uint64(1)
+	for _, scenario := range []string{tailSlow, tailCrash, tailFlap} {
+		for _, strategy := range o.tailStrategies() {
+			for _, hedged := range []bool{true, false} {
+				row, err := runTailRow(o, scenario, strategy, hedged, seed)
+				if err != nil {
+					return res, fmt.Errorf("tail %s/%s hedged=%v: %w", scenario, strategy, hedged, err)
+				}
+				res.Rows = append(res.Rows, row)
+				seed += 101
+			}
+		}
+	}
+	return res, nil
+}
+
+// findTailRow locates a cell of the grid.
+func findTailRow(res TailResult, scenario, strategy string, hedged bool) (TailRow, bool) {
+	for _, row := range res.Rows {
+		if row.Scenario == scenario && row.Strategy == strategy && row.Hedged == hedged {
+			return row, true
+		}
+	}
+	return TailRow{}, false
+}
+
+// writeTailJSON writes the machine-readable record to path.
+func writeTailJSON(res TailResult, path string) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Tail is the runner for the tail-tolerance benchmark: failure scenarios
+// injected into the live store, hedging on/off across strategies. With
+// Options.TailJSONPath set it also writes BENCH_tail.json.
+func Tail(o Options) *Report {
+	r := newReport("tail", "tail tolerance under injected failures (hedged vs unhedged)")
+	res, err := RunTail(o)
+	if err != nil {
+		r.fail(err)
+		return r
+	}
+	r.printf("%d nodes, %d workers, %.0f%% reads, %d ops/run, storage delay %.1fms (slow replica ×%.0f)",
+		res.Nodes, res.Workers, res.ReadFraction*100, o.tailOps(),
+		res.ReadDelayMeanUs/1e3, res.SlowFactor)
+	for _, row := range res.Rows {
+		mode := "unhedged"
+		if row.Hedged {
+			mode = "hedged"
+		}
+		r.printf("  %-5s %-3s %-8s p50=%7.0fµs p99=%8.0fµs p99.9=%8.0fµs thr=%6.0f/s dup=%4.1f%% wins=%d errs=%d resid=%.0f",
+			row.Scenario, row.Strategy, mode,
+			row.ReadP50Us, row.ReadP99Us, row.ReadP999Us, row.ThroughputOps,
+			row.DuplicatePct, row.HedgeWins, row.Errors, row.OutstandingResidual)
+	}
+	if hedged, ok := findTailRow(res, tailSlow, kvstore.StratC3, true); ok {
+		if unhedged, ok := findTailRow(res, tailSlow, kvstore.StratC3, false); ok {
+			r.printf("  slow-replica C3 p99: hedged %.0fµs vs unhedged %.0fµs (%.2fx), duplicate load %.1f%%",
+				hedged.ReadP99Us, unhedged.ReadP99Us,
+				unhedged.ReadP99Us/hedged.ReadP99Us, hedged.DuplicatePct)
+			r.Metric("tail_slow_C3_hedged_p99_us", hedged.ReadP99Us)
+			r.Metric("tail_slow_C3_unhedged_p99_us", unhedged.ReadP99Us)
+			r.Metric("tail_slow_C3_p99_speedup", unhedged.ReadP99Us/hedged.ReadP99Us)
+			r.Metric("tail_slow_C3_duplicate_pct", hedged.DuplicatePct)
+		}
+	}
+	resid := 0.0
+	for _, row := range res.Rows {
+		resid += row.OutstandingResidual
+	}
+	r.Metric("tail_outstanding_residual_total", resid)
+	if o.TailJSONPath != "" {
+		if err := writeTailJSON(res, o.TailJSONPath); err != nil {
+			r.printf("write %s: %v", o.TailJSONPath, err)
+		} else {
+			r.printf("wrote %s", o.TailJSONPath)
+		}
+	}
+	return r
+}

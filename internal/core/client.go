@@ -22,12 +22,15 @@ type ClientConfig struct {
 // the complete client side of C3 (Algorithm 1). It is safe for concurrent
 // use; under the single-threaded simulators the lock is uncontended.
 type Client struct {
-	mu     sync.Mutex
-	ranker Ranker
-	best   BestPicker // cached type assertion of ranker; nil if unsupported
-	cfg    ClientConfig
-	reg    *Registry          // shared with the ranker when it holds one
-	rc     []*ratelimit.Cubic // dense, indexed by reg.Index
+	mu      sync.Mutex
+	ranker  Ranker
+	best    BestPicker         // cached type assertion of ranker; nil if unsupported
+	tracker OutstandingTracker // cached type assertion of ranker; nil if unsupported
+	cfg     ClientConfig
+	reg     *Registry          // shared with the ranker when it holds one
+	rc      []*ratelimit.Cubic // dense, indexed by reg.Index
+
+	hedges uint64 // hedged (duplicated) dispatches recorded via OnHedge
 
 	scratch []ServerID
 }
@@ -42,6 +45,9 @@ func NewClient(r Ranker, cfg ClientConfig) *Client {
 	c := &Client{ranker: r, cfg: cfg}
 	if bp, ok := r.(BestPicker); ok {
 		c.best = bp
+	}
+	if ot, ok := r.(OutstandingTracker); ok {
+		c.tracker = ot
 	}
 	if cfg.RateControl {
 		if rh, ok := r.(RegistryHolder); ok {
@@ -62,6 +68,16 @@ func (c *Client) RateControlled() bool { return c.cfg.RateControl }
 // Ranker exposes the underlying ranker (for substrate glue such as gossip
 // feeding a DynamicSnitch).
 func (c *Client) Ranker() Ranker { return c.ranker }
+
+// Inspect runs f on the underlying ranker while holding the client's lock —
+// the race-safe way for diagnostics and tests to read ranker state (scores,
+// queue estimates) concurrently with live traffic. f must not call back into
+// the client.
+func (c *Client) Inspect(f func(Ranker)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(c.ranker)
+}
 
 func (c *Client) limiter(s ServerID) *ratelimit.Cubic {
 	i := c.reg.Index(s)
@@ -153,6 +169,102 @@ func (c *Client) OnSend(s ServerID, now int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ranker.OnSend(s, now)
+}
+
+// OnAbandon records that a request previously recorded with OnSend (or via
+// Pick/PickBest/PickHedge) will never produce an observable response: it was
+// cancelled, its deadline expired locally, or its connection died before the
+// reply. Outstanding-request accounting toward s is released; the ranker's
+// latency and queue estimators are untouched (there is no feedback to feed),
+// and no rate-adaptation step runs (no response arrived). Every send recorded
+// with this client must eventually be balanced by exactly one OnResponse or
+// OnAbandon, or q̂ inflates permanently — the accounting invariant the
+// failure-scenario tests assert through Outstanding.
+func (c *Client) OnAbandon(s ServerID, now int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ranker.OnAbandon(s, now)
+}
+
+// OnHedge records a hedged (duplicated) dispatch to s: outstanding-request
+// accounting is updated exactly like OnSend, and the client's hedge counter
+// advances. Hedges consume no rate token — they are latency-bound duplicates
+// of a request already admitted by the rate controller, not new offered load;
+// rate adaptation still observes their responses through OnResponse.
+func (c *Client) OnHedge(s ServerID, now int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ranker.OnSend(s, now)
+	c.hedges++
+}
+
+// HedgesSent reports the number of hedged dispatches recorded via OnHedge
+// (including those issued by PickHedge).
+func (c *Client) HedgesSent() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hedges
+}
+
+// PickNext chooses the best-ranked replica of group not in exclude and
+// records the send (no rate token). It is the failure path's walk order:
+// each failed replica joins exclude and PickNext yields the next-best, so
+// fallback traffic still follows (and trains) the ranker instead of a fixed
+// group order. ok is false when every group member has been tried already.
+func (c *Client) PickNext(group, exclude []ServerID, now int64) (s ServerID, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pickNextLocked(group, exclude, now)
+}
+
+// PickHedge is PickNext for a speculative duplicate of a request that is
+// still in flight: the same ranked next-untried choice, recorded and counted
+// as a hedge (see OnHedge for the rate-token rationale). Use PickNext for
+// failovers after an error — a failover replaces a dead request rather than
+// duplicating a live one, and must not inflate HedgesSent.
+func (c *Client) PickHedge(group, exclude []ServerID, now int64) (s ServerID, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok = c.pickNextLocked(group, exclude, now)
+	if ok {
+		c.hedges++
+	}
+	return s, ok
+}
+
+func (c *Client) pickNextLocked(group, exclude []ServerID, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	c.scratch = c.ranker.Rank(c.scratch, group, now)
+	for _, cand := range c.scratch {
+		tried := false
+		for _, x := range exclude {
+			if cand == x {
+				tried = true
+				break
+			}
+		}
+		if tried {
+			continue
+		}
+		c.ranker.OnSend(cand, now)
+		return cand, true
+	}
+	return 0, false
+}
+
+// Outstanding reports the ranker's in-flight count toward s, or 0 when the
+// strategy keeps no such state. After a request completes or is abandoned the
+// count must return to its prior value; failure-scenario tests assert the
+// quiescent total is zero.
+func (c *Client) Outstanding(s ServerID) float64 {
+	if c.tracker == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracker.Outstanding(s)
 }
 
 // OnResponse records a response from s: it feeds the ranker's EWMAs and runs

@@ -252,6 +252,124 @@ func TestDispatchZeroValueReleased(t *testing.T) {
 	}
 }
 
+func TestClientOnAbandonReleasesOutstandingOnly(t *testing.T) {
+	ranker := NewCubicRanker(RankerConfig{Seed: 1, ConcurrencyWeight: 4})
+	c := NewClient(ranker, ClientConfig{})
+	s := ServerID(3)
+	c.OnSend(s, 0)
+	c.OnSend(s, 1)
+	if got := c.Outstanding(s); got != 2 {
+		t.Fatalf("Outstanding = %v, want 2", got)
+	}
+	c.OnAbandon(s, 2)
+	if got := c.Outstanding(s); got != 1 {
+		t.Fatalf("Outstanding after abandon = %v, want 1", got)
+	}
+	// The EWMAs saw nothing: the server must still score as unexplored.
+	if sc := ranker.Score(s, 3); sc > -1e300 {
+		t.Fatalf("abandon fed the score EWMAs: Score = %v, want -Inf", sc)
+	}
+	c.OnAbandon(s, 4)
+	c.OnAbandon(s, 5) // below zero must clamp, not wrap
+	if got := c.Outstanding(s); got != 0 {
+		t.Fatalf("Outstanding after over-abandon = %v, want 0", got)
+	}
+	// Abandoning a never-seen server must not intern or underflow it.
+	c.OnAbandon(ServerID(99), 6)
+	if got := c.Outstanding(ServerID(99)); got != 0 {
+		t.Fatalf("Outstanding(unseen) = %v, want 0", got)
+	}
+}
+
+func TestClientOutstandingWithoutTracker(t *testing.T) {
+	c := NewClient(NewRoundRobin(nil), ClientConfig{})
+	c.OnSend(1, 0)
+	if got := c.Outstanding(1); got != 0 {
+		t.Fatalf("Outstanding on a stateless ranker = %v, want 0", got)
+	}
+}
+
+func TestClientPickHedgeSkipsTriedReplicas(t *testing.T) {
+	lor := NewLOR(nil, 5)
+	c := NewClient(lor, ClientConfig{})
+	group := []ServerID{1, 2, 3}
+	// Load server 1 and 2 so LOR ranks 3 first, then 2, then 1.
+	c.OnSend(1, 0)
+	c.OnSend(1, 0)
+	c.OnSend(2, 0)
+	s, ok := c.PickHedge(group, []ServerID{3}, 1)
+	if !ok || s != 2 {
+		t.Fatalf("PickHedge excluding {3} = %v,%v, want 2 (next-best)", s, ok)
+	}
+	if got := lor.Outstanding(2); got != 2 {
+		t.Fatalf("PickHedge did not record the send: Outstanding(2) = %v", got)
+	}
+	if got := c.HedgesSent(); got != 1 {
+		t.Fatalf("HedgesSent = %d, want 1", got)
+	}
+	if _, ok := c.PickHedge(group, []ServerID{1, 2, 3}, 2); ok {
+		t.Fatal("PickHedge with the whole group tried should fail")
+	}
+	if _, ok := c.PickHedge(nil, nil, 3); ok {
+		t.Fatal("PickHedge of empty group should fail")
+	}
+}
+
+func TestClientPickNextDoesNotCountAsHedge(t *testing.T) {
+	// PickNext is the failover path: same ranked next-untried choice as
+	// PickHedge, same send accounting, but a failover replaces a dead
+	// request rather than duplicating a live one — HedgesSent must not move.
+	lor := NewLOR(nil, 6)
+	c := NewClient(lor, ClientConfig{})
+	group := []ServerID{1, 2}
+	s, ok := c.PickNext(group, []ServerID{1}, 0)
+	if !ok || s != 2 {
+		t.Fatalf("PickNext excluding {1} = %v,%v, want 2", s, ok)
+	}
+	if got := lor.Outstanding(2); got != 1 {
+		t.Fatalf("PickNext did not record the send: Outstanding(2) = %v", got)
+	}
+	if got := c.HedgesSent(); got != 0 {
+		t.Fatalf("HedgesSent after PickNext = %d, want 0", got)
+	}
+	if _, ok := c.PickNext(group, group, 1); ok {
+		t.Fatal("PickNext with the whole group tried should fail")
+	}
+}
+
+func TestClientPickHedgeConsumesNoRateToken(t *testing.T) {
+	cfg := ClientConfig{RateControl: true, Rate: ratelimit.Config{InitialRate: 1, MaxRate: 1}}
+	c := NewClient(NewRoundRobin(nil), cfg)
+	group := []ServerID{1, 2}
+	now := int64(0)
+	for {
+		if _, ok, _ := c.Pick(group, now); !ok {
+			break
+		}
+	}
+	// All limiters exhausted: a hedge must still go out, and must not touch
+	// the token state.
+	if _, ok := c.PickHedge(group, []ServerID{1}, now); !ok {
+		t.Fatal("PickHedge blocked by rate control")
+	}
+	if _, ok, _ := c.Pick(group, now); ok {
+		t.Fatal("PickHedge minted a rate token")
+	}
+}
+
+func TestClientOnHedgeCountsAndRecords(t *testing.T) {
+	lor := NewLOR(nil, 2)
+	c := NewClient(lor, ClientConfig{})
+	c.OnHedge(4, 0)
+	c.OnHedge(4, 1)
+	if got := lor.Outstanding(4); got != 2 {
+		t.Fatalf("OnHedge did not record sends: Outstanding = %v", got)
+	}
+	if got := c.HedgesSent(); got != 2 {
+		t.Fatalf("HedgesSent = %d, want 2", got)
+	}
+}
+
 func TestClientPickBestIgnoresRateTokens(t *testing.T) {
 	// PickBest is the backpressure fail-open path: it must return a ranked
 	// replica even when every limiter is exhausted, and must not consume or

@@ -48,6 +48,14 @@ type Ranker interface {
 	// OnResponse records a response from s carrying feedback fb, observed
 	// after round-trip time rtt, at time now.
 	OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64)
+	// OnAbandon records that a request previously recorded with OnSend will
+	// never produce an observable response — it was cancelled, timed out
+	// locally, or its connection died before the reply. Implementations
+	// release outstanding-request accounting for s without feeding their
+	// latency or queue estimators: an abandoned request carries no server
+	// feedback, and synthesizing one from the client's own timeout would
+	// poison the EWMAs. Strategies that keep no in-flight state no-op.
+	OnAbandon(s ServerID, now int64)
 }
 
 // BestPicker is an optional fast path a Ranker may implement: Best returns
@@ -64,6 +72,15 @@ type BestPicker interface {
 // limiter table so both sides agree on indices.
 type RegistryHolder interface {
 	Registry() *Registry
+}
+
+// OutstandingTracker is implemented by rankers that count in-flight requests
+// per server (CubicRanker, LOR, TwoChoice). Client.Outstanding uses it to
+// expose the accounting invariant — after every request completes or is
+// abandoned, each server's count must return to zero — to failure-scenario
+// tests and the tail benchmark's drift check.
+type OutstandingTracker interface {
+	Outstanding(s ServerID) float64
 }
 
 // prepare copies group into dst, allocating if needed.

@@ -63,6 +63,12 @@ func (c *legacyCubic) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now
 	st.rbar.Add(seconds(rtt))
 }
 
+func (c *legacyCubic) OnAbandon(s ServerID, now int64) {
+	if st := c.state(s); st.outstanding > 0 {
+		st.outstanding--
+	}
+}
+
 func (c *legacyCubic) score(s ServerID) float64 {
 	st := c.state(s)
 	if !st.tbar.Initialized() {
@@ -110,6 +116,12 @@ func (l *legacyLOR) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now i
 	}
 }
 
+func (l *legacyLOR) OnAbandon(s ServerID, now int64) {
+	if l.outstanding[s] > 0 {
+		l.outstanding[s]--
+	}
+}
+
 func (l *legacyLOR) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
 	if cap(l.scratch) < len(dst) {
@@ -139,6 +151,7 @@ func newLegacyRR() *legacyRR { return &legacyRR{next: make(map[string]int)} }
 func (r *legacyRR) Name() string                                            { return "RR-legacy" }
 func (r *legacyRR) OnSend(ServerID, int64)                                  {}
 func (r *legacyRR) OnResponse(ServerID, Feedback, time.Duration, int64)     {}
+func (r *legacyRR) OnAbandon(ServerID, int64)                               {}
 
 func (r *legacyRR) groupKey(group []ServerID) string {
 	r.key = r.key[:0]
@@ -185,6 +198,12 @@ func (t *legacyTwoChoice) OnResponse(s ServerID, fb Feedback, rtt time.Duration,
 	}
 }
 
+func (t *legacyTwoChoice) OnAbandon(s ServerID, now int64) {
+	if t.outstanding[s] > 0 {
+		t.outstanding[s]--
+	}
+}
+
 func (t *legacyTwoChoice) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
 	for i := len(dst) - 1; i > 0; i-- {
@@ -213,8 +232,9 @@ func newLegacyLRT(alpha float64, seed uint64) *legacyLRT {
 	return &legacyLRT{rng: sim.RNG(seed, 0x1e57), alpha: alpha, rt: make(map[ServerID]*ewma.EWMA)}
 }
 
-func (l *legacyLRT) Name() string           { return "LRT-legacy" }
-func (l *legacyLRT) OnSend(ServerID, int64) {}
+func (l *legacyLRT) Name() string              { return "LRT-legacy" }
+func (l *legacyLRT) OnSend(ServerID, int64)    {}
+func (l *legacyLRT) OnAbandon(ServerID, int64) {}
 
 func (l *legacyLRT) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
 	e, ok := l.rt[s]
@@ -262,8 +282,9 @@ func newLegacyWRND(alpha float64, seed uint64) *legacyWRND {
 	return &legacyWRND{rng: sim.RNG(seed, 0x33d), alpha: alpha, rt: make(map[ServerID]*ewma.EWMA)}
 }
 
-func (w *legacyWRND) Name() string           { return "WRND-legacy" }
-func (w *legacyWRND) OnSend(ServerID, int64) {}
+func (w *legacyWRND) Name() string              { return "WRND-legacy" }
+func (w *legacyWRND) OnSend(ServerID, int64)    {}
+func (w *legacyWRND) OnAbandon(ServerID, int64) {}
 
 func (w *legacyWRND) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
 	e, ok := w.rt[s]
@@ -351,7 +372,8 @@ func (d *legacySnitch) peer(s ServerID) *legacySnitchPeer {
 	return p
 }
 
-func (d *legacySnitch) OnSend(ServerID, int64) {}
+func (d *legacySnitch) OnSend(ServerID, int64)    {}
+func (d *legacySnitch) OnAbandon(ServerID, int64) {}
 
 func (d *legacySnitch) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
 	p := d.peer(s)
@@ -459,6 +481,7 @@ func newLegacyOracle(fn OracleFn, seed uint64) *legacyOracle {
 func (o *legacyOracle) Name() string                                        { return "ORA-legacy" }
 func (o *legacyOracle) OnSend(ServerID, int64)                              {}
 func (o *legacyOracle) OnResponse(ServerID, Feedback, time.Duration, int64) {}
+func (o *legacyOracle) OnAbandon(ServerID, int64)                           {}
 
 func (o *legacyOracle) Rank(dst, group []ServerID, now int64) []ServerID {
 	dst = prepare(dst, group)
@@ -523,8 +546,15 @@ func runEquivalence(t *testing.T, dense, legacy Ranker, extra func(scen *rand.Ra
 				ServiceTime: time.Duration(1 + scen.IntN(5_000_000)),
 			}
 			rtt := time.Duration(1 + scen.IntN(8_000_000))
-			dense.OnResponse(rs, fb, rtt, now)
-			legacy.OnResponse(rs, fb, rtt, now)
+			if scen.Float64() < 0.15 {
+				// A slice of in-flight requests never completes: both
+				// sides must release accounting identically.
+				dense.OnAbandon(rs, now)
+				legacy.OnAbandon(rs, now)
+			} else {
+				dense.OnResponse(rs, fb, rtt, now)
+				legacy.OnResponse(rs, fb, rtt, now)
+			}
 		}
 	}
 }

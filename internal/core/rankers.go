@@ -55,6 +55,14 @@ func (l *LOR) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) 
 	}
 }
 
+// OnAbandon implements Ranker: identical to OnResponse — LOR's only state is
+// the outstanding count.
+func (l *LOR) OnAbandon(s ServerID, now int64) {
+	if i := l.idx(s); l.outstanding[i] > 0 {
+		l.outstanding[i]--
+	}
+}
+
 // Outstanding reports this client's in-flight count toward s. It is a pure
 // read: unknown servers report 0 without being interned.
 func (l *LOR) Outstanding(s ServerID) float64 {
@@ -120,6 +128,9 @@ func (r *RoundRobin) OnSend(ServerID, int64) {}
 // OnResponse implements Ranker.
 func (r *RoundRobin) OnResponse(ServerID, Feedback, time.Duration, int64) {}
 
+// OnAbandon implements Ranker (no in-flight state).
+func (r *RoundRobin) OnAbandon(ServerID, int64) {}
+
 // Rank implements Ranker: the group rotated by a per-group counter. The group
 // is interned once by the registry; steady-state calls do no hashing of
 // string keys and no allocation.
@@ -162,6 +173,9 @@ func (r *Random) OnSend(ServerID, int64) {}
 
 // OnResponse implements Ranker.
 func (r *Random) OnResponse(ServerID, Feedback, time.Duration, int64) {}
+
+// OnAbandon implements Ranker (no in-flight state).
+func (r *Random) OnAbandon(ServerID, int64) {}
 
 // Rank implements Ranker: a uniform shuffle.
 func (r *Random) Rank(dst, group []ServerID, now int64) []ServerID {
@@ -219,6 +233,14 @@ func (t *TwoChoice) OnSend(s ServerID, now int64) {
 
 // OnResponse implements Ranker.
 func (t *TwoChoice) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
+	if i := t.idx(s); t.outstanding[i] > 0 {
+		t.outstanding[i]--
+	}
+}
+
+// OnAbandon implements Ranker: identical to OnResponse — the outstanding
+// count is TwoChoice's only state.
+func (t *TwoChoice) OnAbandon(s ServerID, now int64) {
 	if i := t.idx(s); t.outstanding[i] > 0 {
 		t.outstanding[i]--
 	}
@@ -320,6 +342,10 @@ func (l *LeastResponseTime) OnResponse(s ServerID, fb Feedback, rtt time.Duratio
 	l.rt[i].Add(seconds(rtt))
 }
 
+// OnAbandon implements Ranker (no in-flight state; an abandoned request
+// observed no RTT to smooth).
+func (l *LeastResponseTime) OnAbandon(ServerID, int64) {}
+
 // rtScore reports the smoothed RTT of the server at dense index i, or −Inf
 // when unseen (so exploration ranks first).
 func (l *LeastResponseTime) rtScore(i int) float64 {
@@ -397,6 +423,9 @@ func (w *WeightedRandom) OnResponse(s ServerID, fb Feedback, rtt time.Duration, 
 	i := w.idx(s) // hoisted: idx may grow the slice it indexes
 	w.rt[i].Add(seconds(rtt))
 }
+
+// OnAbandon implements Ranker (no in-flight state).
+func (w *WeightedRandom) OnAbandon(ServerID, int64) {}
 
 // fillWeights computes 1/R̄ sampling weights for dst into the reusable
 // scratch (unseen servers get the best observed weight to force exploration).
@@ -502,6 +531,9 @@ func (o *Oracle) OnSend(ServerID, int64) {}
 
 // OnResponse implements Ranker.
 func (o *Oracle) OnResponse(ServerID, Feedback, time.Duration, int64) {}
+
+// OnAbandon implements Ranker (the oracle reads server state directly).
+func (o *Oracle) OnAbandon(ServerID, int64) {}
 
 // Rank implements Ranker: ascending (q+1)·serviceTime, random ties.
 func (o *Oracle) Rank(dst, group []ServerID, now int64) []ServerID {

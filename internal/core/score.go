@@ -146,6 +146,14 @@ func (c *CubicRanker) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now
 	st.rbar.Add(seconds(rtt))
 }
 
+// OnAbandon implements Ranker: the outstanding count is released, but the
+// q̄/T̄/R̄ EWMAs are untouched — an abandoned request observed nothing.
+func (c *CubicRanker) OnAbandon(s ServerID, now int64) {
+	if st := c.stateRO(s); st != nil && st.outstanding > 0 {
+		st.outstanding--
+	}
+}
+
 // QueueEstimate reports q̂ = 1 + os·w + q̄ for server s (1 for unseen
 // servers). It is a pure read and does not intern s.
 func (c *CubicRanker) QueueEstimate(s ServerID) float64 {

@@ -118,6 +118,10 @@ func (d *DynamicSnitch) OnResponse(s ServerID, fb Feedback, rtt time.Duration, n
 	}
 }
 
+// OnAbandon implements Ranker (the snitch keeps latency histories, not
+// in-flight counts; an abandoned request contributes no sample).
+func (d *DynamicSnitch) OnAbandon(ServerID, int64) {}
+
 // SetSeverity records the gossiped iowait fraction (0..1) for peer s. In the
 // cluster substrates this is fed by the gossip subsystem's one-second
 // averages.

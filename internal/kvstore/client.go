@@ -101,6 +101,12 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 	return nil, false, lastErr
 }
 
+// ErrWriteFailed reports a write no replica acknowledged: the coordinator
+// reached its whole replica group and every write failed. The write must
+// surface as an error — before the OK flag existed, an all-replicas-down
+// write was silently acknowledged.
+var ErrWriteFailed = errors.New("kvstore: write failed on every replica")
+
 // Put writes key=val through a coordinator.
 func (c *Client) Put(key string, val []byte) error {
 	var lastErr error
@@ -110,8 +116,13 @@ func (c *Client) Put(key string, val []byte) error {
 			lastErr = err
 			continue
 		}
-		if _, err := p.clientWrite(key, val); err != nil {
+		resp, err := p.clientWrite(key, val)
+		if err != nil {
 			lastErr = err
+			continue
+		}
+		if !resp.OK {
+			lastErr = ErrWriteFailed
 			continue
 		}
 		return nil

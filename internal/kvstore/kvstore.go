@@ -59,10 +59,40 @@ type Config struct {
 	// BackpressureTimeout bounds how long a coordinator holds a request
 	// waiting for a rate token before failing open (default 2s).
 	BackpressureTimeout time.Duration
+	// ReadBudget bounds how long a coordinated read may spend across its
+	// primary replica, hedges, and failure-path retries once dispatched
+	// (default 2s). A read that exhausts its budget reports not-found; the
+	// in-flight replica requests are reaped in the background with their
+	// accounting intact.
+	ReadBudget time.Duration
+	// Hedge configures speculative (hedged) reads — the tail-tolerance
+	// layer. Enabled by default; see HedgeConfig.
+	Hedge HedgeConfig
 	// Store tunes the LSM engine.
 	Store lsm.Options
 	// Seed drives the node's randomness.
 	Seed uint64
+}
+
+// HedgeConfig tunes speculative reads. After an adaptive delay — the
+// coordinator's smoothed replica-read RTT plus 3.5 deviations (RFC 6298
+// estimators, ≈ a p93 latency estimate; see hedgeDelay) — a read still
+// waiting on its primary replica is duplicated to the next-best-ranked
+// replica and the first response wins. Both replicas' responses still feed the ranker, so a hedge
+// doubles as a freshness probe of a replica the coordinator had stopped
+// selecting. This is the layer Cassandra pairs with replica selection as
+// "speculative retry" (and the paper's §8 reissues atop C3).
+type HedgeConfig struct {
+	// Disabled turns speculative reads off. Reads then ride on their
+	// primary replica alone until it responds, fails (failing over to the
+	// next-ranked replica), or the read budget expires.
+	Disabled bool
+	// MinDelay floors the adaptive hedge delay (default 250µs), bounding
+	// duplicate load when the RTT estimate collapses on a fast LAN.
+	MinDelay time.Duration
+	// MaxDelay caps the adaptive hedge delay (default 50ms) and is also
+	// the delay used before the first RTT observation.
+	MaxDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +104,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BackpressureTimeout <= 0 {
 		c.BackpressureTimeout = 2 * time.Second
+	}
+	if c.ReadBudget <= 0 {
+		c.ReadBudget = 2 * time.Second
+	}
+	if c.Hedge.MinDelay <= 0 {
+		c.Hedge.MinDelay = 250 * time.Microsecond
+	}
+	if c.Hedge.MaxDelay <= 0 {
+		c.Hedge.MaxDelay = 50 * time.Millisecond
 	}
 	if c.ReadRepair == 0 {
 		c.ReadRepair = 0.1
@@ -95,8 +134,7 @@ type Node struct {
 
 	sel *core.Client
 
-	peersMu sync.Mutex
-	peers   map[core.ServerID]*rpcConn
+	peers []peerSlot // outbound RPC links, indexed by peer node id
 
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{} // inbound connections, closed on shutdown
@@ -105,9 +143,17 @@ type Node struct {
 	svcNs        atomic.Uint64 // smoothed service time feedback
 	slowNs       atomic.Int64  // injected extra delay per read (demos/tests)
 
-	served atomic.Uint64 // reads served by this node's storage
-	coord  atomic.Uint64 // reads coordinated by this node
-	waited atomic.Uint64 // reads that hit backpressure at this coordinator
+	// Smoothed replica-read RTT driving the adaptive hedge delay (see
+	// hedgeDelay; RFC 6298 estimators). CAS-free like svcNs: concurrent
+	// updates only blur the estimate.
+	srttNs   atomic.Uint64
+	rttvarNs atomic.Uint64
+
+	served     atomic.Uint64 // reads served by this node's storage
+	coord      atomic.Uint64 // reads coordinated by this node
+	waited     atomic.Uint64 // reads that hit backpressure at this coordinator
+	hedgeWins  atomic.Uint64 // reads answered by their hedge, not their primary
+	writeFails atomic.Uint64 // coordinated writes no replica acknowledged
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -180,7 +226,7 @@ func StartNodeWithListener(id int, addrs []string, ln net.Listener, cfg Config) 
 		store:  lsm.Open(cfg.Store),
 		ln:     ln,
 		sel:    core.NewClient(ranker, core.ClientConfig{RateControl: rc, Rate: cfg.Rate}),
-		peers:  make(map[core.ServerID]*rpcConn),
+		peers:  make([]peerSlot, len(addrs)),
 		conns:  make(map[net.Conn]struct{}),
 		rng:    sim.RNG(cfg.Seed, 0xfeed+uint64(id)),
 		closed: make(chan struct{}),
@@ -214,6 +260,26 @@ func (n *Node) BackpressureWaits() uint64 { return n.waited.Load() }
 // analogue of the paper's tc-based degradation in Fig. 13.
 func (n *Node) SetSlowdown(d time.Duration) { n.slowNs.Store(int64(d)) }
 
+// HedgesIssued reports speculative read duplicates this coordinator fired —
+// the numerator of the duplicate-load overhead a deployment watches. The
+// count lives in the selector (PickHedge records it); failovers after an
+// error go through PickNext and are not counted.
+func (n *Node) HedgesIssued() uint64 { return n.sel.HedgesSent() }
+
+// HedgeWins reports coordinated reads that were answered by their hedge
+// rather than their primary replica.
+func (n *Node) HedgeWins() uint64 { return n.hedgeWins.Load() }
+
+// WriteFailures reports coordinated writes that no replica acknowledged.
+func (n *Node) WriteFailures() uint64 { return n.writeFails.Load() }
+
+// OutstandingToward reports the selector's in-flight accounting toward a
+// peer. Quiescent clusters must report zero for every pair — the accounting
+// invariant the failure-scenario tests and the tail benchmark assert.
+func (n *Node) OutstandingToward(peer int) float64 {
+	return n.sel.Outstanding(core.ServerID(peer))
+}
+
 // SendRateToward exposes the coordinator's current srate toward a peer.
 func (n *Node) SendRateToward(peer int) float64 {
 	return n.sel.SendRate(core.ServerID(peer))
@@ -224,11 +290,14 @@ func (n *Node) Close() {
 	n.closing.Do(func() {
 		close(n.closed)
 		n.ln.Close()
-		n.peersMu.Lock()
-		for _, p := range n.peers {
-			p.close()
+		for i := range n.peers {
+			s := &n.peers[i]
+			s.mu.Lock()
+			if s.conn != nil {
+				s.conn.close()
+			}
+			s.mu.Unlock()
 		}
-		n.peersMu.Unlock()
 		// Inbound connections (from clients and from peers that have
 		// not shut down yet) must be severed too, or their serve
 		// loops would keep this node's WaitGroup pinned.
@@ -374,15 +443,19 @@ func (n *Node) respondLocalRead(cw *connWriter, m wire.ReadReq) {
 	cw.enqueue(fb)
 }
 
-// respondCoordRead coordinates a client read and enqueues the response. The
-// value — whether fetched from a replica or served from the local store —
-// is appended directly onto the open response frame, so the coordinator
-// adds no extra value copy.
+// respondCoordRead coordinates a client read and enqueues the response. An
+// inline local read streams its value straight onto the open frame (vbuf
+// nil); a raced read's winning value arrives in a pooled buffer and is
+// appended here — one bounded copy, the price of letting a hedge and its
+// primary resolve concurrently without sharing the frame buffer.
 func (n *Node) respondCoordRead(cw *connWriter, m wire.ReadReq) {
 	fb := getBuf()
 	b, mark := wire.BeginReadResp((*fb)[:0], m.ID)
-	resp := n.coordinateRead(m, b)
-	if resp.Value != nil {
+	resp, vbuf := n.coordinateRead(m, b)
+	if vbuf != nil {
+		b = append(b, resp.Value...)
+		putBuf(vbuf)
+	} else if resp.Value != nil {
 		b = resp.Value // the frame extended by the value (possibly regrown)
 	}
 	b, err := wire.FinishReadResp(b, mark, resp.Found, resp.FB)
@@ -483,13 +556,318 @@ func (n *Node) readDelay() time.Duration {
 // buffer (the memtable retains it); the value may, Put copies it.
 func (n *Node) localWrite(m wire.WriteReq) wire.WriteResp {
 	n.store.Put(m.Key, m.Value)
-	return wire.WriteResp{ID: m.ID, FB: n.feedback()}
+	return wire.WriteResp{ID: m.ID, OK: true, FB: n.feedback()}
 }
 
-// coordinateRead is Algorithm 1 over real TCP: rank the key's replica group,
-// wait for a rate token under backpressure, forward, record feedback. The
-// value of the response is appended to dst.
-func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) wire.ReadResp {
+// Failure penalty fed to the ranker when a selected replica's RPC fails: an
+// effectively infinite queue and a one-second response time steer selection
+// away until fresh feedback (a hedge, failover, or repair probe that
+// succeeds) shows the replica recovered.
+const (
+	failPenaltyQueue = 1e6
+	failPenaltyRTT   = time.Second
+)
+
+// isClosed reports whether the node has begun shutting down.
+func (n *Node) isClosed() bool {
+	select {
+	case <-n.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// timerPool recycles the hedge and budget timers of coordinated reads; two
+// timer allocations per read would otherwise dominate the request's
+// allocation budget.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops and drains t so a recycled timer can never deliver a stale
+// tick into its next read's race.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// observeReadRTT folds one successful replica-read round trip into the
+// smoothed estimate driving the adaptive hedge delay (RFC 6298
+// coefficients; CAS-free like svcNs — concurrent updates only blur it).
+func (n *Node) observeReadRTT(rtt time.Duration) {
+	d := float64(rtt)
+	s := float64(n.srttNs.Load())
+	if s == 0 {
+		n.srttNs.Store(uint64(d))
+		n.rttvarNs.Store(uint64(d / 2))
+		return
+	}
+	diff := d - s
+	if diff < 0 {
+		diff = -diff
+	}
+	v := float64(n.rttvarNs.Load())
+	n.rttvarNs.Store(uint64(v + 0.25*(diff-v)))
+	n.srttNs.Store(uint64(s + 0.125*(d-s)))
+}
+
+// hedgeDevFactor scales the deviation term of the hedge delay (in halves:
+// the delay is srtt + hedgeDevFactorHalves/2 · rttvar). RFC 6298 uses 4 for
+// retransmission, where a spurious fire costs a full resend on a congested
+// path; hedges are cheaper — a duplicate read to an idle-enough replica —
+// so 3.5 buys a meaningfully earlier rescue (≈p93 of recent reads instead
+// of ≈p99) while keeping duplicate load in single-digit percent (measured:
+// ~6% at 4, ~10% at 3 under the tail benchmark's slow-replica scenario).
+const hedgeDevFactorHalves = 7
+
+// hedgeDelay is how long a read waits on its primary replica before
+// duplicating to the next-ranked one: srtt + 3.5·rttvar clamped to the
+// configured window — the same percentile regime as Cassandra's
+// speculative-retry default, but derived from this coordinator's own
+// observations and self-tuning at LAN speed.
+func (n *Node) hedgeDelay() time.Duration {
+	s := n.srttNs.Load()
+	if s == 0 {
+		return n.cfg.Hedge.MaxDelay // no observations yet: hedge late
+	}
+	d := time.Duration(s + hedgeDevFactorHalves*n.rttvarNs.Load()/2)
+	if d < n.cfg.Hedge.MinDelay {
+		d = n.cfg.Hedge.MinDelay
+	}
+	if d > n.cfg.Hedge.MaxDelay {
+		d = n.cfg.Hedge.MaxDelay
+	}
+	return d
+}
+
+// accountReadFailure records a failed replica read with the selector: our
+// own shutdown abandons (there is no feedback to observe), a real failure
+// feeds the punishing penalty.
+func (n *Node) accountReadFailure(s core.ServerID, now time.Time) {
+	if n.isClosed() {
+		n.sel.OnAbandon(s, now.UnixNano())
+	} else {
+		n.sel.OnResponse(s, core.Feedback{QueueSize: failPenaltyQueue,
+			ServiceTime: failPenaltyRTT}, failPenaltyRTT, now.UnixNano())
+	}
+}
+
+// accountReadSuccess feeds a replica read's piggybacked feedback and
+// observed round trip to the selector.
+func (n *Node) accountReadSuccess(s core.ServerID, fb wire.Feedback, rtt time.Duration, now time.Time) {
+	n.sel.OnResponse(s, core.Feedback{
+		QueueSize:   fb.QueueSize,
+		ServiceTime: time.Duration(fb.ServiceNs),
+	}, rtt, now.UnixNano())
+}
+
+// raceOutcome is one replica's resolution within a coordinated read's race.
+type raceOutcome struct {
+	from core.ServerID
+	resp wire.ReadResp
+	err  error
+	rtt  time.Duration
+	buf  *[]byte // pooled buffer backing resp.Value; the consumer recycles it
+}
+
+// raceRead fires one replica read — local or remote — as an independent
+// racer reporting into ch. The racer performs its own selector accounting
+// as it resolves (a success feeds real feedback, a failure feeds the
+// punishing penalty, our own shutdown abandons), so every send recorded for
+// a racer is balanced by exactly one OnResponse/OnAbandon no matter whether
+// the coordinator is still listening when the racer finishes. ch must be
+// buffered for the whole race so a late loser never blocks.
+func (n *Node) raceRead(s core.ServerID, m wire.ReadReq, ch chan<- raceOutcome) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		rb := getBuf()
+		sent := time.Now()
+		var out wire.ReadResp
+		var err error
+		if s == n.id {
+			out = n.localRead(m, (*rb)[:0])
+		} else {
+			out, err = n.rpcRead(s, m, (*rb)[:0])
+		}
+		now := time.Now()
+		if err != nil {
+			putBuf(rb)
+			n.accountReadFailure(s, now)
+			ch <- raceOutcome{from: s, err: err}
+			return
+		}
+		if out.Value != nil {
+			*rb = out.Value[:0] // the value append may have regrown the buffer
+		}
+		rtt := now.Sub(sent)
+		n.accountReadSuccess(s, out.FB, rtt, now)
+		ch <- raceOutcome{from: s, resp: out, rtt: rtt, buf: rb}
+	}()
+}
+
+// adoptCall hands a still-pending primary read to a background goroutine
+// once its race was decided without it: the adopter completes the call's
+// accounting — the late response still trains the ranker, a failure is
+// penalized, our own shutdown abandons — and recycles its buffers. The
+// winner already trained the hedge-delay estimate, so the adopted loser
+// does not (its slowness is exactly what the hedge routed around).
+func (n *Node) adoptCall(s core.ServerID, ca *call, rb *[]byte, sent time.Time) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		<-ca.done
+		out, err := readResult(ca)
+		now := time.Now()
+		if err != nil {
+			n.accountReadFailure(s, now)
+		} else {
+			if out.Value != nil {
+				*rb = out.Value[:0]
+			}
+			n.accountReadSuccess(s, out.FB, now.Sub(sent), now)
+		}
+		putBuf(rb)
+	}()
+}
+
+// reap drains the remaining racers of a finished read in the background,
+// recycling their value buffers. Their selector accounting happens inside
+// raceRead, so nothing is lost by not inspecting the outcomes.
+func (n *Node) reap(ch <-chan raceOutcome, pending int) {
+	if pending <= 0 {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for i := 0; i < pending; i++ {
+			putBuf((<-ch).buf)
+		}
+	}()
+}
+
+// maybeReadRepair occasionally consults every replica beyond the selected
+// target (Cassandra's anti-entropy read repair). Beyond consistency, it
+// refreshes the coordinator's feedback for replicas it has stopped
+// selecting. Probe accounting pairs every OnSend with OnResponse on success
+// and OnAbandon on failure — a failed probe must release its outstanding
+// count, or q̂ toward an already-struggling replica inflates forever and the
+// coordinator never notices it recovering (the leak this layer's regression
+// test pins down).
+func (n *Node) maybeReadRepair(m wire.ReadReq, group []core.ServerID, target core.ServerID) {
+	if n.cfg.ReadRepair <= 0 {
+		return
+	}
+	n.rngMu.Lock()
+	repair := n.rng.Float64() < n.cfg.ReadRepair
+	n.rngMu.Unlock()
+	if !repair {
+		return
+	}
+	for _, s := range group {
+		if s == target || s == n.id {
+			continue
+		}
+		s := s
+		n.sel.OnSend(s, time.Now().UnixNano())
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			rb := getBuf()
+			sent := time.Now()
+			if out, err := n.rpcRead(s, m, (*rb)[:0]); err == nil {
+				n.accountReadSuccess(s, out.FB, time.Since(sent), time.Now())
+				if out.Value != nil {
+					*rb = out.Value[:0]
+				}
+			} else {
+				// A probe is a best-effort observation: release its
+				// accounting without synthesizing feedback. Punishing the
+				// replica is the selected path's job.
+				n.sel.OnAbandon(s, time.Now().UnixNano())
+			}
+			putBuf(rb)
+		}()
+	}
+}
+
+// readRace is the mutable state of one coordinated read's escalation
+// ladder. It lives on the coordinator's stack; the outcome channel and the
+// racer goroutines are created lazily, only when an escalation actually
+// happens, so the common escalation-free read pays for none of them.
+type readRace struct {
+	n       *Node
+	m       wire.ReadReq
+	group   []core.ServerID
+	tried   []core.ServerID // backed by triedBuf
+	ch      chan raceOutcome
+	pending int
+	hedged  core.ServerID
+
+	triedBuf [8]core.ServerID
+}
+
+// spawn launches a racer toward s.
+func (r *readRace) spawn(s core.ServerID) {
+	if r.ch == nil {
+		r.ch = make(chan raceOutcome, len(r.group))
+	}
+	r.tried = append(r.tried, s)
+	r.n.raceRead(s, r.m, r.ch)
+	r.pending++
+}
+
+// escalate picks the next-ranked untried replica through the selector — so
+// failure-path and hedge traffic still follows, and trains, the ranker
+// instead of walking a fixed group order — and races it. isHedge marks a
+// speculative duplicate (timer-fired, counted as duplicate load) as opposed
+// to a failover after an error (which replaces a dead request and is not a
+// duplicate). It reports false when every replica has been tried.
+func (r *readRace) escalate(isHedge bool) bool {
+	now := time.Now().UnixNano()
+	var s core.ServerID
+	var ok bool
+	if isHedge {
+		s, ok = r.n.sel.PickHedge(r.group, r.tried, now)
+	} else {
+		s, ok = r.n.sel.PickNext(r.group, r.tried, now)
+	}
+	if !ok {
+		return false
+	}
+	if isHedge {
+		r.hedged = s
+	}
+	r.spawn(s)
+	return true
+}
+
+// coordinateRead is Algorithm 1 over real TCP, wrapped in the tail-tolerance
+// layer: rank the key's replica group, wait for a rate token under
+// backpressure, dispatch to the best replica, then escalate as needed — a
+// speculative hedge to the next-ranked replica once the adaptive delay
+// expires, immediate failovers to untried replicas on RPC failures, and a
+// per-request budget backstopping the whole read. The first response wins;
+// every dispatched request's result still feeds the ranker (late losers are
+// adopted or reaped in the background with their accounting intact).
+//
+// The winning value is either appended to dst (inline local reads; vbuf is
+// nil) or carried in the returned pooled buffer vbuf, which the caller
+// recycles after encoding.
+func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, vbuf *[]byte) {
 	n.coord.Add(1)
 	group := n.ring.ReplicasFor([]byte(m.Key), nil)
 	deadline := time.Now().Add(n.cfg.BackpressureTimeout)
@@ -516,86 +894,134 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) wire.ReadResp {
 	if waited {
 		n.waited.Add(1)
 	}
-	// Read repair: occasionally consult every replica, which refreshes
-	// the coordinator's feedback state for replicas it has stopped
-	// selecting.
-	if n.cfg.ReadRepair > 0 {
-		n.rngMu.Lock()
-		repair := n.rng.Float64() < n.cfg.ReadRepair
-		n.rngMu.Unlock()
-		if repair {
-			for _, s := range group {
-				if s == target || s == n.id {
-					continue
-				}
-				s := s
-				n.sel.OnSend(s, time.Now().UnixNano())
-				n.wg.Add(1)
-				go func() {
-					defer n.wg.Done()
-					rb := getBuf()
-					sent := time.Now()
-					if out, err := n.rpcRead(s, m, (*rb)[:0]); err == nil {
-						n.sel.OnResponse(s, core.Feedback{
-							QueueSize:   out.FB.QueueSize,
-							ServiceTime: time.Duration(out.FB.ServiceNs),
-						}, time.Since(sent), time.Now().UnixNano())
-						if out.Value != nil {
-							*rb = out.Value[:0]
-						}
-					}
-					putBuf(rb)
-				}()
+	n.maybeReadRepair(m, group, target)
+
+	// Inline local fast path: an in-memory read with no configured delay
+	// has nothing a hedge could rescue, and the race scaffolding would cost
+	// more than the read itself. The value goes straight into the caller's
+	// frame — zero copy, as before the tail-tolerance layer.
+	if target == n.id && n.inlineLocalReads() {
+		sent := time.Now()
+		out := n.localRead(m, dst)
+		n.accountReadSuccess(target, out.FB, time.Since(sent), time.Now())
+		out.ID = m.ID
+		return out, nil
+	}
+
+	race := readRace{n: n, m: m, group: group, hedged: -1}
+	race.tried = race.triedBuf[:0]
+
+	// Dispatch the primary. A remote target whose connection is already up
+	// goes out asynchronously on the pooled call record, so the common
+	// escalation-free read needs no extra goroutine and no channel. A
+	// remote target that would need a dial, and a local target behind a
+	// storage delay, run as ordinary racers instead: both can stall (up to
+	// peerDialTimeout, or in the storage sleep), and the stall must happen
+	// where the hedge timer can race it.
+	var (
+		ca     *call // pending primary RPC, nil once resolved
+		caDone <-chan struct{}
+		caBuf  *[]byte
+		sent   time.Time
+	)
+	if target == n.id {
+		race.spawn(target)
+	} else if p, ok := n.peerReady(target); ok {
+		race.tried = append(race.tried, target)
+		sent = time.Now()
+		caBuf = getBuf()
+		if c, err := p.readAsync(m.Key, (*caBuf)[:0]); err == nil {
+			ca, caDone = c, c.done
+		} else {
+			// The link died under us: penalize and fail over now.
+			putBuf(caBuf)
+			caBuf = nil
+			n.accountReadFailure(target, time.Now())
+			if !race.escalate(false) {
+				return wire.ReadResp{ID: m.ID}, nil
 			}
 		}
-	}
-	sent := time.Now()
-	var resp wire.ReadResp
-	if target == n.id {
-		resp = n.localRead(m, dst)
 	} else {
-		out, err := n.rpcRead(target, m, dst)
-		if err != nil {
-			// Peer unreachable: serve from the next replica and
-			// record a punishing response time for the ranker.
-			n.sel.OnResponse(target, core.Feedback{QueueSize: 1e6,
-				ServiceTime: time.Second}, time.Second, time.Now().UnixNano())
-			return n.readFallback(m, group, target, dst)
-		}
-		resp = out
+		race.spawn(target)
 	}
-	n.sel.OnResponse(target, core.Feedback{
-		QueueSize:   resp.FB.QueueSize,
-		ServiceTime: time.Duration(resp.FB.ServiceNs),
-	}, time.Since(sent), time.Now().UnixNano())
-	resp.ID = m.ID
-	return resp
-}
 
-// readFallback tries the remaining replicas in order after an RPC failure.
-func (n *Node) readFallback(m wire.ReadReq, group []core.ServerID, failed core.ServerID, dst []byte) wire.ReadResp {
-	for _, s := range group {
-		if s == failed {
-			continue
-		}
-		if s == n.id {
-			return n.localRead(m, dst)
-		}
-		if out, err := n.rpcRead(s, m, dst); err == nil {
-			out.ID = m.ID
-			return out
+	budget := getTimer(n.cfg.ReadBudget)
+	defer putTimer(budget)
+	var hedgeC <-chan time.Time
+	if !n.cfg.Hedge.Disabled && len(group) > 1 {
+		ht := getTimer(n.hedgeDelay())
+		defer putTimer(ht)
+		hedgeC = ht.C
+	}
+	for {
+		select {
+		case <-caDone:
+			caDone = nil
+			out, err := readResult(ca)
+			ca = nil
+			now := time.Now()
+			if err == nil {
+				rtt := now.Sub(sent)
+				n.accountReadSuccess(target, out.FB, rtt, now)
+				if out.Value != nil {
+					*caBuf = out.Value[:0]
+				}
+				// Only winners train the hedge delay: a slow loser's RTT
+				// is exactly what hedging routes around, and folding it
+				// in would push the delay up until hedges stop firing.
+				n.observeReadRTT(rtt)
+				n.reap(race.ch, race.pending)
+				out.ID = m.ID
+				return out, caBuf
+			}
+			putBuf(caBuf)
+			caBuf = nil
+			n.accountReadFailure(target, now)
+			if !race.escalate(false) && race.pending == 0 {
+				return wire.ReadResp{ID: m.ID}, nil // every replica failed
+			}
+		case out := <-race.ch:
+			race.pending--
+			if out.err == nil {
+				if out.from == race.hedged {
+					n.hedgeWins.Add(1)
+				}
+				n.observeReadRTT(out.rtt)
+				n.reap(race.ch, race.pending)
+				if ca != nil {
+					n.adoptCall(target, ca, caBuf, sent)
+				}
+				out.resp.ID = m.ID
+				return out.resp, out.buf
+			}
+			if !race.escalate(false) && race.pending == 0 && ca == nil {
+				return wire.ReadResp{ID: m.ID}, nil // every replica failed
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			race.escalate(true)
+		case <-budget.C:
+			// Budget exhausted: answer not-found now. Whatever is still
+			// in flight accounts for itself and is cleaned up in the
+			// background.
+			n.reap(race.ch, race.pending)
+			if ca != nil {
+				n.adoptCall(target, ca, caBuf, sent)
+			}
+			return wire.ReadResp{ID: m.ID}, nil
 		}
 	}
-	return wire.ReadResp{ID: m.ID, Found: false}
 }
 
 // coordinateWrite fans a write to all replicas and acknowledges on the first
-// success (CL=ONE), completing the rest in the background. vb, when not nil,
-// is the pooled buffer backing m.Value; it is recycled once every replica
-// write — including the post-ack background ones — has finished with it.
+// genuine success (CL=ONE), completing the rest in the background. A failed
+// replica write is never the ack: failures are counted, and only when every
+// replica fails does the write itself fail (OK false). vb, when not nil, is
+// the pooled buffer backing m.Value; it is recycled once every replica write
+// — including the post-ack background ones — has finished with it.
 func (n *Node) coordinateWrite(m wire.WriteReq, vb *[]byte) wire.WriteResp {
 	group := n.ring.ReplicasFor([]byte(m.Key), nil)
-	first := make(chan wire.WriteResp, len(group))
+	acks := make(chan wire.WriteResp, len(group))
 	// Refcount the value buffer across the fan-out: the last replica write
 	// to finish recycles it.
 	remaining := new(atomic.Int32)
@@ -611,28 +1037,72 @@ func (n *Node) coordinateWrite(m wire.WriteReq, vb *[]byte) wire.WriteResp {
 				}
 			}()
 			if s == n.id {
-				first <- n.localWrite(m)
+				acks <- n.localWrite(m)
 				return
 			}
-			if out, err := n.rpcWrite(s, m); err == nil {
-				first <- out
-			} else {
-				first <- wire.WriteResp{ID: m.ID}
+			out, err := n.rpcWrite(s, m)
+			if err != nil {
+				out = wire.WriteResp{} // OK false: a failure report
 			}
+			acks <- out
 		}()
 	}
-	resp := <-first
-	resp.ID = m.ID
-	return resp
+	for i := 0; i < len(group); i++ {
+		if resp := <-acks; resp.OK {
+			resp.ID = m.ID
+			return resp
+		}
+	}
+	n.writeFails.Add(1)
+	return wire.WriteResp{ID: m.ID, OK: false}
 }
 
 var errClosed = errors.New("kvstore: node closed")
 
+// peerDialTimeout bounds one connection attempt to a peer;
+// peerRedialBackoff is the fail-fast window after a failed dial — requests
+// toward a peer that just refused a connection error out immediately instead
+// of queueing another blocking dial, so a flapping peer cannot accumulate
+// dial attempts.
+const (
+	peerDialTimeout   = time.Second
+	peerRedialBackoff = 50 * time.Millisecond
+)
+
+// peerSlot is the per-peer outbound connection state. Each peer has its own
+// lock, so a dial to a dead peer — which blocks for up to peerDialTimeout —
+// head-of-line-blocks only RPCs to that peer, never traffic to healthy ones.
+type peerSlot struct {
+	mu       sync.Mutex
+	conn     *rpcConn
+	lastFail time.Time // last failed dial; starts the fail-fast window
+	lastErr  error     // the failure served during the window
+}
+
+// peerReady returns the established healthy connection to a peer without
+// ever blocking: it reports false when the link would need a dial — which
+// can stall for up to peerDialTimeout — or when another goroutine holds the
+// slot (dialing right now). Callers that get false dispatch through a racer
+// goroutine instead, so the hedge timer keeps covering dial latency.
+func (n *Node) peerReady(id core.ServerID) (*rpcConn, bool) {
+	slot := &n.peers[int(id)]
+	if !slot.mu.TryLock() {
+		return nil, false
+	}
+	p := slot.conn
+	slot.mu.Unlock()
+	if p != nil && !p.dead() {
+		return p, true
+	}
+	return nil, false
+}
+
 // peer returns (establishing if needed) the RPC connection to a peer node.
 func (n *Node) peer(id core.ServerID) (*rpcConn, error) {
-	n.peersMu.Lock()
-	defer n.peersMu.Unlock()
-	if p, ok := n.peers[id]; ok && !p.dead() {
+	slot := &n.peers[int(id)]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if p := slot.conn; p != nil && !p.dead() {
 		return p, nil
 	}
 	select {
@@ -640,13 +1110,18 @@ func (n *Node) peer(id core.ServerID) (*rpcConn, error) {
 		return nil, errClosed
 	default:
 	}
-	conn, err := net.DialTimeout("tcp", n.addrs[int(id)], time.Second)
+	if slot.lastErr != nil && time.Since(slot.lastFail) < peerRedialBackoff {
+		return nil, slot.lastErr
+	}
+	conn, err := net.DialTimeout("tcp", n.addrs[int(id)], peerDialTimeout)
 	if err != nil {
+		slot.lastFail = time.Now()
+		slot.lastErr = err
 		return nil, err
 	}
-	p := newRPCConn(conn)
-	n.peers[id] = p
-	return p, nil
+	slot.lastErr = nil
+	slot.conn = newRPCConn(conn)
+	return slot.conn, nil
 }
 
 func (n *Node) rpcRead(id core.ServerID, m wire.ReadReq, dst []byte) (wire.ReadResp, error) {

@@ -216,29 +216,52 @@ func (p *rpcConn) clientRead(key string, dst []byte) (wire.ReadResp, error) {
 	return p.readTyped(wire.MsgRead, key, dst)
 }
 
-func (p *rpcConn) readTyped(typ uint8, key string, dst []byte) (wire.ReadResp, error) {
+// readAsync dispatches an internal read RPC without blocking. The returned
+// call is complete once its done channel signals; the caller must then
+// consume it with readResult exactly once (directly, or from a goroutine
+// that adopts the call if the caller stops waiting — the hedged-read
+// escalation path).
+func (p *rpcConn) readAsync(key string, dst []byte) (*call, error) {
+	return p.readAsyncTyped(wire.MsgReadInternal, key, dst)
+}
+
+func (p *rpcConn) readAsyncTyped(typ uint8, key string, dst []byte) (*call, error) {
 	c := getCall(true, dst)
 	id, err := p.register(c)
 	if err != nil {
 		putCall(c)
-		return wire.ReadResp{}, err
+		return nil, err
 	}
 	fb := getBuf()
 	b, err := wire.AppendReadReq((*fb)[:0], typ, wire.ReadReq{ID: id, Key: key})
 	if err != nil {
 		putBuf(fb)
 		p.abort(c, id)
-		return wire.ReadResp{}, err
+		return nil, err
 	}
 	*fb = b
 	if err := p.cw.enqueue(fb); err != nil {
 		p.abort(c, id)
-		return wire.ReadResp{}, err
+		return nil, err
 	}
-	<-c.done
+	return c, nil
+}
+
+// readResult consumes a completed call (its done channel has signalled) and
+// recycles the record.
+func readResult(c *call) (wire.ReadResp, error) {
 	resp, err := c.read, c.err
 	putCall(c)
 	return resp, err
+}
+
+func (p *rpcConn) readTyped(typ uint8, key string, dst []byte) (wire.ReadResp, error) {
+	c, err := p.readAsyncTyped(typ, key, dst)
+	if err != nil {
+		return wire.ReadResp{}, err
+	}
+	<-c.done
+	return readResult(c)
 }
 
 // write performs an internal write RPC.

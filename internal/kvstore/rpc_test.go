@@ -45,7 +45,7 @@ func fakeReplica(conn net.Conn, val func(key string, dst []byte) []byte) {
 			if err != nil {
 				return
 			}
-			b, err = wire.AppendWriteResp(frame[:0], wire.WriteResp{ID: m.ID})
+			b, err = wire.AppendWriteResp(frame[:0], wire.WriteResp{ID: m.ID, OK: true})
 			if err != nil {
 				return
 			}

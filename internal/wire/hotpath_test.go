@@ -147,7 +147,7 @@ func TestStreamedReadResp(t *testing.T) {
 func TestAppendEncodersMatchWriter(t *testing.T) {
 	rr := ReadResp{ID: 5, Found: true, Value: []byte("v"), FB: Feedback{QueueSize: 1, ServiceNs: 2}}
 	wr := WriteReq{ID: 6, Key: "k", Value: []byte("w")}
-	wa := WriteResp{ID: 7, FB: Feedback{QueueSize: 3, ServiceNs: 4}}
+	wa := WriteResp{ID: 7, OK: true, FB: Feedback{QueueSize: 3, ServiceNs: 4}}
 	rq := ReadReq{ID: 8, Key: "q"}
 
 	var buf bytes.Buffer

@@ -104,9 +104,14 @@ type WriteReq struct {
 	Value []byte
 }
 
-// WriteResp acknowledges a write.
+// WriteResp acknowledges a write. OK distinguishes a genuine ack from a
+// failure report: a replica sets it after applying the write locally, and a
+// coordinator sets it only when at least one replica applied the write — an
+// all-replicas-down write comes back with OK false and must surface as an
+// error, never as an ack.
 type WriteResp struct {
 	ID uint64
+	OK bool
 	FB Feedback
 }
 
@@ -238,7 +243,7 @@ func AppendWriteReq(dst []byte, typ uint8, m WriteReq) ([]byte, error) {
 // AppendWriteResp appends a complete framed write acknowledgement to dst.
 func AppendWriteResp(dst []byte, m WriteResp) ([]byte, error) {
 	dst, start := beginFrame(dst, MsgWriteResp)
-	return endFrame(appendFeedback(appendU64(dst, m.ID), m.FB), start)
+	return endFrame(appendFeedback(appendBool(appendU64(dst, m.ID), m.OK), m.FB), start)
 }
 
 // Writer frames outgoing messages into a buffer. Frames accumulate until an
@@ -458,6 +463,7 @@ func ParseWriteReq(b []byte) (WriteReq, error) {
 func ParseWriteResp(b []byte) (WriteResp, error) {
 	d := decoder{b: b}
 	m := WriteResp{ID: d.u64()}
+	m.OK = d.u8() == 1
 	m.FB.QueueSize = d.f64()
 	m.FB.ServiceNs = d.i64()
 	return m, d.err

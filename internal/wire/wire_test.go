@@ -90,11 +90,15 @@ func TestWriteReqRoundtrip(t *testing.T) {
 }
 
 func TestWriteRespRoundtrip(t *testing.T) {
-	in := WriteResp{ID: 13, FB: Feedback{QueueSize: 1, ServiceNs: 999}}
-	_, payload := roundtrip(t, func(w *Writer) error { return w.WriteWriteResp(in) })
-	out, err := ParseWriteResp(payload)
-	if err != nil || out != in {
-		t.Fatalf("out = %+v err=%v", out, err)
+	for _, in := range []WriteResp{
+		{ID: 13, OK: true, FB: Feedback{QueueSize: 1, ServiceNs: 999}},
+		{ID: 14, OK: false, FB: Feedback{QueueSize: 2, ServiceNs: 5}}, // failure report
+	} {
+		_, payload := roundtrip(t, func(w *Writer) error { return w.WriteWriteResp(in) })
+		out, err := ParseWriteResp(payload)
+		if err != nil || out != in {
+			t.Fatalf("out = %+v err=%v", out, err)
+		}
 	}
 }
 
