@@ -27,6 +27,8 @@ func main() {
 		"path for the machine-readable live-store benchmark record (written when the kv experiment runs; empty disables)")
 	tailjson := flag.String("tailjson", "BENCH_tail.json",
 		"path for the machine-readable tail-tolerance benchmark record (written when the tail experiment runs; empty disables)")
+	batchjson := flag.String("batchjson", "BENCH_batch.json",
+		"path for the machine-readable batch scatter-gather benchmark record (written when the batch experiment runs; empty disables)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -41,7 +43,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson, TailJSONPath: *tailjson}
+	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson,
+		TailJSONPath: *tailjson, BatchJSONPath: *batchjson}
 
 	runners := bench.All()
 	if *fig != "all" {

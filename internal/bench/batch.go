@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c3/internal/kvstore"
+	"c3/internal/sim"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+// Batch access modes compared per cell.
+const (
+	// batchModeMulti issues one MultiGet per K-key batch — the scatter-gather
+	// path: per-replica coalescing, C3-ranked sub-batch fan-out, one client
+	// RPC.
+	batchModeMulti = "multiget"
+	// batchModePoint issues the K keys as concurrent point Gets — the
+	// pipelined baseline a batch-less client is stuck with: K RPCs, K
+	// rate-limiter decisions, K chances to hit the tail.
+	batchModePoint = "pointgets"
+)
+
+// BatchRow is one (strategy, hedging, batch-size, mode) cell.
+type BatchRow struct {
+	Strategy string  `json:"strategy"`
+	Hedged   bool    `json:"hedged"`
+	Batch    int     `json:"batch"`
+	Mode     string  `json:"mode"`
+	Batches  int     `json:"batches"`
+	Keys     int     `json:"keys"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	// KeysPerSec is the end-to-end key throughput; BatchP*Us are the
+	// latency percentiles of whole batches (the page-load metric: a
+	// multi-key request is done when its slowest key is done).
+	KeysPerSec float64 `json:"keys_per_sec"`
+	BatchP50Us float64 `json:"batch_p50_us"`
+	BatchP99Us float64 `json:"batch_p99_us"`
+	// Hedges aggregates the coordinators' speculative duplicates (measured
+	// in keys for the batch path).
+	Hedges uint64 `json:"hedges"`
+	// OutstandingResidual is the selector accounting left after quiescence —
+	// non-zero means the batch ladder leaked.
+	OutstandingResidual float64 `json:"outstanding_residual"`
+}
+
+// BatchResult is the machine-readable record of the batch benchmark
+// (BENCH_batch.json): MultiGet vs pipelined point gets across batch sizes,
+// strategies, and hedging.
+type BatchResult struct {
+	Nodes           int        `json:"nodes"`
+	Workers         int        `json:"workers"`
+	Keys            int        `json:"keys"`
+	ValueBytes      int        `json:"value_bytes"`
+	ReadDelayMeanUs float64    `json:"read_delay_mean_us"`
+	Rows            []BatchRow `json:"rows"`
+}
+
+const (
+	batchNodes      = 5
+	batchWorkers    = 6
+	batchKeyspace   = 512
+	batchValueBytes = 128
+	batchReadDelay  = 500 * time.Microsecond
+)
+
+// batchSizes is the satellite sweep: small, medium, and page-sized batches.
+var batchSizes = []int{4, 16, 64}
+
+// batchOps reports the per-cell batch budget for the scale.
+func (o Options) batchOps() int {
+	switch o.Scale {
+	case Full:
+		return 4_000
+	case Medium:
+		return 1_200
+	default:
+		return 250
+	}
+}
+
+// batchStrategies reports the strategies compared at the scale (quick covers
+// C3 only, like the tail benchmark).
+func (o Options) batchStrategies() []string {
+	if o.Scale == Quick {
+		return []string{kvstore.StratC3}
+	}
+	return []string{kvstore.StratC3, kvstore.StratRR}
+}
+
+// runBatchRow boots a cluster and drives one cell of the grid.
+func runBatchRow(o Options, strategy string, hedged bool, batch int, mode string, seed uint64) (BatchRow, error) {
+	row := BatchRow{Strategy: strategy, Hedged: hedged, Batch: batch, Mode: mode}
+	cfg := kvstore.Config{
+		Strategy:      strategy,
+		Seed:          seed,
+		ReadDelayMean: batchReadDelay,
+		ReadRepair:    -1, // isolate the batch path: no repair broadcasts
+	}
+	cfg.Hedge.Disabled = !hedged
+	cluster, err := kvstore.StartCluster(batchNodes, cfg)
+	if err != nil {
+		return row, err
+	}
+	defer cluster.Close()
+	cl, err := kvstore.Dial(cluster.Addrs())
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+
+	keys := make([]string, batchKeyspace)
+	vals := make([][]byte, batchKeyspace)
+	val := make([]byte, batchValueBytes)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("batch-%05d", i)
+		vals[i] = val
+	}
+	if _, err := cl.MultiPut(keys, vals); err != nil {
+		return row, err
+	}
+	// CL=ONE: wait until every key reads back from round-robin coordinators.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, found, err := cl.MultiGet(keys)
+		all := err == nil
+		if all {
+			for _, ok := range found {
+				if !ok {
+					all = false
+					break
+				}
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			return row, fmt.Errorf("bench: batch keyspace never became readable: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	batches := o.batchOps()
+	perWorker := batches / batchWorkers
+	sizer := workload.FixedBatch(batch)
+	zipf := workload.NewScrambled(batchKeyspace, 0.99)
+	lat := make([][]float64, batchWorkers)
+	// Atomic: the pointgets mode increments a worker's slot from its K
+	// concurrent per-key goroutines.
+	errCounts := make([]atomic.Int64, batchWorkers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < batchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.RNG(seed, uint64(w)+29)
+			samples := make([]float64, 0, perWorker)
+			req := make([]string, 0, batch)
+			for i := 0; i < perWorker; i++ {
+				req = req[:0]
+				for k := 0; k < sizer.Keys(r); k++ {
+					req = append(req, keys[int(zipf.Next(r))%batchKeyspace])
+				}
+				t0 := time.Now()
+				switch mode {
+				case batchModeMulti:
+					_, found, err := cl.MultiGet(req)
+					if err != nil {
+						errCounts[w].Add(1)
+						continue
+					}
+					for _, ok := range found {
+						if !ok {
+							errCounts[w].Add(1)
+						}
+					}
+				case batchModePoint:
+					// Pipelined point gets: all K in flight at once, done
+					// when the slowest answers — K RPCs against MultiGet's
+					// one.
+					var pwg sync.WaitGroup
+					for _, k := range req {
+						pwg.Add(1)
+						go func(k string) {
+							defer pwg.Done()
+							if _, ok, err := cl.Get(k); err != nil || !ok {
+								errCounts[w].Add(1)
+							}
+						}(k)
+					}
+					pwg.Wait()
+				}
+				samples = append(samples, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+			lat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	residual := func() float64 {
+		total := 0.0
+		for _, n := range cluster.Nodes {
+			for p := 0; p < batchNodes; p++ {
+				total += n.OutstandingToward(p)
+			}
+		}
+		return total
+	}
+	settle := time.Now().Add(2 * time.Second)
+	for residual() != 0 && time.Now().Before(settle) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sample := stats.NewSample(batches)
+	measured := 0
+	for _, s := range lat {
+		measured += len(s)
+		for _, x := range s {
+			sample.Add(x)
+		}
+	}
+	for i := range errCounts {
+		row.Errors += int(errCounts[i].Load())
+	}
+	for _, n := range cluster.Nodes {
+		row.Hedges += n.HedgesIssued()
+	}
+	row.Batches = measured
+	row.Keys = measured * batch
+	row.Seconds = elapsed.Seconds()
+	row.KeysPerSec = float64(row.Keys) / elapsed.Seconds()
+	row.BatchP50Us = sample.Percentile(50)
+	row.BatchP99Us = sample.Percentile(99)
+	row.OutstandingResidual = residual()
+	return row, nil
+}
+
+// RunBatch executes the full strategy × hedging × batch-size × mode grid.
+func RunBatch(o Options) (BatchResult, error) {
+	res := BatchResult{
+		Nodes:           batchNodes,
+		Workers:         batchWorkers,
+		Keys:            batchKeyspace,
+		ValueBytes:      batchValueBytes,
+		ReadDelayMeanUs: float64(batchReadDelay) / 1e3,
+	}
+	seed := uint64(1)
+	for _, strategy := range o.batchStrategies() {
+		for _, hedged := range []bool{true, false} {
+			for _, batch := range batchSizes {
+				for _, mode := range []string{batchModeMulti, batchModePoint} {
+					row, err := runBatchRow(o, strategy, hedged, batch, mode, seed)
+					if err != nil {
+						return res, fmt.Errorf("batch %s/hedged=%v/%d/%s: %w",
+							strategy, hedged, batch, mode, err)
+					}
+					res.Rows = append(res.Rows, row)
+					seed += 107
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// findBatchRow locates one cell.
+func findBatchRow(res BatchResult, strategy string, hedged bool, batch int, mode string) (BatchRow, bool) {
+	for _, row := range res.Rows {
+		if row.Strategy == strategy && row.Hedged == hedged && row.Batch == batch && row.Mode == mode {
+			return row, true
+		}
+	}
+	return BatchRow{}, false
+}
+
+// writeBatchJSON writes the machine-readable record to path.
+func writeBatchJSON(res BatchResult, path string) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Batch is the runner for the scatter-gather benchmark: MultiGet vs
+// pipelined point gets across batch sizes, strategies, and hedging. With
+// Options.BatchJSONPath set it also writes BENCH_batch.json.
+func Batch(o Options) *Report {
+	r := newReport("batch", "batch scatter-gather: MultiGet vs pipelined point gets")
+	res, err := RunBatch(o)
+	if err != nil {
+		r.fail(err)
+		return r
+	}
+	r.printf("%d nodes, %d workers, %d keys × %dB values, storage delay %.1fms, batch sizes %v",
+		res.Nodes, res.Workers, res.Keys, res.ValueBytes, res.ReadDelayMeanUs/1e3, batchSizes)
+	for _, row := range res.Rows {
+		mode := "unhedged"
+		if row.Hedged {
+			mode = "hedged"
+		}
+		r.printf("  %-3s %-8s K=%-3d %-9s keys/s=%7.0f p50=%7.0fµs p99=%8.0fµs errs=%d resid=%.0f",
+			row.Strategy, mode, row.Batch, row.Mode,
+			row.KeysPerSec, row.BatchP50Us, row.BatchP99Us, row.Errors, row.OutstandingResidual)
+	}
+	// Headline: the acceptance gate of the batch refactor is MultiGet(64)
+	// beating 64 pipelined point gets on both key throughput and batch p99
+	// in every C3 cell (hedged and unhedged); smaller sizes are printed for
+	// the trend.
+	worstThr, worstP99 := 1e18, 1e18
+	resid := 0.0
+	for _, hedged := range []bool{true, false} {
+		for _, batch := range batchSizes {
+			multi, ok1 := findBatchRow(res, kvstore.StratC3, hedged, batch, batchModeMulti)
+			point, ok2 := findBatchRow(res, kvstore.StratC3, hedged, batch, batchModePoint)
+			if !ok1 || !ok2 || point.KeysPerSec == 0 || multi.BatchP99Us == 0 {
+				continue
+			}
+			thr := multi.KeysPerSec / point.KeysPerSec
+			p99 := point.BatchP99Us / multi.BatchP99Us
+			if batch == 64 {
+				if thr < worstThr {
+					worstThr = thr
+				}
+				if p99 < worstP99 {
+					worstP99 = p99
+				}
+			}
+			r.printf("  C3 K=%-3d %s: MultiGet ×%.2f keys/s, ×%.2f batch p99 vs point gets",
+				batch, map[bool]string{true: "hedged", false: "unhedged"}[hedged], thr, p99)
+		}
+	}
+	for _, row := range res.Rows {
+		resid += row.OutstandingResidual
+	}
+	r.Metric("batch_C3_64_min_throughput_gain", worstThr)
+	r.Metric("batch_C3_64_min_p99_gain", worstP99)
+	r.Metric("batch_outstanding_residual_total", resid)
+	if multi, ok := findBatchRow(res, kvstore.StratC3, true, 64, batchModeMulti); ok {
+		if point, ok := findBatchRow(res, kvstore.StratC3, true, 64, batchModePoint); ok {
+			r.Metric("batch_C3_hedged_64_multiget_keys_per_sec", multi.KeysPerSec)
+			r.Metric("batch_C3_hedged_64_pointgets_keys_per_sec", point.KeysPerSec)
+			r.Metric("batch_C3_hedged_64_multiget_p99_us", multi.BatchP99Us)
+			r.Metric("batch_C3_hedged_64_pointgets_p99_us", point.BatchP99Us)
+		}
+	}
+	if o.BatchJSONPath != "" {
+		if err := writeBatchJSON(res, o.BatchJSONPath); err != nil {
+			r.printf("write %s: %v", o.BatchJSONPath, err)
+		} else {
+			r.printf("wrote %s", o.BatchJSONPath)
+		}
+	}
+	return r
+}

@@ -46,6 +46,9 @@ type Options struct {
 	// TailJSONPath, when non-empty, makes the tail runner also write its
 	// machine-readable result (BENCH_tail.json) to this path.
 	TailJSONPath string
+	// BatchJSONPath, when non-empty, makes the batch runner also write its
+	// machine-readable result (BENCH_batch.json) to this path.
+	BatchJSONPath string
 }
 
 func (o Options) seeds() int {
@@ -181,6 +184,7 @@ func All() []Runner {
 		{"ext-spec", "extension: reissues atop C3 (§8)", ExtC3Spec},
 		{"kv", "live TCP store throughput/latency (network hot path)", KV},
 		{"tail", "tail tolerance under injected failures (hedged vs unhedged)", Tail},
+		{"batch", "batch scatter-gather: MultiGet vs pipelined point gets", Batch},
 	}
 }
 

@@ -26,6 +26,7 @@ type Client struct {
 	ranker  Ranker
 	best    BestPicker         // cached type assertion of ranker; nil if unsupported
 	tracker OutstandingTracker // cached type assertion of ranker; nil if unsupported
+	batch   BatchRanker        // cached type assertion of ranker; nil if unsupported
 	cfg     ClientConfig
 	reg     *Registry          // shared with the ranker when it holds one
 	rc      []*ratelimit.Cubic // dense, indexed by reg.Index
@@ -48,6 +49,9 @@ func NewClient(r Ranker, cfg ClientConfig) *Client {
 	}
 	if ot, ok := r.(OutstandingTracker); ok {
 		c.tracker = ot
+	}
+	if br, ok := r.(BatchRanker); ok {
+		c.batch = br
 	}
 	if cfg.RateControl {
 		if rh, ok := r.(RegistryHolder); ok {
@@ -204,6 +208,184 @@ func (c *Client) HedgesSent() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hedges
+}
+
+// sendNLocked records n sends toward s, via the ranker's batch path when it
+// has one. Callers hold c.mu.
+func (c *Client) sendNLocked(s ServerID, n int, now int64) {
+	if c.batch != nil {
+		c.batch.OnSendN(s, n, now)
+		return
+	}
+	for i := 0; i < n; i++ {
+		c.ranker.OnSend(s, now)
+	}
+}
+
+// PickBatch is Pick for an n-key sub-batch: the rate limiter admits the
+// sub-batch as one request (the cubic limiter paces RPCs, and a coalesced
+// batch is one RPC — that is the point of batching), while the ranker's
+// outstanding accounting moves by n so the selection signal still sees every
+// key the replica now holds. Every successful PickBatch must be balanced by
+// one OnResponseN or OnAbandonN of the same n.
+func (c *Client) PickBatch(group []ServerID, n int, now int64) (s ServerID, ok bool, retryAt int64) {
+	if len(group) == 0 || n <= 0 {
+		return 0, false, now
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.best != nil {
+		if b, bok := c.best.Best(group, now); bok {
+			if !c.cfg.RateControl || c.limiter(b).TryAcquire(now) {
+				c.sendNLocked(b, n, now)
+				return b, true, now
+			}
+		}
+	}
+	c.scratch = c.ranker.Rank(c.scratch, group, now)
+	if !c.cfg.RateControl {
+		s = c.scratch[0]
+		c.sendNLocked(s, n, now)
+		return s, true, now
+	}
+	retryAt = int64(math.MaxInt64)
+	for _, cand := range c.scratch {
+		l := c.limiter(cand)
+		if l.TryAcquire(now) {
+			c.sendNLocked(cand, n, now)
+			return cand, true, now
+		}
+		if at := l.NextAvailable(now); at < retryAt {
+			retryAt = at
+		}
+	}
+	if retryAt <= now {
+		retryAt = now + 1
+	}
+	return 0, false, retryAt
+}
+
+// PickBestN is PickBest for an n-key sub-batch — the batch path's fail-open
+// choice once its backpressure deadline expires. ok is false only for an
+// empty group or non-positive n.
+func (c *Client) PickBestN(group []ServerID, n int, now int64) (s ServerID, ok bool) {
+	if len(group) == 0 || n <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.best != nil {
+		if b, bok := c.best.Best(group, now); bok {
+			c.sendNLocked(b, n, now)
+			return b, true
+		}
+	}
+	c.scratch = c.ranker.Rank(c.scratch, group, now)
+	s = c.scratch[0]
+	c.sendNLocked(s, n, now)
+	return s, true
+}
+
+// OnSendN records n keys dispatched to s outside of PickBatch. Like OnSend it
+// consumes no rate token.
+func (c *Client) OnSendN(s ServerID, n int, now int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sendNLocked(s, n, now)
+}
+
+// OnResponseN records an n-key batch response from s: outstanding accounting
+// drops by n and the single piggybacked feedback sample folds into the
+// ranker's estimators with weight n (an n-key sub-batch's response carries as
+// much evidence as n point responses). Rate adaptation steps once — the
+// response is one RPC.
+func (c *Client) OnResponseN(s ServerID, n int, fb Feedback, rtt time.Duration, now int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batch != nil {
+		c.batch.OnResponseN(s, n, fb, rtt, now)
+	} else {
+		for i := 0; i < n; i++ {
+			c.ranker.OnResponse(s, fb, rtt, now)
+		}
+	}
+	if c.cfg.RateControl {
+		c.limiter(s).OnResponse(now)
+	}
+}
+
+// OnAbandonN releases n keys of outstanding accounting toward s without
+// feeding the estimators — the batch counterpart of OnAbandon, with the same
+// zero-residual invariant: every n recorded by PickBatch/OnSendN/PickNextN/
+// PickHedgeN must be balanced by exactly one OnResponseN or OnAbandonN.
+func (c *Client) OnAbandonN(s ServerID, n int, now int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batch != nil {
+		c.batch.OnAbandonN(s, n, now)
+		return
+	}
+	for i := 0; i < n; i++ {
+		c.ranker.OnAbandon(s, now)
+	}
+}
+
+// PickNextN is PickNext for an n-key sub-batch: the ranked next-untried
+// choice for a batch failover, accounted as n sends.
+func (c *Client) PickNextN(group, exclude []ServerID, n int, now int64) (s ServerID, ok bool) {
+	if n <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pickNextNLocked(group, exclude, n, now)
+}
+
+// PickHedgeN is PickHedge for an n-key sub-batch: a speculative duplicate of
+// a sub-batch still in flight. The hedge counter advances by n — duplicate
+// load is measured in keys, and a batch hedge re-reads every key it carries.
+func (c *Client) PickHedgeN(group, exclude []ServerID, n int, now int64) (s ServerID, ok bool) {
+	if n <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok = c.pickNextNLocked(group, exclude, n, now)
+	if ok {
+		c.hedges += uint64(n)
+	}
+	return s, ok
+}
+
+func (c *Client) pickNextNLocked(group, exclude []ServerID, n int, now int64) (ServerID, bool) {
+	if len(group) == 0 {
+		return 0, false
+	}
+	c.scratch = c.ranker.Rank(c.scratch, group, now)
+	for _, cand := range c.scratch {
+		tried := false
+		for _, x := range exclude {
+			if cand == x {
+				tried = true
+				break
+			}
+		}
+		if tried {
+			continue
+		}
+		c.sendNLocked(cand, n, now)
+		return cand, true
+	}
+	return 0, false
 }
 
 // PickNext chooses the best-ranked replica of group not in exclude and

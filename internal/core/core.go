@@ -58,6 +58,25 @@ type Ranker interface {
 	OnAbandon(s ServerID, now int64)
 }
 
+// BatchRanker is an optional extension a Ranker may implement for multi-key
+// (batch) traffic: the same events as OnSend/OnResponse/OnAbandon, weighted
+// by the number of keys the dispatch carries. A replica holding a 32-key
+// sub-batch is truthfully 32 reads of in-flight demand, and the single
+// feedback sample piggybacked on its response describes the cost of all 32 —
+// so outstanding accounting moves by n and the feedback EWMAs fold the sample
+// in with weight n. Client falls back to n repeated point calls for rankers
+// that do not implement it.
+type BatchRanker interface {
+	// OnSendN records a dispatch of n keys to s at time now.
+	OnSendN(s ServerID, n int, now int64)
+	// OnResponseN records an n-key response from s: outstanding accounting
+	// drops by n and fb folds into the estimators with weight n.
+	OnResponseN(s ServerID, n int, fb Feedback, rtt time.Duration, now int64)
+	// OnAbandonN releases n keys of outstanding accounting toward s without
+	// feeding the estimators (see Ranker.OnAbandon).
+	OnAbandonN(s ServerID, n int, now int64)
+}
+
 // BestPicker is an optional fast path a Ranker may implement: Best returns
 // the replica Rank would place first — with the same tie-breaking
 // distribution — without materializing the full ordering. Client.Pick uses it

@@ -107,7 +107,7 @@ func newLegacyLOR(seed uint64) *legacyLOR {
 	return &legacyLOR{rng: sim.RNG(seed, 0x10f), outstanding: make(map[ServerID]float64)}
 }
 
-func (l *legacyLOR) Name() string                { return "LOR-legacy" }
+func (l *legacyLOR) Name() string                 { return "LOR-legacy" }
 func (l *legacyLOR) OnSend(s ServerID, now int64) { l.outstanding[s]++ }
 
 func (l *legacyLOR) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {
@@ -148,10 +148,10 @@ type legacyRR struct {
 
 func newLegacyRR() *legacyRR { return &legacyRR{next: make(map[string]int)} }
 
-func (r *legacyRR) Name() string                                            { return "RR-legacy" }
-func (r *legacyRR) OnSend(ServerID, int64)                                  {}
-func (r *legacyRR) OnResponse(ServerID, Feedback, time.Duration, int64)     {}
-func (r *legacyRR) OnAbandon(ServerID, int64)                               {}
+func (r *legacyRR) Name() string                                        { return "RR-legacy" }
+func (r *legacyRR) OnSend(ServerID, int64)                              {}
+func (r *legacyRR) OnResponse(ServerID, Feedback, time.Duration, int64) {}
+func (r *legacyRR) OnAbandon(ServerID, int64)                           {}
 
 func (r *legacyRR) groupKey(group []ServerID) string {
 	r.key = r.key[:0]
@@ -189,7 +189,7 @@ func newLegacyTwoChoice(seed uint64) *legacyTwoChoice {
 	return &legacyTwoChoice{rng: sim.RNG(seed, 0x2c), outstanding: make(map[ServerID]float64)}
 }
 
-func (t *legacyTwoChoice) Name() string                { return "2C-legacy" }
+func (t *legacyTwoChoice) Name() string                 { return "2C-legacy" }
 func (t *legacyTwoChoice) OnSend(s ServerID, now int64) { t.outstanding[s]++ }
 
 func (t *legacyTwoChoice) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now int64) {

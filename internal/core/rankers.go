@@ -63,6 +63,27 @@ func (l *LOR) OnAbandon(s ServerID, now int64) {
 	}
 }
 
+// OnSendN implements BatchRanker.
+func (l *LOR) OnSendN(s ServerID, n int, now int64) {
+	i := l.idx(s)
+	l.outstanding[i] += float64(n)
+}
+
+// OnResponseN implements BatchRanker (the outstanding count is LOR's only
+// state, so response and abandon coincide).
+func (l *LOR) OnResponseN(s ServerID, n int, fb Feedback, rtt time.Duration, now int64) {
+	l.OnAbandonN(s, n, now)
+}
+
+// OnAbandonN implements BatchRanker.
+func (l *LOR) OnAbandonN(s ServerID, n int, now int64) {
+	i := l.idx(s)
+	l.outstanding[i] -= float64(n)
+	if l.outstanding[i] < 0 {
+		l.outstanding[i] = 0
+	}
+}
+
 // Outstanding reports this client's in-flight count toward s. It is a pure
 // read: unknown servers report 0 without being interned.
 func (l *LOR) Outstanding(s ServerID) float64 {
@@ -243,6 +264,26 @@ func (t *TwoChoice) OnResponse(s ServerID, fb Feedback, rtt time.Duration, now i
 func (t *TwoChoice) OnAbandon(s ServerID, now int64) {
 	if i := t.idx(s); t.outstanding[i] > 0 {
 		t.outstanding[i]--
+	}
+}
+
+// OnSendN implements BatchRanker.
+func (t *TwoChoice) OnSendN(s ServerID, n int, now int64) {
+	i := t.idx(s)
+	t.outstanding[i] += float64(n)
+}
+
+// OnResponseN implements BatchRanker (outstanding is the only state).
+func (t *TwoChoice) OnResponseN(s ServerID, n int, fb Feedback, rtt time.Duration, now int64) {
+	t.OnAbandonN(s, n, now)
+}
+
+// OnAbandonN implements BatchRanker.
+func (t *TwoChoice) OnAbandonN(s ServerID, n int, now int64) {
+	i := t.idx(s)
+	t.outstanding[i] -= float64(n)
+	if t.outstanding[i] < 0 {
+		t.outstanding[i] = 0
 	}
 }
 

@@ -154,6 +154,36 @@ func (c *CubicRanker) OnAbandon(s ServerID, now int64) {
 	}
 }
 
+// OnSendN implements BatchRanker: an n-key sub-batch is n outstanding reads.
+func (c *CubicRanker) OnSendN(s ServerID, n int, now int64) {
+	c.state(s).outstanding += float64(n)
+}
+
+// OnResponseN implements BatchRanker: outstanding drops by the sub-batch
+// size, and the single piggybacked feedback sample folds into q̄/T̄/R̄ with
+// weight n — the server sampled its state once after serving all n keys, so
+// the sample speaks for each of them.
+func (c *CubicRanker) OnResponseN(s ServerID, n int, fb Feedback, rtt time.Duration, now int64) {
+	st := c.state(s)
+	st.outstanding -= float64(n)
+	if st.outstanding < 0 {
+		st.outstanding = 0
+	}
+	st.qbar.AddN(fb.QueueSize, n)
+	st.tbar.AddN(seconds(fb.ServiceTime), n)
+	st.rbar.AddN(seconds(rtt), n)
+}
+
+// OnAbandonN implements BatchRanker.
+func (c *CubicRanker) OnAbandonN(s ServerID, n int, now int64) {
+	if st := c.stateRO(s); st != nil {
+		st.outstanding -= float64(n)
+		if st.outstanding < 0 {
+			st.outstanding = 0
+		}
+	}
+}
+
 // QueueEstimate reports q̂ = 1 + os·w + q̄ for server s (1 for unseen
 // servers). It is a pure read and does not intern s.
 func (c *CubicRanker) QueueEstimate(s ServerID) float64 {

@@ -41,6 +41,27 @@ func (e *EWMA) Add(x float64) {
 	e.n++
 }
 
+// AddN folds sample x into the average n times, in closed form:
+//
+//	v ← x·(1−(1−α)ⁿ) + (1−α)ⁿ·v
+//
+// This is the weighted-feedback primitive of the batch path — one feedback
+// sample describing an n-key sub-batch trains the estimator exactly as n
+// identical point samples would, without the n loop iterations.
+func (e *EWMA) AddN(x float64, n int) {
+	if n <= 0 {
+		return
+	}
+	if e.n == 0 {
+		e.v = x
+		e.n += uint64(n)
+		return
+	}
+	w := math.Pow(1-e.alpha, float64(n)) // weight left on the old value
+	e.v = x*(1-w) + w*e.v
+	e.n += uint64(n)
+}
+
 // Value reports the current average, or 0 before any sample.
 func (e *EWMA) Value() float64 { return e.v }
 

@@ -42,6 +42,41 @@ func TestEWMARecurrence(t *testing.T) {
 	}
 }
 
+func TestEWMAAddNMatchesRepeatedAdd(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 32, 100} {
+		closed := New(0.9)
+		looped := New(0.9)
+		closed.Add(3)
+		looped.Add(3)
+		closed.AddN(11, n)
+		for i := 0; i < n; i++ {
+			looped.Add(11)
+		}
+		if got, want := closed.Value(), looped.Value(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("AddN(11, %d) = %v, repeated Add = %v", n, got, want)
+		}
+		if closed.Count() != looped.Count() {
+			t.Fatalf("AddN(_, %d) count = %d, repeated Add count = %d",
+				n, closed.Count(), looped.Count())
+		}
+	}
+}
+
+func TestEWMAAddNInitializesLikeAdd(t *testing.T) {
+	e := New(0.5)
+	e.AddN(42, 5)
+	if got := e.Value(); got != 42 {
+		t.Fatalf("Value after initializing AddN = %v, want 42", got)
+	}
+	if e.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", e.Count())
+	}
+	e.AddN(10, 0) // no-op
+	if e.Value() != 42 || e.Count() != 5 {
+		t.Fatalf("AddN(_, 0) mutated state: %+v", e)
+	}
+}
+
 func TestEWMAAlphaOneTracksLastSample(t *testing.T) {
 	e := New(1)
 	for _, x := range []float64{3, 9, -2, 0.5} {

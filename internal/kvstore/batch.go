@@ -1,0 +1,511 @@
+package kvstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c3/internal/core"
+	"c3/internal/ring"
+	"c3/internal/wire"
+)
+
+// This file is the coordinator half of the batch path (MultiGet/MultiPut):
+// scatter-gather over replica-group sub-batches.
+//
+// A client batch of K keys is partitioned by the ring into at most
+// min(K, groups) sub-batches. Each sub-batch is ranked and admitted through
+// the shared selector as ONE rate-limited RPC carrying n keys — the limiter
+// paces frames, the ranker's outstanding accounting moves by n (PickBatch) —
+// and coalesced into one MsgBatchReadInternal/MsgBatchWriteInternal frame to
+// the chosen replica: one pooled call record, one enqueue, one flush
+// opportunity. Sub-batches scatter concurrently; the gather assembles per-key
+// results in client order.
+//
+// Stragglers reuse the PR 3 escalation ladder per sub-batch: an adaptive
+// hedge to the next-ranked untried replica after srtt+3.5·rttvar, immediate
+// ranked failover on RPC failure, and the configured ReadBudget backstopping
+// the whole sub-batch. Accounting preserves the zero-residual invariant with
+// batch weights: every PickBatch/PickHedgeN/PickNextN of n keys is balanced
+// by exactly one OnResponseN (real feedback or the failure penalty, weight n)
+// or OnAbandonN (own shutdown).
+
+// subBatch is one replica group's slice of a client batch: the keys bound for
+// that group, their positions in the client batch, and — once the scatter
+// resolves — the per-key results. Reads fill found/offs/vbuf; writes fill
+// oks.
+type subBatch struct {
+	group []core.ServerID
+	keys  []string
+	pos   []int
+
+	// Read results: key j's value is (*vbuf)[offs[j]:offs[j+1]] when
+	// found[j]. A nil found means the sub-batch failed wholesale (every
+	// replica down or budget exhausted): every key reports not-found.
+	found []bool
+	offs  []int
+	vbuf  *[]byte
+
+	// Write-only state: the sub-batch's values (aliasing the batch's value
+	// arena) and the per-key acks (≥1 replica applied the key).
+	wvals [][]byte
+	oks   []bool
+}
+
+// subRef locates one client-batch key inside the partition.
+type subRef struct {
+	sb *subBatch
+	j  int
+}
+
+// partitionBatch splits keys by replica group, preserving client order within
+// each sub-batch, and returns the per-key back-references for the gather.
+func (n *Node) partitionBatch(keys []string) ([]*subBatch, []subRef) {
+	where := make([]subRef, len(keys))
+	byGroup := make([]*subBatch, len(n.addrs))
+	subs := make([]*subBatch, 0, 4)
+	for i, k := range keys {
+		t := ring.Token([]byte(k))
+		gi := n.ring.GroupIndexFor(t)
+		sb := byGroup[gi]
+		if sb == nil {
+			sb = &subBatch{group: n.ring.ReplicasForToken(t, nil)}
+			byGroup[gi] = sb
+			subs = append(subs, sb)
+		}
+		sb.keys = append(sb.keys, k)
+		sb.pos = append(sb.pos, i)
+		where[i] = subRef{sb, len(sb.keys) - 1}
+	}
+	return subs, where
+}
+
+// batchOutcome is one replica's resolution within a sub-batch's race.
+type batchOutcome struct {
+	from  core.ServerID
+	found []bool
+	offs  []int
+	buf   *[]byte // pooled buffer backing the values; the consumer recycles it
+	rtt   time.Duration
+	err   error
+}
+
+// localBatchReadInto serves a sub-batch against the local store, packing
+// values into buf with offsets — the coordinator-side result layout shared
+// with remote sub-batch responses. Queue accounting and feedback weight are
+// the batch size (beginBatchRead/finishBatchRead).
+func (n *Node) localBatchReadInto(buf []byte, keys []string) ([]bool, []int, []byte, wire.Feedback) {
+	start := n.beginBatchRead(len(keys))
+	found := make([]bool, len(keys))
+	offs := make([]int, len(keys)+1)
+	for i, k := range keys {
+		buf, found[i] = n.store.GetAppend(buf, k)
+		offs[i+1] = len(buf)
+	}
+	return found, offs, buf, n.finishBatchRead(start, len(keys))
+}
+
+// accountBatchReadSuccess feeds a sub-batch's piggybacked feedback to the
+// selector with weight nk — the single sample describes the post-batch server
+// state, and the replica just shed nk outstanding reads.
+func (n *Node) accountBatchReadSuccess(s core.ServerID, nk int, fb wire.Feedback, rtt time.Duration, now time.Time) {
+	n.sel.OnResponseN(s, nk, core.Feedback{
+		QueueSize:   fb.QueueSize,
+		ServiceTime: time.Duration(fb.ServiceNs),
+	}, rtt, now.UnixNano())
+}
+
+// accountBatchReadFailure records a failed sub-batch with the selector: our
+// own shutdown abandons the nk keys, a real failure feeds the punishing
+// penalty with batch weight.
+func (n *Node) accountBatchReadFailure(s core.ServerID, nk int, now time.Time) {
+	if n.isClosed() {
+		n.sel.OnAbandonN(s, nk, now.UnixNano())
+	} else {
+		n.sel.OnResponseN(s, nk, core.Feedback{QueueSize: failPenaltyQueue,
+			ServiceTime: failPenaltyRTT}, failPenaltyRTT, now.UnixNano())
+	}
+}
+
+// raceBatchRead fires one sub-batch read toward s — local or remote — as an
+// independent racer reporting into ch. Like raceRead, the racer performs its
+// own selector accounting as it resolves, so the OnSendN recorded at dispatch
+// is balanced no matter whether the sub-batch ladder is still listening.
+// ch must be buffered for the whole race so a late loser never blocks.
+func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutcome) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		nk := len(keys)
+		rb := getBuf()
+		sent := time.Now()
+		if s == n.id {
+			found, offs, buf, fb := n.localBatchReadInto((*rb)[:0], keys)
+			*rb = buf
+			now := time.Now()
+			rtt := now.Sub(sent)
+			n.accountBatchReadSuccess(s, nk, fb, rtt, now)
+			ch <- batchOutcome{from: s, found: found, offs: offs, buf: rb, rtt: rtt}
+			return
+		}
+		var ca *call
+		p, err := n.peer(s)
+		if err == nil {
+			ca, err = p.batchRead(wire.MsgBatchReadInternal, keys, (*rb)[:0])
+		}
+		if err == nil && len(ca.bfound) != nk {
+			putCall(ca)
+			err = errMismatchedResp
+		}
+		now := time.Now()
+		if err != nil {
+			putBuf(rb)
+			n.accountBatchReadFailure(s, nk, now)
+			ch <- batchOutcome{from: s, err: err}
+			return
+		}
+		*rb = ca.bbuf
+		found := append(make([]bool, 0, nk), ca.bfound...)
+		offs := append(make([]int, 0, nk+1), ca.boffs...)
+		fb := ca.bfb
+		putCall(ca)
+		rtt := now.Sub(sent)
+		n.accountBatchReadSuccess(s, nk, fb, rtt, now)
+		ch <- batchOutcome{from: s, found: found, offs: offs, buf: rb, rtt: rtt}
+	}()
+}
+
+// reapBatch drains the remaining racers of a resolved sub-batch in the
+// background, recycling their value buffers (their selector accounting
+// happens inside raceBatchRead).
+func (n *Node) reapBatch(ch <-chan batchOutcome, pending int) {
+	if pending <= 0 {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for i := 0; i < pending; i++ {
+			putBuf((<-ch).buf)
+		}
+	}()
+}
+
+// maybeBatchReadRepair is the batch counterpart of maybeReadRepair: with the
+// configured probability, the sub-batch is also read at every unselected
+// replica of its group, keeping the coordinator's feedback for replicas it
+// has stopped selecting fresh even under batch-only workloads. Probe
+// accounting carries batch weights and pairs every OnSendN with exactly one
+// OnResponseN (success) or OnAbandonN (failure — a probe is best-effort and
+// must not poison the estimators or leak outstanding counts).
+func (n *Node) maybeBatchReadRepair(keys []string, group []core.ServerID, target core.ServerID) {
+	if n.cfg.ReadRepair <= 0 {
+		return
+	}
+	n.rngMu.Lock()
+	repair := n.rng.Float64() < n.cfg.ReadRepair
+	n.rngMu.Unlock()
+	if !repair {
+		return
+	}
+	nk := len(keys)
+	for _, s := range group {
+		if s == target || s == n.id {
+			continue
+		}
+		s := s
+		n.sel.OnSendN(s, nk, time.Now().UnixNano())
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			rb := getBuf()
+			sent := time.Now()
+			var ca *call
+			p, err := n.peer(s)
+			if err == nil {
+				ca, err = p.batchRead(wire.MsgBatchReadInternal, keys, (*rb)[:0])
+			}
+			if err == nil {
+				*rb = ca.bbuf
+				fb := ca.bfb
+				putCall(ca)
+				n.accountBatchReadSuccess(s, nk, fb, time.Since(sent), time.Now())
+			} else {
+				n.sel.OnAbandonN(s, nk, time.Now().UnixNano())
+			}
+			putBuf(rb)
+		}()
+	}
+}
+
+// runSubBatch executes one sub-batch's read ladder: backpressure-admitted
+// ranked dispatch, adaptive hedge, ranked failover, read budget. On success
+// the results land in sb; on wholesale failure sb.found stays nil and every
+// key reports not-found.
+func (n *Node) runSubBatch(sb *subBatch) {
+	nk := len(sb.keys)
+	deadline := time.Now().Add(n.cfg.BackpressureTimeout)
+	var target core.ServerID
+	waited := false
+	for {
+		now := time.Now().UnixNano()
+		s, ok, retryAt := n.sel.PickBatch(sb.group, nk, now)
+		if ok {
+			target = s
+			break
+		}
+		waited = true
+		if time.Now().After(deadline) {
+			// Fail open like the point path: ranked best, no token.
+			target, _ = n.sel.PickBestN(sb.group, nk, now)
+			break
+		}
+		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
+	}
+	if waited {
+		n.waited.Add(1)
+	}
+	n.maybeBatchReadRepair(sb.keys, sb.group, target)
+
+	// Inline local fast path: an in-memory sub-batch with no configured delay
+	// has nothing a hedge could rescue; serve it on this goroutine.
+	if target == n.id && n.inlineLocalReads() {
+		rb := getBuf()
+		sent := time.Now()
+		found, offs, buf, fb := n.localBatchReadInto((*rb)[:0], sb.keys)
+		*rb = buf
+		now := time.Now()
+		n.accountBatchReadSuccess(target, nk, fb, now.Sub(sent), now)
+		sb.found, sb.offs, sb.vbuf = found, offs, rb
+		return
+	}
+
+	var triedBuf [8]core.ServerID
+	tried := append(triedBuf[:0], target)
+	ch := make(chan batchOutcome, len(sb.group))
+	n.raceBatchRead(target, sb.keys, ch)
+	pending := 1
+	hedged := core.ServerID(-1)
+
+	budget := getTimer(n.cfg.ReadBudget)
+	defer putTimer(budget)
+	var hedgeC <-chan time.Time
+	if !n.cfg.Hedge.Disabled && len(sb.group) > 1 {
+		ht := getTimer(n.hedgeDelay())
+		defer putTimer(ht)
+		hedgeC = ht.C
+	}
+	for {
+		select {
+		case out := <-ch:
+			pending--
+			if out.err == nil {
+				if out.from == hedged {
+					n.hedgeWins.Add(1)
+				}
+				n.observeReadRTT(out.rtt)
+				sb.found, sb.offs, sb.vbuf = out.found, out.offs, out.buf
+				n.reapBatch(ch, pending)
+				return
+			}
+			// Ranked failover: replace the dead sub-batch dispatch with the
+			// next-best untried replica (no hedge count — it duplicates
+			// nothing).
+			if s, ok := n.sel.PickNextN(sb.group, tried, nk, time.Now().UnixNano()); ok {
+				tried = append(tried, s)
+				n.raceBatchRead(s, sb.keys, ch)
+				pending++
+			} else if pending == 0 {
+				return // every replica failed
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if s, ok := n.sel.PickHedgeN(sb.group, tried, nk, time.Now().UnixNano()); ok {
+				hedged = s
+				tried = append(tried, s)
+				n.raceBatchRead(s, sb.keys, ch)
+				pending++
+			}
+		case <-budget.C:
+			// Budget exhausted: the sub-batch reports not-found. In-flight
+			// racers account for themselves and are reaped in the background.
+			n.reapBatch(ch, pending)
+			return
+		}
+	}
+}
+
+// coordinateBatchRead is the scatter half of a client batch read: partition
+// by replica group, run every sub-batch's ladder concurrently, and return the
+// partition for the gather. Each key of the batch counts as one coordinated
+// read.
+func (n *Node) coordinateBatchRead(keys []string) ([]*subBatch, []subRef) {
+	n.coord.Add(uint64(len(keys)))
+	subs, where := n.partitionBatch(keys)
+	if len(subs) == 1 {
+		n.runSubBatch(subs[0])
+		return subs, where
+	}
+	var wg sync.WaitGroup
+	for _, sb := range subs {
+		sb := sb
+		wg.Add(1)
+		n.wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer n.wg.Done()
+			n.runSubBatch(sb)
+		}()
+	}
+	wg.Wait()
+	return subs, where
+}
+
+// respondCoordBatchRead coordinates a client batch read and enqueues the
+// response: scatter, gather, then stream every found value from the
+// sub-batch result buffers into the response frame in client key order.
+func (n *Node) respondCoordBatchRead(cw *connWriter, id uint64, keys []string) {
+	subs, where := n.coordinateBatchRead(keys)
+	fb := getBuf()
+	b, mark := wire.BeginBatchReadResp((*fb)[:0], id)
+	var err error
+	for i := range keys {
+		ref := where[i]
+		b = wire.BeginBatchReadItem(b, &mark)
+		ok := false
+		if sb := ref.sb; sb.found != nil && sb.found[ref.j] {
+			ok = true
+			b = append(b, (*sb.vbuf)[sb.offs[ref.j]:sb.offs[ref.j+1]]...)
+		}
+		if b, err = wire.FinishBatchReadItem(b, &mark, ok); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		b, err = wire.FinishBatchReadResp(b, mark, n.feedback())
+	}
+	for _, sb := range subs {
+		putBuf(sb.vbuf)
+	}
+	if err != nil {
+		// The gathered response cannot be framed (total values overflow
+		// MaxFrame — reachable, unlike the point path, because MaxBatchKeys
+		// × MaxValueLen exceeds it): sever so the client's call fails fast
+		// instead of waiting forever on a silently dropped response.
+		putBuf(fb)
+		cw.sever(err)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}
+
+// runWriteSub fans one write sub-batch to every replica of its group
+// (CL=ONE per key): a replica that acks every key acks the sub-batch
+// immediately, otherwise per-key acks accumulate until all replicas resolve.
+// release is the value-arena refcount, called once per replica attempt after
+// its encode/apply no longer needs the values.
+func (n *Node) runWriteSub(sb *subBatch, release func()) {
+	nk := len(sb.keys)
+	acks := make(chan []bool, len(sb.group))
+	for _, s := range sb.group {
+		s := s
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer release()
+			if s == n.id {
+				for i := range sb.keys {
+					n.store.Put(sb.keys[i], sb.wvals[i])
+				}
+				acks <- allOK[:nk]
+				return
+			}
+			p, err := n.peer(s)
+			if err != nil {
+				acks <- nil
+				return
+			}
+			oks, _, err := p.batchWrite(wire.MsgBatchWriteInternal, sb.keys, sb.wvals, nil)
+			if err != nil || len(oks) != nk {
+				acks <- nil
+				return
+			}
+			acks <- oks
+		}()
+	}
+	sb.oks = make([]bool, nk)
+	for resolved := 0; resolved < len(sb.group); resolved++ {
+		oks := <-acks
+		if oks == nil {
+			continue
+		}
+		all := true
+		for i, ok := range oks {
+			if ok {
+				sb.oks[i] = true
+			} else {
+				all = false
+			}
+		}
+		if all {
+			return // CL=ONE satisfied for every key; stragglers drain via the buffered channel
+		}
+	}
+}
+
+// respondCoordBatchWrite coordinates a client batch write and enqueues the
+// per-key acks. arena is the pooled buffer backing vals, recycled once every
+// replica attempt of every sub-batch is done with the values.
+func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
+	subs, where := n.partitionBatch(keys)
+	total := 0
+	for _, sb := range subs {
+		sb.wvals = make([][]byte, len(sb.keys))
+		for j, p := range sb.pos {
+			sb.wvals[j] = vals[p]
+		}
+		total += len(sb.group)
+	}
+	remaining := new(atomic.Int32)
+	remaining.Store(int32(total))
+	release := func() {
+		if remaining.Add(-1) == 0 {
+			putBuf(arena)
+		}
+	}
+	if len(subs) == 1 {
+		n.runWriteSub(subs[0], release)
+	} else {
+		var wg sync.WaitGroup
+		for _, sb := range subs {
+			sb := sb
+			wg.Add(1)
+			n.wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer n.wg.Done()
+				n.runWriteSub(sb, release)
+			}()
+		}
+		wg.Wait()
+	}
+	oks := make([]bool, len(keys))
+	for i := range keys {
+		ref := where[i]
+		oks[i] = ref.sb.oks[ref.j]
+		if !oks[i] {
+			n.writeFails.Add(1)
+		}
+	}
+	fb := getBuf()
+	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
+		ID: id, OK: oks, FB: n.feedback()})
+	if err != nil {
+		putBuf(fb)
+		cw.sever(err)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}

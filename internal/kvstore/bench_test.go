@@ -99,6 +99,43 @@ func BenchmarkClusterReadSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterMultiGet measures the scatter-gather batch read path: one
+// client RPC per 64-key batch, coalesced per-replica sub-batches, per-key
+// results. Per-key cost (the reported op is one key) must stay below the
+// single-Get path — the point of batching.
+func BenchmarkClusterMultiGet(b *testing.B) {
+	const nKeys = 256
+	const batch = 64
+	_, cl := benchCluster(b, 3, nKeys, 128)
+	keys := benchKeys(nKeys)
+	b.SetBytes(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		req := make([]string, batch)
+		for {
+			for i := range req {
+				req[i] = keys[r.IntN(nKeys)]
+			}
+			vals, found, err := cl.MultiGet(req)
+			if err != nil {
+				b.Errorf("MultiGet: %v", err)
+				return
+			}
+			for i := range req {
+				if !found[i] || len(vals[i]) != 128 {
+					b.Errorf("key %s: found=%v len=%d", req[i], found[i], len(vals[i]))
+					return
+				}
+				if !pb.Next() {
+					return
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkClusterWrite measures the CL=ONE write fan-out path.
 func BenchmarkClusterWrite(b *testing.B) {
 	const nKeys = 256

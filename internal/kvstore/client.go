@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"c3/internal/ring"
+	"c3/internal/wire"
 )
 
 // Client is an external (application-side) client of the store. It holds one
@@ -125,6 +126,120 @@ func (c *Client) Put(key string, val []byte) error {
 			lastErr = ErrWriteFailed
 			continue
 		}
+		return nil
+	}
+	return lastErr
+}
+
+// MultiGet reads a set of keys through a single coordinator RPC per
+// wire.MaxBatchKeys chunk — the scatter-gather batch path: the coordinator
+// partitions the keys by replica group, coalesces each group's keys into one
+// C3-ranked replica sub-batch, scatters concurrently, and gathers per-key
+// results. vals[i]/found[i] report key i; a missing key has found[i] false
+// and vals[i] nil. Values within a chunk share one backing array; treat them
+// as read-only or copy before appending.
+func (c *Client) MultiGet(keys []string) (vals [][]byte, found []bool, err error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	for start := 0; start < len(keys); start += wire.MaxBatchKeys {
+		end := min(start+wire.MaxBatchKeys, len(keys))
+		if err := c.multiGetChunk(keys[start:end], vals[start:end], found[start:end]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return vals, found, nil
+}
+
+func (c *Client) multiGetChunk(keys []string, vals [][]byte, found []bool) error {
+	var lastErr error
+	for attempt := 0; attempt < len(c.addrs); attempt++ {
+		p, err := c.conn(c.pick(keys[0]))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// nil destination: the packed values land in a fresh buffer owned by
+		// the application.
+		ca, err := p.batchRead(wire.MsgBatchRead, keys, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(ca.bfound) != len(keys) {
+			putCall(ca)
+			lastErr = errMismatchedResp
+			continue
+		}
+		buf := ca.bbuf
+		for i := range keys {
+			found[i] = ca.bfound[i]
+			if !found[i] {
+				vals[i] = nil
+				continue
+			}
+			v := buf[ca.boffs[i]:ca.boffs[i+1]:ca.boffs[i+1]]
+			if len(v) == 0 {
+				v = []byte{} // present but empty: distinguishable from missing
+			}
+			vals[i] = v
+		}
+		putCall(ca)
+		return nil
+	}
+	return lastErr
+}
+
+// MultiPut writes a set of key/value pairs through a single coordinator RPC
+// per wire.MaxBatchKeys chunk. oks[i] reports whether at least one replica
+// applied key i (the same CL=ONE ack contract as Put). The error is non-nil
+// for transport failures and — mirroring Put's ErrWriteFailed — when no key
+// was acknowledged at all; a partial failure returns oks with a nil error so
+// the caller can retry just the failed keys. oks is returned even alongside
+// a transport error: chunks that went out before the failure keep their
+// acks (those writes were applied), and the failed chunk's keys stay false.
+func (c *Client) MultiPut(keys []string, vals [][]byte) (oks []bool, err error) {
+	if len(keys) != len(vals) {
+		return nil, errors.New("kvstore: MultiPut keys/values length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	oks = make([]bool, len(keys))
+	for start := 0; start < len(keys); start += wire.MaxBatchKeys {
+		end := min(start+wire.MaxBatchKeys, len(keys))
+		if err := c.multiPutChunk(keys[start:end], vals[start:end], oks[start:end]); err != nil {
+			return oks, err
+		}
+	}
+	for _, ok := range oks {
+		if ok {
+			return oks, nil
+		}
+	}
+	return oks, ErrWriteFailed
+}
+
+func (c *Client) multiPutChunk(keys []string, vals [][]byte, oks []bool) error {
+	var lastErr error
+	for attempt := 0; attempt < len(c.addrs); attempt++ {
+		p, err := c.conn(c.pick(keys[0]))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		res, _, err := p.batchWrite(wire.MsgBatchWrite, keys, vals, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(res) != len(keys) {
+			lastErr = errMismatchedResp
+			continue
+		}
+		copy(oks, res)
 		return nil
 	}
 	return lastErr

@@ -347,6 +347,8 @@ func (n *Node) serveConn(conn net.Conn) {
 	defer cw.close()
 	defer conn.Close() // runs before cw.close, unblocking a stuck writer
 	r := wire.NewReader(conn)
+	var bkeys []string // batch decode scratch, reused across frames
+	var bvals [][]byte
 	for {
 		typ, payload, err := r.Next()
 		if err != nil {
@@ -413,10 +415,118 @@ func (n *Node) serveConn(conn net.Conn) {
 				defer n.wg.Done()
 				n.respondLocalWrite(cw, m, vb)
 			}()
+		case wire.MsgBatchRead:
+			m, err := wire.ParseBatchReadReq(payload, bkeys[:0])
+			if err != nil {
+				return
+			}
+			bkeys = m.Keys
+			// Coordination always dispatches (it blocks on replica RPCs),
+			// so the keys must outlive the frame buffer.
+			keys := cloneKeys(m.Keys)
+			id := m.ID
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondCoordBatchRead(cw, id, keys)
+			}()
+		case wire.MsgBatchReadInternal:
+			m, err := wire.ParseBatchReadReq(payload, bkeys[:0])
+			if err != nil {
+				return
+			}
+			bkeys = m.Keys
+			if n.inlineLocalReads() {
+				// Served before the next frame is read: keys may alias the
+				// frame buffer, and values stream straight from the store
+				// into the response frame.
+				n.respondLocalBatchRead(cw, m.ID, m.Keys)
+				continue
+			}
+			keys := cloneKeys(m.Keys)
+			id := m.ID
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondLocalBatchRead(cw, id, keys)
+			}()
+		case wire.MsgBatchWrite:
+			m, err := wire.ParseBatchWriteReq(payload, bkeys[:0], bvals[:0])
+			if err != nil {
+				return
+			}
+			bkeys, bvals = m.Keys, m.Values
+			keys := cloneKeys(m.Keys)
+			vals, arena := cloneValues(m.Values)
+			id := m.ID
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondCoordBatchWrite(cw, id, keys, vals, arena)
+			}()
+		case wire.MsgBatchWriteInternal:
+			m, err := wire.ParseBatchWriteReq(payload, bkeys[:0], bvals[:0])
+			if err != nil {
+				return
+			}
+			bkeys, bvals = m.Keys, m.Values
+			keys := cloneKeys(m.Keys)
+			vals, arena := cloneValues(m.Values)
+			id := m.ID
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondLocalBatchWrite(cw, id, keys, vals, arena)
+			}()
 		default:
 			return // protocol error: drop the connection
 		}
 	}
+}
+
+// allOK is a shared read-only all-true slice: a replica-local batch write
+// acks every key (lsm.Put cannot fail), so the encoder borrows a prefix
+// instead of allocating per response.
+var allOK = func() []bool {
+	b := make([]bool, wire.MaxBatchKeys)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}()
+
+// cloneKeys copies frame-aliasing keys into durable strings (dispatched
+// handlers outlive the frame buffer; the memtable retains write keys).
+func cloneKeys(keys []string) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = strings.Clone(k)
+	}
+	return out
+}
+
+// cloneValues copies frame-aliasing values into one pooled arena — a single
+// exact-size copy instead of one allocation per key. The returned slices
+// alias the arena; the caller recycles it via putBuf once every consumer
+// (lsm.Put copies; frame encoders copy) is done with the values.
+func cloneValues(vals [][]byte) ([][]byte, *[]byte) {
+	total := 0
+	for _, v := range vals {
+		total += len(v)
+	}
+	ab := getBuf()
+	arena := (*ab)[:0]
+	if cap(arena) < total {
+		arena = make([]byte, 0, total)
+	}
+	out := make([][]byte, len(vals))
+	for i, v := range vals {
+		off := len(arena)
+		arena = append(arena, v...)
+		out[i] = arena[off:len(arena):len(arena)]
+	}
+	*ab = arena
+	return out, ab
 }
 
 // inlineLocalReads reports whether replica-local reads are served on the
@@ -437,6 +547,91 @@ func (n *Node) respondLocalRead(cw *connWriter, m wire.ReadReq) {
 	b, err := wire.FinishReadResp(b, mark, found, n.finishRead(start))
 	if err != nil {
 		putBuf(fb)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}
+
+// respondLocalBatchRead serves a replica-local sub-batch as one unit: every
+// key is read against the LSM store in request order, values streaming
+// straight into the response frame, and the queue-size feedback is sampled
+// once after the whole sub-batch — carrying weight len(keys) on the
+// coordinator side, so C3's q̂ sees the batch's true cost.
+func (n *Node) respondLocalBatchRead(cw *connWriter, id uint64, keys []string) {
+	fb := getBuf()
+	b, err := n.serveBatchRead((*fb)[:0], id, keys)
+	if err != nil {
+		// The response cannot be framed (values overflow MaxFrame): sever so
+		// the coordinator's call fails fast instead of waiting forever.
+		putBuf(fb)
+		cw.sever(err)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}
+
+// serveBatchRead encodes the complete batch read-response frame for keys
+// into dst — the shared storage-to-frame path of remote sub-batches
+// (respondLocalBatchRead) and the coordinator's own local sub-batches.
+func (n *Node) serveBatchRead(dst []byte, id uint64, keys []string) ([]byte, error) {
+	start := n.beginBatchRead(len(keys))
+	b, mark := wire.BeginBatchReadResp(dst, id)
+	var err error
+	for _, k := range keys {
+		b = wire.BeginBatchReadItem(b, &mark)
+		var found bool
+		b, found = n.store.GetAppend(b, k)
+		if b, err = wire.FinishBatchReadItem(b, &mark, found); err != nil {
+			n.finishBatchRead(start, len(keys))
+			return dst, err
+		}
+	}
+	return wire.FinishBatchReadResp(b, mark, n.finishBatchRead(start, len(keys)))
+}
+
+// beginBatchRead is beginRead for a coalesced sub-batch: the queue
+// accounting moves by the batch size — count keys, not frames, or the
+// feedback would tell coordinators a loaded replica was idle — while the
+// artificial storage delay is paid once, the modelled seek a coalesced batch
+// amortizes.
+func (n *Node) beginBatchRead(count int) time.Time {
+	n.pendingReads.Add(int64(count))
+	start := time.Now()
+	if d := n.readDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	return start
+}
+
+// finishBatchRead completes the server half of a sub-batch: queue accounting
+// released, the smoothed per-key service time updated (the batch's elapsed
+// time spread over its keys), and a post-batch feedback sample.
+func (n *Node) finishBatchRead(start time.Time, count int) wire.Feedback {
+	svc := time.Since(start)
+	n.pendingReads.Add(-int64(count))
+	n.served.Add(uint64(count))
+	per := float64(svc) / float64(count)
+	old := n.svcNs.Load()
+	n.svcNs.Store(uint64(0.2*per + 0.8*float64(old)))
+	return n.feedback()
+}
+
+// respondLocalBatchWrite applies a write sub-batch and enqueues the per-key
+// acks. arena is the pooled buffer backing vals, recycled here (lsm.Put
+// copies).
+func (n *Node) respondLocalBatchWrite(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
+	for i := range keys {
+		n.store.Put(keys[i], vals[i])
+	}
+	putBuf(arena)
+	fb := getBuf()
+	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
+		ID: id, OK: allOK[:len(keys)], FB: n.feedback()})
+	if err != nil {
+		putBuf(fb)
+		cw.sever(err)
 		return
 	}
 	*fb = b

@@ -42,12 +42,24 @@ type pendingShard struct {
 // (a call is removed from the pending table under its shard lock before it
 // is signalled), so a recycled record can never receive a stale response.
 type call struct {
-	done   chan struct{} // buffered(1); reused across lives
-	dst    []byte        // read-value destination: read.Value = append(dst, value...)
-	isRead bool
-	read   wire.ReadResp
-	write  wire.WriteResp
-	err    error
+	done    chan struct{} // buffered(1); reused across lives
+	dst     []byte        // read-value destination: read.Value = append(dst, value...)
+	isRead  bool
+	isBatch bool
+	read    wire.ReadResp
+	write   wire.WriteResp
+	err     error
+
+	// Batch results (isBatch). Read values are packed into bbuf (grown from
+	// dst) with boffs indexing them — key i's value is bbuf[boffs[i]:
+	// boffs[i+1]] — so copying them out of the frame buffer regrows at most
+	// one allocation, never one per key. bfound/boffs/boks retain capacity
+	// across pooled lives; their contents are valid only until putCall.
+	bfound []bool
+	boffs  []int
+	bbuf   []byte
+	boks   []bool
+	bfb    wire.Feedback
 }
 
 var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
@@ -59,11 +71,23 @@ func getCall(isRead bool, dst []byte) *call {
 	return c
 }
 
+func getBatchCall(isRead bool, dst []byte) *call {
+	c := getCall(isRead, dst)
+	c.isBatch = true
+	return c
+}
+
 func putCall(c *call) {
 	c.dst = nil
 	c.read = wire.ReadResp{}
 	c.write = wire.WriteResp{}
 	c.err = nil
+	c.isBatch = false
+	c.bfound = c.bfound[:0]
+	c.boffs = c.boffs[:0]
+	c.bbuf = nil
+	c.boks = c.boks[:0]
+	c.bfb = wire.Feedback{}
 	callPool.Put(c)
 }
 
@@ -117,6 +141,8 @@ func (p *rpcConn) take(id uint64) *call {
 // outstanding call.
 func (p *rpcConn) readLoop() {
 	r := wire.NewReader(p.conn)
+	var items []wire.BatchItem // decode scratch, reused across frames
+	var oks []bool
 	for {
 		typ, payload, err := r.Next()
 		if err != nil {
@@ -134,7 +160,7 @@ func (p *rpcConn) readLoop() {
 			if c == nil {
 				continue
 			}
-			if !c.isRead {
+			if !c.isRead || c.isBatch {
 				c.err = errMismatchedResp
 				c.done <- struct{}{}
 				p.failAll()
@@ -155,13 +181,73 @@ func (p *rpcConn) readLoop() {
 			if c == nil {
 				continue
 			}
-			if c.isRead {
+			if c.isRead || c.isBatch {
 				c.err = errMismatchedResp
 				c.done <- struct{}{}
 				p.failAll()
 				return
 			}
 			c.write = m
+			c.done <- struct{}{}
+		case wire.MsgBatchReadResp:
+			m, err := wire.ParseBatchReadResp(payload, items[:0]) // Values alias payload
+			if err != nil {
+				p.failAll()
+				return
+			}
+			items = m.Items
+			c := p.take(m.ID)
+			if c == nil {
+				continue
+			}
+			if !c.isRead || !c.isBatch {
+				c.err = errMismatchedResp
+				c.done <- struct{}{}
+				p.failAll()
+				return
+			}
+			// Pack every value into one buffer grown from the waiter's
+			// destination, recording offsets — the values must leave the
+			// frame buffer before the next Next, and one packed copy beats a
+			// per-key allocation.
+			total := 0
+			for _, it := range m.Items {
+				total += len(it.Value)
+			}
+			buf := c.dst
+			if cap(buf)-len(buf) < total {
+				grown := make([]byte, len(buf), len(buf)+total)
+				copy(grown, buf)
+				buf = grown
+			}
+			found, offs := c.bfound[:0], c.boffs[:0]
+			offs = append(offs, len(buf))
+			for _, it := range m.Items {
+				buf = append(buf, it.Value...)
+				found = append(found, it.Found)
+				offs = append(offs, len(buf))
+			}
+			c.bfound, c.boffs, c.bbuf, c.bfb = found, offs, buf, m.FB
+			c.done <- struct{}{}
+		case wire.MsgBatchWriteResp:
+			m, err := wire.ParseBatchWriteResp(payload, oks[:0])
+			if err != nil {
+				p.failAll()
+				return
+			}
+			oks = m.OK
+			c := p.take(m.ID)
+			if c == nil {
+				continue
+			}
+			if c.isRead || !c.isBatch {
+				c.err = errMismatchedResp
+				c.done <- struct{}{}
+				p.failAll()
+				return
+			}
+			c.boks = append(c.boks[:0], m.OK...)
+			c.bfb = m.FB
 			c.done <- struct{}{}
 		default:
 			p.failAll()
@@ -262,6 +348,79 @@ func (p *rpcConn) readTyped(typ uint8, key string, dst []byte) (wire.ReadResp, e
 	}
 	<-c.done
 	return readResult(c)
+}
+
+// batchReadAsync dispatches a batch read RPC without blocking; the sub-batch
+// is one frame, one pooled call record, one pending-table entry — however
+// many keys it carries. The returned call's batch fields (bfound/boffs/bbuf)
+// are complete once done signals; the caller consumes them and then recycles
+// the record with putCall exactly once. Read values are packed into a buffer
+// grown from dst.
+func (p *rpcConn) batchReadAsync(typ uint8, keys []string, dst []byte) (*call, error) {
+	c := getBatchCall(true, dst)
+	id, err := p.register(c)
+	if err != nil {
+		putCall(c)
+		return nil, err
+	}
+	fb := getBuf()
+	b, err := wire.AppendBatchReadReq((*fb)[:0], typ, wire.BatchReadReq{ID: id, Keys: keys})
+	if err != nil {
+		putBuf(fb)
+		p.abort(c, id)
+		return nil, err
+	}
+	*fb = b
+	if err := p.cw.enqueue(fb); err != nil {
+		p.abort(c, id)
+		return nil, err
+	}
+	return c, nil
+}
+
+// batchRead performs a blocking batch read RPC. See batchReadAsync for the
+// ownership contract of the returned call.
+func (p *rpcConn) batchRead(typ uint8, keys []string, dst []byte) (*call, error) {
+	c, err := p.batchReadAsync(typ, keys, dst)
+	if err != nil {
+		return nil, err
+	}
+	<-c.done
+	if c.err != nil {
+		err := c.err
+		putCall(c)
+		return nil, err
+	}
+	return c, nil
+}
+
+// batchWrite performs a blocking batch write RPC, appending the per-key acks
+// to oks (pass a reused scratch slice; nil allocates).
+func (p *rpcConn) batchWrite(typ uint8, keys []string, vals [][]byte, oks []bool) ([]bool, wire.Feedback, error) {
+	c := getBatchCall(false, nil)
+	id, err := p.register(c)
+	if err != nil {
+		putCall(c)
+		return oks, wire.Feedback{}, err
+	}
+	fb := getBuf()
+	b, err := wire.AppendBatchWriteReq((*fb)[:0], typ,
+		wire.BatchWriteReq{ID: id, Keys: keys, Values: vals})
+	if err != nil {
+		putBuf(fb)
+		p.abort(c, id)
+		return oks, wire.Feedback{}, err
+	}
+	*fb = b
+	if err := p.cw.enqueue(fb); err != nil {
+		p.abort(c, id)
+		return oks, wire.Feedback{}, err
+	}
+	<-c.done
+	oks = append(oks[:0], c.boks...)
+	feedback, err := c.bfb, c.err
+	putCall(c)
+	return oks, feedback, err
 }
 
 // write performs an internal write RPC.

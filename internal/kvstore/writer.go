@@ -141,6 +141,17 @@ func (cw *connWriter) fail(err error) {
 	}
 }
 
+// sever records err and severs the connection from outside the writer loop.
+// Handlers use it when a response cannot be encoded at all (e.g. a batch
+// whose values overflow wire.MaxFrame): silently dropping the response would
+// leave the peer's pooled call waiting forever, while severing fails it
+// fast through the connection-death path.
+func (cw *connWriter) sever(err error) {
+	cw.mu.Lock()
+	cw.fail(err)
+	cw.mu.Unlock()
+}
+
 // close stops the writer goroutine after it drains already-queued frames and
 // waits for it to exit. Safe to call more than once and concurrently.
 func (cw *connWriter) close() {

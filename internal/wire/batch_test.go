@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// batchFrame encodes with enc, then decodes the single resulting frame,
+// returning its type and payload.
+func batchFrame(t *testing.T, enc func([]byte) ([]byte, error)) (uint8, []byte) {
+	t.Helper()
+	b, err := enc(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := NewReader(bytes.NewReader(b))
+	typ, payload, err := r.Next()
+	if err != nil {
+		t.Fatalf("decode frame: %v", err)
+	}
+	return typ, payload
+}
+
+func TestBatchReadReqRoundtrip(t *testing.T) {
+	for _, typ := range []uint8{MsgBatchRead, MsgBatchReadInternal} {
+		in := BatchReadReq{ID: 77, Keys: []string{"a", "", "user0000019", strings.Repeat("k", MaxKeyLen)}}
+		gotTyp, payload := batchFrame(t, func(dst []byte) ([]byte, error) {
+			return AppendBatchReadReq(dst, typ, in)
+		})
+		if gotTyp != typ {
+			t.Fatalf("type = %d, want %d", gotTyp, typ)
+		}
+		out, err := ParseBatchReadReq(payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ID != in.ID || len(out.Keys) != len(in.Keys) {
+			t.Fatalf("out = %+v", out)
+		}
+		for i := range in.Keys {
+			if out.Keys[i] != in.Keys[i] {
+				t.Fatalf("key %d = %q, want %q", i, out.Keys[i], in.Keys[i])
+			}
+		}
+	}
+}
+
+func TestBatchReadRespStreamingRoundtrip(t *testing.T) {
+	vals := [][]byte{[]byte("hello"), nil, bytes.Repeat([]byte{0xCC}, 2048), {}}
+	found := []bool{true, false, true, true}
+	fb := Feedback{QueueSize: 4.25, ServiceNs: 987654}
+
+	b, mark := BeginBatchReadResp(nil, 31)
+	var err error
+	for i := range vals {
+		b = BeginBatchReadItem(b, &mark)
+		b = append(b, vals[i]...)
+		if b, err = FinishBatchReadItem(b, &mark, found[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b, err = FinishBatchReadResp(b, mark, fb); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(b))
+	typ, payload, err := r.Next()
+	if err != nil || typ != MsgBatchReadResp {
+		t.Fatalf("typ=%d err=%v", typ, err)
+	}
+	out, err := ParseBatchReadResp(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 31 || out.FB != fb || len(out.Items) != len(vals) {
+		t.Fatalf("out = %+v", out)
+	}
+	for i, it := range out.Items {
+		if it.Found != found[i] || !bytes.Equal(it.Value, vals[i]) {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+	}
+}
+
+func TestBatchReadRespAppendMatchesStreaming(t *testing.T) {
+	in := BatchReadResp{
+		ID: 5,
+		Items: []BatchItem{
+			{Found: true, Value: []byte("v0")},
+			{Found: false},
+		},
+		FB: Feedback{QueueSize: 1, ServiceNs: 2},
+	}
+	viaAppend, err := AppendBatchReadResp(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, mark := BeginBatchReadResp(nil, in.ID)
+	for _, it := range in.Items {
+		b = BeginBatchReadItem(b, &mark)
+		b = append(b, it.Value...)
+		if b, err = FinishBatchReadItem(b, &mark, it.Found); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b, err = FinishBatchReadResp(b, mark, in.FB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaAppend, b) {
+		t.Fatalf("append and streaming encodings differ:\n%x\n%x", viaAppend, b)
+	}
+}
+
+func TestBatchWriteRoundtrip(t *testing.T) {
+	in := BatchWriteReq{
+		ID:     91,
+		Keys:   []string{"k0", "k1", "k2"},
+		Values: [][]byte{[]byte("v0"), nil, bytes.Repeat([]byte{7}, 300)},
+	}
+	typ, payload := batchFrame(t, func(dst []byte) ([]byte, error) {
+		return AppendBatchWriteReq(dst, MsgBatchWriteInternal, in)
+	})
+	if typ != MsgBatchWriteInternal {
+		t.Fatalf("type = %d", typ)
+	}
+	out, err := ParseBatchWriteReq(payload, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || len(out.Keys) != 3 {
+		t.Fatalf("out = %+v", out)
+	}
+	for i := range in.Keys {
+		if out.Keys[i] != in.Keys[i] || !bytes.Equal(out.Values[i], in.Values[i]) {
+			t.Fatalf("pair %d: %q/%x", i, out.Keys[i], out.Values[i])
+		}
+	}
+
+	ack := BatchWriteResp{ID: 91, OK: []bool{true, false, true}, FB: Feedback{QueueSize: 2, ServiceNs: 3}}
+	typ, payload = batchFrame(t, func(dst []byte) ([]byte, error) {
+		return AppendBatchWriteResp(dst, ack)
+	})
+	if typ != MsgBatchWriteResp {
+		t.Fatalf("type = %d", typ)
+	}
+	got, err := ParseBatchWriteResp(payload, nil)
+	if err != nil || got.ID != ack.ID || got.FB != ack.FB || len(got.OK) != 3 {
+		t.Fatalf("got = %+v err=%v", got, err)
+	}
+	for i := range ack.OK {
+		if got.OK[i] != ack.OK[i] {
+			t.Fatalf("ok %d = %v", i, got.OK[i])
+		}
+	}
+}
+
+func TestBatchCountBounds(t *testing.T) {
+	if _, err := AppendBatchReadReq(nil, MsgBatchRead, BatchReadReq{ID: 1}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	big := make([]string, MaxBatchKeys+1)
+	if _, err := AppendBatchReadReq(nil, MsgBatchRead, BatchReadReq{ID: 1, Keys: big}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if _, err := AppendBatchWriteReq(nil, MsgBatchWrite, BatchWriteReq{ID: 1, Keys: []string{"k"}}); err == nil {
+		t.Fatal("mismatched keys/values accepted")
+	}
+	// A payload whose count field exceeds the limit must be rejected even if
+	// the bytes happen to be long enough.
+	b, err := AppendBatchReadReq(nil, MsgBatchRead, BatchReadReq{ID: 1, Keys: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), b[5:]...) // strip frame header
+	payload[8], payload[9] = 0xFF, 0xFF      // count = 65535
+	if _, err := ParseBatchReadReq(payload, nil); err == nil {
+		t.Fatal("oversized decoded count accepted")
+	}
+	payload[8], payload[9] = 0, 0 // count = 0
+	if _, err := ParseBatchReadReq(payload, nil); err == nil {
+		t.Fatal("zero decoded count accepted")
+	}
+}
+
+func TestBatchStreamingMisuse(t *testing.T) {
+	b, mark := BeginBatchReadResp(nil, 1)
+	if _, err := FinishBatchReadItem(b, &mark, true); err == nil {
+		t.Fatal("item finished without being begun")
+	}
+	b, mark = BeginBatchReadResp(nil, 1)
+	b = BeginBatchReadItem(b, &mark)
+	if _, err := FinishBatchReadResp(b, mark, Feedback{}); err == nil {
+		t.Fatal("frame finished with an item left open")
+	}
+	b, mark = BeginBatchReadResp(nil, 1)
+	if _, err := FinishBatchReadResp(b, mark, Feedback{}); err == nil {
+		t.Fatal("empty batch response accepted")
+	}
+}
+
+func TestBatchTruncatedPayloadsRejected(t *testing.T) {
+	in := BatchWriteReq{ID: 3, Keys: []string{"key-aaa", "key-bbb"},
+		Values: [][]byte{[]byte("vvvv"), []byte("wwww")}}
+	b, err := AppendBatchWriteReq(nil, MsgBatchWrite, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := b[5:]
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := ParseBatchWriteReq(payload[:cut], nil, nil); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestBatchDecodeScratchReuse: steady-state decoding with retained scratch
+// slices allocates nothing.
+func TestBatchDecodeScratchReuse(t *testing.T) {
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("batch-key-%04d", i)
+	}
+	b, err := AppendBatchReadReq(nil, MsgBatchReadInternal, BatchReadReq{ID: 9, Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := b[5:]
+	scratch := make([]string, 0, len(keys))
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := ParseBatchReadReq(payload, scratch)
+		if err != nil || len(out.Keys) != len(keys) {
+			t.Fatalf("decode: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch decode allocates %.1f/op, want 0", allocs)
+	}
+}

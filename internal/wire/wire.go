@@ -56,6 +56,20 @@ const (
 	// MsgWriteInternal is a coordinator→replica write.
 	MsgWriteInternal
 	MsgWriteResp
+	// MsgBatchRead is a client→coordinator multi-key read: one frame carries
+	// every key of a MultiGet, amortizing framing, rate-limiter decisions,
+	// and flushes over the whole batch.
+	MsgBatchRead
+	// MsgBatchReadInternal is a coordinator→replica sub-batch: the subset of
+	// a batch's keys owned by one replica, coalesced into a single frame and
+	// served as one unit against the storage engine.
+	MsgBatchReadInternal
+	MsgBatchReadResp
+	// MsgBatchWrite is a client→coordinator multi-key write.
+	MsgBatchWrite
+	// MsgBatchWriteInternal is a coordinator→replica write sub-batch.
+	MsgBatchWriteInternal
+	MsgBatchWriteResp
 )
 
 // MaxFrame bounds a frame payload; anything larger is a protocol error.
@@ -66,6 +80,10 @@ const MaxFrame = 16 << 20
 const (
 	MaxKeyLen   = 1<<16 - 1
 	MaxValueLen = 8 << 20
+	// MaxBatchKeys bounds the key count of one batch frame. It must fit the
+	// uint16 count prefix; the tighter bound keeps a single batch from
+	// monopolizing a replica's serving loop and bounds decoder scratch.
+	MaxBatchKeys = 4096
 )
 
 // MaxRetainedBuffer caps the frame buffer a Reader keeps across frames. A
@@ -112,6 +130,45 @@ type WriteReq struct {
 type WriteResp struct {
 	ID uint64
 	OK bool
+	FB Feedback
+}
+
+// BatchReadReq asks for many keys in one frame (MsgBatchRead /
+// MsgBatchReadInternal).
+type BatchReadReq struct {
+	ID   uint64
+	Keys []string
+}
+
+// BatchItem is one key's result within a batch read response.
+type BatchItem struct {
+	Found bool
+	Value []byte
+}
+
+// BatchReadResp answers a batch read: per-key results in request order, plus
+// one feedback sample describing the server after the whole sub-batch was
+// served. The feedback's weight is the batch size — the client folds it into
+// its estimators once per key, so a 32-key sub-batch trains q̂ as 32 reads.
+type BatchReadResp struct {
+	ID    uint64
+	Items []BatchItem
+	FB    Feedback
+}
+
+// BatchWriteReq stores many key/value pairs in one frame (MsgBatchWrite /
+// MsgBatchWriteInternal).
+type BatchWriteReq struct {
+	ID     uint64
+	Keys   []string
+	Values [][]byte
+}
+
+// BatchWriteResp acknowledges a batch write with per-key OK flags in request
+// order (see WriteResp for the OK contract) and one feedback sample.
+type BatchWriteResp struct {
+	ID uint64
+	OK []bool
 	FB Feedback
 }
 
@@ -244,6 +301,159 @@ func AppendWriteReq(dst []byte, typ uint8, m WriteReq) ([]byte, error) {
 func AppendWriteResp(dst []byte, m WriteResp) ([]byte, error) {
 	dst, start := beginFrame(dst, MsgWriteResp)
 	return endFrame(appendFeedback(appendBool(appendU64(dst, m.ID), m.OK), m.FB), start)
+}
+
+// --- batch encoding -------------------------------------------------------
+//
+// Batch frames share the point-frame building blocks: u16-prefixed keys,
+// u32-prefixed values, feedback last. The payload leads with a u16 key count;
+// per-key records follow in request order. Read responses keep the
+// value-before-feedback layout, so a replica streams every value straight out
+// of the storage engine and samples its queue feedback only after the whole
+// sub-batch was served.
+
+// appendBatchCount validates and appends the u16 batch key count.
+func appendBatchCount(dst []byte, n int) ([]byte, error) {
+	if n < 1 || n > MaxBatchKeys {
+		return dst, fmt.Errorf("wire: batch of %d keys outside [1, %d]", n, MaxBatchKeys)
+	}
+	return binary.LittleEndian.AppendUint16(dst, uint16(n)), nil
+}
+
+// AppendBatchReadReq appends a complete framed batch read request of the
+// given type (MsgBatchRead or MsgBatchReadInternal) to dst.
+func AppendBatchReadReq(dst []byte, typ uint8, m BatchReadReq) ([]byte, error) {
+	dst, start := beginFrame(dst, typ)
+	dst, err := appendBatchCount(appendU64(dst, m.ID), len(m.Keys))
+	if err != nil {
+		return dst[:start], err
+	}
+	for _, k := range m.Keys {
+		if dst, err = appendStr(dst, k); err != nil {
+			return dst[:start], err
+		}
+	}
+	return endFrame(dst, start)
+}
+
+// AppendBatchWriteReq appends a complete framed batch write request of the
+// given type (MsgBatchWrite or MsgBatchWriteInternal) to dst. Keys and Values
+// must be the same length.
+func AppendBatchWriteReq(dst []byte, typ uint8, m BatchWriteReq) ([]byte, error) {
+	if len(m.Keys) != len(m.Values) {
+		return dst, fmt.Errorf("wire: batch write %d keys vs %d values", len(m.Keys), len(m.Values))
+	}
+	dst, start := beginFrame(dst, typ)
+	dst, err := appendBatchCount(appendU64(dst, m.ID), len(m.Keys))
+	if err != nil {
+		return dst[:start], err
+	}
+	for i, k := range m.Keys {
+		if dst, err = appendStr(dst, k); err != nil {
+			return dst[:start], err
+		}
+		if dst, err = appendBytes(dst, m.Values[i]); err != nil {
+			return dst[:start], err
+		}
+	}
+	return endFrame(dst, start)
+}
+
+// AppendBatchWriteResp appends a complete framed batch write acknowledgement
+// to dst.
+func AppendBatchWriteResp(dst []byte, m BatchWriteResp) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgBatchWriteResp)
+	dst, err := appendBatchCount(appendU64(dst, m.ID), len(m.OK))
+	if err != nil {
+		return dst[:start], err
+	}
+	for _, ok := range m.OK {
+		dst = appendBool(dst, ok)
+	}
+	return endFrame(appendFeedback(dst, m.FB), start)
+}
+
+// BatchReadRespMark tracks an in-progress streamed batch read response
+// between BeginBatchReadResp and FinishBatchReadResp.
+type BatchReadRespMark struct {
+	start   int
+	countAt int
+	count   int
+	foundAt int // current item's found-flag offset; -1 outside an item
+	lenAt   int // current item's value-length offset
+}
+
+// BeginBatchReadResp starts a batch read-response frame. For each key, in
+// request order, call BeginBatchReadItem, append the value bytes directly
+// (the zero-copy server path — e.g. lsm.Store.GetAppend), then
+// FinishBatchReadItem; close the frame with FinishBatchReadResp.
+func BeginBatchReadResp(dst []byte, id uint64) ([]byte, BatchReadRespMark) {
+	dst, start := beginFrame(dst, MsgBatchReadResp)
+	dst = appendU64(dst, id)
+	m := BatchReadRespMark{start: start, countAt: len(dst), foundAt: -1}
+	dst = append(dst, 0, 0) // count placeholder
+	return dst, m
+}
+
+// BeginBatchReadItem opens the next per-key record: the caller appends the
+// key's value bytes (if any) directly to the returned buffer.
+func BeginBatchReadItem(dst []byte, m *BatchReadRespMark) []byte {
+	m.foundAt = len(dst)
+	dst = append(dst, 0)
+	m.lenAt = len(dst)
+	return append(dst, 0, 0, 0, 0)
+}
+
+// FinishBatchReadItem closes the record opened by the matching
+// BeginBatchReadItem, patching its found flag and value length.
+func FinishBatchReadItem(dst []byte, m *BatchReadRespMark, found bool) ([]byte, error) {
+	if m.foundAt < 0 {
+		return dst, errors.New("wire: FinishBatchReadItem without BeginBatchReadItem")
+	}
+	vlen := len(dst) - m.lenAt - 4
+	if vlen < 0 {
+		return dst[:m.start], errors.New("wire: value bytes truncated the buffer")
+	}
+	if vlen > MaxValueLen {
+		return dst[:m.start], fmt.Errorf("wire: value length %d exceeds limit", vlen)
+	}
+	if found {
+		dst[m.foundAt] = 1
+	}
+	binary.LittleEndian.PutUint32(dst[m.lenAt:m.lenAt+4], uint32(vlen))
+	m.foundAt = -1
+	m.count++
+	return dst, nil
+}
+
+// FinishBatchReadResp completes the frame: it patches the item count and
+// appends the feedback — sampled after every item was produced, so it
+// reflects the post-batch server state.
+func FinishBatchReadResp(dst []byte, m BatchReadRespMark, fb Feedback) ([]byte, error) {
+	if m.foundAt >= 0 {
+		return dst[:m.start], errors.New("wire: batch item left open")
+	}
+	if m.count < 1 || m.count > MaxBatchKeys {
+		return dst[:m.start], fmt.Errorf("wire: batch of %d items outside [1, %d]", m.count, MaxBatchKeys)
+	}
+	binary.LittleEndian.PutUint16(dst[m.countAt:m.countAt+2], uint16(m.count))
+	return endFrame(appendFeedback(dst, fb), m.start)
+}
+
+// AppendBatchReadResp appends a complete framed batch read response to dst —
+// the non-streaming construction (tests, fuzzing); servers use the
+// Begin/Finish streaming API instead.
+func AppendBatchReadResp(dst []byte, m BatchReadResp) ([]byte, error) {
+	dst, mark := BeginBatchReadResp(dst, m.ID)
+	var err error
+	for _, it := range m.Items {
+		dst = BeginBatchReadItem(dst, &mark)
+		dst = append(dst, it.Value...)
+		if dst, err = FinishBatchReadItem(dst, &mark, it.Found); err != nil {
+			return dst, err
+		}
+	}
+	return FinishBatchReadResp(dst, mark, m.FB)
 }
 
 // Writer frames outgoing messages into a buffer. Frames accumulate until an
@@ -464,6 +674,87 @@ func ParseWriteResp(b []byte) (WriteResp, error) {
 	d := decoder{b: b}
 	m := WriteResp{ID: d.u64()}
 	m.OK = d.u8() == 1
+	m.FB.QueueSize = d.f64()
+	m.FB.ServiceNs = d.i64()
+	return m, d.err
+}
+
+// batchCount decodes and validates the u16 batch key count.
+func (d *decoder) batchCount() int {
+	if !d.need(2) {
+		return 0
+	}
+	n := int(binary.LittleEndian.Uint16(d.b))
+	d.b = d.b[2:]
+	if n < 1 || n > MaxBatchKeys {
+		d.err = errors.New("wire: bad batch count")
+		return 0
+	}
+	return n
+}
+
+// ParseBatchReadReq decodes a MsgBatchRead/MsgBatchReadInternal payload into
+// keys (grown as needed and returned inside the result — pass a retained
+// scratch slice for allocation-free steady state). The returned Keys alias b
+// (see the package contract).
+func ParseBatchReadReq(b []byte, keys []string) (BatchReadReq, error) {
+	d := decoder{b: b}
+	m := BatchReadReq{ID: d.u64()}
+	n := d.batchCount()
+	keys = keys[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		keys = append(keys, d.str())
+	}
+	m.Keys = keys
+	return m, d.err
+}
+
+// ParseBatchReadResp decodes a MsgBatchReadResp payload into items (grown as
+// needed, like ParseBatchReadReq's keys). The returned Values alias b (see
+// the package contract).
+func ParseBatchReadResp(b []byte, items []BatchItem) (BatchReadResp, error) {
+	d := decoder{b: b}
+	m := BatchReadResp{ID: d.u64()}
+	n := d.batchCount()
+	items = items[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		it := BatchItem{Found: d.u8() == 1}
+		it.Value = d.bytes()
+		items = append(items, it)
+	}
+	m.Items = items
+	m.FB.QueueSize = d.f64()
+	m.FB.ServiceNs = d.i64()
+	return m, d.err
+}
+
+// ParseBatchWriteReq decodes a MsgBatchWrite/MsgBatchWriteInternal payload
+// into keys and values (grown as needed). The returned Keys and Values alias
+// b (see the package contract).
+func ParseBatchWriteReq(b []byte, keys []string, values [][]byte) (BatchWriteReq, error) {
+	d := decoder{b: b}
+	m := BatchWriteReq{ID: d.u64()}
+	n := d.batchCount()
+	keys, values = keys[:0], values[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		keys = append(keys, d.str())
+		values = append(values, d.bytes())
+	}
+	m.Keys, m.Values = keys, values
+	return m, d.err
+}
+
+// ParseBatchWriteResp decodes a MsgBatchWriteResp payload into oks (grown as
+// needed).
+func ParseBatchWriteResp(b []byte, oks []bool) (BatchWriteResp, error) {
+	d := decoder{b: b}
+	m := BatchWriteResp{ID: d.u64()}
+	n := d.batchCount()
+	oks = oks[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		oks = append(oks, d.u8() == 1)
+	}
+	m.OK = oks
 	m.FB.QueueSize = d.f64()
 	m.FB.ServiceNs = d.i64()
 	return m, d.err

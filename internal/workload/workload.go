@@ -18,20 +18,32 @@ type Op int
 const (
 	OpRead Op = iota
 	OpUpdate
+	// OpMultiGet is a multi-key read: the front-end fetches a batch of keys
+	// in one operation (a photo page's tags, a feed's items). The batch size
+	// is drawn separately from a BatchSizer.
+	OpMultiGet
 )
 
 // String renders the op name.
 func (o Op) String() string {
-	if o == OpRead {
+	switch o {
+	case OpRead:
 		return "READ"
+	case OpMultiGet:
+		return "MULTIGET"
 	}
 	return "UPDATE"
 }
 
 // Mix is an operation mix: the fraction of reads, with the remainder updates.
+// MultiFrac optionally turns a fraction of the reads into multi-key reads.
 type Mix struct {
 	Name     string
 	ReadFrac float64
+	// MultiFrac is the fraction of reads issued as OpMultiGet (0 keeps the
+	// mix single-key and draws no extra randomness, preserving the op
+	// sequences of existing seeds).
+	MultiFrac float64
 }
 
 // The paper's three YCSB workload mixes (§5): photo tagging, user-profile
@@ -45,9 +57,19 @@ var (
 // Choose draws an operation from the mix.
 func (m Mix) Choose(r *rand.Rand) Op {
 	if r.Float64() < m.ReadFrac {
+		if m.MultiFrac > 0 && r.Float64() < m.MultiFrac {
+			return OpMultiGet
+		}
 		return OpRead
 	}
 	return OpUpdate
+}
+
+// WithMultiGets returns the mix with frac of its reads issued as multi-key
+// reads.
+func (m Mix) WithMultiGets(frac float64) Mix {
+	m.MultiFrac = frac
+	return m
 }
 
 // Zipfian generates keys in [0, N) following a Zipfian distribution with
@@ -167,6 +189,49 @@ func (u *Uniform) N() uint64 { return u.n }
 type KeyChooser interface {
 	Next(r *rand.Rand) uint64
 	N() uint64
+}
+
+// BatchSizer draws the key count of a multi-key operation.
+type BatchSizer interface {
+	// Keys reports how many keys the next batch carries (always ≥ 1).
+	Keys(r *rand.Rand) int
+}
+
+// FixedBatch always draws the same batch size — the controlled setting of
+// the batch benchmark's sweep (4, 16, 64 keys).
+type FixedBatch int
+
+// Keys implements BatchSizer.
+func (f FixedBatch) Keys(*rand.Rand) int {
+	if f < 1 {
+		return 1
+	}
+	return int(f)
+}
+
+// GeometricBatch draws batch sizes from a geometric distribution with the
+// given mean — the long-tailed page sizes of real multi-key front-ends (most
+// pages small, a few large). Sizes are capped at Max when it is positive.
+type GeometricBatch struct {
+	Mean float64
+	Max  int
+}
+
+// Keys implements BatchSizer: the number of Bernoulli(1/Mean) trials until
+// the first success — mean Mean, minimum 1.
+func (g GeometricBatch) Keys(r *rand.Rand) int {
+	if g.Mean <= 1 {
+		return 1
+	}
+	p := 1 / g.Mean
+	n := 1
+	for r.Float64() >= p {
+		n++
+		if g.Max > 0 && n >= g.Max {
+			return g.Max
+		}
+	}
+	return n
 }
 
 // Sizer draws record sizes in bytes.

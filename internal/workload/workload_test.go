@@ -167,8 +167,82 @@ func TestMixFractions(t *testing.T) {
 }
 
 func TestOpString(t *testing.T) {
-	if OpRead.String() != "READ" || OpUpdate.String() != "UPDATE" {
+	if OpRead.String() != "READ" || OpUpdate.String() != "UPDATE" ||
+		OpMultiGet.String() != "MULTIGET" {
 		t.Fatal("op names wrong")
+	}
+}
+
+func TestMixMultiGetFraction(t *testing.T) {
+	m := ReadHeavy.WithMultiGets(0.3)
+	r := sim.RNG(7, 7)
+	const n = 100000
+	var reads, multis, updates int
+	for i := 0; i < n; i++ {
+		switch m.Choose(r) {
+		case OpRead:
+			reads++
+		case OpMultiGet:
+			multis++
+		default:
+			updates++
+		}
+	}
+	if got := float64(updates) / n; math.Abs(got-(1-m.ReadFrac)) > 0.01 {
+		t.Fatalf("update fraction %v, want %v", got, 1-m.ReadFrac)
+	}
+	gotMulti := float64(multis) / float64(reads+multis)
+	if math.Abs(gotMulti-0.3) > 0.02 {
+		t.Fatalf("multi-get fraction of reads = %v, want 0.3", gotMulti)
+	}
+}
+
+// TestMixZeroMultiFracPreservesSequences: MultiFrac 0 must draw no extra
+// randomness, so existing seeded workloads replay the exact same op streams.
+func TestMixZeroMultiFracPreservesSequences(t *testing.T) {
+	r1 := sim.RNG(8, 8)
+	r2 := sim.RNG(8, 8)
+	plain := ReadHeavy
+	zeroMulti := ReadHeavy.WithMultiGets(0)
+	for i := 0; i < 10000; i++ {
+		if plain.Choose(r1) != zeroMulti.Choose(r2) {
+			t.Fatalf("op stream diverged at %d", i)
+		}
+	}
+}
+
+func TestFixedBatch(t *testing.T) {
+	if FixedBatch(16).Keys(nil) != 16 {
+		t.Fatal("fixed batch size wrong")
+	}
+	if FixedBatch(0).Keys(nil) != 1 {
+		t.Fatal("degenerate fixed batch must clamp to 1")
+	}
+}
+
+func TestGeometricBatchMeanAndBounds(t *testing.T) {
+	r := sim.RNG(9, 9)
+	g := GeometricBatch{Mean: 16}
+	const n = 200000
+	total := 0
+	for i := 0; i < n; i++ {
+		k := g.Keys(r)
+		if k < 1 {
+			t.Fatalf("batch size %d < 1", k)
+		}
+		total += k
+	}
+	if mean := float64(total) / n; math.Abs(mean-16) > 0.5 {
+		t.Fatalf("geometric mean = %v, want ≈16", mean)
+	}
+	capped := GeometricBatch{Mean: 64, Max: 8}
+	for i := 0; i < 1000; i++ {
+		if k := capped.Keys(r); k > 8 {
+			t.Fatalf("batch size %d exceeds Max 8", k)
+		}
+	}
+	if (GeometricBatch{Mean: 0.5}).Keys(r) != 1 {
+		t.Fatal("sub-1 mean must clamp to 1")
 	}
 }
 
