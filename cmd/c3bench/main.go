@@ -29,6 +29,8 @@ func main() {
 		"path for the machine-readable tail-tolerance benchmark record (written when the tail experiment runs; empty disables)")
 	batchjson := flag.String("batchjson", "BENCH_batch.json",
 		"path for the machine-readable batch scatter-gather benchmark record (written when the batch experiment runs; empty disables)")
+	elasticjson := flag.String("elasticjson", "BENCH_elastic.json",
+		"path for the machine-readable membership-churn benchmark record (written when the elastic experiment runs; empty disables)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -44,7 +46,8 @@ func main() {
 		os.Exit(2)
 	}
 	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson,
-		TailJSONPath: *tailjson, BatchJSONPath: *batchjson}
+		TailJSONPath: *tailjson, BatchJSONPath: *batchjson,
+		ElasticJSONPath: *elasticjson}
 
 	runners := bench.All()
 	if *fig != "all" {

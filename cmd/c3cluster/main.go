@@ -8,6 +8,7 @@
 //	c3cluster -strategy C3 -mix read-heavy -ops 200000
 //	c3cluster -strategy DS -generators 210 -disk ssd
 //	c3cluster -tcp -nodes 5 -ops 3000
+//	c3cluster -tcp -join -nodes 4 -ops 3000   # live join + decommission demo
 package main
 
 import (
@@ -33,10 +34,15 @@ func main() {
 	seeds := flag.Int("seeds", 3, "repetitions")
 	nodes := flag.Int("nodes", 15, "cluster size")
 	tcp := flag.Bool("tcp", false, "run the live TCP cluster demo instead of the simulation")
+	join := flag.Bool("join", false, "with -tcp: grow the cluster by one node mid-run, then decommission it")
 	flag.Parse()
 
 	if *tcp {
-		runTCP(*nodes, *strategy, *ops)
+		if *join {
+			runTCPJoin(*nodes, *strategy, *ops)
+		} else {
+			runTCP(*nodes, *strategy, *ops)
+		}
 		return
 	}
 
@@ -146,4 +152,85 @@ func runTCP(nodes int, strategy string, ops int) {
 	cl.Nodes[0].SetSlowdown(0)
 	phase("recovered", ops/3)
 	fmt.Printf("overall read latency: %s\n", lat.Summarize())
+}
+
+// runTCPJoin is the elasticity demo: boot a loaded cluster, grow it by one
+// node WHILE serving (the joiner streams its key ranges live and only then
+// takes reads), then decommission the same node — all with zero downtime.
+func runTCPJoin(nodes int, strategy string, ops int) {
+	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s)...\n", nodes, strategy)
+	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
+		Strategy:      strategy,
+		Seed:          1,
+		ReadDelayMean: 300 * time.Microsecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	client, err := kvstore.Dial(cl.Addrs())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	keys := workload.NewScrambled(1000, 0.99)
+	r := sim.RNG(7, 7)
+	fmt.Println("loading 1000 keys...")
+	for i := uint64(0); i < 1000; i++ {
+		if err := client.Put(workload.Key(i), []byte(strings.Repeat("v", 256))); err != nil {
+			fmt.Fprintln(os.Stderr, "put:", err)
+			os.Exit(1)
+		}
+	}
+	phase := func(name string, n int) {
+		before := make([]uint64, len(cl.Nodes))
+		for i, node := range cl.Nodes {
+			if node != nil {
+				before[i] = node.ReadsServed()
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, _, err := client.Get(workload.Key(keys.Next(r))); err != nil {
+				fmt.Fprintln(os.Stderr, "get:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("  %-28s reads per node:", name)
+		for i, node := range cl.Nodes {
+			if node == nil {
+				fmt.Printf("     -")
+				continue
+			}
+			fmt.Printf(" %5d", node.ReadsServed()-before[i])
+		}
+		fmt.Println()
+	}
+	phase(fmt.Sprintf("%d nodes steady", nodes), ops/3)
+
+	fmt.Printf("joining node %d live (streams its key ranges, then serves)...\n", nodes)
+	joined, err := cl.Join(kvstore.Config{
+		Strategy:      strategy,
+		Seed:          2,
+		ReadDelayMean: 300 * time.Microsecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "join:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("node %d joined at epoch %d\n", joined.ID(), joined.Epoch())
+	phase(fmt.Sprintf("%d nodes (joined)", nodes+1), ops/3)
+
+	fmt.Printf("decommissioning node %d (streams its arcs back out)...\n", joined.ID())
+	if err := joined.Decommission(); err != nil {
+		fmt.Fprintln(os.Stderr, "decommission:", err)
+		os.Exit(1)
+	}
+	time.Sleep(100 * time.Millisecond) // let straggling reads drain
+	joined.Close()
+	cl.Nodes[len(cl.Nodes)-1] = nil
+	phase(fmt.Sprintf("%d nodes (decommissioned)", nodes), ops/3)
+	fmt.Println("no downtime: every request during the join and the decommission was served")
 }

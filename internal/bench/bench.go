@@ -49,6 +49,9 @@ type Options struct {
 	// BatchJSONPath, when non-empty, makes the batch runner also write its
 	// machine-readable result (BENCH_batch.json) to this path.
 	BatchJSONPath string
+	// ElasticJSONPath, when non-empty, makes the elastic runner also write
+	// its machine-readable result (BENCH_elastic.json) to this path.
+	ElasticJSONPath string
 }
 
 func (o Options) seeds() int {
@@ -185,6 +188,7 @@ func All() []Runner {
 		{"kv", "live TCP store throughput/latency (network hot path)", KV},
 		{"tail", "tail tolerance under injected failures (hedged vs unhedged)", Tail},
 		{"batch", "batch scatter-gather: MultiGet vs pipelined point gets", Batch},
+		{"elastic", "membership churn: p99 through a live join and decommission", Elastic},
 	}
 }
 

@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c3/internal/kvstore"
+	"c3/internal/sim"
+	"c3/internal/workload"
+)
+
+// The elastic experiment: p99 trajectory of the live store through a node
+// JOIN and a node DECOMMISSION under steady load — the regime where adaptive
+// selection must re-converge after the replica sets themselves change
+// (membership churn, the scenario class the paper's §5.4 fluctuations only
+// approximate). Each strategy runs the same timeline:
+//
+//	steady window → live join (stream + cutover) → post-join window →
+//	decommission of the joined node → post-decommission window
+//
+// and the record keeps the full 100 ms p99 trajectory plus phase aggregates.
+// The headline number is reconvergence: post-join p99 over steady p99 — an
+// adaptive selector should settle within a few hundred milliseconds of the
+// cutover and end at or below its steady tail, since the join added capacity.
+
+// ElasticPoint is one 100 ms window of the read-latency trajectory.
+type ElasticPoint struct {
+	TMs   float64 `json:"t_ms"`
+	Reads int     `json:"reads"`
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// ElasticRow is one strategy's run.
+type ElasticRow struct {
+	Strategy     string  `json:"strategy"`
+	Ops          int     `json:"ops"`
+	Errors       int     `json:"errors"`
+	JoinStartMs  float64 `json:"join_start_ms"`
+	JoinDoneMs   float64 `json:"join_done_ms"`
+	DecomStartMs float64 `json:"decom_start_ms"`
+	DecomDoneMs  float64 `json:"decom_done_ms"`
+	// Phase aggregates (read p99 in µs): the steady pre-join window, the
+	// join transition itself (join start → +settle), the post-join steady
+	// state, and the post-decommission steady state.
+	SteadyP99Us    float64 `json:"steady_p99_us"`
+	JoinP99Us      float64 `json:"join_window_p99_us"`
+	PostJoinP99Us  float64 `json:"post_join_p99_us"`
+	PostDecomP99Us float64 `json:"post_decom_p99_us"`
+	// Reconvergence is post-join p99 / steady p99 — the acceptance metric
+	// (≤ 1.2 means the selector re-settled within 20% of steady state).
+	Reconvergence float64 `json:"reconvergence"`
+	// JoinerReads counts reads the joined node's storage served before it
+	// was decommissioned — proof the cutover actually moved traffic.
+	JoinerReads uint64 `json:"joiner_reads"`
+	// OutstandingResidual is the cluster-wide selector accounting left after
+	// the run quiesced — any non-zero value is a leak.
+	OutstandingResidual float64        `json:"outstanding_residual"`
+	Trajectory          []ElasticPoint `json:"trajectory"`
+}
+
+// ElasticResult is the machine-readable record of the elastic benchmark
+// (BENCH_elastic.json).
+type ElasticResult struct {
+	Nodes           int          `json:"nodes"`
+	Workers         int          `json:"workers"`
+	Keys            int          `json:"keys"`
+	ValueBytes      int          `json:"value_bytes"`
+	ReadFraction    float64      `json:"read_fraction"`
+	ReadDelayMeanUs float64      `json:"read_delay_mean_us"`
+	Rows            []ElasticRow `json:"rows"`
+}
+
+const (
+	elasticNodes        = 4
+	elasticWorkers      = 6
+	elasticKeys         = 512
+	elasticValueBytes   = 128
+	elasticReadFraction = 0.9
+	elasticReadDelay    = 1 * time.Millisecond
+	elasticWindow       = 100 * time.Millisecond
+	// elasticSettle is how long after a membership cutover the join window
+	// extends before the post-join phase starts counting — re-convergence
+	// time granted to the selectors.
+	elasticSettle = 300 * time.Millisecond
+)
+
+// elasticPhases reports the steady/post-join/post-decom phase durations.
+func (o Options) elasticPhases() (steady, postJoin, postDecom time.Duration) {
+	switch o.Scale {
+	case Full:
+		return 4 * time.Second, 4 * time.Second, 3 * time.Second
+	case Medium:
+		return 2 * time.Second, 2 * time.Second, 1500 * time.Millisecond
+	default:
+		return 500 * time.Millisecond, 500 * time.Millisecond, 400 * time.Millisecond
+	}
+}
+
+// elasticStrategies reports the strategies compared at the scale.
+func (o Options) elasticStrategies() []string {
+	if o.Scale == Quick {
+		return []string{kvstore.StratC3}
+	}
+	return []string{kvstore.StratC3, kvstore.StratRR}
+}
+
+// elasticSample is one timed read.
+type elasticSample struct {
+	atMs  float64
+	latUs float64
+}
+
+// runElasticRow drives one strategy through the join/decommission timeline.
+func runElasticRow(o Options, strategy string, seed uint64) (ElasticRow, error) {
+	row := ElasticRow{Strategy: strategy}
+	steadyDur, postJoinDur, postDecomDur := o.elasticPhases()
+	cfg := kvstore.Config{
+		Strategy:      strategy,
+		Seed:          seed,
+		ReadDelayMean: elasticReadDelay,
+	}
+	cluster, err := kvstore.StartCluster(elasticNodes, cfg)
+	if err != nil {
+		return row, err
+	}
+	defer cluster.Close()
+	cl, err := kvstore.Dial(cluster.Addrs())
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+
+	keys := make([]string, elasticKeys)
+	val := make([]byte, elasticValueBytes)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("elastic-%05d", i)
+		if err := cl.Put(keys[i], val); err != nil {
+			return row, err
+		}
+	}
+	for i := range keys { // CL=ONE: wait until readable from any coordinator
+		for attempt := 0; ; attempt++ {
+			if _, ok, err := cl.Get(keys[i]); err == nil && ok {
+				break
+			} else if attempt > 200 {
+				return row, fmt.Errorf("bench: key %q never became readable: %v", keys[i], err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	var stop atomic.Bool
+	zipf := workload.NewScrambled(elasticKeys, 0.99)
+	samples := make([][]elasticSample, elasticWorkers)
+	errCounts := make([]int, elasticWorkers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < elasticWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.RNG(seed, uint64(w)+29)
+			local := make([]elasticSample, 0, 16384)
+			for !stop.Load() {
+				k := keys[int(zipf.Next(r))%elasticKeys]
+				if r.Float64() < elasticReadFraction {
+					t0 := time.Now()
+					_, ok, err := cl.Get(k)
+					d := time.Since(t0)
+					if err != nil || !ok {
+						errCounts[w]++
+						continue
+					}
+					local = append(local, elasticSample{
+						atMs:  float64(t0.Sub(start).Microseconds()) / 1e3,
+						latUs: float64(d.Nanoseconds()) / 1e3,
+					})
+				} else if err := cl.Put(k, val); err != nil {
+					errCounts[w]++
+				}
+			}
+			samples[w] = local
+		}(w)
+	}
+
+	// The timeline: steady → join → post-join → decommission → post-decom.
+	elapsedMs := func() float64 { return float64(time.Since(start).Microseconds()) / 1e3 }
+	time.Sleep(steadyDur)
+	row.JoinStartMs = elapsedMs()
+	joined, err := cluster.Join(kvstore.Config{
+		Strategy:      strategy,
+		Seed:          seed ^ 0xe1a5,
+		ReadDelayMean: elasticReadDelay,
+	})
+	if err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return row, fmt.Errorf("join: %w", err)
+	}
+	row.JoinDoneMs = elapsedMs()
+	time.Sleep(postJoinDur)
+	row.DecomStartMs = elapsedMs()
+	if err := joined.Decommission(); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return row, fmt.Errorf("decommission: %w", err)
+	}
+	row.DecomDoneMs = elapsedMs()
+	time.Sleep(elasticSettle)
+	row.JoinerReads = joined.ReadsServed()
+	joined.Close()
+	cluster.Nodes = cluster.Nodes[:elasticNodes]
+	time.Sleep(postDecomDur)
+	stop.Store(true)
+	wg.Wait()
+	endMs := elapsedMs()
+
+	// Quiesce, then read the accounting residual across surviving nodes.
+	residual := func() float64 {
+		total := 0.0
+		for _, n := range cluster.Nodes {
+			for p := 0; p <= joined.ID(); p++ {
+				total += n.OutstandingToward(p)
+			}
+		}
+		return total
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for residual() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	row.OutstandingResidual = residual()
+
+	var all []elasticSample
+	for w := range samples {
+		all = append(all, samples[w]...)
+		row.Errors += errCounts[w]
+	}
+	row.Ops = len(all)
+	sort.Slice(all, func(i, j int) bool { return all[i].atMs < all[j].atMs })
+
+	// Phase aggregates.
+	phaseP99 := func(fromMs, toMs float64) float64 {
+		lats := make([]float64, 0, 4096)
+		for _, s := range all {
+			if s.atMs >= fromMs && s.atMs < toMs {
+				lats = append(lats, s.latUs)
+			}
+		}
+		return percentileOf(lats, 99)
+	}
+	settleMs := float64(elasticSettle.Microseconds()) / 1e3
+	row.SteadyP99Us = phaseP99(0, row.JoinStartMs)
+	row.JoinP99Us = phaseP99(row.JoinStartMs, row.JoinDoneMs+settleMs)
+	row.PostJoinP99Us = phaseP99(row.JoinDoneMs+settleMs, row.DecomStartMs)
+	row.PostDecomP99Us = phaseP99(row.DecomDoneMs+settleMs, endMs)
+	if row.SteadyP99Us > 0 {
+		row.Reconvergence = row.PostJoinP99Us / row.SteadyP99Us
+	}
+
+	// Trajectory: 100 ms windows.
+	windowMs := float64(elasticWindow.Microseconds()) / 1e3
+	for lo := 0.0; lo < endMs; lo += windowMs {
+		lats := make([]float64, 0, 1024)
+		for _, s := range all {
+			if s.atMs >= lo && s.atMs < lo+windowMs {
+				lats = append(lats, s.latUs)
+			}
+		}
+		if len(lats) == 0 {
+			continue
+		}
+		row.Trajectory = append(row.Trajectory, ElasticPoint{
+			TMs:   lo,
+			Reads: len(lats),
+			P50Us: percentileOf(lats, 50),
+			P99Us: percentileOf(lats, 99),
+		})
+	}
+	return row, nil
+}
+
+// percentileOf reports the pth percentile of lats (nearest rank; 0 when
+// empty).
+func percentileOf(lats []float64, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Float64s(lats)
+	idx := int(p / 100 * float64(len(lats)-1))
+	return lats[idx]
+}
+
+// RunElastic executes the strategy sweep.
+func RunElastic(o Options) (ElasticResult, error) {
+	res := ElasticResult{
+		Nodes:           elasticNodes,
+		Workers:         elasticWorkers,
+		Keys:            elasticKeys,
+		ValueBytes:      elasticValueBytes,
+		ReadFraction:    elasticReadFraction,
+		ReadDelayMeanUs: float64(elasticReadDelay) / 1e3,
+	}
+	seed := uint64(11)
+	for _, strategy := range o.elasticStrategies() {
+		row, err := runElasticRow(o, strategy, seed)
+		if err != nil {
+			return res, fmt.Errorf("elastic %s: %w", strategy, err)
+		}
+		res.Rows = append(res.Rows, row)
+		seed += 977
+	}
+	return res, nil
+}
+
+// writeElasticJSON writes the machine-readable record to path.
+func writeElasticJSON(res ElasticResult, path string) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Elastic is the runner for the membership benchmark: the p99 trajectory of
+// the live store through a join and a decommission under load. With
+// Options.ElasticJSONPath set it also writes BENCH_elastic.json.
+func Elastic(o Options) *Report {
+	r := newReport("elastic", "membership churn: p99 through a live join and decommission")
+	res, err := RunElastic(o)
+	if err != nil {
+		r.fail(err)
+		return r
+	}
+	r.printf("%d→%d→%d nodes, %d workers, %.0f%% reads, storage delay %.1fms",
+		res.Nodes, res.Nodes+1, res.Nodes, res.Workers, res.ReadFraction*100,
+		res.ReadDelayMeanUs/1e3)
+	for _, row := range res.Rows {
+		r.printf("  %-3s steady p99=%7.0fµs | join window p99=%7.0fµs | post-join p99=%7.0fµs (×%.2f) | post-decom p99=%7.0fµs | joiner served %d | errs=%d resid=%.0f",
+			row.Strategy, row.SteadyP99Us, row.JoinP99Us, row.PostJoinP99Us,
+			row.Reconvergence, row.PostDecomP99Us, row.JoinerReads, row.Errors,
+			row.OutstandingResidual)
+		r.printf("      join %0.0f→%0.0fms, decommission %0.0f→%0.0fms, %d reads measured",
+			row.JoinStartMs, row.JoinDoneMs, row.DecomStartMs, row.DecomDoneMs, row.Ops)
+	}
+	for _, row := range res.Rows {
+		key := "elastic_" + row.Strategy
+		r.Metric(key+"_steady_p99_us", row.SteadyP99Us)
+		r.Metric(key+"_post_join_p99_us", row.PostJoinP99Us)
+		r.Metric(key+"_reconvergence", row.Reconvergence)
+		r.Metric(key+"_outstanding_residual", row.OutstandingResidual)
+	}
+	if o.ElasticJSONPath != "" {
+		if err := writeElasticJSON(res, o.ElasticJSONPath); err != nil {
+			r.printf("write %s: %v", o.ElasticJSONPath, err)
+		} else {
+			r.printf("wrote %s", o.ElasticJSONPath)
+		}
+	}
+	return r
+}

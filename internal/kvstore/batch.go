@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,18 +59,20 @@ type subRef struct {
 	j  int
 }
 
-// partitionBatch splits keys by replica group, preserving client order within
-// each sub-batch, and returns the per-key back-references for the gather.
-func (n *Node) partitionBatch(keys []string) ([]*subBatch, []subRef) {
+// partitionBatch splits keys by replica group of the topology's read ring,
+// preserving client order within each sub-batch, and returns the per-key
+// back-references for the gather.
+func (n *Node) partitionBatch(t *topology, keys []string) ([]*subBatch, []subRef) {
+	r := t.readRing()
 	where := make([]subRef, len(keys))
-	byGroup := make([]*subBatch, len(n.addrs))
+	byGroup := make([]*subBatch, r.Nodes())
 	subs := make([]*subBatch, 0, 4)
 	for i, k := range keys {
-		t := ring.Token([]byte(k))
-		gi := n.ring.GroupIndexFor(t)
+		tok := ring.Token([]byte(k))
+		gi := r.GroupIndexFor(tok)
 		sb := byGroup[gi]
 		if sb == nil {
-			sb = &subBatch{group: n.ring.ReplicasForToken(t, nil)}
+			sb = &subBatch{group: r.ReplicasForToken(tok, nil)}
 			byGroup[gi] = sb
 			subs = append(subs, sb)
 		}
@@ -116,10 +119,11 @@ func (n *Node) accountBatchReadSuccess(s core.ServerID, nk int, fb wire.Feedback
 }
 
 // accountBatchReadFailure records a failed sub-batch with the selector: our
-// own shutdown abandons the nk keys, a real failure feeds the punishing
-// penalty with batch weight.
+// own shutdown abandons the nk keys, as does a failure toward a server the
+// topology has retired (see accountReadFailure), while a real failure of a
+// live member feeds the punishing penalty with batch weight.
 func (n *Node) accountBatchReadFailure(s core.ServerID, nk int, now time.Time) {
-	if n.isClosed() {
+	if n.isClosed() || !n.topo.Load().serves(s) {
 		n.sel.OnAbandonN(s, nk, now.UnixNano())
 	} else {
 		n.sel.OnResponseN(s, nk, core.Feedback{QueueSize: failPenaltyQueue,
@@ -341,7 +345,7 @@ func (n *Node) runSubBatch(sb *subBatch) {
 // read.
 func (n *Node) coordinateBatchRead(keys []string) ([]*subBatch, []subRef) {
 	n.coord.Add(uint64(len(keys)))
-	subs, where := n.partitionBatch(keys)
+	subs, where := n.partitionBatch(n.topo.Load(), keys)
 	if len(subs) == 1 {
 		n.runSubBatch(subs[0])
 		return subs, where
@@ -458,7 +462,21 @@ func (n *Node) runWriteSub(sb *subBatch, release func()) {
 // per-key acks. arena is the pooled buffer backing vals, recycled once every
 // replica attempt of every sub-batch is done with the values.
 func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
-	subs, where := n.partitionBatch(keys)
+	t := n.topo.Load()
+	subs, where := n.partitionBatch(t, keys)
+	if t.prev != nil {
+		// Dual-route window: extend each sub-batch's write fan to the union
+		// of old and new owners of its keys, mirroring coordinateWrite.
+		for _, sb := range subs {
+			for _, k := range sb.keys {
+				for _, s := range t.v.Ring().ReplicasFor([]byte(k), nil) {
+					if !slices.Contains(sb.group, s) {
+						sb.group = append(sb.group, s)
+					}
+				}
+			}
+		}
+	}
 	total := 0
 	for _, sb := range subs {
 		sb.wvals = make([][]byte, len(sb.keys))

@@ -56,7 +56,7 @@ func keysExcludingNode(t *testing.T, node *Node, out core.ServerID, prefix strin
 		}
 		key := fmt.Sprintf("%s-%d", prefix, i)
 		hit := false
-		for _, s := range node.ring.ReplicasFor([]byte(key), nil) {
+		for _, s := range node.readRing().ReplicasFor([]byte(key), nil) {
 			if s == out {
 				hit = true
 				break
@@ -370,7 +370,7 @@ func TestBatchKeysSpanGroups(t *testing.T) {
 	c, _ := startTestCluster(t, 5, Config{Seed: 40})
 	n := c.Nodes[0]
 	keys, _ := batchKeysVals("span", 64)
-	subs, where := n.partitionBatch(keys)
+	subs, where := n.partitionBatch(n.topo.Load(), keys)
 	if len(subs) < 2 {
 		t.Fatalf("64 keys partitioned into %d sub-batches; want several groups", len(subs))
 	}

@@ -1,0 +1,304 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"c3/internal/sim"
+)
+
+// Membership chaos: a fixed-seed random interleaving of join, decommission,
+// and crash events under concurrent MultiGet/Put load. The invariants:
+//
+//   - zero acked-write loss: every key the client saw acknowledged is
+//     readable once the dust settles (and, modulo CL=ONE convergence lag,
+//     throughout the run);
+//   - zero stuck readers: every MultiGet returns within a small multiple of
+//     the configured ReadBudget, churn or not;
+//   - zero accounting residual: after quiescing, every live node's selector
+//     outstanding toward every peer is exactly zero (the settleOutstanding
+//     invariant of the tail-tolerance layer, now across epochs).
+//
+// The external client only dials nodes 0..2, and those nodes are exempt from
+// crash/decommission — mirroring the tail benchmark's victim choice. A
+// CL=ONE store cannot promise durability of a write whose acking replica AND
+// coordinator die together, so the chaos keeps coordinators alive and
+// crashes at most one storage node; everything else (including crashing a
+// node that just gained ranges, or decommissioning under load) is fair game.
+
+const (
+	chaosBaseNodes    = 5
+	chaosCoordinators = 3 // client-facing nodes, never killed
+	chaosEvents       = 5
+	chaosReadBudget   = 1 * time.Second
+)
+
+// chaosLedger tracks acked keys across writer goroutines.
+type chaosLedger struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (l *chaosLedger) add(k string) {
+	l.mu.Lock()
+	l.keys = append(l.keys, k)
+	l.mu.Unlock()
+}
+
+// settled returns the acked keys old enough that CL=ONE replica fan-out has
+// certainly completed (all but the most recent few).
+func (l *chaosLedger) settled() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.keys) - 64
+	if n <= 0 {
+		return nil
+	}
+	return append([]string(nil), l.keys[:n]...)
+}
+
+func (l *chaosLedger) all() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.keys...)
+}
+
+func TestMembershipChaos(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runMembershipChaos(t, seed)
+		})
+	}
+}
+
+func runMembershipChaos(t *testing.T, seed uint64) {
+	cfg := Config{Seed: seed, ReadBudget: chaosReadBudget}
+	c, err := StartCluster(chaosBaseNodes, cfg)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	cl, err := Dial(c.Addrs()[:chaosCoordinators])
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(cl.Close)
+
+	var (
+		ledger  chaosLedger
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		failMu  sync.Mutex
+		failure string
+	)
+	fail := func(format string, args ...any) {
+		failMu.Lock()
+		if failure == "" {
+			failure = fmt.Sprintf(format, args...)
+		}
+		failMu.Unlock()
+		stop.Store(true)
+	}
+
+	// Writers: unique keys, alternating point Puts and MultiPuts; only
+	// acknowledged keys enter the ledger.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := func(k string) []byte { return []byte("val-" + k) }
+			for i := 0; !stop.Load(); i++ {
+				if i%8 == 7 { // a small MultiPut batch
+					keys := make([]string, 4)
+					vals := make([][]byte, 4)
+					for j := range keys {
+						keys[j] = fmt.Sprintf("chaos%d-w%d-%06d-%d", seed, w, i, j)
+						vals[j] = val(keys[j])
+					}
+					oks, err := cl.MultiPut(keys, vals)
+					if err != nil {
+						continue // transport failure: nothing acked
+					}
+					for j, ok := range oks {
+						if ok {
+							ledger.add(keys[j])
+						}
+					}
+					continue
+				}
+				k := fmt.Sprintf("chaos%d-w%d-%06d", seed, w, i)
+				if err := cl.Put(k, val(k)); err == nil {
+					ledger.add(k)
+				}
+			}
+		}(w)
+	}
+
+	// Readers: sample settled acked keys; a missing key is retried before it
+	// counts as loss (CL=ONE convergence lag is not loss), a transport error
+	// or blown budget fails immediately.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := sim.RNG(seed, 0xbeef+uint64(r))
+			for !stop.Load() {
+				settled := ledger.settled()
+				if len(settled) == 0 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				keys := make([]string, 0, 32)
+				for i := 0; i < 32; i++ {
+					keys = append(keys, settled[int(rng.Uint64()%uint64(len(settled)))])
+				}
+				start := time.Now()
+				_, found, err := cl.MultiGet(keys)
+				elapsed := time.Since(start)
+				if err != nil {
+					fail("reader %d: MultiGet error: %v", r, err)
+					return
+				}
+				if elapsed > 3*chaosReadBudget+2*time.Second {
+					fail("reader %d: MultiGet stuck for %v (budget %v)", r, elapsed, chaosReadBudget)
+					return
+				}
+				for i, ok := range found {
+					if ok {
+						continue
+					}
+					// Retry the key alone: genuine loss is permanent.
+					lost := true
+					for attempt := 0; attempt < 10; attempt++ {
+						if _, ok2, err2 := cl.Get(keys[i]); err2 == nil && ok2 {
+							lost = false
+							break
+						}
+						time.Sleep(20 * time.Millisecond)
+					}
+					if lost {
+						fail("reader %d: acked key %q lost during churn", r, keys[i])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Orchestrator: a seeded interleaving of membership events. Membership
+	// operations are serialized (the protocol's contract); the load is not.
+	rng := sim.RNG(seed, 0xc0ffee)
+	members := chaosBaseNodes
+	// Nodes eligible for crash/decommission: every non-coordinator.
+	pool := []*Node{c.Nodes[3], c.Nodes[4]}
+	var decommissioned []*Node
+	crashed := false
+	var crashedN *Node
+	for ev := 0; ev < chaosEvents && !stop.Load(); ev++ {
+		time.Sleep(time.Duration(30+rng.Uint64()%50) * time.Millisecond)
+		switch pick := rng.Uint64() % 3; {
+		case pick == 0 || (pick == 1 && members <= chaosBaseNodes-1) || len(pool) == 0:
+			n, err := c.Join(Config{Seed: seed ^ uint64(ev)<<16, ReadBudget: chaosReadBudget})
+			if err != nil {
+				fail("join: %v", err)
+				break
+			}
+			members++
+			pool = append(pool, n)
+		case pick == 1:
+			// Decommission a non-coordinator (needs members-1 ≥ RF=3).
+			if members <= 4 {
+				break
+			}
+			idx := int(rng.Uint64() % uint64(len(pool)))
+			victim := pool[idx]
+			pool = append(pool[:idx], pool[idx+1:]...)
+			if err := victim.Decommission(); err != nil {
+				fail("decommission node %d: %v", victim.ID(), err)
+				break
+			}
+			members--
+			decommissioned = append(decommissioned, victim)
+			time.Sleep(100 * time.Millisecond) // let straggling reads drain
+			victim.Close()
+		default:
+			// Crash (at most once): an abrupt Close with no protocol.
+			if crashed || len(pool) == 0 {
+				break
+			}
+			idx := int(rng.Uint64() % uint64(len(pool)))
+			victim := pool[idx]
+			pool = append(pool[:idx], pool[idx+1:]...)
+			victim.Close()
+			crashed = true
+			crashedN = victim
+		}
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	failMu.Lock()
+	if failure != "" {
+		failMu.Unlock()
+		t.Fatal(failure)
+	}
+	failMu.Unlock()
+
+	// Zero acked-write loss: after convergence, every acked key is readable.
+	keys := ledger.all()
+	if len(keys) == 0 {
+		t.Fatal("chaos run acked no writes at all")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for start := 0; start < len(keys); start += 256 {
+		end := min(start+256, len(keys))
+		chunk := keys[start:end]
+		for {
+			_, found, err := cl.MultiGet(chunk)
+			missing := ""
+			if err == nil {
+				for i, ok := range found {
+					if !ok {
+						missing = chunk[i]
+						break
+					}
+				}
+				if missing == "" {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("acked write lost after settling: key %q err %v", missing, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Zero residual: the selector accounting invariant across epochs, on
+	// every node still alive.
+	maxID := 0
+	live := []*Node{}
+	for _, n := range c.Nodes {
+		if n == nil || n == crashedN {
+			continue
+		}
+		dec := false
+		for _, d := range decommissioned {
+			if d == n {
+				dec = true
+			}
+		}
+		if dec {
+			continue
+		}
+		live = append(live, n)
+		if n.ID() > maxID {
+			maxID = n.ID()
+		}
+	}
+	settleOutstanding(t, live, maxID+1, 5*time.Second)
+}

@@ -23,7 +23,6 @@ import (
 	"c3/internal/core"
 	"c3/internal/lsm"
 	"c3/internal/ratelimit"
-	"c3/internal/ring"
 	"c3/internal/sim"
 	"c3/internal/wire"
 )
@@ -124,17 +123,25 @@ func (c Config) withDefaults() Config {
 
 // Node is one store process: TCP listener, storage engine, coordinator.
 type Node struct {
-	id    core.ServerID
-	cfg   Config
-	ring  *ring.Ring
-	addrs []string // addrs[i] is node i's listen address
+	id  core.ServerID
+	cfg Config
+
+	// topo is the node's current versioned topology (ring, addresses,
+	// dual-route window). The hot path snapshots it with one atomic load;
+	// adoption installs immutable successors under memberMu.
+	topo     atomic.Pointer[topology]
+	memberMu sync.Mutex // serializes topology adoption and membership ops
+	reg      *core.Registry
 
 	store *lsm.Store
 	ln    net.Listener
 
 	sel *core.Client
 
-	peers []peerSlot // outbound RPC links, indexed by peer node id
+	peersMu sync.RWMutex
+	peers   []*peerSlot // outbound RPC links, indexed by peer node id; grown on adoption
+
+	scan streamScan // per-arc live-key snapshot serving membership pulls
 
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{} // inbound connections, closed on shutdown
@@ -210,32 +217,43 @@ func StartNodeWithListener(id int, addrs []string, ln net.Listener, cfg Config) 
 		ln.Close()
 		return nil, fmt.Errorf("kvstore: node id %d outside cluster of %d", id, len(addrs))
 	}
-	// Pre-register the whole cluster so steady-state selection never takes
-	// the registry's intern slow path.
-	ids := make([]core.ServerID, len(addrs))
-	for i := range ids {
-		ids[i] = core.ServerID(i)
+	addrs = append([]string(nil), addrs...)
+	addrs[id] = ln.Addr().String()
+	t, err := bootTopology(addrs, cfg.RF)
+	if err != nil {
+		ln.Close()
+		return nil, err
 	}
-	reg := core.NewRegistry(ids...)
-	ranker, rc := newRanker(cfg.Strategy, reg, len(addrs), cfg.Seed^uint64(id)<<8)
+	return newNode(core.ServerID(id), t, ln, cfg), nil
+}
+
+// newNode assembles and starts a node from an adopted topology — the shared
+// tail of StartNodeWithListener (epoch-0 boot) and JoinCluster (a live join
+// at the epoch the cluster assigned).
+func newNode(id core.ServerID, t *topology, ln net.Listener, cfg Config) *Node {
+	// Pre-register the whole cluster view so steady-state selection never
+	// takes the registry's intern slow path; later adoptions intern joiners
+	// on the same registry, extending every ranker's dense state in place.
+	members := t.v.Members()
+	reg := core.NewRegistry(members...)
+	ranker, rc := newRanker(cfg.Strategy, reg, len(members), cfg.Seed^uint64(id)<<8)
 	n := &Node{
-		id:     core.ServerID(id),
+		id:     id,
 		cfg:    cfg,
-		ring:   ring.New(len(addrs), cfg.RF),
-		addrs:  append([]string(nil), addrs...),
+		reg:    reg,
 		store:  lsm.Open(cfg.Store),
 		ln:     ln,
 		sel:    core.NewClient(ranker, core.ClientConfig{RateControl: rc, Rate: cfg.Rate}),
-		peers:  make([]peerSlot, len(addrs)),
+		peers:  make([]*peerSlot, len(t.addrs)),
 		conns:  make(map[net.Conn]struct{}),
 		rng:    sim.RNG(cfg.Seed, 0xfeed+uint64(id)),
 		closed: make(chan struct{}),
 	}
-	n.addrs[id] = ln.Addr().String()
+	n.topo.Store(t)
 	n.svcNs.Store(uint64(time.Millisecond)) // prior before first read
 	n.wg.Add(1)
 	go n.acceptLoop()
-	return n, nil
+	return n
 }
 
 // Addr reports the node's listen address.
@@ -290,8 +308,13 @@ func (n *Node) Close() {
 	n.closing.Do(func() {
 		close(n.closed)
 		n.ln.Close()
-		for i := range n.peers {
-			s := &n.peers[i]
+		n.peersMu.RLock()
+		peers := append([]*peerSlot(nil), n.peers...)
+		n.peersMu.RUnlock()
+		for _, s := range peers {
+			if s == nil {
+				continue
+			}
 			s.mu.Lock()
 			if s.conn != nil {
 				s.conn.close()
@@ -478,6 +501,57 @@ func (n *Node) serveConn(conn net.Conn) {
 				defer n.wg.Done()
 				n.respondLocalBatchWrite(cw, id, keys, vals, arena)
 			}()
+		case wire.MsgRingUpdate:
+			u, err := wire.ParseRingUpdate(payload)
+			if err != nil {
+				return
+			}
+			for i := range u.Nodes { // addrs alias the frame buffer
+				u.Nodes[i].Addr = strings.Clone(u.Nodes[i].Addr)
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondRingUpdate(cw, u)
+			}()
+		case wire.MsgJoinReq:
+			m, err := wire.ParseJoinReq(payload)
+			if err != nil {
+				return
+			}
+			id, addr := m.ID, strings.Clone(m.Addr)
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondJoin(cw, id, addr)
+			}()
+		case wire.MsgStreamReq:
+			m, err := wire.ParseStreamReq(payload)
+			if err != nil {
+				return
+			}
+			m.Cursor = strings.Clone(m.Cursor)
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondStream(cw, m)
+			}()
+		case wire.MsgStreamPush:
+			// A decommissioning peer re-homing one page of its arcs: same
+			// layout as an internal batch write, applied only-if-absent.
+			m, err := wire.ParseBatchWriteReq(payload, bkeys[:0], bvals[:0])
+			if err != nil {
+				return
+			}
+			bkeys, bvals = m.Keys, m.Values
+			keys := cloneKeys(m.Keys)
+			vals, arena := cloneValues(m.Values)
+			id := m.ID
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.respondStreamPush(cw, id, keys, vals, arena)
+			}()
 		default:
 			return // protocol error: drop the connection
 		}
@@ -616,6 +690,28 @@ func (n *Node) finishBatchRead(start time.Time, count int) wire.Feedback {
 	old := n.svcNs.Load()
 	n.svcNs.Store(uint64(0.2*per + 0.8*float64(old)))
 	return n.feedback()
+}
+
+// respondStreamPush applies one re-homing page from a decommissioning peer:
+// every pair lands only when the key is absent (lsm.PutIfAbsent — the check
+// and write are one critical section), so a streamed pre-move value can
+// never clobber a newer dual-routed write that arrived first. Every key acks
+// OK either way: "skipped because newer data exists" is success.
+func (n *Node) respondStreamPush(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
+	for i := range keys {
+		n.store.PutIfAbsent(keys[i], vals[i])
+	}
+	putBuf(arena)
+	fb := getBuf()
+	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
+		ID: id, OK: allOK[:len(keys)], FB: n.feedback()})
+	if err != nil {
+		putBuf(fb)
+		cw.sever(err)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
 }
 
 // respondLocalBatchWrite applies a write sub-batch and enqueues the per-key
@@ -848,10 +944,13 @@ func (n *Node) hedgeDelay() time.Duration {
 }
 
 // accountReadFailure records a failed replica read with the selector: our
-// own shutdown abandons (there is no feedback to observe), a real failure
-// feeds the punishing penalty.
+// own shutdown abandons (there is no feedback to observe), as does a failure
+// toward a server the topology has since retired — a decommissioned node's
+// dying links must not poison the EWMAs its dense index may still share with
+// diagnostics — while a real failure of a live member feeds the punishing
+// penalty.
 func (n *Node) accountReadFailure(s core.ServerID, now time.Time) {
-	if n.isClosed() {
+	if n.isClosed() || !n.topo.Load().serves(s) {
 		n.sel.OnAbandon(s, now.UnixNano())
 	} else {
 		n.sel.OnResponse(s, core.Feedback{QueueSize: failPenaltyQueue,
@@ -1064,7 +1163,7 @@ func (r *readRace) escalate(isHedge bool) bool {
 // recycles after encoding.
 func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, vbuf *[]byte) {
 	n.coord.Add(1)
-	group := n.ring.ReplicasFor([]byte(m.Key), nil)
+	group := n.topo.Load().readRing().ReplicasFor([]byte(m.Key), nil)
 	deadline := time.Now().Add(n.cfg.BackpressureTimeout)
 	var target core.ServerID
 	waited := false
@@ -1215,7 +1314,10 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, v
 // the pooled buffer backing m.Value; it is recycled once every replica write
 // — including the post-ack background ones — has finished with it.
 func (n *Node) coordinateWrite(m wire.WriteReq, vb *[]byte) wire.WriteResp {
-	group := n.ring.ReplicasFor([]byte(m.Key), nil)
+	// Writes dual-route during a membership transition: the fan-out covers
+	// the union of the old and new owner sets, so an acked write is never
+	// stranded on only the side of the window that loses the range.
+	group := n.topo.Load().writeGroup([]byte(m.Key), nil)
 	acks := make(chan wire.WriteResp, len(group))
 	// Refcount the value buffer across the fan-out: the last replica write
 	// to finish recycles it.
@@ -1274,13 +1376,35 @@ type peerSlot struct {
 	lastErr  error     // the failure served during the window
 }
 
+// peerSlotFor returns (creating if needed) the connection slot for a peer.
+// Slots are pointers, so a held reference stays valid across growth.
+func (n *Node) peerSlotFor(id core.ServerID) *peerSlot {
+	n.peersMu.RLock()
+	if int(id) < len(n.peers) {
+		if s := n.peers[int(id)]; s != nil {
+			n.peersMu.RUnlock()
+			return s
+		}
+	}
+	n.peersMu.RUnlock()
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	for int(id) >= len(n.peers) {
+		n.peers = append(n.peers, nil)
+	}
+	if n.peers[int(id)] == nil {
+		n.peers[int(id)] = &peerSlot{}
+	}
+	return n.peers[int(id)]
+}
+
 // peerReady returns the established healthy connection to a peer without
 // ever blocking: it reports false when the link would need a dial — which
 // can stall for up to peerDialTimeout — or when another goroutine holds the
 // slot (dialing right now). Callers that get false dispatch through a racer
 // goroutine instead, so the hedge timer keeps covering dial latency.
 func (n *Node) peerReady(id core.ServerID) (*rpcConn, bool) {
-	slot := &n.peers[int(id)]
+	slot := n.peerSlotFor(id)
 	if !slot.mu.TryLock() {
 		return nil, false
 	}
@@ -1294,7 +1418,7 @@ func (n *Node) peerReady(id core.ServerID) (*rpcConn, bool) {
 
 // peer returns (establishing if needed) the RPC connection to a peer node.
 func (n *Node) peer(id core.ServerID) (*rpcConn, error) {
-	slot := &n.peers[int(id)]
+	slot := n.peerSlotFor(id)
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	if p := slot.conn; p != nil && !p.dead() {
@@ -1308,7 +1432,11 @@ func (n *Node) peer(id core.ServerID) (*rpcConn, error) {
 	if slot.lastErr != nil && time.Since(slot.lastFail) < peerRedialBackoff {
 		return nil, slot.lastErr
 	}
-	conn, err := net.DialTimeout("tcp", n.addrs[int(id)], peerDialTimeout)
+	addr := n.topo.Load().addrOf(id)
+	if addr == "" {
+		return nil, errUnknownPeer
+	}
+	conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
 	if err != nil {
 		slot.lastFail = time.Now()
 		slot.lastErr = err

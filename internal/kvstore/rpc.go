@@ -3,8 +3,10 @@ package kvstore
 import (
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"c3/internal/wire"
 )
@@ -60,6 +62,30 @@ type call struct {
 	bbuf   []byte
 	boks   []bool
 	bfb    wire.Feedback
+
+	// Membership control results (ctl != ctlNone; cold path, deep copies).
+	ctl  uint8
+	ru   *wire.RingUpdate
+	ack  wire.RingAck
+	page *streamPage
+}
+
+// Control-call kinds: which membership response frame the call expects.
+const (
+	ctlNone  uint8 = iota
+	ctlRing        // MsgRingUpdate (the join handshake's response)
+	ctlAck         // MsgRingAck (a pushed announcement's receipt)
+	ctlChunk       // MsgStreamChunk (a key-range page)
+)
+
+// streamPage is a deep-copied MsgStreamChunk — membership streaming is a
+// cold path, so copying out of the frame buffer beats pooling complexity.
+type streamPage struct {
+	status uint8
+	epoch  uint64
+	done   bool
+	keys   []string
+	vals   [][]byte
 }
 
 var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
@@ -88,6 +114,10 @@ func putCall(c *call) {
 	c.bbuf = nil
 	c.boks = c.boks[:0]
 	c.bfb = wire.Feedback{}
+	c.ctl = ctlNone
+	c.ru = nil
+	c.ack = wire.RingAck{}
+	c.page = nil
 	callPool.Put(c)
 }
 
@@ -181,7 +211,7 @@ func (p *rpcConn) readLoop() {
 			if c == nil {
 				continue
 			}
-			if c.isRead || c.isBatch {
+			if c.isRead || c.isBatch || c.ctl != ctlNone {
 				c.err = errMismatchedResp
 				c.done <- struct{}{}
 				p.failAll()
@@ -248,6 +278,73 @@ func (p *rpcConn) readLoop() {
 			}
 			c.boks = append(c.boks[:0], m.OK...)
 			c.bfb = m.FB
+			c.done <- struct{}{}
+		case wire.MsgRingUpdate:
+			// The response to a join handshake. Deep-copied: announcement
+			// addresses alias the frame buffer.
+			m, err := wire.ParseRingUpdate(payload)
+			if err != nil {
+				p.failAll()
+				return
+			}
+			c := p.take(m.ID)
+			if c == nil {
+				continue
+			}
+			if c.ctl != ctlRing {
+				c.err = errMismatchedResp
+				c.done <- struct{}{}
+				p.failAll()
+				return
+			}
+			cp := m
+			cp.Nodes = append([]wire.RingNode(nil), m.Nodes...)
+			for i := range cp.Nodes {
+				cp.Nodes[i].Addr = strings.Clone(cp.Nodes[i].Addr)
+			}
+			c.ru = &cp
+			c.done <- struct{}{}
+		case wire.MsgRingAck:
+			m, err := wire.ParseRingAck(payload)
+			if err != nil {
+				p.failAll()
+				return
+			}
+			c := p.take(m.ID)
+			if c == nil {
+				continue
+			}
+			if c.ctl != ctlAck {
+				c.err = errMismatchedResp
+				c.done <- struct{}{}
+				p.failAll()
+				return
+			}
+			c.ack = m
+			c.done <- struct{}{}
+		case wire.MsgStreamChunk:
+			m, err := wire.ParseStreamChunk(payload, nil, nil) // aliases payload
+			if err != nil {
+				p.failAll()
+				return
+			}
+			c := p.take(m.ID)
+			if c == nil {
+				continue
+			}
+			if c.ctl != ctlChunk {
+				c.err = errMismatchedResp
+				c.done <- struct{}{}
+				p.failAll()
+				return
+			}
+			pg := &streamPage{status: m.Status, epoch: m.Epoch, done: m.Done,
+				keys: make([]string, len(m.Keys)), vals: make([][]byte, len(m.Values))}
+			for i := range m.Keys {
+				pg.keys[i] = strings.Clone(m.Keys[i])
+				pg.vals[i] = append([]byte(nil), m.Values[i]...)
+			}
+			c.page = pg
 			c.done <- struct{}{}
 		default:
 			p.failAll()
@@ -431,6 +528,105 @@ func (p *rpcConn) write(key string, val []byte) (wire.WriteResp, error) {
 // clientWrite performs a coordinated write RPC.
 func (p *rpcConn) clientWrite(key string, val []byte) (wire.WriteResp, error) {
 	return p.writeTyped(wire.MsgWrite, key, val)
+}
+
+// ctlSend registers and dispatches one membership control call: enc encodes
+// the request frame under the assigned id. The caller waits on the returned
+// call's done channel (ctlWait applies a timeout) and recycles it.
+func (p *rpcConn) ctlSend(ctl uint8, enc func(dst []byte, id uint64) ([]byte, error)) (*call, uint64, error) {
+	c := getCall(false, nil)
+	c.ctl = ctl
+	id, err := p.register(c)
+	if err != nil {
+		putCall(c)
+		return nil, 0, err
+	}
+	fb := getBuf()
+	b, err := enc((*fb)[:0], id)
+	if err != nil {
+		putBuf(fb)
+		p.abort(c, id)
+		return nil, 0, err
+	}
+	*fb = b
+	if err := p.cw.enqueue(fb); err != nil {
+		p.abort(c, id)
+		return nil, 0, err
+	}
+	return c, id, nil
+}
+
+var errCtlTimeout = errors.New("kvstore: membership RPC timed out")
+
+// ctlWait blocks for the call's completion up to d; on timeout the call is
+// withdrawn from the pending table (a late response is dropped harmlessly).
+func (p *rpcConn) ctlWait(c *call, id uint64, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.done:
+		return nil
+	case <-t.C:
+		p.abort(c, id)
+		return errCtlTimeout
+	}
+}
+
+// pushRing announces a topology to the peer and waits for its ack.
+func (p *rpcConn) pushRing(u wire.RingUpdate, timeout time.Duration) (wire.RingAck, error) {
+	c, id, err := p.ctlSend(ctlAck, func(dst []byte, id uint64) ([]byte, error) {
+		u.ID = id
+		return wire.AppendRingUpdate(dst, u)
+	})
+	if err != nil {
+		return wire.RingAck{}, err
+	}
+	if err := p.ctlWait(c, id, timeout); err != nil {
+		return wire.RingAck{}, err
+	}
+	ack, err := c.ack, c.err
+	putCall(c)
+	return ack, err
+}
+
+// joinReq asks the peer to admit addr into the cluster, returning the
+// transition topology it announces.
+func (p *rpcConn) joinReq(addr string, timeout time.Duration) (*wire.RingUpdate, error) {
+	c, id, err := p.ctlSend(ctlRing, func(dst []byte, id uint64) ([]byte, error) {
+		return wire.AppendJoinReq(dst, wire.JoinReq{ID: id, Addr: addr})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ctlWait(c, id, timeout); err != nil {
+		return nil, err
+	}
+	u, err := c.ru, c.err
+	putCall(c)
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// streamPull requests one key-range page from the peer.
+func (p *rpcConn) streamPull(req wire.StreamReq) (*streamPage, error) {
+	c, id, err := p.ctlSend(ctlChunk, func(dst []byte, id uint64) ([]byte, error) {
+		req.ID = id
+		return wire.AppendStreamReq(dst, req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ctlWait(c, id, joinReqTimeout); err != nil {
+		return nil, err
+	}
+	page, err := c.page, c.err
+	putCall(c)
+	if err != nil {
+		return nil, err
+	}
+	return page, nil
 }
 
 func (p *rpcConn) writeTyped(typ uint8, key string, val []byte) (wire.WriteResp, error) {

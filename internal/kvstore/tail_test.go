@@ -53,7 +53,7 @@ func keyWithGroupExcluding(t *testing.T, n *Node, out core.ServerID) string {
 	t.Helper()
 	for i := 0; i < 10000; i++ {
 		key := fmt.Sprintf("excl-%d", i)
-		group := n.ring.ReplicasFor([]byte(key), nil)
+		group := n.readRing().ReplicasFor([]byte(key), nil)
 		hit := false
 		for _, s := range group {
 			if s == out {
@@ -74,7 +74,7 @@ func keyWithGroupIncluding(t *testing.T, n *Node, in core.ServerID) string {
 	t.Helper()
 	for i := 0; i < 10000; i++ {
 		key := fmt.Sprintf("incl-%d", i)
-		for _, s := range n.ring.ReplicasFor([]byte(key), nil) {
+		for _, s := range n.readRing().ReplicasFor([]byte(key), nil) {
 			if s == in {
 				return key
 			}
@@ -122,7 +122,7 @@ func TestWriteAcksOnFirstGenuineSuccess(t *testing.T) {
 	key := keyWithGroupIncluding(t, coordinator, 0)
 	// Kill the other members of the key's group (and leave unrelated nodes
 	// up so the cluster keeps running).
-	group := coordinator.ring.ReplicasFor([]byte(key), nil)
+	group := coordinator.readRing().ReplicasFor([]byte(key), nil)
 	for _, s := range group {
 		if s != 0 {
 			c.Nodes[int(s)].Close()
@@ -263,7 +263,7 @@ func TestDeadPeerDialDoesNotStallHealthyReads(t *testing.T) {
 	coordinator := c.Nodes[0]
 	// Wedge the dial slot toward peer 2 and sever the cached connection, as
 	// a dial hanging inside DialTimeout would.
-	slot := &coordinator.peers[2]
+	slot := coordinator.peerSlotFor(2)
 	slot.mu.Lock()
 	if slot.conn != nil {
 		slot.conn.close()

@@ -91,6 +91,37 @@ func (s *Store) Put(key string, val []byte) {
 	s.putLocked(key, cp)
 }
 
+// PutIfAbsent stores a copy of val under key only when the key has no live
+// value, reporting whether it stored. The check and the write share one
+// critical section — the atomic guard membership streaming relies on so a
+// streamed pre-move value can never clobber a newer concurrent write.
+func (s *Store) PutIfAbsent(key string, val []byte) bool {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.mem[key]; ok {
+		if v != nil {
+			return false
+		}
+	} else {
+		for _, r := range s.runs {
+			if !r.bloom.MayContain(key) {
+				continue
+			}
+			if v, ok := r.get(key); ok {
+				if v != nil {
+					return false
+				}
+				break // newest version is a tombstone: absent
+			}
+		}
+	}
+	s.c.puts.Add(1)
+	s.putLocked(key, cp)
+	return true
+}
+
 // Delete removes key (writes a tombstone).
 func (s *Store) Delete(key string) {
 	s.mu.Lock()
@@ -243,6 +274,48 @@ func (s *Store) MemBytes() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.memB
+}
+
+// AppendLiveKeys appends every live key to dst in ascending byte order —
+// the snapshot membership streaming paginates over (linear scan; cold path).
+func (s *Store) AppendLiveKeys(dst []string) []string {
+	s.mu.RLock()
+	live := make(map[string]bool, len(s.mem))
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		r := s.runs[i]
+		for j, k := range r.keys {
+			live[k] = r.vals[j] != nil
+		}
+	}
+	for k, v := range s.mem {
+		live[k] = v != nil
+	}
+	s.mu.RUnlock()
+	for k, alive := range live {
+		if alive {
+			dst = append(dst, k)
+		}
+	}
+	sort.Strings(dst)
+	return dst
+}
+
+// Has reports whether key currently exists, without copying its value.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v, ok := s.mem[key]; ok {
+		return v != nil
+	}
+	for _, r := range s.runs {
+		if !r.bloom.MayContain(key) {
+			continue
+		}
+		if v, ok := r.get(key); ok {
+			return v != nil
+		}
+	}
+	return false
 }
 
 // Len reports the number of live keys (linear scan; diagnostics only).

@@ -325,3 +325,34 @@ func TestGetAppend(t *testing.T) {
 		t.Fatalf("stored value corrupted: %q, %v", v, ok)
 	}
 }
+
+func TestPutIfAbsent(t *testing.T) {
+	s := Open(Options{})
+	if !s.PutIfAbsent("k", []byte("v1")) {
+		t.Fatal("first PutIfAbsent must store")
+	}
+	if s.PutIfAbsent("k", []byte("v2")) {
+		t.Fatal("PutIfAbsent over a live key must not store")
+	}
+	if v, _ := s.Get("k"); string(v) != "v1" {
+		t.Fatalf("value clobbered: %q", v)
+	}
+	// A flushed (run-resident) value still blocks the write.
+	s.Flush()
+	if s.PutIfAbsent("k", []byte("v3")) {
+		t.Fatal("PutIfAbsent over a flushed key must not store")
+	}
+	// A tombstone counts as absent, in the memtable and in runs.
+	s.Delete("k")
+	if !s.PutIfAbsent("k", []byte("v4")) {
+		t.Fatal("PutIfAbsent over a memtable tombstone must store")
+	}
+	s.Delete("k")
+	s.Flush()
+	if !s.PutIfAbsent("k", []byte("v5")) {
+		t.Fatal("PutIfAbsent over a flushed tombstone must store")
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v5" {
+		t.Fatalf("got %q ok=%v, want v5", v, ok)
+	}
+}

@@ -1,0 +1,288 @@
+package ring
+
+import (
+	"math"
+	"testing"
+
+	"c3/internal/core"
+	"c3/internal/sim"
+	"c3/internal/workload"
+)
+
+// sampleTokens draws a deterministic spread of tokens covering the space.
+func sampleTokens(n int) []int64 {
+	out := make([]int64, n)
+	step := uint64(math.MaxUint64) / uint64(n)
+	for i := range out {
+		out[i] = math.MinInt64 + int64(uint64(i)*step) + int64(i*7919)
+	}
+	return out
+}
+
+// checkOwners asserts the core ring invariant at every sampled token: exactly
+// RF distinct owners, all of them members, deterministic across repeated
+// lookups.
+func checkOwners(t *testing.T, v *Versioned, samples []int64) {
+	t.Helper()
+	members := map[core.ServerID]bool{}
+	for _, id := range v.Members() {
+		members[id] = true
+	}
+	for _, tok := range samples {
+		a := v.Ring().ReplicasForToken(tok, nil)
+		b := v.Ring().ReplicasForToken(tok, nil)
+		if len(a) != v.RF() {
+			t.Fatalf("epoch %d: token %d has %d owners, want RF=%d", v.Epoch(), tok, len(a), v.RF())
+		}
+		seen := map[core.ServerID]bool{}
+		for i, s := range a {
+			if !members[s] {
+				t.Fatalf("epoch %d: token %d owned by non-member %d", v.Epoch(), tok, s)
+			}
+			if seen[s] {
+				t.Fatalf("epoch %d: token %d owners %v contain a duplicate", v.Epoch(), tok, a)
+			}
+			seen[s] = true
+			if b[i] != s {
+				t.Fatalf("epoch %d: ReplicasForToken not deterministic at %d", v.Epoch(), tok)
+			}
+		}
+	}
+}
+
+// TestVersionedRandomChurnInvariants drives random join/leave sequences over
+// random initial sizes and RFs, asserting after every epoch: RF distinct
+// member owners per token, deterministic lookups, and that a rebuilt ring
+// from the same (id, token) pairs answers identically (determinism across
+// epochs and across the wire).
+func TestVersionedRandomChurnInvariants(t *testing.T) {
+	samples := sampleTokens(256)
+	for trial := 0; trial < 20; trial++ {
+		rng := sim.RNG(42, uint64(trial))
+		rf := 1 + int(rng.Uint64()%3)
+		n := rf + int(rng.Uint64()%8)
+		v := NewVersioned(n, rf)
+		nextID := v.MaxID() + 1
+		checkOwners(t, v, samples)
+		for step := 0; step < 12; step++ {
+			var err error
+			var nv *Versioned
+			if rng.Float64() < 0.5 || len(v.Members()) <= v.RF() {
+				nv, err = v.AddNode(nextID)
+				nextID++
+			} else {
+				victim := v.Members()[int(rng.Uint64()%uint64(len(v.Members())))]
+				nv, err = v.RemoveNode(victim)
+			}
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if nv.Epoch() != v.Epoch()+1 {
+				t.Fatalf("epoch did not advance: %d -> %d", v.Epoch(), nv.Epoch())
+			}
+			checkOwners(t, nv, samples)
+
+			// Determinism across epochs: rebuilding the topology from its
+			// (id, token) snapshot — what a wire announcement carries — must
+			// reproduce every replica set bit for bit.
+			rebuilt, err := FromNodes(nv.Epoch(), nv.Members(), nv.tokens, nv.RF())
+			if err != nil {
+				t.Fatalf("rebuild: %v", err)
+			}
+			for _, tok := range samples {
+				a := nv.Ring().ReplicasForToken(tok, nil)
+				b := rebuilt.Ring().ReplicasForToken(tok, nil)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("rebuilt ring diverges at token %d: %v vs %v", tok, a, b)
+					}
+				}
+			}
+			v = nv
+		}
+	}
+}
+
+// TestVersionedJoinMovementMinimal asserts a single join moves only the
+// bisected arc: the fraction of token space whose PRIMARY owner changes must
+// be ≈ 1/(2n) (half the widest arc) and never more than 2/n even after the
+// ring has drifted from equal spacing.
+func TestVersionedJoinMovementMinimal(t *testing.T) {
+	samples := sampleTokens(8192)
+	for _, n := range []int{3, 5, 8, 16, 31} {
+		v := NewVersioned(n, 1)
+		id := v.MaxID() + 1
+		for join := 0; join < 4; join++ {
+			cur := len(v.Members())
+			nv, err := v.AddNode(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id++
+			moved := 0
+			for _, tok := range samples {
+				if v.Ring().ReplicasForToken(tok, nil)[0] != nv.Ring().ReplicasForToken(tok, nil)[0] {
+					moved++
+				}
+			}
+			frac := float64(moved) / float64(len(samples))
+			if frac <= 0 {
+				t.Fatalf("n=%d join %d: no keys moved", cur, join)
+			}
+			if frac > 2/float64(cur) {
+				t.Fatalf("n=%d join %d: moved %.3f of primary space, want ≤ %.3f",
+					cur, join, frac, 2/float64(cur))
+			}
+			v = nv
+		}
+	}
+}
+
+// TestVersionedLeaveMovementMinimal asserts a removal re-homes only the
+// leaver's arc: the moved primary fraction is the leaver's ownership share,
+// bounded by the widest arc (≤ 2/n for rings grown by arc bisection).
+func TestVersionedLeaveMovementMinimal(t *testing.T) {
+	samples := sampleTokens(8192)
+	v := NewVersioned(10, 1)
+	rng := sim.RNG(7, 7)
+	for leave := 0; leave < 4; leave++ {
+		n := len(v.Members())
+		victim := v.Members()[int(rng.Uint64()%uint64(n))]
+		nv, err := v.RemoveNode(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, tok := range samples {
+			if v.Ring().ReplicasForToken(tok, nil)[0] != nv.Ring().ReplicasForToken(tok, nil)[0] {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(samples))
+		if frac <= 0 || frac > 2/float64(n) {
+			t.Fatalf("n=%d leave %d: moved %.3f of primary space, want (0, %.3f]",
+				n, leave, frac, 2/float64(n))
+		}
+		v = nv
+	}
+}
+
+// TestVersionedDiffMatchesOwnership cross-checks Diff against brute force:
+// a sampled token's replica set changed iff it falls inside a reported
+// change, and the reported Old/New owner lists match the rings exactly.
+func TestVersionedDiffMatchesOwnership(t *testing.T) {
+	samples := sampleTokens(4096)
+	rng := sim.RNG(3, 9)
+	v := NewVersioned(6, 3)
+	nextID := v.MaxID() + 1
+	for step := 0; step < 10; step++ {
+		var nv *Versioned
+		var err error
+		if rng.Float64() < 0.5 || len(v.Members()) <= v.RF() {
+			nv, err = v.AddNode(nextID)
+			nextID++
+		} else {
+			nv, err = v.RemoveNode(v.Members()[int(rng.Uint64()%uint64(len(v.Members())))])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		changes := v.Diff(nv)
+		for _, tok := range samples {
+			oldOwners := v.Ring().ReplicasForToken(tok, nil)
+			newOwners := nv.Ring().ReplicasForToken(tok, nil)
+			changed := false
+			for i := range oldOwners {
+				if oldOwners[i] != newOwners[i] {
+					changed = true
+					break
+				}
+			}
+			var in *Change
+			for i := range changes {
+				if changes[i].Contains(tok) {
+					if in != nil {
+						t.Fatalf("token %d in two diff ranges", tok)
+					}
+					in = &changes[i]
+				}
+			}
+			if changed != (in != nil) {
+				t.Fatalf("step %d token %d: changed=%v but diff coverage=%v", step, tok, changed, in != nil)
+			}
+			if in != nil {
+				for i := range oldOwners {
+					if in.Old[i] != oldOwners[i] || in.New[i] != newOwners[i] {
+						t.Fatalf("token %d: diff owners %v->%v, ring says %v->%v",
+							tok, in.Old, in.New, oldOwners, newOwners)
+					}
+				}
+			}
+		}
+		v = nv
+	}
+}
+
+// TestVersionedDiffIdentity asserts an unchanged topology diffs empty.
+func TestVersionedDiffIdentity(t *testing.T) {
+	v := NewVersioned(5, 3)
+	if d := v.Diff(v); len(d) != 0 {
+		t.Fatalf("self-diff not empty: %v", d)
+	}
+}
+
+// TestVersionedMembershipErrors pins the error cases.
+func TestVersionedMembershipErrors(t *testing.T) {
+	v := NewVersioned(3, 3)
+	if _, err := v.AddNode(0); err != ErrMember {
+		t.Fatalf("AddNode(existing) = %v, want ErrMember", err)
+	}
+	if _, err := v.RemoveNode(99); err != ErrNotMember {
+		t.Fatalf("RemoveNode(stranger) = %v, want ErrNotMember", err)
+	}
+	if _, err := v.RemoveNode(0); err != ErrBelowRF {
+		t.Fatalf("RemoveNode below RF = %v, want ErrBelowRF", err)
+	}
+	v2, err := v.AddNode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.RemoveNode(3); err != nil {
+		t.Fatalf("RemoveNode at RF+1: %v", err)
+	}
+}
+
+// TestVersionedKeyRouting sanity-checks the workload-key path end to end:
+// keys route to members, and after a join only keys in the diff move.
+func TestVersionedKeyRouting(t *testing.T) {
+	v := NewVersioned(5, 3)
+	nv, err := v.AddNode(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := v.Diff(nv)
+	rng := sim.RNG(11, 4)
+	for i := 0; i < 2000; i++ {
+		key := []byte(workload.Key(rng.Uint64()))
+		tok := Token(key)
+		oldOwners := v.Ring().ReplicasForToken(tok, nil)
+		newOwners := nv.Ring().ReplicasForToken(tok, nil)
+		moved := false
+		for i := range oldOwners {
+			if oldOwners[i] != newOwners[i] {
+				moved = true
+				break
+			}
+		}
+		inDiff := false
+		for _, c := range changes {
+			if c.Contains(tok) {
+				inDiff = true
+				break
+			}
+		}
+		if moved != inDiff {
+			t.Fatalf("key %q: moved=%v inDiff=%v", key, moved, inDiff)
+		}
+	}
+}

@@ -46,6 +46,28 @@ func FuzzDecode(f *testing.F) {
 	f.Add(seed(func(dst []byte) ([]byte, error) {
 		return AppendBatchWriteResp(dst, BatchWriteResp{ID: 8, OK: []bool{true, false}})
 	}))
+	f.Add(seed(func(dst []byte) ([]byte, error) {
+		return AppendRingUpdate(dst, RingUpdate{ID: 9, Epoch: 2, RF: 2, Phase: PhaseJoin,
+			Subject: 2, Nodes: []RingNode{
+				{ID: 0, Token: -10, Addr: "127.0.0.1:1"},
+				{ID: 1, Token: 0, Addr: "127.0.0.1:2"},
+				{ID: 2, Token: 10, Addr: "127.0.0.1:3"},
+			}})
+	}))
+	f.Add(seed(func(dst []byte) ([]byte, error) {
+		return AppendRingAck(dst, RingAck{ID: 10, Epoch: 3})
+	}))
+	f.Add(seed(func(dst []byte) ([]byte, error) {
+		return AppendJoinReq(dst, JoinReq{ID: 11, Addr: "127.0.0.1:9"})
+	}))
+	f.Add(seed(func(dst []byte) ([]byte, error) {
+		// A wrapping (Start ≥ End) arc: legal, must round-trip.
+		return AppendStreamReq(dst, StreamReq{ID: 12, Epoch: 4, Start: 100, End: -100, Cursor: "k"})
+	}))
+	f.Add(seed(func(dst []byte) ([]byte, error) {
+		return AppendStreamChunk(dst, StreamChunk{ID: 13, Epoch: 4, Done: true,
+			Keys: []string{"a", "b"}, Values: [][]byte{[]byte("x"), nil}})
+	}))
 	f.Add([]byte{})
 	f.Add([]byte{0xFF})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
@@ -107,6 +129,63 @@ func FuzzDecode(f *testing.F) {
 			back, err := ParseBatchWriteResp(enc[5:], nil)
 			if err != nil || len(back.OK) != len(m.OK) {
 				t.Fatalf("batch write resp re-decode mismatch (err=%v)", err)
+			}
+		}
+		if m, err := ParseRingUpdate(b); err == nil {
+			enc, err := AppendRingUpdate(nil, m)
+			if err != nil {
+				t.Fatalf("re-encode of decoded ring update failed: %v", err)
+			}
+			back, err := ParseRingUpdate(enc[5:])
+			if err != nil || back.ID != m.ID || back.Epoch != m.Epoch || back.RF != m.RF ||
+				back.Phase != m.Phase || back.Subject != m.Subject || len(back.Nodes) != len(m.Nodes) {
+				t.Fatalf("ring update re-decode mismatch: %+v vs %+v (err=%v)", back, m, err)
+			}
+			for i := range m.Nodes {
+				if back.Nodes[i] != m.Nodes[i] {
+					t.Fatalf("ring node %d changed across round-trip", i)
+				}
+			}
+		}
+		if m, err := ParseRingAck(b); err == nil {
+			enc, err := AppendRingAck(nil, m)
+			if err != nil {
+				t.Fatalf("re-encode of decoded ring ack failed: %v", err)
+			}
+			if back, err := ParseRingAck(enc[5:]); err != nil || back != m {
+				t.Fatalf("ring ack re-decode mismatch (err=%v)", err)
+			}
+		}
+		if m, err := ParseJoinReq(b); err == nil {
+			enc, err := AppendJoinReq(nil, m)
+			if err == nil {
+				if back, err := ParseJoinReq(enc[5:]); err != nil || back != m {
+					t.Fatalf("join req re-decode mismatch (err=%v)", err)
+				}
+			}
+		}
+		if m, err := ParseStreamReq(b); err == nil {
+			enc, err := AppendStreamReq(nil, m)
+			if err == nil {
+				if back, err := ParseStreamReq(enc[5:]); err != nil || back != m {
+					t.Fatalf("stream req re-decode mismatch (err=%v)", err)
+				}
+			}
+		}
+		if m, err := ParseStreamChunk(b, nil, nil); err == nil {
+			enc, err := AppendStreamChunk(nil, m)
+			if err != nil {
+				t.Fatalf("re-encode of decoded stream chunk failed: %v", err)
+			}
+			back, err := ParseStreamChunk(enc[5:], nil, nil)
+			if err != nil || back.ID != m.ID || back.Status != m.Status ||
+				back.Epoch != m.Epoch || back.Done != m.Done || len(back.Keys) != len(m.Keys) {
+				t.Fatalf("stream chunk re-decode mismatch (err=%v)", err)
+			}
+			for i := range m.Keys {
+				if back.Keys[i] != m.Keys[i] || !bytes.Equal(back.Values[i], m.Values[i]) {
+					t.Fatalf("stream item %d changed across round-trip", i)
+				}
 			}
 		}
 		// The frame reader must also survive raw adversarial bytes.
@@ -178,6 +257,60 @@ func FuzzRoundTrip(f *testing.F) {
 		for i := range keys {
 			if out.Keys[i] != keys[i] || !bytes.Equal(out.Values[i], vals[i]) {
 				t.Fatalf("pair %d mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzMembershipRoundTrip drives the encode direction of the membership
+// frames with structured inputs: whatever topology or stream page the fuzzer
+// assembles, encoding must either fail cleanly or produce a frame that
+// decodes back field-for-field.
+func FuzzMembershipRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(2), uint8(1), []byte("a\x00b\x00c"), true)
+	f.Add(uint64(0), uint64(0), uint8(1), uint8(0), []byte(""), false)
+	f.Add(uint64(9), uint64(1<<40), uint8(3), uint8(2), []byte("x"), true)
+
+	f.Fuzz(func(t *testing.T, id, epoch uint64, rf, phase uint8, blob []byte, done bool) {
+		addrs := splitBlob(blob)
+		nodes := make([]RingNode, len(addrs))
+		for i, a := range addrs {
+			// Distinct ids and tokens by construction; the token spacing is
+			// irrelevant to the wire layer.
+			nodes[i] = RingNode{ID: int32(i), Token: int64(i) * 1e9, Addr: a}
+		}
+		ru := RingUpdate{ID: id, Epoch: epoch, RF: rf, Phase: phase, Subject: 0, Nodes: nodes}
+		if enc, err := AppendRingUpdate(nil, ru); err == nil {
+			back, err := ParseRingUpdate(enc[5:])
+			if err != nil || back.Epoch != epoch || len(back.Nodes) != len(nodes) {
+				t.Fatalf("ring update decode: %+v err=%v", back, err)
+			}
+			for i := range nodes {
+				if back.Nodes[i] != nodes[i] {
+					t.Fatalf("node %d mismatch", i)
+				}
+			}
+		}
+		sc := StreamChunk{ID: id, Epoch: epoch, Done: done,
+			Keys: addrs, Values: make([][]byte, len(addrs))}
+		for i := range sc.Values {
+			sc.Values[i] = []byte(addrs[(i+1)%max(len(addrs), 1)])
+		}
+		if enc, err := AppendStreamChunk(nil, sc); err == nil {
+			back, err := ParseStreamChunk(enc[5:], nil, nil)
+			if err != nil || back.Done != done || len(back.Keys) != len(sc.Keys) {
+				t.Fatalf("stream chunk decode: %+v err=%v", back, err)
+			}
+			for i := range sc.Keys {
+				if back.Keys[i] != sc.Keys[i] || !bytes.Equal(back.Values[i], sc.Values[i]) {
+					t.Fatalf("stream item %d mismatch", i)
+				}
+			}
+		}
+		sr := StreamReq{ID: id, Epoch: epoch, Start: int64(id) - 5, End: int64(epoch), Cursor: string(blob)}
+		if enc, err := AppendStreamReq(nil, sr); err == nil {
+			if back, err := ParseStreamReq(enc[5:]); err != nil || back != sr {
+				t.Fatalf("stream req decode: %+v err=%v", back, err)
 			}
 		}
 	})

@@ -1,0 +1,383 @@
+package wire
+
+// This file holds the membership and key-range-streaming frames: topology
+// announcements (MsgRingUpdate/MsgRingAck), the join handshake (MsgJoinReq),
+// and the pull protocol a joining node uses to stream its owed ranges from
+// current owners (MsgStreamReq/MsgStreamChunk). They share the point/batch
+// building blocks — u16-prefixed keys, u32-prefixed values — and the chunk
+// response has a streaming encoder mirroring the batch one, so a replica
+// serves stream pages straight out of its storage engine with no
+// intermediate value copy.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Ring-update phases: a stable topology, or one of the two dual-route
+// transition windows (a join whose subject is still catching up, a leave
+// whose subject is still streaming its arcs away).
+const (
+	PhaseStable uint8 = iota
+	PhaseJoin
+	PhaseLeave
+)
+
+// MaxRingNodes bounds the member count of one topology announcement.
+const MaxRingNodes = 4096
+
+// Stream-chunk status codes.
+const (
+	// StreamOK marks a served page.
+	StreamOK uint8 = iota
+	// StreamWrongEpoch rejects a request whose epoch does not match the
+	// server's; the chunk carries the server's epoch and no items, and the
+	// requester must retry against the newer topology.
+	StreamWrongEpoch
+)
+
+// RingNode is one member of an announced topology.
+type RingNode struct {
+	ID    int32
+	Token int64
+	Addr  string
+}
+
+// RingUpdate is a complete versioned topology: the epoch, replication
+// factor, transition phase, the subject of the transition (the joining or
+// leaving node id; meaningful only when Phase is not PhaseStable), and every
+// member with its token and listen address. The node list always includes
+// the subject, so a receiver can derive both sides of a dual-route window
+// from one frame.
+type RingUpdate struct {
+	ID      uint64
+	Epoch   uint64
+	RF      uint8
+	Phase   uint8
+	Subject int32
+	Nodes   []RingNode
+}
+
+// RingAck acknowledges a pushed ring update with the receiver's epoch after
+// processing — an epoch above the update's tells the sender it raced a newer
+// announcement.
+type RingAck struct {
+	ID    uint64
+	Epoch uint64
+}
+
+// JoinReq asks the receiving member to admit the sender (listening on Addr)
+// into the cluster. The response is a MsgRingUpdate frame carrying the
+// PhaseJoin transition topology, whose Subject is the id assigned to the
+// joiner.
+type JoinReq struct {
+	ID   uint64
+	Addr string
+}
+
+// StreamReq asks for one page of the keys the receiver holds inside the
+// token arc (Start, End] (wrapping when Start ≥ End), restricted to keys
+// strictly greater than Cursor in byte order — the pagination that keeps the
+// server stateless. Epoch must match the receiver's current topology.
+type StreamReq struct {
+	ID         uint64
+	Epoch      uint64
+	Start, End int64
+	Cursor     string
+}
+
+// StreamChunk answers a StreamReq: one page of key/value pairs in ascending
+// key order, Done marking the final page. A StreamWrongEpoch status carries
+// the server's epoch and no items.
+type StreamChunk struct {
+	ID     uint64
+	Status uint8
+	Epoch  uint64
+	Done   bool
+	Keys   []string
+	Values [][]byte
+}
+
+// AppendRingUpdate appends a complete framed topology announcement to dst.
+func AppendRingUpdate(dst []byte, m RingUpdate) ([]byte, error) {
+	if len(m.Nodes) < 1 || len(m.Nodes) > MaxRingNodes {
+		return dst, fmt.Errorf("wire: ring of %d nodes outside [1, %d]", len(m.Nodes), MaxRingNodes)
+	}
+	if m.Phase > PhaseLeave {
+		return dst, fmt.Errorf("wire: unknown ring phase %d", m.Phase)
+	}
+	if m.RF < 1 || int(m.RF) > len(m.Nodes) {
+		return dst, fmt.Errorf("wire: ring RF %d outside [1, %d]", m.RF, len(m.Nodes))
+	}
+	dst, start := beginFrame(dst, MsgRingUpdate)
+	dst = appendU64(dst, m.ID)
+	dst = appendU64(dst, m.Epoch)
+	dst = append(dst, m.RF, m.Phase)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Subject))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Nodes)))
+	var err error
+	for _, n := range m.Nodes {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n.ID))
+		dst = appendI64(dst, n.Token)
+		if dst, err = appendStr(dst, n.Addr); err != nil {
+			return dst[:start], err
+		}
+	}
+	return endFrame(dst, start)
+}
+
+// ParseRingUpdate decodes a MsgRingUpdate payload. Node addresses alias b
+// (see the package contract); retainers must clone. Structural validation —
+// a positive RF, a known phase, distinct ids and tokens — happens here so a
+// decoded update is always a constructible topology.
+func ParseRingUpdate(b []byte) (RingUpdate, error) {
+	d := decoder{b: b}
+	m := RingUpdate{ID: d.u64(), Epoch: d.u64(), RF: d.u8(), Phase: d.u8()}
+	m.Subject = int32(d.u32())
+	n := int(d.u16())
+	if d.err != nil {
+		return m, d.err
+	}
+	if n < 1 || n > MaxRingNodes {
+		return m, errors.New("wire: bad ring node count")
+	}
+	if m.RF < 1 || int(m.RF) > n {
+		return m, errors.New("wire: ring RF outside [1, nodes]")
+	}
+	if m.Phase > PhaseLeave {
+		return m, errors.New("wire: unknown ring phase")
+	}
+	m.Nodes = make([]RingNode, 0, n)
+	seenID := make(map[int32]bool, n)
+	seenTok := make(map[int64]bool, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		nd := RingNode{ID: int32(d.u32()), Token: d.i64()}
+		nd.Addr = d.str()
+		if d.err != nil {
+			break
+		}
+		if seenID[nd.ID] || seenTok[nd.Token] {
+			return m, errors.New("wire: duplicate ring node")
+		}
+		seenID[nd.ID] = true
+		seenTok[nd.Token] = true
+		m.Nodes = append(m.Nodes, nd)
+	}
+	return m, d.err
+}
+
+// AppendRingAck appends a complete framed ring-update acknowledgement.
+func AppendRingAck(dst []byte, m RingAck) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgRingAck)
+	return endFrame(appendU64(appendU64(dst, m.ID), m.Epoch), start)
+}
+
+// ParseRingAck decodes a MsgRingAck payload.
+func ParseRingAck(b []byte) (RingAck, error) {
+	d := decoder{b: b}
+	m := RingAck{ID: d.u64(), Epoch: d.u64()}
+	return m, d.err
+}
+
+// AppendJoinReq appends a complete framed join request.
+func AppendJoinReq(dst []byte, m JoinReq) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgJoinReq)
+	dst, err := appendStr(appendU64(dst, m.ID), m.Addr)
+	if err != nil {
+		return dst[:start], err
+	}
+	return endFrame(dst, start)
+}
+
+// ParseJoinReq decodes a MsgJoinReq payload. Addr aliases b.
+func ParseJoinReq(b []byte) (JoinReq, error) {
+	d := decoder{b: b}
+	m := JoinReq{ID: d.u64(), Addr: d.str()}
+	return m, d.err
+}
+
+// AppendStreamReq appends a complete framed stream page request.
+func AppendStreamReq(dst []byte, m StreamReq) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgStreamReq)
+	dst = appendU64(dst, m.ID)
+	dst = appendU64(dst, m.Epoch)
+	dst = appendI64(dst, m.Start)
+	dst = appendI64(dst, m.End)
+	dst, err := appendStr(dst, m.Cursor)
+	if err != nil {
+		return dst[:start], err
+	}
+	return endFrame(dst, start)
+}
+
+// ParseStreamReq decodes a MsgStreamReq payload. Cursor aliases b.
+func ParseStreamReq(b []byte) (StreamReq, error) {
+	d := decoder{b: b}
+	m := StreamReq{ID: d.u64(), Epoch: d.u64(), Start: d.i64(), End: d.i64(), Cursor: d.str()}
+	return m, d.err
+}
+
+// StreamChunkMark tracks an in-progress streamed chunk between
+// BeginStreamChunk and FinishStreamChunk.
+type StreamChunkMark struct {
+	start   int
+	doneAt  int
+	countAt int
+	count   int
+	lenAt   int // current item's value-length offset; -1 outside an item
+}
+
+// BeginStreamChunk starts a StreamOK chunk frame. For each key, in ascending
+// order, call BeginStreamItem, append the value bytes directly (the
+// zero-copy server path — lsm.Store.GetAppend), then FinishStreamItem; close
+// with FinishStreamChunk. Unlike batch responses a chunk may carry zero
+// items (an empty final page).
+func BeginStreamChunk(dst []byte, id, epoch uint64) ([]byte, StreamChunkMark) {
+	dst, start := beginFrame(dst, MsgStreamChunk)
+	dst = appendU64(dst, id)
+	dst = append(dst, StreamOK)
+	dst = appendU64(dst, epoch)
+	m := StreamChunkMark{start: start, doneAt: len(dst), lenAt: -1}
+	dst = append(dst, 0) // done placeholder
+	m.countAt = len(dst)
+	dst = append(dst, 0, 0) // count placeholder
+	return dst, m
+}
+
+// BeginStreamItem opens the next key/value record: the caller appends the
+// value bytes directly to the returned buffer.
+func BeginStreamItem(dst []byte, m *StreamChunkMark, key string) ([]byte, error) {
+	if m.lenAt >= 0 {
+		return dst, errors.New("wire: stream item left open")
+	}
+	dst, err := appendStr(dst, key)
+	if err != nil {
+		return dst, err
+	}
+	m.lenAt = len(dst)
+	return append(dst, 0, 0, 0, 0), nil
+}
+
+// FinishStreamItem closes the record opened by the matching BeginStreamItem,
+// patching its value length.
+func FinishStreamItem(dst []byte, m *StreamChunkMark) ([]byte, error) {
+	if m.lenAt < 0 {
+		return dst, errors.New("wire: FinishStreamItem without BeginStreamItem")
+	}
+	vlen := len(dst) - m.lenAt - 4
+	if vlen < 0 {
+		return dst[:m.start], errors.New("wire: value bytes truncated the buffer")
+	}
+	if vlen > MaxValueLen {
+		return dst[:m.start], fmt.Errorf("wire: value length %d exceeds limit", vlen)
+	}
+	binary.LittleEndian.PutUint32(dst[m.lenAt:m.lenAt+4], uint32(vlen))
+	m.lenAt = -1
+	m.count++
+	return dst, nil
+}
+
+// CancelItem abandons the record opened by the matching BeginStreamItem —
+// for a key that vanished between snapshot and read. The caller must also
+// truncate the buffer back to its pre-BeginStreamItem length.
+func (m *StreamChunkMark) CancelItem() { m.lenAt = -1 }
+
+// FinishStreamChunk completes the frame, patching the done flag and count.
+func FinishStreamChunk(dst []byte, m StreamChunkMark, done bool) ([]byte, error) {
+	if m.lenAt >= 0 {
+		return dst[:m.start], errors.New("wire: stream item left open")
+	}
+	if m.count > MaxBatchKeys {
+		return dst[:m.start], fmt.Errorf("wire: stream chunk of %d items exceeds %d", m.count, MaxBatchKeys)
+	}
+	if done {
+		dst[m.doneAt] = 1
+	}
+	binary.LittleEndian.PutUint16(dst[m.countAt:m.countAt+2], uint16(m.count))
+	return endFrame(dst, m.start)
+}
+
+// AppendStreamChunk appends a complete framed stream chunk to dst — the
+// non-streaming construction (rejections, tests, fuzzing); servers use the
+// Begin/Finish API.
+func AppendStreamChunk(dst []byte, m StreamChunk) ([]byte, error) {
+	if m.Status != StreamOK {
+		if len(m.Keys) != 0 {
+			return dst, errors.New("wire: stream rejection carries items")
+		}
+		dst, start := beginFrame(dst, MsgStreamChunk)
+		dst = appendU64(dst, m.ID)
+		dst = append(dst, m.Status)
+		dst = appendU64(dst, m.Epoch)
+		dst = appendBool(dst, m.Done)
+		dst = binary.LittleEndian.AppendUint16(dst, 0)
+		return endFrame(dst, start)
+	}
+	if len(m.Keys) != len(m.Values) {
+		return dst, fmt.Errorf("wire: stream chunk %d keys vs %d values", len(m.Keys), len(m.Values))
+	}
+	dst, mark := BeginStreamChunk(dst, m.ID, m.Epoch)
+	var err error
+	for i, k := range m.Keys {
+		if dst, err = BeginStreamItem(dst, &mark, k); err != nil {
+			return dst, err
+		}
+		if len(m.Values[i]) > MaxValueLen {
+			return dst[:mark.start], fmt.Errorf("wire: value length %d exceeds limit", len(m.Values[i]))
+		}
+		dst = append(dst, m.Values[i]...)
+		if dst, err = FinishStreamItem(dst, &mark); err != nil {
+			return dst, err
+		}
+	}
+	return FinishStreamChunk(dst, mark, m.Done)
+}
+
+// ParseStreamChunk decodes a MsgStreamChunk payload into keys and values
+// (grown as needed, like the batch parsers). Keys and Values alias b (see
+// the package contract).
+func ParseStreamChunk(b []byte, keys []string, values [][]byte) (StreamChunk, error) {
+	d := decoder{b: b}
+	m := StreamChunk{ID: d.u64(), Status: d.u8(), Epoch: d.u64()}
+	m.Done = d.u8() == 1
+	n := int(d.u16())
+	if d.err != nil {
+		return m, d.err
+	}
+	if n > MaxBatchKeys {
+		return m, errors.New("wire: bad stream chunk count")
+	}
+	if m.Status > StreamWrongEpoch {
+		return m, errors.New("wire: unknown stream status")
+	}
+	if m.Status != StreamOK && n != 0 {
+		return m, errors.New("wire: stream rejection carries items")
+	}
+	keys, values = keys[:0], values[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		keys = append(keys, d.str())
+		values = append(values, d.bytes())
+	}
+	m.Keys, m.Values = keys, values
+	return m, d.err
+}
+
+// u16/u32 decoder helpers for the membership frames.
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}

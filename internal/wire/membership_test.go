@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func ringUpdateFixture() RingUpdate {
+	return RingUpdate{
+		ID: 7, Epoch: 3, RF: 2, Phase: PhaseJoin, Subject: 5,
+		Nodes: []RingNode{
+			{ID: 0, Token: -100, Addr: "127.0.0.1:7001"},
+			{ID: 1, Token: 0, Addr: "127.0.0.1:7002"},
+			{ID: 5, Token: 50, Addr: "127.0.0.1:7003"},
+		},
+	}
+}
+
+func TestRingUpdateRoundTrip(t *testing.T) {
+	in := ringUpdateFixture()
+	enc, err := AppendRingUpdate(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(enc))
+	typ, payload, err := r.Next()
+	if err != nil || typ != MsgRingUpdate {
+		t.Fatalf("frame: typ=%d err=%v", typ, err)
+	}
+	out, err := ParseRingUpdate(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Epoch != in.Epoch || out.RF != in.RF ||
+		out.Phase != in.Phase || out.Subject != in.Subject || len(out.Nodes) != len(in.Nodes) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.Nodes {
+		if out.Nodes[i] != in.Nodes[i] {
+			t.Fatalf("node %d: %+v vs %+v", i, out.Nodes[i], in.Nodes[i])
+		}
+	}
+}
+
+func TestRingUpdateRejects(t *testing.T) {
+	base := ringUpdateFixture()
+	for name, mut := range map[string]func(*RingUpdate){
+		"no nodes":        func(m *RingUpdate) { m.Nodes = nil },
+		"bad phase":       func(m *RingUpdate) { m.Phase = 9 },
+		"duplicate id":    func(m *RingUpdate) { m.Nodes[1].ID = m.Nodes[0].ID },
+		"duplicate token": func(m *RingUpdate) { m.Nodes[1].Token = m.Nodes[0].Token },
+		"rf zero":         func(m *RingUpdate) { m.RF = 0 },
+		"rf above nodes":  func(m *RingUpdate) { m.RF = 4 },
+	} {
+		m := base
+		m.Nodes = append([]RingNode(nil), base.Nodes...)
+		mut(&m)
+		enc, err := AppendRingUpdate(nil, m)
+		if err != nil {
+			continue // rejected at encode: equally fine
+		}
+		if _, err := ParseRingUpdate(enc[5:]); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestRingUpdateTruncatedEpoch(t *testing.T) {
+	enc, err := AppendRingUpdate(nil, ringUpdateFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the payload inside the epoch field (after the 5-byte header and
+	// 8-byte ID).
+	if _, err := ParseRingUpdate(enc[5 : 5+11]); err == nil {
+		t.Fatal("truncated epoch decoded without error")
+	}
+}
+
+func TestRingAckJoinReqRoundTrip(t *testing.T) {
+	enc, err := AppendRingAck(nil, RingAck{ID: 9, Epoch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := ParseRingAck(enc[5:])
+	if err != nil || ack.ID != 9 || ack.Epoch != 4 {
+		t.Fatalf("ack round trip: %+v err=%v", ack, err)
+	}
+	enc, err = AppendJoinReq(nil, JoinReq{ID: 11, Addr: "10.0.0.1:9999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := ParseJoinReq(enc[5:])
+	if err != nil || jr.ID != 11 || jr.Addr != "10.0.0.1:9999" {
+		t.Fatalf("join round trip: %+v err=%v", jr, err)
+	}
+}
+
+func TestStreamReqRoundTrip(t *testing.T) {
+	in := StreamReq{ID: 3, Epoch: 8, Start: -500, End: 12345, Cursor: "chaos-000123"}
+	enc, err := AppendStreamReq(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseStreamReq(enc[5:])
+	if err != nil || out != in {
+		t.Fatalf("round trip: %+v vs %+v err=%v", out, in, err)
+	}
+	// A wrapping arc (Start ≥ End) is legal on the wire; range semantics are
+	// the ring's business.
+	in = StreamReq{ID: 4, Epoch: 8, Start: 100, End: -100}
+	enc, err = AppendStreamReq(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err = ParseStreamReq(enc[5:]); err != nil || out != in {
+		t.Fatalf("wrapping arc round trip: %+v err=%v", out, err)
+	}
+}
+
+func TestStreamChunkRoundTrip(t *testing.T) {
+	in := StreamChunk{
+		ID: 21, Epoch: 5, Done: true,
+		Keys:   []string{"a", "bb", "ccc"},
+		Values: [][]byte{[]byte("v1"), nil, []byte("vvv3")},
+	}
+	enc, err := AppendStreamChunk(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseStreamChunk(enc[5:], nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Epoch != in.Epoch || !out.Done || out.Status != StreamOK ||
+		len(out.Keys) != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	for i := range in.Keys {
+		if out.Keys[i] != in.Keys[i] || !bytes.Equal(out.Values[i], in.Values[i]) {
+			t.Fatalf("item %d mismatch: %q/%q", i, out.Keys[i], out.Values[i])
+		}
+	}
+}
+
+func TestStreamChunkEmptyPage(t *testing.T) {
+	// Zero items is legal (an empty final page), unlike batch frames.
+	enc, err := AppendStreamChunk(nil, StreamChunk{ID: 1, Epoch: 2, Done: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseStreamChunk(enc[5:], nil, nil)
+	if err != nil || len(out.Keys) != 0 || !out.Done {
+		t.Fatalf("empty page: %+v err=%v", out, err)
+	}
+}
+
+func TestStreamChunkWrongEpochRejection(t *testing.T) {
+	enc, err := AppendStreamChunk(nil, StreamChunk{ID: 2, Status: StreamWrongEpoch, Epoch: 9, Done: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseStreamChunk(enc[5:], nil, nil)
+	if err != nil || out.Status != StreamWrongEpoch || out.Epoch != 9 || len(out.Keys) != 0 {
+		t.Fatalf("rejection round trip: %+v err=%v", out, err)
+	}
+	// A rejection claiming items is malformed on both sides.
+	if _, err := AppendStreamChunk(nil, StreamChunk{Status: StreamWrongEpoch,
+		Keys: []string{"x"}, Values: [][]byte{nil}}); err == nil {
+		t.Fatal("encode accepted a rejection with items")
+	}
+}
+
+func TestStreamChunkStreamingEncoder(t *testing.T) {
+	// The Begin/Finish server path must produce bytes identical to the
+	// convenience encoder.
+	in := StreamChunk{
+		ID: 77, Epoch: 6, Done: false,
+		Keys:   []string{"k0", "k1"},
+		Values: [][]byte{[]byte("alpha"), []byte("")},
+	}
+	want, err := AppendStreamChunk(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, mark := BeginStreamChunk(nil, in.ID, in.Epoch)
+	for i, k := range in.Keys {
+		if got, err = BeginStreamItem(got, &mark, k); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, in.Values[i]...)
+		if got, err = FinishStreamItem(got, &mark); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err = FinishStreamChunk(got, mark, in.Done); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streaming encoder diverges:\n%x\n%x", got, want)
+	}
+}
+
+func TestStreamChunkEncoderErrors(t *testing.T) {
+	if _, err := AppendStreamChunk(nil, StreamChunk{Keys: []string{"a"}}); err == nil {
+		t.Fatal("keys/values mismatch accepted")
+	}
+	b, mark := BeginStreamChunk(nil, 1, 1)
+	if _, err := FinishStreamItem(b, &mark); err == nil {
+		t.Fatal("FinishStreamItem without Begin accepted")
+	}
+	b, err := BeginStreamItem(b, &mark, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BeginStreamItem(b, &mark, "k2"); err == nil {
+		t.Fatal("nested BeginStreamItem accepted")
+	}
+	if _, err := FinishStreamChunk(b, mark, true); err == nil {
+		t.Fatal("FinishStreamChunk with open item accepted")
+	}
+	if _, err := AppendJoinReq(nil, JoinReq{Addr: strings.Repeat("a", MaxKeyLen+1)}); err == nil {
+		t.Fatal("oversized join addr accepted")
+	}
+}

@@ -70,6 +70,28 @@ const (
 	// MsgBatchWriteInternal is a coordinator→replica write sub-batch.
 	MsgBatchWriteInternal
 	MsgBatchWriteResp
+	// MsgRingUpdate announces a versioned topology (see membership.go). It is
+	// both a push request (seed/joiner/leaver → member, answered by
+	// MsgRingAck) and the response to MsgJoinReq.
+	MsgRingUpdate
+	// MsgRingAck acknowledges a pushed MsgRingUpdate with the receiver's
+	// resulting epoch.
+	MsgRingAck
+	// MsgJoinReq asks a member to admit the sender into the cluster.
+	MsgJoinReq
+	// MsgStreamReq asks a replica for one page of the keys it owns inside a
+	// token range — the pull half of membership key-range streaming.
+	MsgStreamReq
+	// MsgStreamChunk answers a MsgStreamReq with one page of key/value pairs
+	// (or a wrong-epoch rejection).
+	MsgStreamChunk
+	// MsgStreamPush carries one page of a decommissioning node's key ranges
+	// to a gainer. Same payload layout as MsgBatchWriteInternal (encode with
+	// AppendBatchWriteReq, decode with ParseBatchWriteReq, acked by
+	// MsgBatchWriteResp), but the receiver applies each pair only when the
+	// key is absent — a streamed pre-move value must never clobber a newer
+	// dual-routed write.
+	MsgStreamPush
 )
 
 // MaxFrame bounds a frame payload; anything larger is a protocol error.
