@@ -31,6 +31,8 @@ func main() {
 		"path for the machine-readable batch scatter-gather benchmark record (written when the batch experiment runs; empty disables)")
 	elasticjson := flag.String("elasticjson", "BENCH_elastic.json",
 		"path for the machine-readable membership-churn benchmark record (written when the elastic experiment runs; empty disables)")
+	durablejson := flag.String("durablejson", "BENCH_durable.json",
+		"path for the machine-readable durability benchmark record (written when the durable experiment runs; empty disables)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 	}
 	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson,
 		TailJSONPath: *tailjson, BatchJSONPath: *batchjson,
-		ElasticJSONPath: *elasticjson}
+		ElasticJSONPath: *elasticjson, DurableJSONPath: *durablejson}
 
 	runners := bench.All()
 	if *fig != "all" {

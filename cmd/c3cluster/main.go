@@ -9,6 +9,7 @@
 //	c3cluster -strategy DS -generators 210 -disk ssd
 //	c3cluster -tcp -nodes 5 -ops 3000
 //	c3cluster -tcp -join -nodes 4 -ops 3000   # live join + decommission demo
+//	c3cluster -tcp -data /tmp/c3data          # durable nodes; rerun to recover
 package main
 
 import (
@@ -35,13 +36,14 @@ func main() {
 	nodes := flag.Int("nodes", 15, "cluster size")
 	tcp := flag.Bool("tcp", false, "run the live TCP cluster demo instead of the simulation")
 	join := flag.Bool("join", false, "with -tcp: grow the cluster by one node mid-run, then decommission it")
+	data := flag.String("data", "", "with -tcp: durable storage root (node i stores under <data>/node-<i>; rerun with the same dir to demo recovery)")
 	flag.Parse()
 
 	if *tcp {
 		if *join {
-			runTCPJoin(*nodes, *strategy, *ops)
+			runTCPJoin(*nodes, *strategy, *ops, *data)
 		} else {
-			runTCP(*nodes, *strategy, *ops)
+			runTCP(*nodes, *strategy, *ops, *data)
 		}
 		return
 	}
@@ -89,13 +91,16 @@ func main() {
 }
 
 // runTCP is the live-system demo: boot a loopback cluster, load it, degrade
-// one node mid-run, and show C3 shifting traffic away and back.
-func runTCP(nodes int, strategy string, ops int) {
+// one node mid-run, and show C3 shifting traffic away and back. With dataDir
+// set the nodes are durable; a rerun over the same directory recovers the
+// previous run's keys from WAL + SSTs instead of reloading.
+func runTCP(nodes int, strategy string, ops int, dataDir string) {
 	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s)...\n", nodes, strategy)
 	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
 		Strategy:      strategy,
 		Seed:          1,
 		ReadDelayMean: 300 * time.Microsecond,
+		DataDir:       dataDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -111,11 +116,19 @@ func runTCP(nodes int, strategy string, ops int) {
 
 	keys := workload.NewScrambled(1000, 0.99)
 	r := sim.RNG(7, 7)
-	fmt.Println("loading 1000 keys...")
-	for i := uint64(0); i < 1000; i++ {
-		if err := client.Put(workload.Key(i), []byte(strings.Repeat("v", 256))); err != nil {
-			fmt.Fprintln(os.Stderr, "put:", err)
-			os.Exit(1)
+	if recovered := cl.Nodes[0].Store().Len(); dataDir != "" && recovered > 0 {
+		fmt.Printf("recovered %d keys per node from %s (WAL replay + SSTs); skipping load\n",
+			recovered, dataDir)
+	} else {
+		fmt.Println("loading 1000 keys...")
+		for i := uint64(0); i < 1000; i++ {
+			if err := client.Put(workload.Key(i), []byte(strings.Repeat("v", 256))); err != nil {
+				fmt.Fprintln(os.Stderr, "put:", err)
+				os.Exit(1)
+			}
+		}
+		if dataDir != "" {
+			fmt.Printf("durable: every ack is WAL-backed under %s; rerun with the same -data to recover\n", dataDir)
 		}
 	}
 
@@ -157,12 +170,13 @@ func runTCP(nodes int, strategy string, ops int) {
 // runTCPJoin is the elasticity demo: boot a loaded cluster, grow it by one
 // node WHILE serving (the joiner streams its key ranges live and only then
 // takes reads), then decommission the same node — all with zero downtime.
-func runTCPJoin(nodes int, strategy string, ops int) {
+func runTCPJoin(nodes int, strategy string, ops int, dataDir string) {
 	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s)...\n", nodes, strategy)
 	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
 		Strategy:      strategy,
 		Seed:          1,
 		ReadDelayMean: 300 * time.Microsecond,
+		DataDir:       dataDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -215,6 +229,7 @@ func runTCPJoin(nodes int, strategy string, ops int) {
 		Strategy:      strategy,
 		Seed:          2,
 		ReadDelayMean: 300 * time.Microsecond,
+		DataDir:       dataDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "join:", err)

@@ -52,6 +52,9 @@ type Options struct {
 	// ElasticJSONPath, when non-empty, makes the elastic runner also write
 	// its machine-readable result (BENCH_elastic.json) to this path.
 	ElasticJSONPath string
+	// DurableJSONPath, when non-empty, makes the durable runner also write
+	// its machine-readable result (BENCH_durable.json) to this path.
+	DurableJSONPath string
 }
 
 func (o Options) seeds() int {
@@ -189,6 +192,7 @@ func All() []Runner {
 		{"tail", "tail tolerance under injected failures (hedged vs unhedged)", Tail},
 		{"batch", "batch scatter-gather: MultiGet vs pipelined point gets", Batch},
 		{"elastic", "membership churn: p99 through a live join and decommission", Elastic},
+		{"durable", "durability tax: WAL group commit, fsync, recovery time", Durable},
 	}
 }
 

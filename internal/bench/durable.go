@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"c3/internal/lsm"
+	"c3/internal/sim"
+	"c3/internal/stats"
+)
+
+// DurableMode is one storage configuration of the durability benchmark.
+type DurableMode struct {
+	Mode            string  `json:"mode"` // inmem | nosync | periodic | fsync
+	WriteOpsPerSec  float64 `json:"write_ops_per_sec"`
+	WriteP50Us      float64 `json:"write_p50_us"`
+	WriteP99Us      float64 `json:"write_p99_us"`
+	ReadOpsPerSec   float64 `json:"read_ops_per_sec"`
+	WALRecords      uint64  `json:"wal_records"`
+	GroupCommits    uint64  `json:"group_commits"`
+	RecordsPerFsync float64 `json:"records_per_fsync"`
+}
+
+// DurableRecovery is one point of the recovery-time-vs-WAL-size curve.
+type DurableRecovery struct {
+	WALRecords int     `json:"wal_records"`
+	WALBytes   int64   `json:"wal_bytes"`
+	RecoverMs  float64 `json:"recover_ms"`
+}
+
+// DurableResult is the machine-readable record of the durability benchmark,
+// tracked across PRs in BENCH_durable.json.
+type DurableResult struct {
+	Ops        int               `json:"ops"`
+	Writers    int               `json:"writers"`
+	ValueBytes int               `json:"value_bytes"`
+	Modes      []DurableMode     `json:"modes"`
+	Recovery   []DurableRecovery `json:"recovery"`
+}
+
+// durableOps reports the storage-engine operation budget for the scale.
+func (o Options) durableOps() int {
+	switch o.Scale {
+	case Full:
+		return 400_000
+	case Medium:
+		return 120_000
+	default:
+		return 30_000
+	}
+}
+
+// runDurableMode measures one storage configuration: concurrent write
+// throughput/latency (the group-commit path when durable), then point-read
+// throughput over the written set.
+func runDurableMode(mode string, ops, writers, valueBytes int) (DurableMode, error) {
+	opts := lsm.Options{}
+	var dir string
+	if mode != "inmem" {
+		var err error
+		dir, err = os.MkdirTemp("", "c3-durable-bench-")
+		if err != nil {
+			return DurableMode{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts.Dir = dir
+		opts.NoSync = mode == "nosync"
+		if mode == "periodic" {
+			opts.SyncInterval = 20 * time.Millisecond // the kvstore serving default
+		}
+	}
+	s, err := lsm.Open(opts)
+	if err != nil {
+		return DurableMode{}, err
+	}
+	defer s.Close()
+
+	val := make([]byte, valueBytes)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	perWriter := ops / writers
+	lat := make([][]float64, writers)
+	errs := make([]error, writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples := make([]float64, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("durable-w%d-%07d", w, i)
+				t0 := time.Now()
+				if err := s.Put(k, val); err != nil {
+					errs[w] = err
+					return
+				}
+				samples = append(samples, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+			lat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	writeSecs := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return DurableMode{}, err
+		}
+	}
+	wlat := stats.NewSample(ops)
+	for _, ws := range lat {
+		for _, x := range ws {
+			wlat.Add(x)
+		}
+	}
+
+	// Point reads over the written set (Zipf-free uniform sample: the store
+	// layer has no cache to warm, every read walks memtable + runs).
+	r := sim.RNG(1, 99)
+	reads := ops
+	dst := make([]byte, 0, valueBytes)
+	start = time.Now()
+	for i := 0; i < reads; i++ {
+		w := int(r.Uint64() % uint64(writers))
+		k := fmt.Sprintf("durable-w%d-%07d", w, int(r.Uint64()%uint64(perWriter)))
+		var ok bool
+		dst, ok = s.GetAppend(dst[:0], k)
+		if !ok {
+			return DurableMode{}, fmt.Errorf("bench: durable %s: key %q unreadable", mode, k)
+		}
+	}
+	readSecs := time.Since(start).Seconds()
+
+	st := s.Stats()
+	m := DurableMode{
+		Mode:           mode,
+		WriteOpsPerSec: float64(perWriter*writers) / writeSecs,
+		WriteP50Us:     wlat.Percentile(50),
+		WriteP99Us:     wlat.Percentile(99),
+		ReadOpsPerSec:  float64(reads) / readSecs,
+		WALRecords:     st.WALRecords,
+		GroupCommits:   st.GroupCommits,
+	}
+	if st.GroupCommits > 0 {
+		m.RecordsPerFsync = float64(st.WALRecords) / float64(st.GroupCommits)
+	}
+	return m, nil
+}
+
+// runDurableRecovery measures crash-recovery time as a function of the
+// unflushed WAL suffix length: load n records into the WAL only (flush
+// threshold above the data volume), hard-crash, and time the reopen.
+func runDurableRecovery(n, valueBytes int) (DurableRecovery, error) {
+	dir, err := os.MkdirTemp("", "c3-durable-recover-")
+	if err != nil {
+		return DurableRecovery{}, err
+	}
+	defer os.RemoveAll(dir)
+	opts := lsm.Options{Dir: dir, NoSync: true,
+		FlushBytes: n*(valueBytes+64) + 1<<20}
+	s, err := lsm.Open(opts)
+	if err != nil {
+		return DurableRecovery{}, err
+	}
+	val := make([]byte, valueBytes)
+	keys := make([]string, 64)
+	vals := make([][]byte, 64)
+	for i := range vals {
+		vals[i] = val
+	}
+	for i := 0; i < n; i += len(keys) {
+		for j := range keys {
+			keys[j] = fmt.Sprintf("recover-%08d", i+j)
+		}
+		if err := s.PutAll(keys, vals); err != nil {
+			s.Crash()
+			return DurableRecovery{}, err
+		}
+	}
+	s.Crash()
+	var walBytes int64
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil {
+			walBytes += fi.Size()
+		}
+	}
+	start := time.Now()
+	s2, err := lsm.Open(opts)
+	if err != nil {
+		return DurableRecovery{}, err
+	}
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	got := s2.Len()
+	s2.Close()
+	if got < n {
+		return DurableRecovery{}, fmt.Errorf("bench: recovery lost keys: %d of %d", got, n)
+	}
+	return DurableRecovery{WALRecords: n, WALBytes: walBytes, RecoverMs: ms}, nil
+}
+
+// RunDurable measures the storage engine's durability tax: write/read
+// throughput and commit latency for in-memory vs durable-unsynced vs
+// durable-fsync stores, the group-commit amortization ratio, and recovery
+// time against WAL length.
+func RunDurable(o Options) (DurableResult, error) {
+	const (
+		writers    = 8
+		valueBytes = 256
+	)
+	ops := o.durableOps()
+	res := DurableResult{Ops: ops, Writers: writers, ValueBytes: valueBytes}
+	for _, mode := range []string{"inmem", "nosync", "periodic", "fsync"} {
+		m, err := runDurableMode(mode, ops, writers, valueBytes)
+		if err != nil {
+			return res, err
+		}
+		res.Modes = append(res.Modes, m)
+	}
+	recs := []int{1_000, 10_000, 50_000}
+	if o.Scale == Full {
+		recs = append(recs, 200_000)
+	}
+	for _, n := range recs {
+		p, err := runDurableRecovery(n, valueBytes)
+		if err != nil {
+			return res, err
+		}
+		res.Recovery = append(res.Recovery, p)
+	}
+	return res, nil
+}
+
+// writeDurableJSON writes the machine-readable record to path.
+func writeDurableJSON(res DurableResult, path string) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Durable is the runner for the storage durability benchmark. With
+// Options.DurableJSONPath set it also writes BENCH_durable.json.
+func Durable(o Options) *Report {
+	r := newReport("durable", "durability tax: WAL group commit, fsync, recovery time")
+	res, err := RunDurable(o)
+	if err != nil {
+		r.fail(err)
+		return r
+	}
+	r.printf("%d ops × %d writers, %dB values", res.Ops, res.Writers, res.ValueBytes)
+	for _, m := range res.Modes {
+		r.printf("%-7s write %8.0f ops/s (p50 %5.1fµs p99 %6.1fµs)  read %8.0f ops/s  %d recs / %d commits (%.1f recs/fsync)",
+			m.Mode, m.WriteOpsPerSec, m.WriteP50Us, m.WriteP99Us, m.ReadOpsPerSec,
+			m.WALRecords, m.GroupCommits, m.RecordsPerFsync)
+	}
+	for _, p := range res.Recovery {
+		r.printf("recovery: %6d WAL records (%5.1f MiB) replayed in %6.1f ms",
+			p.WALRecords, float64(p.WALBytes)/(1<<20), p.RecoverMs)
+	}
+	for _, m := range res.Modes {
+		r.Metric("durable_write_ops_per_sec_"+m.Mode, m.WriteOpsPerSec)
+		r.Metric("durable_write_p99_us_"+m.Mode, m.WriteP99Us)
+	}
+	for _, m := range res.Modes {
+		if m.Mode == "fsync" {
+			r.Metric("durable_records_per_fsync", m.RecordsPerFsync)
+		}
+	}
+	if n := len(res.Recovery); n > 0 {
+		r.Metric("durable_recover_ms_max", res.Recovery[n-1].RecoverMs)
+	}
+	if o.DurableJSONPath != "" {
+		if err := writeDurableJSON(res, o.DurableJSONPath); err != nil {
+			r.printf("write %s: %v", o.DurableJSONPath, err)
+		} else {
+			r.printf("wrote %s", o.DurableJSONPath)
+		}
+	}
+	return r
+}

@@ -18,6 +18,7 @@ import (
 // the repo's own hot-path trajectory, tracked across PRs in BENCH_kv.json.
 type KVResult struct {
 	Nodes         int     `json:"nodes"`
+	Durable       bool    `json:"durable"`
 	Workers       int     `json:"workers"`
 	Keys          int     `json:"keys"`
 	ValueBytes    int     `json:"value_bytes"`
@@ -59,7 +60,16 @@ func RunKV(o Options) (KVResult, error) {
 	)
 	ops := o.kvOps()
 
-	cluster, err := kvstore.StartCluster(nodes, kvstore.Config{Seed: 1, ReadRepair: -1})
+	// The hot path runs with durability on: every node gets a WAL-backed
+	// store in a scratch directory, so the numbers include group commit
+	// and fsync on the write path.
+	dataDir, err := os.MkdirTemp("", "c3-kvbench-")
+	if err != nil {
+		return KVResult{}, err
+	}
+	defer os.RemoveAll(dataDir)
+	cluster, err := kvstore.StartCluster(nodes, kvstore.Config{
+		Seed: 1, ReadRepair: -1, DataDir: dataDir})
 	if err != nil {
 		return KVResult{}, err
 	}
@@ -149,6 +159,7 @@ func RunKV(o Options) (KVResult, error) {
 	total := perWorker * workers
 	return KVResult{
 		Nodes:         nodes,
+		Durable:       true,
 		Workers:       workers,
 		Keys:          nKeys,
 		ValueBytes:    valueBytes,
@@ -184,8 +195,8 @@ func KV(o Options) *Report {
 		r.fail(err)
 		return r
 	}
-	r.printf("%d nodes, %d workers, %d keys × %dB values, %.0f%% reads, %d ops in %.2fs",
-		res.Nodes, res.Workers, res.Keys, res.ValueBytes, res.ReadFraction*100, res.Ops, res.Seconds)
+	r.printf("%d nodes (durable=%v), %d workers, %d keys × %dB values, %.0f%% reads, %d ops in %.2fs",
+		res.Nodes, res.Durable, res.Workers, res.Keys, res.ValueBytes, res.ReadFraction*100, res.Ops, res.Seconds)
 	r.printf("throughput %.0f ops/s; read latency p50 %.0fµs p99 %.0fµs p99.9 %.0fµs; %.1f allocs/op, %.0f B/op",
 		res.ThroughputOps, res.ReadP50Us, res.ReadP99Us, res.ReadP999Us, res.AllocsPerOp, res.BytesPerOp)
 	r.Metric("kv_throughput_ops_per_sec", res.ThroughputOps)

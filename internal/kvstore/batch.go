@@ -419,8 +419,9 @@ func (n *Node) runWriteSub(sb *subBatch, release func()) {
 			defer n.wg.Done()
 			defer release()
 			if s == n.id {
-				for i := range sb.keys {
-					n.store.Put(sb.keys[i], sb.wvals[i])
+				if err := n.store.PutAll(sb.keys, sb.wvals); err != nil {
+					acks <- nil
+					return
 				}
 				acks <- allOK[:nk]
 				return

@@ -11,8 +11,11 @@ import (
 // valSize bytes and returns a connected client. Read repair is disabled so
 // the benchmark measures exactly one coordinator→replica hop per read.
 func benchCluster(b *testing.B, nodes, nKeys, valSize int) (*Cluster, *Client) {
+	return benchClusterCfg(b, nodes, nKeys, valSize, Config{Seed: 42, ReadRepair: -1})
+}
+
+func benchClusterCfg(b *testing.B, nodes, nKeys, valSize int, cfg Config) (*Cluster, *Client) {
 	b.Helper()
-	cfg := Config{Seed: 42, ReadRepair: -1}
 	c, err := StartCluster(nodes, cfg)
 	if err != nil {
 		b.Fatalf("StartCluster: %v", err)
@@ -66,6 +69,29 @@ func benchKeys(n int) []string {
 func BenchmarkClusterRead(b *testing.B) {
 	const nKeys = 256
 	_, cl := benchCluster(b, 3, nKeys, 128)
+	keys := benchKeys(nKeys)
+	b.SetBytes(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		for pb.Next() {
+			if _, ok, err := cl.Get(keys[r.IntN(nKeys)]); err != nil || !ok {
+				b.Errorf("Get: ok=%v err=%v", ok, err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkClusterReadDurable is BenchmarkClusterRead over WAL-backed nodes:
+// the point-read fast path must keep its allocation budget (≤5 allocs/op)
+// with durability enabled — reads never touch the WAL, and flushed runs
+// serve from the retained SST data section, not the file.
+func BenchmarkClusterReadDurable(b *testing.B) {
+	const nKeys = 256
+	_, cl := benchClusterCfg(b, 3, nKeys, 128,
+		Config{Seed: 42, ReadRepair: -1, DataDir: b.TempDir()})
 	keys := benchKeys(nKeys)
 	b.SetBytes(128)
 	b.ReportAllocs()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,8 +68,18 @@ type Config struct {
 	// Hedge configures speculative (hedged) reads — the tail-tolerance
 	// layer. Enabled by default; see HedgeConfig.
 	Hedge HedgeConfig
-	// Store tunes the LSM engine.
+	// Store tunes the LSM engine. When a node is durable (DataDir or
+	// Store.Dir set) and Store.SyncInterval is zero, the node defaults to
+	// periodic WAL sync every 20ms; set it negative to force strict
+	// fsync-per-commit-group acks.
 	Store lsm.Options
+	// DataDir, when non-empty, makes every node's storage durable: node id
+	// stores under <DataDir>/node-<id> (WAL + SSTs + manifest), and a node
+	// restarted with the same id and DataDir recovers every acknowledged
+	// write. Empty keeps storage in memory. Setting Store.Dir directly also
+	// works for a single hand-built node; DataDir is the per-node derivation
+	// used when one Config boots a whole cluster.
+	DataDir string
 	// Seed drives the node's randomness.
 	Seed uint64
 }
@@ -224,13 +235,41 @@ func StartNodeWithListener(id int, addrs []string, ln net.Listener, cfg Config) 
 		ln.Close()
 		return nil, err
 	}
-	return newNode(core.ServerID(id), t, ln, cfg), nil
+	return newNode(core.ServerID(id), t, ln, cfg)
 }
 
 // newNode assembles and starts a node from an adopted topology — the shared
 // tail of StartNodeWithListener (epoch-0 boot) and JoinCluster (a live join
-// at the epoch the cluster assigned).
-func newNode(id core.ServerID, t *topology, ln net.Listener, cfg Config) *Node {
+// at the epoch the cluster assigned). With durability configured it opens
+// (and, after a crash, recovers) the node's storage directory before
+// accepting any traffic.
+func newNode(id core.ServerID, t *topology, ln net.Listener, cfg Config) (*Node, error) {
+	st := cfg.Store
+	if cfg.DataDir != "" {
+		st.Dir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", id))
+	}
+	if st.Dir != "" && st.FlushBytes == 0 {
+		// Server-grade memtable: the lsm package default (4 MiB) is sized
+		// for tests; a serving node amortizes flush pauses over 32 MiB.
+		st.FlushBytes = 32 << 20
+	}
+	if st.Dir != "" && st.SyncInterval == 0 {
+		// Default to periodic WAL sync (Cassandra's commitlog trade): acks
+		// wait for write(2), not fsync, so the serving hot path keeps its
+		// throughput; a background fsync every 20ms bounds the power-loss
+		// window. Acked writes still survive kill -9 — the page cache
+		// outlives the process. Set Store.SyncInterval negative for strict
+		// fsync-per-commit-group.
+		st.SyncInterval = 20 * time.Millisecond
+	}
+	if st.SyncInterval < 0 {
+		st.SyncInterval = 0
+	}
+	store, err := lsm.Open(st)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("kvstore: open store for node %d: %w", id, err)
+	}
 	// Pre-register the whole cluster view so steady-state selection never
 	// takes the registry's intern slow path; later adoptions intern joiners
 	// on the same registry, extending every ranker's dense state in place.
@@ -241,7 +280,7 @@ func newNode(id core.ServerID, t *topology, ln net.Listener, cfg Config) *Node {
 		id:     id,
 		cfg:    cfg,
 		reg:    reg,
-		store:  lsm.Open(cfg.Store),
+		store:  store,
 		ln:     ln,
 		sel:    core.NewClient(ranker, core.ClientConfig{RateControl: rc, Rate: cfg.Rate}),
 		peers:  make([]*peerSlot, len(t.addrs)),
@@ -253,7 +292,7 @@ func newNode(id core.ServerID, t *topology, ln net.Listener, cfg Config) *Node {
 	n.svcNs.Store(uint64(time.Millisecond)) // prior before first read
 	n.wg.Add(1)
 	go n.acceptLoop()
-	return n
+	return n, nil
 }
 
 // Addr reports the node's listen address.
@@ -303,8 +342,31 @@ func (n *Node) SendRateToward(peer int) float64 {
 	return n.sel.SendRate(core.ServerID(peer))
 }
 
-// Close shuts the node down and waits for its goroutines.
+// Close shuts the node down cleanly: sever the network, wait for in-flight
+// handlers to drain, then close the store (which flushes the memtable and
+// fsyncs the WAL tail, so a clean restart replays nothing surprising and no
+// descriptors leak).
 func (n *Node) Close() {
+	n.teardownNetwork()
+	n.wg.Wait()
+	n.store.Close()
+}
+
+// Crash tears the node down the way SIGKILL would — no flush, no final
+// fsync, commit groups in flight fail — leaving the data directory in
+// whatever state earlier group commits made durable. A node restarted over
+// the same directory must recover every acknowledged write; the durability
+// chaos tests drive this. Production shutdown is Close.
+func (n *Node) Crash() {
+	n.teardownNetwork()
+	// Fail the store first: handlers blocked waiting on a WAL commit group
+	// must unblock (with errors) before wg.Wait can return.
+	n.store.Crash()
+	n.wg.Wait()
+}
+
+// teardownNetwork severs the listener and every connection, once.
+func (n *Node) teardownNetwork() {
 	n.closing.Do(func() {
 		close(n.closed)
 		n.ln.Close()
@@ -330,7 +392,6 @@ func (n *Node) Close() {
 		}
 		n.connsMu.Unlock()
 	})
-	n.wg.Wait()
 }
 
 func (n *Node) acceptLoop() {
@@ -559,8 +620,10 @@ func (n *Node) serveConn(conn net.Conn) {
 }
 
 // allOK is a shared read-only all-true slice: a replica-local batch write
-// acks every key (lsm.Put cannot fail), so the encoder borrows a prefix
-// instead of allocating per response.
+// that lands acks every key, so the encoder borrows a prefix instead of
+// allocating per response. allFail is its mirror for a batch whose WAL
+// commit failed (the whole group shares one fsync, so the batch succeeds or
+// fails as a unit).
 var allOK = func() []bool {
 	b := make([]bool, wire.MaxBatchKeys)
 	for i := range b {
@@ -568,6 +631,8 @@ var allOK = func() []bool {
 	}
 	return b
 }()
+
+var allFail = make([]bool, wire.MaxBatchKeys)
 
 // cloneKeys copies frame-aliasing keys into durable strings (dispatched
 // handlers outlive the frame buffer; the memtable retains write keys).
@@ -698,13 +763,17 @@ func (n *Node) finishBatchRead(start time.Time, count int) wire.Feedback {
 // never clobber a newer dual-routed write that arrived first. Every key acks
 // OK either way: "skipped because newer data exists" is success.
 func (n *Node) respondStreamPush(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
+	oks := allOK
 	for i := range keys {
-		n.store.PutIfAbsent(keys[i], vals[i])
+		if _, err := n.store.PutIfAbsent(keys[i], vals[i]); err != nil {
+			oks = allFail // storage wedged: the pusher must not count this page
+			break
+		}
 	}
 	putBuf(arena)
 	fb := getBuf()
 	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
-		ID: id, OK: allOK[:len(keys)], FB: n.feedback()})
+		ID: id, OK: oks[:len(keys)], FB: n.feedback()})
 	if err != nil {
 		putBuf(fb)
 		cw.sever(err)
@@ -715,16 +784,18 @@ func (n *Node) respondStreamPush(cw *connWriter, id uint64, keys []string, vals 
 }
 
 // respondLocalBatchWrite applies a write sub-batch and enqueues the per-key
-// acks. arena is the pooled buffer backing vals, recycled here (lsm.Put
-// copies).
+// acks. arena is the pooled buffer backing vals, recycled here (lsm.PutAll
+// copies). The batch lands through one WAL commit group — one fsync for the
+// whole sub-batch — so it acks or fails as a unit.
 func (n *Node) respondLocalBatchWrite(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
-	for i := range keys {
-		n.store.Put(keys[i], vals[i])
+	oks := allOK
+	if err := n.store.PutAll(keys, vals); err != nil {
+		oks = allFail
 	}
 	putBuf(arena)
 	fb := getBuf()
 	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
-		ID: id, OK: allOK[:len(keys)], FB: n.feedback()})
+		ID: id, OK: oks[:len(keys)], FB: n.feedback()})
 	if err != nil {
 		putBuf(fb)
 		cw.sever(err)
@@ -844,10 +915,12 @@ func (n *Node) readDelay() time.Duration {
 }
 
 // localWrite applies a replica-local write. The key must not alias a frame
-// buffer (the memtable retains it); the value may, Put copies it.
+// buffer (the memtable retains it); the value may, Put copies it. In durable
+// mode Put returns only after the write's WAL commit group is fsynced, so
+// OK here — the ack the coordinator counts — genuinely means durable.
 func (n *Node) localWrite(m wire.WriteReq) wire.WriteResp {
-	n.store.Put(m.Key, m.Value)
-	return wire.WriteResp{ID: m.ID, OK: true, FB: n.feedback()}
+	err := n.store.Put(m.Key, m.Value)
+	return wire.WriteResp{ID: m.ID, OK: err == nil, FB: n.feedback()}
 }
 
 // Failure penalty fed to the ranker when a selected replica's RPC fails: an

@@ -403,7 +403,10 @@ func JoinCluster(seedAddr, listenAddr string, cfg Config) (*Node, error) {
 		ln.Close()
 		return nil, fmt.Errorf("kvstore: join response unusable: %v", err)
 	}
-	n := newNode(core.ServerID(u.Subject), nt, ln, cfg)
+	n, err := newNode(core.ServerID(u.Subject), nt, ln, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := n.catchUp(); err != nil {
 		// Roll the fleet back to the pre-join membership at a fresh stable
 		// epoch — without this the transition window (and the dual-route
@@ -488,7 +491,9 @@ func (n *Node) pullRange(c ring.Change, epoch uint64) error {
 		// Only absent keys land: the check and write are atomic in the
 		// store, so a dual-routed write racing this page always wins.
 		for i, k := range page.keys {
-			n.store.PutIfAbsent(k, page.vals[i])
+			if _, err := n.store.PutIfAbsent(k, page.vals[i]); err != nil {
+				return fmt.Errorf("kvstore: applying streamed page: %w", err)
+			}
 		}
 		if len(page.keys) > 0 {
 			cursor = page.keys[len(page.keys)-1]
@@ -743,4 +748,44 @@ func (c *Cluster) Join(cfg Config) (*Node, error) {
 	}
 	c.Nodes = append(c.Nodes, n)
 	return n, nil
+}
+
+// RebuildFromPeers re-populates this node's storage from its co-replicas —
+// the recovery path for a node that lost its disk and restarted empty over
+// the same id and address. It walks every ring arc whose replica set
+// includes this node and pulls it, page by page, from the other owners
+// through the same streaming machinery membership transitions use. Streamed
+// values land only for absent keys, so writes arriving concurrently (the
+// node is already serving) always win over the older streamed copies. The
+// cluster must be membership-stable; mid-transition rebuilds return
+// errMembershipBusy, and peers still on a different epoch reject pulls until
+// the topology reconverges.
+func (n *Node) RebuildFromPeers() error {
+	t := n.topo.Load()
+	if t.prev != nil {
+		return errMembershipBusy
+	}
+	tokens := t.v.Tokens()
+	r := t.v.Ring()
+	for i, end := range tokens {
+		owners := r.ReplicasForToken(end, nil)
+		if !slices.Contains(owners, n.id) {
+			continue
+		}
+		others := make([]core.ServerID, 0, len(owners)-1)
+		for _, o := range owners {
+			if o != n.id {
+				others = append(others, o)
+			}
+		}
+		if len(others) == 0 {
+			continue // RF=1: no surviving copy of this arc exists
+		}
+		start := tokens[(i+len(tokens)-1)%len(tokens)]
+		c := ring.Change{Range: ring.Range{Start: start, End: end}, Old: others}
+		if err := n.pullRange(c, t.epoch()); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -236,7 +236,10 @@ func TestAbortedJoinUnblocksMembership(t *testing.T) {
 		ln.Close()
 		t.Fatal(err)
 	}
-	joiner := newNode(core.ServerID(u.Subject), nt, ln, Config{Seed: 72}.withDefaults())
+	joiner, err := newNode(core.ServerID(u.Subject), nt, ln, Config{Seed: 72}.withDefaults())
+	if err != nil {
+		t.Fatalf("newNode: %v", err)
+	}
 	for _, n := range c.Nodes {
 		if !n.InTransition() {
 			t.Fatalf("node %d not in the join window after admission", n.ID())

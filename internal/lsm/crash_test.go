@@ -1,0 +1,255 @@
+package lsm
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"c3/internal/sim"
+)
+
+// kill -9 chaos: the test re-execs its own binary as a child process that
+// opens the store and hammers it with a deterministic per-writer op stream,
+// printing an ack line only after each op's group fsync returns. The parent
+// SIGKILLs the child at a random moment — tiny FlushBytes/MaxRuns keep the
+// child almost permanently mid-flush or mid-compaction — drains the stdout
+// pipe (the pipe outlives the process, so every drained ack is by
+// construction a durable op), reopens the directory, and checks that every
+// acked op survived and no deleted key resurrected. Because each writer's
+// stream is deterministic, the parent can regenerate it and knows exactly
+// which op, if any, was in flight but unacked at the kill — the only op
+// whose outcome is legitimately ambiguous.
+
+const (
+	crashChildEnvDir  = "LSM_CRASH_CHILD_DIR"
+	crashChildEnvSeed = "LSM_CRASH_CHILD_SEED"
+	crashChildEnvSync = "LSM_CRASH_CHILD_SYNC" // "periodic" opts into periodic WAL sync
+	crashWriters      = 3
+	crashKeysPerW     = 40
+)
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashChildEnvDir); dir != "" {
+		seed, err := strconv.ParseUint(os.Getenv(crashChildEnvSeed), 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad seed:", err)
+			os.Exit(2)
+		}
+		crashChild(dir, seed)
+		os.Exit(0) // unreachable: the child runs until killed
+	}
+	os.Exit(m.Run())
+}
+
+// crashOp is one step of a writer's deterministic stream.
+type crashOp struct {
+	del bool
+	key string
+	val string
+}
+
+// crashGen yields writer w's op stream for a given seed. Identical in the
+// parent and the child.
+type crashGen struct {
+	rng     *simRand
+	w       int
+	dels    int
+	version [crashKeysPerW]int
+	deleted [crashKeysPerW]bool
+}
+
+// simRand narrows *rand.Rand to what the generator needs, keeping the
+// stream's shape obvious.
+type simRand struct{ intN func(int) int }
+
+func newCrashGen(seed uint64, w int) *crashGen {
+	r := sim.RNG(seed, uint64(1000+w))
+	return &crashGen{rng: &simRand{intN: r.IntN}, w: w}
+}
+
+func (g *crashGen) next() crashOp {
+	id := g.rng.intN(crashKeysPerW)
+	for g.deleted[id] { // deleted keys are never touched again within a run
+		id = (id + 1) % crashKeysPerW
+	}
+	key := fmt.Sprintf("w%d-k%02d", g.w, id)
+	// Deletions stop at half the keyspace so an arbitrarily long stream
+	// (periodic sync acks are fast) never runs out of live keys.
+	if g.rng.intN(25) == 0 && g.dels < crashKeysPerW/2 {
+		g.dels++
+		g.deleted[id] = true
+		return crashOp{del: true, key: key}
+	}
+	g.version[id]++
+	return crashOp{key: key, val: fmt.Sprintf("%s#%d", key, g.version[id])}
+}
+
+// crashChild runs until SIGKILLed: writers apply their streams and ack each
+// op on stdout only after it is durable. In periodic mode "durable" means
+// written to the OS — still kill-proof, since the page cache outlives the
+// process — which is exactly the claim that mode makes.
+func crashChild(dir string, seed uint64) {
+	opts := Options{Dir: dir, FlushBytes: 4 << 10, MaxRuns: 3}
+	if os.Getenv(crashChildEnvSync) == "periodic" {
+		opts.SyncInterval = 5 * time.Millisecond
+	}
+	s, err := Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child open:", err)
+		os.Exit(2)
+	}
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < crashWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := newCrashGen(seed, w)
+			for {
+				op := g.next()
+				var err error
+				if op.del {
+					err = s.Delete(op.key)
+				} else {
+					err = s.Put(op.key, []byte(op.val))
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "child op:", err)
+					os.Exit(2)
+				}
+				outMu.Lock()
+				// Unbuffered single write: either the full ack line reaches
+				// the pipe or none of it does.
+				fmt.Fprintf(os.Stdout, "a %d\n", w)
+				outMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestKillNineChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos is not -short friendly")
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		// Seed 3 runs the child with periodic WAL sync: acks only wait for
+		// write(2), but SIGKILL cannot take back the page cache, so the
+		// zero-acked-loss invariant must hold there too.
+		sync := ""
+		if seed == 3 {
+			sync = "periodic"
+		}
+		t.Run(fmt.Sprintf("seed=%d,sync=%s", seed, sync), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			// expected is the last verified/acked value per key ("" = deleted).
+			expected := map[string]string{}
+			kills := sim.RNG(seed, 999)
+			for round := 0; round < 3; round++ {
+				roundSeed := seed*1000 + uint64(round)
+				acks := runCrashChild(t, dir, roundSeed, 60+kills.IntN(240), sync)
+
+				// Regenerate each writer's stream: ops [0, acks[w]) are
+				// acked and must be durable; op acks[w] may or may not have
+				// landed (in flight at the kill).
+				maybe := map[string]crashOp{}
+				for w := 0; w < crashWriters; w++ {
+					g := newCrashGen(roundSeed, w)
+					for i := 0; i < acks[w]; i++ {
+						op := g.next()
+						if op.del {
+							expected[op.key] = ""
+						} else {
+							expected[op.key] = op.val
+						}
+					}
+					in := g.next()
+					maybe[in.key] = in
+				}
+
+				s := mustOpen(t, Options{Dir: dir})
+				for key, want := range expected {
+					got, ok := s.Get(key)
+					if matchState(want, string(got), ok) {
+						continue
+					}
+					if in, ambiguous := maybe[key]; ambiguous {
+						alt := ""
+						if !in.del {
+							alt = in.val
+						}
+						if matchState(alt, string(got), ok) {
+							// The in-flight op landed (fsynced, ack lost to
+							// the kill). Fold reality into the model.
+							expected[key] = alt
+							continue
+						}
+					}
+					t.Fatalf("round %d: key %s = %q,%v; want %q (acked) or the in-flight op",
+						round, key, got, ok, want)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("round %d: Close: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+// matchState reports whether an observed Get result equals a model state
+// (empty string = must be absent).
+func matchState(want, got string, ok bool) bool {
+	if want == "" {
+		return !ok
+	}
+	return ok && got == want
+}
+
+// runCrashChild re-execs the test binary as a crash child over dir, lets it
+// run for roughly lifeMs, SIGKILLs it, and returns per-writer ack counts
+// drained from the pipe.
+func runCrashChild(t *testing.T, dir string, seed uint64, lifeMs int, sync string) []int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		crashChildEnvDir+"="+dir,
+		crashChildEnvSeed+"="+strconv.FormatUint(seed, 10),
+		crashChildEnvSync+"="+sync)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("StdoutPipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	timer := time.AfterFunc(time.Duration(lifeMs)*time.Millisecond, func() {
+		cmd.Process.Kill() // SIGKILL: no handlers, no flushes, no goodbyes
+	})
+	defer timer.Stop()
+
+	acks := make([]int, crashWriters)
+	sc := bufio.NewScanner(out)
+	for sc.Scan() { // drains until the pipe closes at process death
+		var w int
+		if _, err := fmt.Sscanf(sc.Text(), "a %d", &w); err == nil && w >= 0 && w < crashWriters {
+			acks[w]++
+		}
+	}
+	cmd.Wait() // expected to be the kill signal; the acks are what matter
+	total := 0
+	for _, a := range acks {
+		total += a
+	}
+	if total == 0 {
+		t.Fatalf("child acked nothing before the kill (seed %d)", seed)
+	}
+	return acks
+}

@@ -5,12 +5,24 @@
 // the service-time model in internal/cassim, exhibiting the same phenomena
 // the paper discusses: read amplification growing with the number of runs,
 // and compaction as a period of concentrated work.
+//
+// With Options.Dir set the store is durable and crash-recoverable: every
+// mutation is appended to a group-committed write-ahead log before it is
+// acknowledged, memtable flushes persist runs as SST files installed by
+// atomic rename, and a manifest names the live SST set plus the WAL
+// watermark so Open replays exactly the unflushed WAL suffix. With Dir empty
+// the engine keeps its original pure in-memory behavior.
 package lsm
 
 import (
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configures a Store.
@@ -20,6 +32,27 @@ type Options struct {
 	FlushBytes int
 	// MaxRuns triggers a full compaction when exceeded. Default 8.
 	MaxRuns int
+	// Dir, when non-empty, makes the store durable: WAL, SSTs, and manifest
+	// live there and Open recovers whatever state the directory holds.
+	// Empty keeps the store purely in memory.
+	Dir string
+	// NoSync skips the per-group fsync (data still reaches the OS on every
+	// commit, and Close fsyncs). For measuring the cost of durability and
+	// for tests where a machine crash is out of scope.
+	NoSync bool
+	// SyncInterval selects the WAL sync policy. Zero (the default) is
+	// strict group commit: every commit group fsyncs before acking, so
+	// acked writes survive power loss. A positive interval is periodic
+	// sync — Cassandra's default commitlog trade: acks wait only for
+	// write(2), so they survive process death (kill -9), and a background
+	// fsync runs at most every SyncInterval to bound the power-loss
+	// window. Ignored when NoSync is set.
+	SyncInterval time.Duration
+
+	// hook, when set (package-internal, tests only), is called at named
+	// points inside flush and compaction so crash tests can capture the
+	// exact on-disk state between sub-steps.
+	hook func(event string)
 }
 
 func (o Options) withDefaults() Options {
@@ -34,11 +67,16 @@ func (o Options) withDefaults() Options {
 
 // Stats is a snapshot of storage activity counters. RunsConsulted/Gets is
 // the engine's read amplification; BloomSkips counts runs skipped by filters.
+// WALRecords/GroupCommits is the group-commit batching factor (records made
+// durable per fsync).
 type Stats struct {
 	Gets, Puts, Deletes  uint64
 	Flushes, Compactions uint64
 	RunsConsulted        uint64
 	BloomSkips           uint64
+	WALRecords           uint64
+	GroupCommits         uint64
+	IOErrors             uint64
 }
 
 // counters are the live atomic counters behind Stats (reads update them
@@ -48,86 +86,324 @@ type counters struct {
 	flushes, compactions atomic.Uint64
 	runsConsulted        atomic.Uint64
 	bloomSkips           atomic.Uint64
+	ioErrors             atomic.Uint64
 }
 
-// run is an immutable sorted key/value file image. Tombstones are nil values.
+// run is an immutable sorted key/value image. In-memory runs hold values in
+// vals (nil = tombstone); file-backed runs hold per-key offsets into an SST
+// file and read values on demand.
 type run struct {
 	keys  []string
-	vals  [][]byte
+	vals  [][]byte // in-memory runs only
+	offs  []int64  // file-backed runs: value offset in f
+	vlens []uint32 // file-backed runs: value length | tombstoneBit
 	bloom *Bloom
 	bytes int
+	num   uint64   // SST file number (file-backed only)
+	f     *os.File // backing SST (nil for in-memory runs)
+	cache []byte   // retained copy of the SST data section (small runs):
+	// reads hit memory, the file exists for recovery. nil = read via f.
 }
 
-func (r *run) get(key string) ([]byte, bool) {
+// find returns the index of key in the run, or -1.
+func (r *run) find(key string) int {
 	i := sort.SearchStrings(r.keys, key)
 	if i < len(r.keys) && r.keys[i] == key {
-		return r.vals[i], true
+		return i
 	}
-	return nil, false
+	return -1
 }
 
 // Store is the engine. It is safe for concurrent use.
 type Store struct {
-	mu   sync.RWMutex
-	opts Options
-	mem  map[string][]byte // nil value = tombstone
-	memB int
-	runs []*run // newest first
-	c    counters
+	mu      sync.RWMutex
+	opts    Options
+	dir     string // empty = in-memory
+	mem     map[string][]byte
+	memB    int
+	runs    []*run // newest first
+	wal     *wal   // nil in in-memory mode
+	man     manifest
+	walNums []uint64 // WAL files on disk, ascending; last is the append target
+	closed  bool
+	c       counters
 }
 
-// Open returns an empty store.
-func Open(opts Options) *Store {
-	return &Store{opts: opts.withDefaults(), mem: make(map[string][]byte)}
+// Open returns a store. With opts.Dir empty it is a fresh in-memory store
+// and never fails. With a directory it recovers: load the manifest, delete
+// orphan files a crash may have left (temp files, SSTs and WALs the manifest
+// does not reference), open the live SSTs, replay the WAL suffix at or above
+// the manifest watermark into the memtable — truncating a torn tail, which
+// by the fsync-before-ack rule never held an acknowledged write — and resume
+// appending to the newest WAL.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{opts: opts, dir: opts.Dir, mem: make(map[string][]byte)}
+	if s.dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, err := loadManifest(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		man = &manifest{next: 1}
+	}
+	s.man = *man
+
+	live := make(map[uint64]bool, len(s.man.ssts))
+	for _, n := range s.man.ssts {
+		live[n] = true
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var maxNum uint64
+	seen := func(n uint64) {
+		if n > maxNum {
+			maxNum = n
+		}
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		full := filepath.Join(s.dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(full) // torn mid-write; never referenced
+		case strings.HasSuffix(name, ".sst"):
+			n, perr := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64)
+			if perr != nil {
+				continue
+			}
+			seen(n)
+			if !live[n] {
+				os.Remove(full) // written but never installed in the manifest
+			}
+		case strings.HasSuffix(name, ".wal"):
+			n, perr := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64)
+			if perr != nil {
+				continue
+			}
+			seen(n)
+			if n < s.man.wal {
+				os.Remove(full) // below the watermark: fully flushed into SSTs
+			} else {
+				s.walNums = append(s.walNums, n)
+			}
+		}
+	}
+	if s.man.next <= maxNum {
+		s.man.next = maxNum + 1
+	}
+	sort.Slice(s.walNums, func(i, j int) bool { return s.walNums[i] < s.walNums[j] })
+
+	for _, n := range s.man.ssts {
+		r, err := openSST(s.dir, n)
+		if err != nil {
+			s.releaseRuns()
+			return nil, err
+		}
+		s.runs = append(s.runs, r)
+	}
+
+	for i, n := range s.walNums {
+		path := filepath.Join(s.dir, walName(n))
+		valid, err := replayWAL(path, func(op byte, key string, val []byte) {
+			if op == walDel {
+				val = nil
+			}
+			if old, ok := s.mem[key]; ok {
+				s.memB -= len(key) + len(old)
+			}
+			s.mem[key] = val
+			s.memB += len(key) + len(val)
+		})
+		if err != nil {
+			s.releaseRuns()
+			return nil, err
+		}
+		if i == len(s.walNums)-1 {
+			if err := truncateWAL(path, valid); err != nil {
+				s.releaseRuns()
+				return nil, err
+			}
+		}
+	}
+
+	if len(s.walNums) == 0 {
+		num := s.allocNum()
+		s.man.wal = num
+		if err := s.man.store(s.dir); err != nil {
+			s.releaseRuns()
+			return nil, err
+		}
+		s.walNums = []uint64{num}
+	}
+	cur := s.walNums[len(s.walNums)-1]
+	if s.wal, err = openWAL(s.dir, cur, opts.NoSync, opts.SyncInterval); err != nil {
+		s.releaseRuns()
+		return nil, err
+	}
+	if s.memB >= s.opts.FlushBytes {
+		s.mu.Lock()
+		s.flushLocked() // bound recovery-accumulated state immediately
+		s.mu.Unlock()
+	}
+	return s, nil
 }
 
-// Put stores a copy of val under key.
-func (s *Store) Put(key string, val []byte) {
+func (s *Store) releaseRuns() {
+	for _, r := range s.runs {
+		r.close()
+	}
+}
+
+// allocNum hands out the next file number (SSTs and WALs share one space).
+func (s *Store) allocNum() uint64 {
+	n := s.man.next
+	s.man.next++
+	return n
+}
+
+func (s *Store) hook(event string) {
+	if s.opts.hook != nil {
+		s.opts.hook(event)
+	}
+}
+
+// Put stores a copy of val under key. In durable mode it returns once the
+// write's WAL commit group is fsynced — the write survives any crash after
+// Put returns nil.
+func (s *Store) Put(key string, val []byte) error {
 	cp := make([]byte, len(val))
 	copy(cp, val)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var cw *walCommit
+	if s.wal != nil {
+		var err error
+		if cw, err = s.wal.add(walPut, key, cp); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
 	s.c.puts.Add(1)
 	s.putLocked(key, cp)
+	s.mu.Unlock()
+	return waitCommit(cw)
+}
+
+// PutAll stores copies of vals under keys as one batch: every record joins a
+// single WAL commit group, so a replica-side MultiPut pays one fsync
+// regardless of batch size.
+func (s *Store) PutAll(keys []string, vals [][]byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	total := 0
+	for _, v := range vals {
+		total += len(v)
+	}
+	arena := make([]byte, 0, total)
+	cps := make([][]byte, len(keys))
+	for i, v := range vals {
+		at := len(arena)
+		arena = append(arena, v...)
+		cps[i] = arena[at:len(arena):len(arena)]
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var cw *walCommit
+	if s.wal != nil {
+		var err error
+		if cw, err = s.wal.addBatch(keys, cps); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	for i := range keys {
+		s.c.puts.Add(1)
+		s.putLocked(keys[i], cps[i])
+	}
+	s.mu.Unlock()
+	return waitCommit(cw)
 }
 
 // PutIfAbsent stores a copy of val under key only when the key has no live
 // value, reporting whether it stored. The check and the write share one
 // critical section — the atomic guard membership streaming relies on so a
 // streamed pre-move value can never clobber a newer concurrent write.
-func (s *Store) PutIfAbsent(key string, val []byte) bool {
+func (s *Store) PutIfAbsent(key string, val []byte) (bool, error) {
 	cp := make([]byte, len(val))
 	copy(cp, val)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
 	if v, ok := s.mem[key]; ok {
 		if v != nil {
-			return false
+			s.mu.Unlock()
+			return false, nil
 		}
 	} else {
 		for _, r := range s.runs {
 			if !r.bloom.MayContain(key) {
 				continue
 			}
-			if v, ok := r.get(key); ok {
-				if v != nil {
-					return false
+			if i := r.find(key); i >= 0 {
+				if !r.tombstone(i) {
+					s.mu.Unlock()
+					return false, nil
 				}
 				break // newest version is a tombstone: absent
 			}
 		}
 	}
+	var cw *walCommit
+	if s.wal != nil {
+		var err error
+		if cw, err = s.wal.add(walPut, key, cp); err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+	}
 	s.c.puts.Add(1)
 	s.putLocked(key, cp)
-	return true
+	s.mu.Unlock()
+	return true, waitCommit(cw)
 }
 
-// Delete removes key (writes a tombstone).
-func (s *Store) Delete(key string) {
+// Delete removes key (writes a tombstone). Like Put, a nil return in durable
+// mode means the tombstone is fsynced and survives crashes.
+func (s *Store) Delete(key string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var cw *walCommit
+	if s.wal != nil {
+		var err error
+		if cw, err = s.wal.add(walDel, key, nil); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
 	s.c.deletes.Add(1)
 	s.putLocked(key, nil)
+	s.mu.Unlock()
+	return waitCommit(cw)
 }
 
 func (s *Store) putLocked(key string, val []byte) {
@@ -158,10 +434,15 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // GetAppend appends the newest value of key to dst, reporting whether the
 // key exists (when it does not, dst is returned unchanged). This is Get
 // without the intermediate allocation: the TCP store streams values straight
-// into outgoing frame buffers with it.
+// into outgoing frame buffers with it. File-backed runs read the value
+// directly into dst's grown tail, so the hot path stays allocation-free once
+// buffers warm up.
 func (s *Store) GetAppend(dst []byte, key string) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return dst, false
+	}
 	s.c.gets.Add(1)
 	if v, ok := s.mem[key]; ok {
 		if v == nil {
@@ -175,11 +456,16 @@ func (s *Store) GetAppend(dst []byte, key string) ([]byte, bool) {
 			continue
 		}
 		s.c.runsConsulted.Add(1)
-		if v, ok := r.get(key); ok {
-			if v == nil {
+		if i := r.find(key); i >= 0 {
+			if r.tombstone(i) {
 				return dst, false
 			}
-			return append(dst, v...), true
+			out, ok := r.appendValue(dst, i)
+			if !ok {
+				s.c.ioErrors.Add(1)
+				return dst, false
+			}
+			return out, true
 		}
 	}
 	return dst, false
@@ -192,8 +478,14 @@ func (s *Store) Flush() {
 	s.flushLocked()
 }
 
+// flushLocked persists the memtable as a new run. Durable ordering: drain
+// the WAL (every memtable byte is on disk before the SST exists), write and
+// atomically install the SST file, rotate to a fresh WAL, record both in the
+// manifest, and only then delete the superseded WAL files. A crash between
+// any two steps recovers: the data is in the old WALs until the manifest
+// edit lands, and in the SST after.
 func (s *Store) flushLocked() {
-	if len(s.mem) == 0 {
+	if len(s.mem) == 0 || s.closed {
 		return
 	}
 	keys := make([]string, 0, len(s.mem))
@@ -201,16 +493,59 @@ func (s *Store) flushLocked() {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	r := &run{
-		keys:  keys,
-		vals:  make([][]byte, len(keys)),
-		bloom: NewBloom(len(keys)),
+
+	var r *run
+	if s.dir == "" {
+		r = &run{
+			keys:  keys,
+			vals:  make([][]byte, len(keys)),
+			bloom: NewBloom(len(keys)),
+		}
+		for i, k := range keys {
+			r.vals[i] = s.mem[k]
+			r.bytes += len(k) + len(s.mem[k])
+			r.bloom.Add(k)
+		}
+	} else {
+		if err := s.wal.sync(); err != nil {
+			return // wedged WAL: keep the memtable, writes are failing anyway
+		}
+		num := s.allocNum()
+		var err error
+		r, err = writeSST(s.dir, num, keys, func(k string) []byte { return s.mem[k] })
+		if err != nil {
+			s.c.ioErrors.Add(1)
+			return // data stays in memtable + WAL; retried at next threshold
+		}
+		s.hook("flush.sst")
+		newWAL := s.allocNum()
+		if err := s.wal.rotate(newWAL); err != nil {
+			s.c.ioErrors.Add(1)
+			r.close()
+			os.Remove(filepath.Join(s.dir, sstName(num)))
+			return
+		}
+		oldWALs := s.walNums
+		s.walNums = append(append([]uint64(nil), oldWALs...), newWAL)
+		s.hook("flush.rotate")
+		prevWal, prevSSTs := s.man.wal, s.man.ssts
+		s.man.wal = newWAL
+		s.man.ssts = append([]uint64{num}, s.man.ssts...)
+		if err := s.man.store(s.dir); err != nil {
+			s.c.ioErrors.Add(1)
+			s.man.wal, s.man.ssts = prevWal, prevSSTs
+			r.close()
+			os.Remove(filepath.Join(s.dir, sstName(num)))
+			return // appends continue on the new WAL; old ones stay until a later flush lands
+		}
+		s.hook("flush.manifest")
+		for _, n := range oldWALs {
+			os.Remove(filepath.Join(s.dir, walName(n)))
+		}
+		s.walNums = []uint64{newWAL}
+		s.hook("flush.done")
 	}
-	for i, k := range keys {
-		r.vals[i] = s.mem[k]
-		r.bytes += len(k) + len(s.mem[k])
-		r.bloom.Add(k)
-	}
+
 	s.runs = append([]*run{r}, s.runs...)
 	s.mem = make(map[string][]byte)
 	s.memB = 0
@@ -228,8 +563,12 @@ func (s *Store) Compact() {
 	s.compactLocked()
 }
 
+// compactLocked merges all runs newest-wins into one output run. In durable
+// mode the output SST is installed via manifest edit before the input SSTs
+// are deleted, so a crash at any point leaves either the inputs or the
+// output live — never neither.
 func (s *Store) compactLocked() {
-	if len(s.runs) <= 1 {
+	if len(s.runs) <= 1 || s.closed {
 		return
 	}
 	// Newest-wins merge: walk runs oldest → newest into a map, then sort.
@@ -237,7 +576,16 @@ func (s *Store) compactLocked() {
 	for i := len(s.runs) - 1; i >= 0; i-- {
 		r := s.runs[i]
 		for j, k := range r.keys {
-			merged[k] = r.vals[j]
+			if r.tombstone(j) {
+				merged[k] = nil
+				continue
+			}
+			v, ok := r.appendValue([]byte{}, j)
+			if !ok {
+				s.c.ioErrors.Add(1)
+				return // unreadable input: abort, inputs stay live
+			}
+			merged[k] = v
 		}
 	}
 	keys := make([]string, 0, len(merged))
@@ -248,18 +596,84 @@ func (s *Store) compactLocked() {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := &run{
-		keys:  keys,
-		vals:  make([][]byte, len(keys)),
-		bloom: NewBloom(len(keys)),
+
+	var out *run
+	if s.dir == "" {
+		out = &run{
+			keys:  keys,
+			vals:  make([][]byte, len(keys)),
+			bloom: NewBloom(len(keys)),
+		}
+		for i, k := range keys {
+			out.vals[i] = merged[k]
+			out.bytes += len(k) + len(merged[k])
+			out.bloom.Add(k)
+		}
+	} else {
+		num := s.allocNum()
+		var err error
+		out, err = writeSST(s.dir, num, keys, func(k string) []byte { return merged[k] })
+		if err != nil {
+			s.c.ioErrors.Add(1)
+			return
+		}
+		s.hook("compact.sst")
+		prev := s.man.ssts
+		s.man.ssts = []uint64{num}
+		if err := s.man.store(s.dir); err != nil {
+			s.c.ioErrors.Add(1)
+			s.man.ssts = prev
+			out.close()
+			os.Remove(filepath.Join(s.dir, sstName(num)))
+			return
+		}
+		s.hook("compact.manifest")
+		for _, r := range s.runs {
+			r.close()
+		}
+		for _, n := range prev {
+			os.Remove(filepath.Join(s.dir, sstName(n)))
+		}
+		s.hook("compact.done")
 	}
-	for i, k := range keys {
-		out.vals[i] = merged[k]
-		out.bytes += len(k) + len(merged[k])
-		out.bloom.Add(k)
-	}
+
 	s.runs = []*run{out}
 	s.c.compactions.Add(1)
+}
+
+// Close shuts the store down cleanly: flush the memtable (which drains the
+// WAL first), fsync and close the log, and release every SST file handle.
+// After Close all operations fail with ErrClosed. In-memory stores have
+// nothing to release and Close is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.dir == "" {
+		return nil
+	}
+	s.flushLocked()
+	s.closed = true
+	err := s.wal.close()
+	s.releaseRuns()
+	return err
+}
+
+// Crash abandons the store the way SIGKILL would: nothing is flushed or
+// synced, in-flight commit waiters fail with ErrClosed, buffered WAL records
+// are dropped, and file handles close. On-disk state is whatever earlier
+// fsyncs made durable — exactly what a fresh Open must recover from. The
+// crash-injection tests drive this; production code should use Close.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.wal != nil {
+		s.wal.crash()
+	}
+	s.releaseRuns()
 }
 
 // Runs reports the current number of immutable runs.
@@ -284,7 +698,7 @@ func (s *Store) AppendLiveKeys(dst []string) []string {
 	for i := len(s.runs) - 1; i >= 0; i-- {
 		r := s.runs[i]
 		for j, k := range r.keys {
-			live[k] = r.vals[j] != nil
+			live[k] = !r.tombstone(j)
 		}
 	}
 	for k, v := range s.mem {
@@ -304,6 +718,9 @@ func (s *Store) AppendLiveKeys(dst []string) []string {
 func (s *Store) Has(key string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
 	if v, ok := s.mem[key]; ok {
 		return v != nil
 	}
@@ -311,8 +728,8 @@ func (s *Store) Has(key string) bool {
 		if !r.bloom.MayContain(key) {
 			continue
 		}
-		if v, ok := r.get(key); ok {
-			return v != nil
+		if i := r.find(key); i >= 0 {
+			return !r.tombstone(i)
 		}
 	}
 	return false
@@ -326,7 +743,7 @@ func (s *Store) Len() int {
 	for i := len(s.runs) - 1; i >= 0; i-- {
 		r := s.runs[i]
 		for j, k := range r.keys {
-			live[k] = r.vals[j] != nil
+			live[k] = !r.tombstone(j)
 		}
 	}
 	for k, v := range s.mem {
@@ -343,7 +760,7 @@ func (s *Store) Len() int {
 
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Gets:          s.c.gets.Load(),
 		Puts:          s.c.puts.Load(),
 		Deletes:       s.c.deletes.Load(),
@@ -351,5 +768,13 @@ func (s *Store) Stats() Stats {
 		Compactions:   s.c.compactions.Load(),
 		RunsConsulted: s.c.runsConsulted.Load(),
 		BloomSkips:    s.c.bloomSkips.Load(),
+		IOErrors:      s.c.ioErrors.Load(),
 	}
+	s.mu.RLock()
+	if s.wal != nil {
+		st.WALRecords = s.wal.appds.Load()
+		st.GroupCommits = s.wal.syncs.Load()
+	}
+	s.mu.RUnlock()
+	return st
 }

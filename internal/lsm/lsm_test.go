@@ -10,7 +10,7 @@ import (
 )
 
 func TestPutGetRoundtrip(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	s.Put("a", []byte("1"))
 	s.Put("b", []byte("2"))
 	if v, ok := s.Get("a"); !ok || string(v) != "1" {
@@ -25,7 +25,7 @@ func TestPutGetRoundtrip(t *testing.T) {
 }
 
 func TestOverwriteNewestWins(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	s.Put("k", []byte("old"))
 	s.Flush()
 	s.Put("k", []byte("new"))
@@ -39,7 +39,7 @@ func TestOverwriteNewestWins(t *testing.T) {
 }
 
 func TestDeleteTombstoneAcrossFlush(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	s.Put("k", []byte("v"))
 	s.Flush()
 	s.Delete("k")
@@ -60,7 +60,7 @@ func TestDeleteTombstoneAcrossFlush(t *testing.T) {
 }
 
 func TestAutoFlushOnThreshold(t *testing.T) {
-	s := Open(Options{FlushBytes: 64})
+	s := mustOpen(t, Options{FlushBytes: 64})
 	for i := 0; i < 20; i++ {
 		s.Put(fmt.Sprintf("key-%02d", i), []byte("0123456789"))
 	}
@@ -79,7 +79,7 @@ func TestAutoFlushOnThreshold(t *testing.T) {
 }
 
 func TestAutoCompactionBoundsRuns(t *testing.T) {
-	s := Open(Options{FlushBytes: 1 << 30, MaxRuns: 3})
+	s := mustOpen(t, Options{FlushBytes: 1 << 30, MaxRuns: 3})
 	for f := 0; f < 10; f++ {
 		s.Put(fmt.Sprintf("k%d", f), []byte("v"))
 		s.Flush()
@@ -98,7 +98,7 @@ func TestAutoCompactionBoundsRuns(t *testing.T) {
 }
 
 func TestCompactionPreservesNewestVersion(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	s.Put("k", []byte("v1"))
 	s.Flush()
 	s.Put("k", []byte("v2"))
@@ -115,7 +115,7 @@ func TestCompactionPreservesNewestVersion(t *testing.T) {
 }
 
 func TestBloomSkipsCounted(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	for i := 0; i < 1000; i++ {
 		s.Put(fmt.Sprintf("present-%d", i), []byte("v"))
 	}
@@ -133,7 +133,7 @@ func TestBloomSkipsCounted(t *testing.T) {
 func TestReadAmplificationGrowsWithRuns(t *testing.T) {
 	// The cassim storage model assumes more runs → more work per read;
 	// verify the real engine exhibits it.
-	s := Open(Options{FlushBytes: 1 << 30, MaxRuns: 100})
+	s := mustOpen(t, Options{FlushBytes: 1 << 30, MaxRuns: 100})
 	for f := 0; f < 8; f++ {
 		for i := 0; i < 100; i++ {
 			s.Put(fmt.Sprintf("f%d-k%d", f, i), []byte("v"))
@@ -153,7 +153,7 @@ func TestReadAmplificationGrowsWithRuns(t *testing.T) {
 }
 
 func TestValueIsolation(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	buf := []byte("mutable")
 	s.Put("k", buf)
 	buf[0] = 'X'
@@ -169,7 +169,7 @@ func TestValueIsolation(t *testing.T) {
 }
 
 func TestEmptyFlushNoop(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	s.Flush()
 	if s.Runs() != 0 || s.Stats().Flushes != 0 {
 		t.Fatal("empty flush created a run")
@@ -177,7 +177,7 @@ func TestEmptyFlushNoop(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	s := Open(Options{FlushBytes: 4096})
+	s := mustOpen(t, Options{FlushBytes: 4096})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -201,7 +201,7 @@ func TestConcurrentAccess(t *testing.T) {
 func TestModelEquivalenceProperty(t *testing.T) {
 	r := sim.RNG(1, 1)
 	f := func(ops []uint16) bool {
-		s := Open(Options{FlushBytes: 1 << 30, MaxRuns: 4})
+		s := mustOpen(t, Options{FlushBytes: 1 << 30, MaxRuns: 4})
 		model := map[string]string{}
 		for _, op := range ops {
 			key := fmt.Sprintf("k%d", op%17)
@@ -273,7 +273,7 @@ func TestBloomFalsePositiveRate(t *testing.T) {
 }
 
 func BenchmarkPut(b *testing.B) {
-	s := Open(Options{})
+	s := mustOpen(b, Options{})
 	val := make([]byte, 1024)
 	b.SetBytes(1024)
 	for i := 0; i < b.N; i++ {
@@ -282,7 +282,7 @@ func BenchmarkPut(b *testing.B) {
 }
 
 func BenchmarkGetHot(b *testing.B) {
-	s := Open(Options{})
+	s := mustOpen(b, Options{})
 	val := make([]byte, 1024)
 	for i := 0; i < 10000; i++ {
 		s.Put(fmt.Sprintf("key-%d", i), val)
@@ -295,7 +295,7 @@ func BenchmarkGetHot(b *testing.B) {
 }
 
 func TestGetAppend(t *testing.T) {
-	s := Open(Options{})
+	s := mustOpen(t, Options{})
 	s.Put("k", []byte("value"))
 	s.Put("empty", nil)
 	s.Delete("dead")
@@ -327,11 +327,19 @@ func TestGetAppend(t *testing.T) {
 }
 
 func TestPutIfAbsent(t *testing.T) {
-	s := Open(Options{})
-	if !s.PutIfAbsent("k", []byte("v1")) {
+	s := mustOpen(t, Options{})
+	pia := func(k, v string) bool {
+		t.Helper()
+		ok, err := s.PutIfAbsent(k, []byte(v))
+		if err != nil {
+			t.Fatalf("PutIfAbsent(%s): %v", k, err)
+		}
+		return ok
+	}
+	if !pia("k", "v1") {
 		t.Fatal("first PutIfAbsent must store")
 	}
-	if s.PutIfAbsent("k", []byte("v2")) {
+	if pia("k", "v2") {
 		t.Fatal("PutIfAbsent over a live key must not store")
 	}
 	if v, _ := s.Get("k"); string(v) != "v1" {
@@ -339,17 +347,17 @@ func TestPutIfAbsent(t *testing.T) {
 	}
 	// A flushed (run-resident) value still blocks the write.
 	s.Flush()
-	if s.PutIfAbsent("k", []byte("v3")) {
+	if pia("k", "v3") {
 		t.Fatal("PutIfAbsent over a flushed key must not store")
 	}
 	// A tombstone counts as absent, in the memtable and in runs.
 	s.Delete("k")
-	if !s.PutIfAbsent("k", []byte("v4")) {
+	if !pia("k", "v4") {
 		t.Fatal("PutIfAbsent over a memtable tombstone must store")
 	}
 	s.Delete("k")
 	s.Flush()
-	if !s.PutIfAbsent("k", []byte("v5")) {
+	if !pia("k", "v5") {
 		t.Fatal("PutIfAbsent over a flushed tombstone must store")
 	}
 	if v, ok := s.Get("k"); !ok || string(v) != "v5" {

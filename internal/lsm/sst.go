@@ -1,0 +1,311 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+)
+
+// SST file layout (little-endian):
+//
+//	data:   repeated [klen u32][key][vflag u32][value]
+//	index:  [count u32] repeated [klen u32][key][off u64][vflag u32]
+//	bloom:  [m u64][k u32][nwords u32][nwords × u64]
+//	footer: [indexOff u64][bloomOff u64][dataCRC u32][metaCRC u32][magic u64]
+//
+// vflag carries the value length in its low 31 bits; bit 31 marks a
+// tombstone (which stores no value bytes). off is the file offset of the
+// value bytes. dataCRC covers the data section, metaCRC covers index+bloom.
+// The file is written to a .tmp name, fsynced, atomically renamed into
+// place, and the directory fsynced — a crash mid-write leaves only a .tmp
+// orphan that Open deletes.
+
+const (
+	sstMagic     = uint64(0xc3d1_57ab_1e55_0001)
+	sstFooterLen = 8 + 8 + 4 + 4 + 8
+	tombstoneBit = uint32(1) << 31
+
+	// sstCacheCap bounds the per-run retained data section: runs up to this
+	// size serve reads from memory (the file is the recovery copy), larger
+	// ones read through the file. Bounded by MaxRuns × sstCacheCap overall.
+	sstCacheCap = 16 << 20
+)
+
+// writeSST persists the sorted keys (values via get; nil = tombstone) as SST
+// file num in dir and returns the open file-backed run. The returned run
+// retains keys and the freshly built bloom filter; values live on disk.
+func writeSST(dir string, num uint64, keys []string, get func(string) []byte) (*run, error) {
+	final := filepath.Join(dir, sstName(num))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	abort := func(err error) (*run, error) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+
+	bw := bufio.NewWriterSize(f, 1<<16)
+	r := &run{
+		keys:  keys,
+		offs:  make([]int64, len(keys)),
+		vlens: make([]uint32, len(keys)),
+		bloom: NewBloom(len(keys)),
+		num:   num,
+	}
+	var (
+		off     int64
+		dataCRC uint32
+		scratch []byte
+	)
+	cache := make([]byte, 0, 1<<16)
+	emit := func(b []byte) error {
+		dataCRC = crc32.Update(dataCRC, crcTable, b)
+		if cache != nil {
+			if len(cache)+len(b) <= sstCacheCap {
+				cache = append(cache, b...)
+			} else {
+				cache = nil // run too big to retain; reads go through the file
+			}
+		}
+		n, err := bw.Write(b)
+		off += int64(n)
+		return err
+	}
+	for i, k := range keys {
+		v := get(k)
+		vflag := uint32(len(v))
+		if v == nil {
+			vflag = tombstoneBit
+		}
+		scratch = binary.LittleEndian.AppendUint32(scratch[:0], uint32(len(k)))
+		scratch = append(scratch, k...)
+		scratch = binary.LittleEndian.AppendUint32(scratch, vflag)
+		if err := emit(scratch); err != nil {
+			return abort(err)
+		}
+		r.offs[i] = off
+		r.vlens[i] = vflag
+		if err := emit(v); err != nil {
+			return abort(err)
+		}
+		r.bytes += len(k) + len(v)
+		r.bloom.Add(k)
+	}
+
+	indexOff := off
+	meta := binary.LittleEndian.AppendUint32(nil, uint32(len(keys)))
+	for i, k := range keys {
+		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(k)))
+		meta = append(meta, k...)
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(r.offs[i]))
+		meta = binary.LittleEndian.AppendUint32(meta, r.vlens[i])
+	}
+	bloomOff := indexOff + int64(len(meta))
+	meta = r.bloom.appendTo(meta)
+	metaCRC := crc32.Checksum(meta, crcTable)
+
+	footer := binary.LittleEndian.AppendUint64(nil, uint64(indexOff))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(bloomOff))
+	footer = binary.LittleEndian.AppendUint32(footer, dataCRC)
+	footer = binary.LittleEndian.AppendUint32(footer, metaCRC)
+	footer = binary.LittleEndian.AppendUint64(footer, sstMagic)
+
+	if _, err := bw.Write(meta); err != nil {
+		return abort(err)
+	}
+	if _, err := bw.Write(footer); err != nil {
+		return abort(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	rf, err := os.Open(final)
+	if err != nil {
+		return nil, err
+	}
+	r.f = rf
+	r.cache = cache
+	return r, nil
+}
+
+// openSST opens SST file num in dir, loading its index and bloom filter into
+// memory and verifying both checksums (the data CRC by a full scan — Open is
+// the cold path where paying for integrity is cheap).
+func openSST(dir string, num uint64) (*run, error) {
+	path := filepath.Join(dir, sstName(num))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	bad := func(format string, args ...any) (*run, error) {
+		f.Close()
+		return nil, fmt.Errorf("lsm: sst %s: %s", sstName(num), fmt.Sprintf(format, args...))
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return bad("stat: %v", err)
+	}
+	if fi.Size() < sstFooterLen {
+		return bad("short file (%d bytes)", fi.Size())
+	}
+	footer := make([]byte, sstFooterLen)
+	if _, err := f.ReadAt(footer, fi.Size()-sstFooterLen); err != nil {
+		return bad("footer: %v", err)
+	}
+	if binary.LittleEndian.Uint64(footer[24:]) != sstMagic {
+		return bad("bad magic")
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[8:]))
+	dataCRC := binary.LittleEndian.Uint32(footer[16:])
+	metaCRC := binary.LittleEndian.Uint32(footer[20:])
+	metaLen := fi.Size() - sstFooterLen - indexOff
+	if indexOff < 0 || bloomOff < indexOff || metaLen < 0 {
+		return bad("corrupt offsets")
+	}
+
+	data := make([]byte, indexOff)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return bad("data: %v", err)
+	}
+	if crc32.Checksum(data, crcTable) != dataCRC {
+		return bad("data checksum mismatch")
+	}
+	var cache []byte
+	if len(data) <= sstCacheCap {
+		cache = data // already paid for by the CRC scan; keep serving from it
+	}
+	meta := make([]byte, metaLen)
+	if _, err := f.ReadAt(meta, indexOff); err != nil {
+		return bad("meta: %v", err)
+	}
+	if crc32.Checksum(meta, crcTable) != metaCRC {
+		return bad("meta checksum mismatch")
+	}
+
+	index := meta[:bloomOff-indexOff]
+	if len(index) < 4 {
+		return bad("short index")
+	}
+	count := int(binary.LittleEndian.Uint32(index))
+	index = index[4:]
+	r := &run{
+		keys:  make([]string, count),
+		offs:  make([]int64, count),
+		vlens: make([]uint32, count),
+		num:   num,
+		f:     f,
+		cache: cache,
+	}
+	for i := 0; i < count; i++ {
+		if len(index) < 4 {
+			return bad("index truncated at entry %d", i)
+		}
+		klen := int(binary.LittleEndian.Uint32(index))
+		if len(index) < 4+klen+12 {
+			return bad("index truncated at entry %d", i)
+		}
+		r.keys[i] = string(index[4 : 4+klen])
+		r.offs[i] = int64(binary.LittleEndian.Uint64(index[4+klen:]))
+		r.vlens[i] = binary.LittleEndian.Uint32(index[4+klen+8:])
+		r.bytes += klen + int(r.vlens[i]&^tombstoneBit)
+		index = index[4+klen+12:]
+	}
+	if !sort.StringsAreSorted(r.keys) {
+		return bad("index keys out of order")
+	}
+	bloom, err := bloomFromBytes(meta[bloomOff-indexOff:])
+	if err != nil {
+		return bad("bloom: %v", err)
+	}
+	r.bloom = bloom
+	return r, nil
+}
+
+// appendValue appends the value of entry i to dst, reading from the SST file
+// when the run is file-backed. ok=false reports an I/O failure (the caller
+// treats the key as unreadable; the sticky error surfaces via Stats).
+func (r *run) appendValue(dst []byte, i int) (_ []byte, ok bool) {
+	if r.vals != nil {
+		return append(dst, r.vals[i]...), true
+	}
+	n := int(r.vlens[i] &^ tombstoneBit)
+	if n == 0 {
+		return dst, true
+	}
+	if r.cache != nil {
+		return append(dst, r.cache[r.offs[i]:r.offs[i]+int64(n)]...), true
+	}
+	at := len(dst)
+	dst = slices.Grow(dst, n)[: at+n : at+n]
+	if _, err := r.f.ReadAt(dst[at:], r.offs[i]); err != nil {
+		return dst[:at], false
+	}
+	return dst, true
+}
+
+// tombstone reports whether entry i is a delete marker.
+func (r *run) tombstone(i int) bool {
+	if r.vals != nil {
+		return r.vals[i] == nil
+	}
+	return r.vlens[i]&tombstoneBit != 0
+}
+
+// close releases the backing file of a file-backed run.
+func (r *run) close() {
+	if r.f != nil {
+		r.f.Close()
+	}
+}
+
+// appendTo serializes the filter.
+func (b *Bloom) appendTo(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, b.m)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.k))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.bits)))
+	for _, w := range b.bits {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// bloomFromBytes deserializes a filter written by appendTo.
+func bloomFromBytes(b []byte) (*Bloom, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("short bloom header")
+	}
+	m := binary.LittleEndian.Uint64(b)
+	k := int(binary.LittleEndian.Uint32(b[8:]))
+	n := int(binary.LittleEndian.Uint32(b[12:]))
+	if k < 1 || k > 64 || n < 0 || len(b) < 16+8*n || m > uint64(n)*64 {
+		return nil, fmt.Errorf("corrupt bloom header")
+	}
+	bits := make([]uint64, n)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(b[16+8*i:])
+	}
+	return &Bloom{bits: bits, m: m, k: k}, nil
+}

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Coverage floors for the packages the membership work leans on. The floors
-# are a few points below the measured coverage at the time they were checked
-# in (ring 91.9%, wire 94.0%, kvstore 86.2%), so the ring-invariant,
-# wire-fuzz, and membership-chaos suites cannot silently rot without CI
-# noticing. Raise a floor when coverage durably improves; never lower one to
-# make a red build green without understanding what stopped being tested.
+# Coverage floors for the packages the membership and durability work leans
+# on. The floors are a few points below the measured coverage at the time
+# they were checked in (ring 91.9%, wire 94.0%, kvstore 86.2%, lsm 78.2%),
+# so the ring-invariant, wire-fuzz, membership-chaos, and crash-recovery
+# suites cannot silently rot without CI noticing. Raise a floor when coverage
+# durably improves; never lower one to make a red build green without
+# understanding what stopped being tested.
 set -euo pipefail
 
 declare -A FLOORS=(
   [internal/ring]=87
   [internal/wire]=89
   [internal/kvstore]=80
+  [internal/lsm]=74
 )
 
 fail=0
