@@ -33,6 +33,8 @@ func main() {
 		"path for the machine-readable membership-churn benchmark record (written when the elastic experiment runs; empty disables)")
 	durablejson := flag.String("durablejson", "BENCH_durable.json",
 		"path for the machine-readable durability benchmark record (written when the durable experiment runs; empty disables)")
+	consistencyjson := flag.String("consistencyjson", "BENCH_consistency.json",
+		"path for the machine-readable tunable-consistency benchmark record (written when the consistency experiment runs; empty disables)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -49,7 +51,8 @@ func main() {
 	}
 	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson,
 		TailJSONPath: *tailjson, BatchJSONPath: *batchjson,
-		ElasticJSONPath: *elasticjson, DurableJSONPath: *durablejson}
+		ElasticJSONPath: *elasticjson, DurableJSONPath: *durablejson,
+		ConsistencyJSONPath: *consistencyjson}
 
 	runners := bench.All()
 	if *fig != "all" {

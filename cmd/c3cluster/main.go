@@ -8,6 +8,7 @@
 //	c3cluster -strategy C3 -mix read-heavy -ops 200000
 //	c3cluster -strategy DS -generators 210 -disk ssd
 //	c3cluster -tcp -nodes 5 -ops 3000
+//	c3cluster -tcp -consistency quorum        # quorum reads/writes end to end
 //	c3cluster -tcp -join -nodes 4 -ops 3000   # live join + decommission demo
 //	c3cluster -tcp -data /tmp/c3data          # durable nodes; rerun to recover
 package main
@@ -37,13 +38,19 @@ func main() {
 	tcp := flag.Bool("tcp", false, "run the live TCP cluster demo instead of the simulation")
 	join := flag.Bool("join", false, "with -tcp: grow the cluster by one node mid-run, then decommission it")
 	data := flag.String("data", "", "with -tcp: durable storage root (node i stores under <data>/node-<i>; rerun with the same dir to demo recovery)")
+	consistency := flag.String("consistency", "one", "with -tcp: consistency level for the demo workload (one | quorum | all)")
 	flag.Parse()
 
 	if *tcp {
+		lvl, err := kvstore.ParseLevel(*consistency)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		if *join {
-			runTCPJoin(*nodes, *strategy, *ops, *data)
+			runTCPJoin(*nodes, *strategy, *ops, *data, lvl)
 		} else {
-			runTCP(*nodes, *strategy, *ops, *data)
+			runTCP(*nodes, *strategy, *ops, *data, lvl)
 		}
 		return
 	}
@@ -94,8 +101,9 @@ func main() {
 // one node mid-run, and show C3 shifting traffic away and back. With dataDir
 // set the nodes are durable; a rerun over the same directory recovers the
 // previous run's keys from WAL + SSTs instead of reloading.
-func runTCP(nodes int, strategy string, ops int, dataDir string) {
-	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s)...\n", nodes, strategy)
+func runTCP(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Level) {
+	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s, consistency %s)...\n",
+		nodes, strategy, lvl)
 	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
 		Strategy:      strategy,
 		Seed:          1,
@@ -122,7 +130,7 @@ func runTCP(nodes int, strategy string, ops int, dataDir string) {
 	} else {
 		fmt.Println("loading 1000 keys...")
 		for i := uint64(0); i < 1000; i++ {
-			if err := client.Put(workload.Key(i), []byte(strings.Repeat("v", 256))); err != nil {
+			if err := client.PutAt(workload.Key(i), []byte(strings.Repeat("v", 256)), lvl); err != nil {
 				fmt.Fprintln(os.Stderr, "put:", err)
 				os.Exit(1)
 			}
@@ -144,7 +152,7 @@ func runTCP(nodes int, strategy string, ops int, dataDir string) {
 		before := served()
 		for i := 0; i < n; i++ {
 			start := time.Now()
-			if _, _, err := client.Get(workload.Key(keys.Next(r))); err != nil {
+			if _, _, err := client.GetAt(workload.Key(keys.Next(r)), lvl); err != nil {
 				fmt.Fprintln(os.Stderr, "get:", err)
 				os.Exit(1)
 			}
@@ -170,8 +178,9 @@ func runTCP(nodes int, strategy string, ops int, dataDir string) {
 // runTCPJoin is the elasticity demo: boot a loaded cluster, grow it by one
 // node WHILE serving (the joiner streams its key ranges live and only then
 // takes reads), then decommission the same node — all with zero downtime.
-func runTCPJoin(nodes int, strategy string, ops int, dataDir string) {
-	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s)...\n", nodes, strategy)
+func runTCPJoin(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Level) {
+	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s, consistency %s)...\n",
+		nodes, strategy, lvl)
 	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
 		Strategy:      strategy,
 		Seed:          1,
@@ -194,7 +203,7 @@ func runTCPJoin(nodes int, strategy string, ops int, dataDir string) {
 	r := sim.RNG(7, 7)
 	fmt.Println("loading 1000 keys...")
 	for i := uint64(0); i < 1000; i++ {
-		if err := client.Put(workload.Key(i), []byte(strings.Repeat("v", 256))); err != nil {
+		if err := client.PutAt(workload.Key(i), []byte(strings.Repeat("v", 256)), lvl); err != nil {
 			fmt.Fprintln(os.Stderr, "put:", err)
 			os.Exit(1)
 		}
@@ -207,7 +216,7 @@ func runTCPJoin(nodes int, strategy string, ops int, dataDir string) {
 			}
 		}
 		for i := 0; i < n; i++ {
-			if _, _, err := client.Get(workload.Key(keys.Next(r))); err != nil {
+			if _, _, err := client.GetAt(workload.Key(keys.Next(r)), lvl); err != nil {
 				fmt.Fprintln(os.Stderr, "get:", err)
 				os.Exit(1)
 			}

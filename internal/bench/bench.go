@@ -55,6 +55,9 @@ type Options struct {
 	// DurableJSONPath, when non-empty, makes the durable runner also write
 	// its machine-readable result (BENCH_durable.json) to this path.
 	DurableJSONPath string
+	// ConsistencyJSONPath, when non-empty, makes the consistency runner also
+	// write its machine-readable result (BENCH_consistency.json) to this path.
+	ConsistencyJSONPath string
 }
 
 func (o Options) seeds() int {
@@ -193,6 +196,7 @@ func All() []Runner {
 		{"batch", "batch scatter-gather: MultiGet vs pipelined point gets", Batch},
 		{"elastic", "membership churn: p99 through a live join and decommission", Elastic},
 		{"durable", "durability tax: WAL group commit, fsync, recovery time", Durable},
+		{"consistency", "tunable consistency: stale reads and quorum latency", Consistency},
 	}
 }
 

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c3/internal/kvstore"
+	"c3/internal/sim"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+// Consistency benchmark: what tunable consistency actually buys. One replica
+// of the group silently drops every write it receives (SetDropWrites) — a
+// permanently lagging replica with no heal path, since repair write-backs to
+// it fail too — and the workload measures, per (strategy × W/R levels × mix)
+// cell, how often a read observes a value older than one the writer was
+// already acked for. Each key has a single writer bumping a monotonic
+// sequence; a reader snapshots the key's acked floor before reading, so
+// `read seq < floor` is a definitive stale read, not a race. With N=3 the
+// grid shows the overlap arithmetic directly: W+R ≤ N (ONE/ONE, QUORUM/ONE)
+// leaks stale reads at roughly the lagging replica's share of read traffic,
+// while W+R > N (QUORUM/QUORUM) must measure exactly zero.
+
+// ConsRow is one (strategy, write level, read level, mix) cell.
+type ConsRow struct {
+	Strategy      string  `json:"strategy"`
+	WriteLevel    string  `json:"write_level"`
+	ReadLevel     string  `json:"read_level"`
+	ReadFraction  float64 `json:"read_fraction"`
+	Ops           int     `json:"ops"`
+	Reads         int     `json:"reads"`
+	StaleReads    int     `json:"stale_reads"`
+	StaleRatePct  float64 `json:"stale_rate_pct"`
+	Errors        int     `json:"errors"`
+	Seconds       float64 `json:"seconds"`
+	ThroughputOps float64 `json:"throughput_ops_per_sec"`
+	ReadP50Us     float64 `json:"read_p50_us"`
+	ReadP99Us     float64 `json:"read_p99_us"`
+	// ReadRepairs counts version-guarded repair write-backs the coordinators
+	// issued; at QUORUM reads they fire toward the lagging replica on every
+	// divergent vote (and fail there, keeping it stale by construction).
+	ReadRepairs uint64 `json:"read_repairs"`
+}
+
+// ConsResult is the machine-readable record of the consistency benchmark
+// (BENCH_consistency.json).
+type ConsResult struct {
+	Nodes          int       `json:"nodes"`
+	RF             int       `json:"rf"`
+	Workers        int       `json:"workers"`
+	Keys           int       `json:"keys"`
+	DroppedReplica int       `json:"dropped_replica"`
+	Rows           []ConsRow `json:"rows"`
+}
+
+// consOps reports the per-cell operation budget for the scale.
+func (o Options) consOps() int {
+	switch o.Scale {
+	case Full:
+		return 40_000
+	case Medium:
+		return 12_000
+	default:
+		return 2_000
+	}
+}
+
+const (
+	consNodes   = 3
+	consWorkers = 4
+	consKeys    = 64
+)
+
+// consLevels is the W/R grid: the two cells with W+R ≤ N bracket the one
+// cell whose overlap guarantees read-your-writes.
+var consLevels = []struct{ w, r kvstore.Level }{
+	{kvstore.One, kvstore.One},
+	{kvstore.Quorum, kvstore.One},
+	{kvstore.Quorum, kvstore.Quorum},
+}
+
+// consMixes is the read fractions swept per level pair.
+var consMixes = []float64{0.5, 0.9}
+
+// runConsRow boots a cluster with one write-dropping replica, drives the
+// single-writer-per-key workload at the cell's levels, and measures staleness
+// and read latency.
+func runConsRow(o Options, strategy string, wl, rl kvstore.Level, readFraction float64, seed uint64) (ConsRow, error) {
+	row := ConsRow{
+		Strategy:     strategy,
+		WriteLevel:   wl.String(),
+		ReadLevel:    rl.String(),
+		ReadFraction: readFraction,
+	}
+	cluster, err := kvstore.StartCluster(consNodes, kvstore.Config{
+		Strategy:   strategy,
+		Seed:       seed,
+		ReadRepair: -1, // no background anti-entropy: staleness heals only via the level's own machinery
+	})
+	if err != nil {
+		return row, err
+	}
+	defer cluster.Close()
+	cl, err := kvstore.Dial(cluster.Addrs())
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+
+	// Preload every key at ALL while the whole group is healthy: each replica
+	// holds seq 0, so a stale read is always a definite old value rather than
+	// a not-found, and no readable-wait loop is needed.
+	keys := make([]string, consKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cons-%05d", i)
+		if err := cl.PutAt(keys[i], []byte("0"), kvstore.All); err != nil {
+			return row, fmt.Errorf("preload %q: %w", keys[i], err)
+		}
+	}
+	// From here on the last node drops every write: acked writes land only on
+	// the other two replicas, so this node serves seq 0 forever.
+	cluster.Nodes[consNodes-1].SetDropWrites(true)
+
+	// floors[i] is the highest sequence acked back to key i's writer. A
+	// reader snapshots it before dispatching the read; observing less is a
+	// stale read by definition.
+	floors := make([]atomic.Uint64, consKeys)
+	seqs := make([]uint64, consKeys) // next sequence per key; only the owner worker touches seqs[i]
+
+	ops := o.consOps()
+	perWorker := ops / consWorkers
+	zipf := workload.NewScrambled(consKeys, 0.99)
+	lat := make([][]float64, consWorkers)
+	staleCounts := make([]int, consWorkers)
+	readCounts := make([]int, consWorkers)
+	errCounts := make([]int, consWorkers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < consWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.RNG(seed, uint64(w)+29)
+			samples := make([]float64, 0, perWorker)
+			var val []byte
+			for i := 0; i < perWorker; i++ {
+				k := int(zipf.Next(r)) % consKeys
+				if r.Float64() < readFraction {
+					floor := floors[k].Load()
+					t0 := time.Now()
+					v, ok, err := cl.GetAt(keys[k], rl)
+					d := time.Since(t0)
+					if err != nil {
+						errCounts[w]++
+						continue
+					}
+					readCounts[w]++
+					samples = append(samples, float64(d.Nanoseconds())/1e3)
+					if !ok {
+						staleCounts[w]++ // every key was preloaded; missing means the lagging replica answered alone
+						continue
+					}
+					seq, perr := strconv.ParseUint(string(v), 10, 64)
+					if perr != nil {
+						errCounts[w]++
+						continue
+					}
+					if seq < floor {
+						staleCounts[w]++
+					}
+				} else {
+					// Single writer per key: worker w owns keys ≡ w (mod workers).
+					mine := (k/consWorkers)*consWorkers + w
+					if mine >= consKeys {
+						mine -= consWorkers
+					}
+					seqs[mine]++
+					val = strconv.AppendUint(val[:0], seqs[mine], 10)
+					if err := cl.PutAt(keys[mine], val, wl); err != nil {
+						errCounts[w]++
+						continue
+					}
+					floors[mine].Store(seqs[mine])
+				}
+			}
+			lat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	reads := stats.NewSample(ops)
+	for _, s := range lat {
+		for _, x := range s {
+			reads.Add(x)
+		}
+	}
+	for w := 0; w < consWorkers; w++ {
+		row.Reads += readCounts[w]
+		row.StaleReads += staleCounts[w]
+		row.Errors += errCounts[w]
+	}
+	for _, n := range cluster.Nodes {
+		row.ReadRepairs += n.ReadRepairs()
+	}
+	row.Ops = perWorker * consWorkers
+	row.Seconds = elapsed.Seconds()
+	row.ThroughputOps = float64(row.Ops) / elapsed.Seconds()
+	row.ReadP50Us = reads.Percentile(50)
+	row.ReadP99Us = reads.Percentile(99)
+	if row.Reads > 0 {
+		row.StaleRatePct = 100 * float64(row.StaleReads) / float64(row.Reads)
+	}
+	return row, nil
+}
+
+// RunConsistency executes the strategy × level-pair × mix grid.
+func RunConsistency(o Options) (ConsResult, error) {
+	res := ConsResult{
+		Nodes:          consNodes,
+		RF:             consNodes,
+		Workers:        consWorkers,
+		Keys:           consKeys,
+		DroppedReplica: consNodes - 1,
+	}
+	seed := uint64(1)
+	for _, strategy := range o.tailStrategies() {
+		for _, lv := range consLevels {
+			for _, mix := range consMixes {
+				row, err := runConsRow(o, strategy, lv.w, lv.r, mix, seed)
+				if err != nil {
+					return res, fmt.Errorf("consistency %s W=%s/R=%s mix=%.2f: %w",
+						strategy, lv.w, lv.r, mix, err)
+				}
+				res.Rows = append(res.Rows, row)
+				seed += 101
+			}
+		}
+	}
+	return res, nil
+}
+
+// findConsRow locates a cell of the grid.
+func findConsRow(res ConsResult, strategy string, wl, rl kvstore.Level, mix float64) (ConsRow, bool) {
+	for _, row := range res.Rows {
+		if row.Strategy == strategy && row.WriteLevel == wl.String() &&
+			row.ReadLevel == rl.String() && row.ReadFraction == mix {
+			return row, true
+		}
+	}
+	return ConsRow{}, false
+}
+
+// writeConsistencyJSON writes the machine-readable record to path.
+func writeConsistencyJSON(res ConsResult, path string) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Consistency is the runner for the tunable-consistency benchmark: stale-read
+// rate and read latency across W/R level pairs, read-write mixes, and
+// selection strategies, against a permanently lagging replica. With
+// Options.ConsistencyJSONPath set it also writes BENCH_consistency.json.
+func Consistency(o Options) *Report {
+	r := newReport("consistency", "stale reads and quorum latency across W/R levels (lagging replica)")
+	res, err := RunConsistency(o)
+	if err != nil {
+		r.fail(err)
+		return r
+	}
+	r.printf("%d nodes (RF=%d), %d workers, %d keys, %d ops/cell, node %d drops writes",
+		res.Nodes, res.RF, res.Workers, res.Keys, o.consOps(), res.DroppedReplica)
+	for _, row := range res.Rows {
+		r.printf("  %-3s W=%-6s R=%-6s %2.0f%%r stale=%6.2f%% (%d/%d) p50=%6.0fµs p99=%7.0fµs thr=%6.0f/s repairs=%d errs=%d",
+			row.Strategy, row.WriteLevel, row.ReadLevel, row.ReadFraction*100,
+			row.StaleRatePct, row.StaleReads, row.Reads,
+			row.ReadP50Us, row.ReadP99Us, row.ThroughputOps, row.ReadRepairs, row.Errors)
+	}
+
+	const mix = 0.9
+	if one, ok := findConsRow(res, kvstore.StratC3, kvstore.One, kvstore.One, mix); ok {
+		r.Metric("consistency_stale_pct_one", one.StaleRatePct)
+	}
+	if qq, ok := findConsRow(res, kvstore.StratC3, kvstore.Quorum, kvstore.Quorum, mix); ok {
+		r.Metric("consistency_stale_pct_quorum", qq.StaleRatePct)
+		r.Metric("consistency_quorum_p99_us_c3", qq.ReadP99Us)
+	}
+	if rr, ok := findConsRow(res, kvstore.StratRR, kvstore.Quorum, kvstore.Quorum, mix); ok {
+		r.Metric("consistency_quorum_p99_us_rr", rr.ReadP99Us)
+	}
+	// W+R > N is a guarantee, not a tendency: any stale read at
+	// QUORUM/QUORUM is a correctness failure.
+	for _, row := range res.Rows {
+		if row.WriteLevel == kvstore.Quorum.String() && row.ReadLevel == kvstore.Quorum.String() &&
+			row.StaleReads > 0 {
+			r.fail(fmt.Errorf("stale reads at W=QUORUM/R=QUORUM (%s, %.0f%% reads): %d",
+				row.Strategy, row.ReadFraction*100, row.StaleReads))
+		}
+	}
+	if o.ConsistencyJSONPath != "" {
+		if err := writeConsistencyJSON(res, o.ConsistencyJSONPath); err != nil {
+			r.printf("write %s: %v", o.ConsistencyJSONPath, err)
+		} else {
+			r.printf("wrote %s", o.ConsistencyJSONPath)
+		}
+	}
+	return r
+}

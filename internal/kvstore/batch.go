@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"c3/internal/core"
+	"c3/internal/lsm"
 	"c3/internal/ring"
 	"c3/internal/wire"
 )
@@ -41,10 +42,13 @@ type subBatch struct {
 	pos   []int
 
 	// Read results: key j's value is (*vbuf)[offs[j]:offs[j+1]] when
-	// found[j]. A nil found means the sub-batch failed wholesale (every
-	// replica down or budget exhausted): every key reports not-found.
+	// found[j], stored at version vers[j] — the payload split from its
+	// version prefix, re-joined at the gather. A nil found means the
+	// sub-batch failed wholesale (every replica down or budget exhausted):
+	// every key reports not-found.
 	found []bool
 	offs  []int
+	vers  []uint64
 	vbuf  *[]byte
 
 	// Write-only state: the sub-batch's values (aliasing the batch's value
@@ -88,24 +92,27 @@ type batchOutcome struct {
 	from  core.ServerID
 	found []bool
 	offs  []int
+	vers  []uint64
 	buf   *[]byte // pooled buffer backing the values; the consumer recycles it
 	rtt   time.Duration
 	err   error
 }
 
 // localBatchReadInto serves a sub-batch against the local store, packing
-// values into buf with offsets — the coordinator-side result layout shared
-// with remote sub-batch responses. Queue accounting and feedback weight are
-// the batch size (beginBatchRead/finishBatchRead).
-func (n *Node) localBatchReadInto(buf []byte, keys []string) ([]bool, []int, []byte, wire.Feedback) {
+// value payloads into buf with offsets and their versions alongside — the
+// coordinator-side result layout shared with remote sub-batch responses
+// (which arrive already split). Queue accounting and feedback weight are the
+// batch size (beginBatchRead/finishBatchRead).
+func (n *Node) localBatchReadInto(buf []byte, keys []string) ([]bool, []int, []uint64, []byte, wire.Feedback) {
 	start := n.beginBatchRead(len(keys))
 	found := make([]bool, len(keys))
+	vers := make([]uint64, len(keys))
 	offs := make([]int, len(keys)+1)
 	for i, k := range keys {
-		buf, found[i] = n.store.GetAppend(buf, k)
+		buf, vers[i], found[i] = n.store.GetVersioned(buf, k)
 		offs[i+1] = len(buf)
 	}
-	return found, offs, buf, n.finishBatchRead(start, len(keys))
+	return found, offs, vers, buf, n.finishBatchRead(start, len(keys))
 }
 
 // accountBatchReadSuccess feeds a sub-batch's piggybacked feedback to the
@@ -144,18 +151,18 @@ func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutc
 		rb := getBuf()
 		sent := time.Now()
 		if s == n.id {
-			found, offs, buf, fb := n.localBatchReadInto((*rb)[:0], keys)
+			found, offs, vers, buf, fb := n.localBatchReadInto((*rb)[:0], keys)
 			*rb = buf
 			now := time.Now()
 			rtt := now.Sub(sent)
 			n.accountBatchReadSuccess(s, nk, fb, rtt, now)
-			ch <- batchOutcome{from: s, found: found, offs: offs, buf: rb, rtt: rtt}
+			ch <- batchOutcome{from: s, found: found, offs: offs, vers: vers, buf: rb, rtt: rtt}
 			return
 		}
 		var ca *call
 		p, err := n.peer(s)
 		if err == nil {
-			ca, err = p.batchRead(wire.MsgBatchReadInternal, keys, (*rb)[:0])
+			ca, err = p.batchRead(wire.MsgBatchReadInternal, wire.LevelOne, keys, (*rb)[:0])
 		}
 		if err == nil && len(ca.bfound) != nk {
 			putCall(ca)
@@ -171,11 +178,12 @@ func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutc
 		*rb = ca.bbuf
 		found := append(make([]bool, 0, nk), ca.bfound...)
 		offs := append(make([]int, 0, nk+1), ca.boffs...)
+		vers := append(make([]uint64, 0, nk), ca.bvers...)
 		fb := ca.bfb
 		putCall(ca)
 		rtt := now.Sub(sent)
 		n.accountBatchReadSuccess(s, nk, fb, rtt, now)
-		ch <- batchOutcome{from: s, found: found, offs: offs, buf: rb, rtt: rtt}
+		ch <- batchOutcome{from: s, found: found, offs: offs, vers: vers, buf: rb, rtt: rtt}
 	}()
 }
 
@@ -227,7 +235,7 @@ func (n *Node) maybeBatchReadRepair(keys []string, group []core.ServerID, target
 			var ca *call
 			p, err := n.peer(s)
 			if err == nil {
-				ca, err = p.batchRead(wire.MsgBatchReadInternal, keys, (*rb)[:0])
+				ca, err = p.batchRead(wire.MsgBatchReadInternal, wire.LevelOne, keys, (*rb)[:0])
 			}
 			if err == nil {
 				*rb = ca.bbuf
@@ -276,11 +284,11 @@ func (n *Node) runSubBatch(sb *subBatch) {
 	if target == n.id && n.inlineLocalReads() {
 		rb := getBuf()
 		sent := time.Now()
-		found, offs, buf, fb := n.localBatchReadInto((*rb)[:0], sb.keys)
+		found, offs, vers, buf, fb := n.localBatchReadInto((*rb)[:0], sb.keys)
 		*rb = buf
 		now := time.Now()
 		n.accountBatchReadSuccess(target, nk, fb, now.Sub(sent), now)
-		sb.found, sb.offs, sb.vbuf = found, offs, rb
+		sb.found, sb.offs, sb.vers, sb.vbuf = found, offs, vers, rb
 		return
 	}
 
@@ -308,7 +316,7 @@ func (n *Node) runSubBatch(sb *subBatch) {
 					n.hedgeWins.Add(1)
 				}
 				n.observeReadRTT(out.rtt)
-				sb.found, sb.offs, sb.vbuf = out.found, out.offs, out.buf
+				sb.found, sb.offs, sb.vers, sb.vbuf = out.found, out.offs, out.vers, out.buf
 				n.reapBatch(ch, pending)
 				return
 			}
@@ -339,15 +347,139 @@ func (n *Node) runSubBatch(sb *subBatch) {
 	}
 }
 
+// runSubBatchQuorum is the quorum ladder for one read sub-batch: dispatch to
+// every replica of the group — the ranked best first, through the same
+// backpressure gate as a ONE sub-batch — collect the level's R responses,
+// merge per key by highest version, and synchronously repair responders that
+// answered older before returning. Dispatching to all N subsumes hedging;
+// the read budget backstops the collection, and a sub-batch that cannot
+// gather R responses fails wholesale (sb.found nil: every key not-found),
+// mirroring the ONE path's budget-exhaustion degradation.
+func (n *Node) runSubBatchQuorum(sb *subBatch, need int) {
+	nk := len(sb.keys)
+	deadline := time.Now().Add(n.cfg.BackpressureTimeout)
+	var target core.ServerID
+	waited := false
+	for {
+		now := time.Now().UnixNano()
+		s, ok, retryAt := n.sel.PickBatch(sb.group, nk, now)
+		if ok {
+			target = s
+			break
+		}
+		waited = true
+		if time.Now().After(deadline) {
+			target, _ = n.sel.PickBestN(sb.group, nk, now)
+			break
+		}
+		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
+	}
+	if waited {
+		n.waited.Add(1)
+	}
+
+	ch := make(chan batchOutcome, len(sb.group))
+	now := time.Now().UnixNano()
+	for _, s := range sb.group {
+		if s != target {
+			n.sel.OnSendN(s, nk, now)
+		}
+	}
+	n.raceBatchRead(target, sb.keys, ch)
+	for _, s := range sb.group {
+		if s != target {
+			n.raceBatchRead(s, sb.keys, ch)
+		}
+	}
+
+	votes := make([]batchOutcome, 0, len(sb.group))
+	pending := len(sb.group)
+	fails := 0
+	budget := getTimer(n.cfg.ReadBudget)
+	defer putTimer(budget)
+collect:
+	for len(votes) < need {
+		select {
+		case out := <-ch:
+			pending--
+			if out.err != nil {
+				if fails++; fails > len(sb.group)-need {
+					break collect
+				}
+				continue
+			}
+			n.observeReadRTT(out.rtt)
+			votes = append(votes, out)
+		case <-budget.C:
+			break collect
+		}
+	}
+	n.reapBatch(ch, pending)
+	if len(votes) < need {
+		n.quorumFails.Add(1)
+		for _, v := range votes {
+			putBuf(v.buf)
+		}
+		return // wholesale failure: sb.found stays nil
+	}
+
+	// Per-key merge: the highest version among responders that found the key
+	// wins; then repair every responder that answered older or absent —
+	// blocking, so the client never observes a quorum still divergent after
+	// its read, and version-guarded, so a concurrent newer write survives.
+	rb := getBuf()
+	merged := (*rb)[:0]
+	sb.found = make([]bool, nk)
+	sb.vers = make([]uint64, nk)
+	sb.offs = make([]int, nk+1)
+	for j := 0; j < nk; j++ {
+		win := -1
+		for i := range votes {
+			if !votes[i].found[j] {
+				continue
+			}
+			if win < 0 || votes[i].vers[j] > votes[win].vers[j] {
+				win = i
+			}
+		}
+		if win >= 0 {
+			w := &votes[win]
+			val := (*w.buf)[w.offs[j]:w.offs[j+1]]
+			sb.found[j] = true
+			sb.vers[j] = w.vers[j]
+			merged = append(merged, val...)
+			for i := range votes {
+				v := &votes[i]
+				if v.from == w.from || (v.found[j] && v.vers[j] >= w.vers[j]) {
+					continue
+				}
+				n.repairReplica(v.from, sb.keys[j], w.vers[j], val)
+			}
+		}
+		sb.offs[j+1] = len(merged)
+	}
+	*rb = merged
+	sb.vbuf = rb
+	for _, v := range votes {
+		putBuf(v.buf)
+	}
+}
+
 // coordinateBatchRead is the scatter half of a client batch read: partition
-// by replica group, run every sub-batch's ladder concurrently, and return the
-// partition for the gather. Each key of the batch counts as one coordinated
-// read.
-func (n *Node) coordinateBatchRead(keys []string) ([]*subBatch, []subRef) {
+// by replica group, run every sub-batch's ladder — ONE's escalation ladder or
+// the level's quorum collection — concurrently, and return the partition for
+// the gather. Each key of the batch counts as one coordinated read.
+func (n *Node) coordinateBatchRead(cl uint8, keys []string) ([]*subBatch, []subRef) {
 	n.coord.Add(uint64(len(keys)))
 	subs, where := n.partitionBatch(n.topo.Load(), keys)
+	run := n.runSubBatch
+	if cl != wire.LevelOne {
+		run = func(sb *subBatch) {
+			n.runSubBatchQuorum(sb, Level(cl).required(len(sb.group)))
+		}
+	}
 	if len(subs) == 1 {
-		n.runSubBatch(subs[0])
+		run(subs[0])
 		return subs, where
 	}
 	var wg sync.WaitGroup
@@ -358,7 +490,7 @@ func (n *Node) coordinateBatchRead(keys []string) ([]*subBatch, []subRef) {
 		go func() {
 			defer wg.Done()
 			defer n.wg.Done()
-			n.runSubBatch(sb)
+			run(sb)
 		}()
 	}
 	wg.Wait()
@@ -366,10 +498,11 @@ func (n *Node) coordinateBatchRead(keys []string) ([]*subBatch, []subRef) {
 }
 
 // respondCoordBatchRead coordinates a client batch read and enqueues the
-// response: scatter, gather, then stream every found value from the
-// sub-batch result buffers into the response frame in client key order.
-func (n *Node) respondCoordBatchRead(cw *connWriter, id uint64, keys []string) {
-	subs, where := n.coordinateBatchRead(keys)
+// response: scatter at the requested level, gather, then stream every found
+// value — version prefix rejoined to its payload — from the sub-batch result
+// buffers into the response frame in client key order.
+func (n *Node) respondCoordBatchRead(cw *connWriter, id uint64, cl uint8, keys []string) {
+	subs, where := n.coordinateBatchRead(cl, keys)
 	fb := getBuf()
 	b, mark := wire.BeginBatchReadResp((*fb)[:0], id)
 	var err error
@@ -379,7 +512,7 @@ func (n *Node) respondCoordBatchRead(cw *connWriter, id uint64, keys []string) {
 		ok := false
 		if sb := ref.sb; sb.found != nil && sb.found[ref.j] {
 			ok = true
-			b = append(b, (*sb.vbuf)[sb.offs[ref.j]:sb.offs[ref.j+1]]...)
+			b = lsm.AppendVersioned(b, sb.vers[ref.j], (*sb.vbuf)[sb.offs[ref.j]:sb.offs[ref.j+1]])
 		}
 		if b, err = wire.FinishBatchReadItem(b, &mark, ok); err != nil {
 			break
@@ -404,12 +537,14 @@ func (n *Node) respondCoordBatchRead(cw *connWriter, id uint64, keys []string) {
 	cw.enqueue(fb)
 }
 
-// runWriteSub fans one write sub-batch to every replica of its group
-// (CL=ONE per key): a replica that acks every key acks the sub-batch
-// immediately, otherwise per-key acks accumulate until all replicas resolve.
-// release is the value-arena refcount, called once per replica attempt after
-// its encode/apply no longer needs the values.
-func (n *Node) runWriteSub(sb *subBatch, release func()) {
+// runWriteSub fans one write sub-batch — stamped with the batch's shared
+// version — to every replica of its group and accumulates per-key ack counts:
+// key i of the sub-batch succeeds once `need` replicas applied it. The loop
+// returns as soon as every key has its quorum (stragglers drain via the
+// buffered channel); an unreachable replica's share of the sub-batch is
+// banked as hints. release is the value-arena refcount, called once per
+// replica attempt after its encode/apply no longer needs the values.
+func (n *Node) runWriteSub(sb *subBatch, need int, ver uint64, release func()) {
 	nk := len(sb.keys)
 	acks := make(chan []bool, len(sb.group))
 	for _, s := range sb.group {
@@ -419,7 +554,7 @@ func (n *Node) runWriteSub(sb *subBatch, release func()) {
 			defer n.wg.Done()
 			defer release()
 			if s == n.id {
-				if err := n.store.PutAll(sb.keys, sb.wvals); err != nil {
+				if n.dropWrites.Load() || n.store.PutAllVersioned(sb.keys, sb.wvals, ver) != nil {
 					acks <- nil
 					return
 				}
@@ -428,17 +563,24 @@ func (n *Node) runWriteSub(sb *subBatch, release func()) {
 			}
 			p, err := n.peer(s)
 			if err != nil {
+				// The replica is unreachable: bank the whole sub-batch (the
+				// copies happen before release()).
+				n.hintValues(s, ver, sb.keys, sb.wvals)
 				acks <- nil
 				return
 			}
-			oks, _, err := p.batchWrite(wire.MsgBatchWriteInternal, sb.keys, sb.wvals, nil)
+			oks, _, _, err := p.batchWrite(wire.MsgBatchWriteInternal, 0, ver, sb.keys, sb.wvals, nil)
 			if err != nil || len(oks) != nk {
+				if err != nil {
+					n.hintValues(s, ver, sb.keys, sb.wvals)
+				}
 				acks <- nil
 				return
 			}
 			acks <- oks
 		}()
 	}
+	counts := make([]int, nk)
 	sb.oks = make([]bool, nk)
 	for resolved := 0; resolved < len(sb.group); resolved++ {
 		oks := <-acks
@@ -447,24 +589,41 @@ func (n *Node) runWriteSub(sb *subBatch, release func()) {
 		}
 		all := true
 		for i, ok := range oks {
-			if ok {
+			if !ok {
+				all = false
+				continue
+			}
+			if counts[i]++; counts[i] >= need {
 				sb.oks[i] = true
 			} else {
 				all = false
 			}
 		}
 		if all {
-			return // CL=ONE satisfied for every key; stragglers drain via the buffered channel
+			return // every key at its level; stragglers drain in the background
 		}
 	}
 }
 
-// respondCoordBatchWrite coordinates a client batch write and enqueues the
-// per-key acks. arena is the pooled buffer backing vals, recycled once every
-// replica attempt of every sub-batch is done with the values.
-func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
+// respondCoordBatchWrite coordinates a client batch write at the requested
+// level and enqueues the per-key acks: one coordinator stamp covers the whole
+// batch, each sub-batch fans to its replica group, and key i acks only when
+// the level's W replicas applied it. arena is the pooled buffer backing vals,
+// recycled once every replica attempt of every sub-batch is done with the
+// values.
+func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, cl uint8, keys []string, vals [][]byte, arena *[]byte) {
 	t := n.topo.Load()
 	subs, where := n.partitionBatch(t, keys)
+	// W is computed per sub-batch over the steady-state owner group — before
+	// any dual-route extension widens the fan — so R+W>N holds against quorum
+	// reads of the same ring (see coordinateWrite).
+	needs := make([]int, len(subs))
+	for i, sb := range subs {
+		needs[i] = 1
+		if cl != wire.LevelOne {
+			needs[i] = Level(cl).required(len(sb.group))
+		}
+	}
 	if t.prev != nil {
 		// Dual-route window: extend each sub-batch's write fan to the union
 		// of old and new owners of its keys, mirroring coordinateWrite.
@@ -478,6 +637,34 @@ func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, keys []string, 
 			}
 		}
 	}
+	if cl != wire.LevelOne {
+		// Bounded handoff debt, batch flavor: refuse deterministically when a
+		// covered replica is down and its hint queue is already full.
+		for _, sb := range subs {
+			for _, s := range sb.group {
+				if s == n.id || !n.hintFull(s) {
+					continue
+				}
+				if _, up := n.peerReady(s); !up {
+					n.quorumFails.Add(1)
+					putBuf(arena)
+					fb := getBuf()
+					b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
+						ID: id, Status: wire.StatusQuorumUnavailable,
+						OK: allFail[:len(keys)], FB: n.feedback()})
+					if err != nil {
+						putBuf(fb)
+						cw.sever(err)
+						return
+					}
+					*fb = b
+					cw.enqueue(fb)
+					return
+				}
+			}
+		}
+	}
+	ver := n.stampVersion()
 	total := 0
 	for _, sb := range subs {
 		sb.wvals = make([][]byte, len(sb.keys))
@@ -494,32 +681,39 @@ func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, keys []string, 
 		}
 	}
 	if len(subs) == 1 {
-		n.runWriteSub(subs[0], release)
+		n.runWriteSub(subs[0], needs[0], ver, release)
 	} else {
 		var wg sync.WaitGroup
-		for _, sb := range subs {
-			sb := sb
+		for i, sb := range subs {
+			i, sb := i, sb
 			wg.Add(1)
 			n.wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer n.wg.Done()
-				n.runWriteSub(sb, release)
+				n.runWriteSub(sb, needs[i], ver, release)
 			}()
 		}
 		wg.Wait()
 	}
+	status := wire.StatusOK
 	oks := make([]bool, len(keys))
 	for i := range keys {
 		ref := where[i]
 		oks[i] = ref.sb.oks[ref.j]
 		if !oks[i] {
 			n.writeFails.Add(1)
+			if cl != wire.LevelOne {
+				status = wire.StatusQuorumUnavailable
+			}
 		}
+	}
+	if status != wire.StatusOK {
+		n.quorumFails.Add(1)
 	}
 	fb := getBuf()
 	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
-		ID: id, OK: oks, FB: n.feedback()})
+		ID: id, Status: status, OK: oks, FB: n.feedback()})
 	if err != nil {
 		putBuf(fb)
 		cw.sever(err)

@@ -77,8 +77,19 @@ func (c *Client) pick(key string) int {
 	return int(c.next.Add(1)-1) % len(c.addrs)
 }
 
-// Get reads key through a coordinator, reporting whether it exists.
+// Get reads key through a coordinator at consistency level One, reporting
+// whether it exists.
 func (c *Client) Get(key string) ([]byte, bool, error) {
+	return c.GetAt(key, One)
+}
+
+// GetAt reads key through a coordinator at the given consistency level.
+// Transport failures rotate to the next coordinator; a coordinator that
+// answered but could not satisfy the level returns its verdict directly
+// (errors.Is(err, ErrQuorumUnavailable) / ErrTimeout) — the level shortfall
+// is a cluster property, not a bad coordinator, so retrying elsewhere would
+// only repeat the fan-out.
+func (c *Client) GetAt(key string, lvl Level) ([]byte, bool, error) {
 	var lastErr error
 	for attempt := 0; attempt < len(c.addrs); attempt++ {
 		p, err := c.conn(c.pick(key))
@@ -88,10 +99,13 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 		}
 		// nil destination: the value lands in a fresh buffer owned by
 		// the application.
-		resp, err := p.clientRead(key, nil)
+		resp, err := p.clientRead(uint8(lvl), key, nil)
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if err := readStatusErr(resp.Status); err != nil {
+			return nil, false, err
 		}
 		val := resp.Value
 		if resp.Found && val == nil {
@@ -108,8 +122,16 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 // write was silently acknowledged.
 var ErrWriteFailed = errors.New("kvstore: write failed on every replica")
 
-// Put writes key=val through a coordinator.
+// Put writes key=val through a coordinator at consistency level One.
 func (c *Client) Put(key string, val []byte) error {
+	return c.PutAt(key, val, One)
+}
+
+// PutAt writes key=val through a coordinator at the given consistency level.
+// As with GetAt, transport failures rotate coordinators while a definitive
+// level shortfall (errors.Is: ErrQuorumUnavailable, ErrTimeout — both also
+// ErrWriteFailed) returns immediately.
+func (c *Client) PutAt(key string, val []byte, lvl Level) error {
 	var lastErr error
 	for attempt := 0; attempt < len(c.addrs); attempt++ {
 		p, err := c.conn(c.pick(key))
@@ -117,12 +139,15 @@ func (c *Client) Put(key string, val []byte) error {
 			lastErr = err
 			continue
 		}
-		resp, err := p.clientWrite(key, val)
+		resp, err := p.clientWrite(uint8(lvl), key, val)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if !resp.OK {
+			if err := writeStatusErr(resp.Status); err != nil && err != ErrWriteFailed {
+				return err
+			}
 			lastErr = ErrWriteFailed
 			continue
 		}
@@ -139,6 +164,15 @@ func (c *Client) Put(key string, val []byte) error {
 // and vals[i] nil. Values within a chunk share one backing array; treat them
 // as read-only or copy before appending.
 func (c *Client) MultiGet(keys []string) (vals [][]byte, found []bool, err error) {
+	return c.MultiGetAt(keys, One)
+}
+
+// MultiGetAt is MultiGet at an explicit consistency level: each sub-batch
+// gathers the level's R replica responses (merged per key by highest version,
+// with stale responders repaired before the batch returns). A sub-batch that
+// cannot reach R replicas within the coordinator's budget degrades to
+// not-found for its keys, mirroring MultiGet's budget-exhaustion behavior.
+func (c *Client) MultiGetAt(keys []string, lvl Level) (vals [][]byte, found []bool, err error) {
 	if len(keys) == 0 {
 		return nil, nil, nil
 	}
@@ -146,14 +180,14 @@ func (c *Client) MultiGet(keys []string) (vals [][]byte, found []bool, err error
 	found = make([]bool, len(keys))
 	for start := 0; start < len(keys); start += wire.MaxBatchKeys {
 		end := min(start+wire.MaxBatchKeys, len(keys))
-		if err := c.multiGetChunk(keys[start:end], vals[start:end], found[start:end]); err != nil {
+		if err := c.multiGetChunk(lvl, keys[start:end], vals[start:end], found[start:end]); err != nil {
 			return nil, nil, err
 		}
 	}
 	return vals, found, nil
 }
 
-func (c *Client) multiGetChunk(keys []string, vals [][]byte, found []bool) error {
+func (c *Client) multiGetChunk(lvl Level, keys []string, vals [][]byte, found []bool) error {
 	var lastErr error
 	for attempt := 0; attempt < len(c.addrs); attempt++ {
 		p, err := c.conn(c.pick(keys[0]))
@@ -163,7 +197,7 @@ func (c *Client) multiGetChunk(keys []string, vals [][]byte, found []bool) error
 		}
 		// nil destination: the packed values land in a fresh buffer owned by
 		// the application.
-		ca, err := p.batchRead(wire.MsgBatchRead, keys, nil)
+		ca, err := p.batchRead(wire.MsgBatchRead, uint8(lvl), keys, nil)
 		if err != nil {
 			lastErr = err
 			continue
@@ -201,6 +235,16 @@ func (c *Client) multiGetChunk(keys []string, vals [][]byte, found []bool) error
 // a transport error: chunks that went out before the failure keep their
 // acks (those writes were applied), and the failed chunk's keys stay false.
 func (c *Client) MultiPut(keys []string, vals [][]byte) (oks []bool, err error) {
+	return c.MultiPutAt(keys, vals, One)
+}
+
+// MultiPutAt is MultiPut at an explicit consistency level: key i acks only
+// when the level's W replicas applied it. A coordinator that answered but
+// refused or missed the level returns its verdict immediately (errors.Is:
+// ErrQuorumUnavailable / ErrTimeout, both also ErrWriteFailed) alongside the
+// per-key acks gathered so far — at QUORUM the acked keys are durable at W
+// replicas even when the batch as a whole fails.
+func (c *Client) MultiPutAt(keys []string, vals [][]byte, lvl Level) (oks []bool, err error) {
 	if len(keys) != len(vals) {
 		return nil, errors.New("kvstore: MultiPut keys/values length mismatch")
 	}
@@ -210,7 +254,7 @@ func (c *Client) MultiPut(keys []string, vals [][]byte) (oks []bool, err error) 
 	oks = make([]bool, len(keys))
 	for start := 0; start < len(keys); start += wire.MaxBatchKeys {
 		end := min(start+wire.MaxBatchKeys, len(keys))
-		if err := c.multiPutChunk(keys[start:end], vals[start:end], oks[start:end]); err != nil {
+		if err := c.multiPutChunk(lvl, keys[start:end], vals[start:end], oks[start:end]); err != nil {
 			return oks, err
 		}
 	}
@@ -222,7 +266,7 @@ func (c *Client) MultiPut(keys []string, vals [][]byte) (oks []bool, err error) 
 	return oks, ErrWriteFailed
 }
 
-func (c *Client) multiPutChunk(keys []string, vals [][]byte, oks []bool) error {
+func (c *Client) multiPutChunk(lvl Level, keys []string, vals [][]byte, oks []bool) error {
 	var lastErr error
 	for attempt := 0; attempt < len(c.addrs); attempt++ {
 		p, err := c.conn(c.pick(keys[0]))
@@ -230,7 +274,7 @@ func (c *Client) multiPutChunk(keys []string, vals [][]byte, oks []bool) error {
 			lastErr = err
 			continue
 		}
-		res, _, err := p.batchWrite(wire.MsgBatchWrite, keys, vals, nil)
+		res, status, _, err := p.batchWrite(wire.MsgBatchWrite, uint8(lvl), 0, keys, vals, nil)
 		if err != nil {
 			lastErr = err
 			continue
@@ -240,7 +284,7 @@ func (c *Client) multiPutChunk(keys []string, vals [][]byte, oks []bool) error {
 			continue
 		}
 		copy(oks, res)
-		return nil
+		return writeStatusErr(status)
 	}
 	return lastErr
 }

@@ -80,6 +80,13 @@ type Config struct {
 	// works for a single hand-built node; DataDir is the per-node derivation
 	// used when one Config boots a whole cluster.
 	DataDir string
+	// HintCap bounds the hinted-handoff queue per down peer (records, not
+	// bytes): writes toward an unreachable replica are banked up to this many
+	// hints and replayed with backoff once the peer returns. Zero means the
+	// default (512); negative disables handoff entirely. When a peer is down
+	// AND its hint queue is full, quorum-level writes covering it fail with
+	// StatusQuorumUnavailable instead of growing the debt without bound.
+	HintCap int
 	// Seed drives the node's randomness.
 	Seed uint64
 }
@@ -167,11 +174,17 @@ type Node struct {
 	srttNs   atomic.Uint64
 	rttvarNs atomic.Uint64
 
-	served     atomic.Uint64 // reads served by this node's storage
-	coord      atomic.Uint64 // reads coordinated by this node
-	waited     atomic.Uint64 // reads that hit backpressure at this coordinator
-	hedgeWins  atomic.Uint64 // reads answered by their hedge, not their primary
-	writeFails atomic.Uint64 // coordinated writes no replica acknowledged
+	served      atomic.Uint64 // reads served by this node's storage
+	coord       atomic.Uint64 // reads coordinated by this node
+	waited      atomic.Uint64 // reads that hit backpressure at this coordinator
+	hedgeWins   atomic.Uint64 // reads answered by their hedge, not their primary
+	writeFails  atomic.Uint64 // coordinated writes no replica acknowledged
+	repairs     atomic.Uint64 // version-guarded read-repair write-backs issued
+	quorumFails atomic.Uint64 // coordinated ops that missed their consistency level
+
+	hlc        atomic.Uint64 // HLC version-stamp state (see stampVersion)
+	hints      *hintStore    // per-peer handoff queues; nil when disabled
+	dropWrites atomic.Bool   // fault injection: reject replica-local writes
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -290,8 +303,16 @@ func newNode(id core.ServerID, t *topology, ln net.Listener, cfg Config) (*Node,
 	}
 	n.topo.Store(t)
 	n.svcNs.Store(uint64(time.Millisecond)) // prior before first read
+	if n.hints, err = openHints(n, st.Dir, cfg.HintCap); err != nil {
+		store.Close()
+		ln.Close()
+		return nil, fmt.Errorf("kvstore: open hint log for node %d: %w", id, err)
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if n.hints != nil {
+		n.hints.kickAll() // resume delivery of hints recovered from disk
+	}
 	return n, nil
 }
 
@@ -349,6 +370,9 @@ func (n *Node) SendRateToward(peer int) float64 {
 func (n *Node) Close() {
 	n.teardownNetwork()
 	n.wg.Wait()
+	if n.hints != nil {
+		n.hints.close()
+	}
 	n.store.Close()
 }
 
@@ -363,6 +387,9 @@ func (n *Node) Crash() {
 	// must unblock (with errors) before wg.Wait can return.
 	n.store.Crash()
 	n.wg.Wait()
+	if n.hints != nil {
+		n.hints.close()
+	}
 }
 
 // teardownNetwork severs the listener and every connection, once.
@@ -508,11 +535,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			// Coordination always dispatches (it blocks on replica RPCs),
 			// so the keys must outlive the frame buffer.
 			keys := cloneKeys(m.Keys)
-			id := m.ID
+			id, cl := m.ID, m.CL
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				n.respondCoordBatchRead(cw, id, keys)
+				n.respondCoordBatchRead(cw, id, cl, keys)
 			}()
 		case wire.MsgBatchReadInternal:
 			m, err := wire.ParseBatchReadReq(payload, bkeys[:0])
@@ -542,11 +569,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			bkeys, bvals = m.Keys, m.Values
 			keys := cloneKeys(m.Keys)
 			vals, arena := cloneValues(m.Values)
-			id := m.ID
+			id, cl := m.ID, m.CL
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				n.respondCoordBatchWrite(cw, id, keys, vals, arena)
+				n.respondCoordBatchWrite(cw, id, cl, keys, vals, arena)
 			}()
 		case wire.MsgBatchWriteInternal:
 			m, err := wire.ParseBatchWriteReq(payload, bkeys[:0], bvals[:0])
@@ -556,11 +583,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			bkeys, bvals = m.Keys, m.Values
 			keys := cloneKeys(m.Keys)
 			vals, arena := cloneValues(m.Values)
-			id := m.ID
+			id, ver := m.ID, m.Version
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				n.respondLocalBatchWrite(cw, id, keys, vals, arena)
+				n.respondLocalBatchWrite(cw, id, ver, keys, vals, arena)
 			}()
 		case wire.MsgRingUpdate:
 			u, err := wire.ParseRingUpdate(payload)
@@ -683,7 +710,7 @@ func (n *Node) respondLocalRead(cw *connWriter, m wire.ReadReq) {
 	fb := getBuf()
 	b, mark := wire.BeginReadResp((*fb)[:0], m.ID)
 	b, found := n.store.GetAppend(b, m.Key)
-	b, err := wire.FinishReadResp(b, mark, found, n.finishRead(start))
+	b, err := wire.FinishReadResp(b, mark, found, wire.StatusOK, n.finishRead(start))
 	if err != nil {
 		putBuf(fb)
 		return
@@ -758,14 +785,15 @@ func (n *Node) finishBatchRead(start time.Time, count int) wire.Feedback {
 }
 
 // respondStreamPush applies one re-homing page from a decommissioning peer:
-// every pair lands only when the key is absent (lsm.PutIfAbsent — the check
-// and write are one critical section), so a streamed pre-move value can
-// never clobber a newer dual-routed write that arrived first. Every key acks
-// OK either way: "skipped because newer data exists" is success.
+// every pair carries the raw version-prefixed value it had on the pusher and
+// lands only when it is newer than what this replica holds (lsm.PutRawIfNewer
+// — the check and write are one critical section), so a streamed pre-move
+// value can never clobber a newer dual-routed write that arrived first. Every
+// key acks OK either way: "skipped because newer data exists" is success.
 func (n *Node) respondStreamPush(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
 	oks := allOK
 	for i := range keys {
-		if _, err := n.store.PutIfAbsent(keys[i], vals[i]); err != nil {
+		if _, err := n.store.PutRawIfNewer(keys[i], vals[i]); err != nil {
 			oks = allFail // storage wedged: the pusher must not count this page
 			break
 		}
@@ -784,12 +812,20 @@ func (n *Node) respondStreamPush(cw *connWriter, id uint64, keys []string, vals 
 }
 
 // respondLocalBatchWrite applies a write sub-batch and enqueues the per-key
-// acks. arena is the pooled buffer backing vals, recycled here (lsm.PutAll
+// acks. arena is the pooled buffer backing vals, recycled here (the store
 // copies). The batch lands through one WAL commit group — one fsync for the
-// whole sub-batch — so it acks or fails as a unit.
-func (n *Node) respondLocalBatchWrite(cw *connWriter, id uint64, keys []string, vals [][]byte, arena *[]byte) {
+// whole sub-batch — so it acks or fails as a unit. A non-zero ver is the
+// coordinator's stamp shared by the whole sub-batch and applies each key
+// under the last-write-wins guard; ver zero is the legacy unversioned path.
+func (n *Node) respondLocalBatchWrite(cw *connWriter, id uint64, ver uint64, keys []string, vals [][]byte, arena *[]byte) {
 	oks := allOK
-	if err := n.store.PutAll(keys, vals); err != nil {
+	if n.dropWrites.Load() {
+		oks = allFail
+	} else if ver != 0 {
+		if err := n.store.PutAllVersioned(keys, vals, ver); err != nil {
+			oks = allFail
+		}
+	} else if err := n.store.PutAll(keys, vals); err != nil {
 		oks = allFail
 	}
 	putBuf(arena)
@@ -805,22 +841,31 @@ func (n *Node) respondLocalBatchWrite(cw *connWriter, id uint64, keys []string, 
 	cw.enqueue(fb)
 }
 
-// respondCoordRead coordinates a client read and enqueues the response. An
-// inline local read streams its value straight onto the open frame (vbuf
-// nil); a raced read's winning value arrives in a pooled buffer and is
-// appended here — one bounded copy, the price of letting a hedge and its
-// primary resolve concurrently without sharing the frame buffer.
+// respondCoordRead coordinates a client read — routed by the request's
+// consistency level — and enqueues the response. An inline local read streams
+// its raw stored value straight onto the open frame (vbuf nil); a raced or
+// quorum read's winning value arrives split in a pooled buffer and is
+// re-prefixed with its version here — one bounded copy, the price of letting
+// concurrent racers resolve without sharing the frame buffer.
 func (n *Node) respondCoordRead(cw *connWriter, m wire.ReadReq) {
 	fb := getBuf()
 	b, mark := wire.BeginReadResp((*fb)[:0], m.ID)
-	resp, vbuf := n.coordinateRead(m, b)
+	var resp wire.ReadResp
+	var vbuf *[]byte
+	if m.CL == wire.LevelOne {
+		resp, vbuf = n.coordinateRead(m, b)
+	} else {
+		resp, vbuf = n.coordinateQuorumRead(m)
+	}
 	if vbuf != nil {
-		b = append(b, resp.Value...)
+		if resp.Found {
+			b = lsm.AppendVersioned(b, resp.Version, resp.Value)
+		}
 		putBuf(vbuf)
 	} else if resp.Value != nil {
-		b = resp.Value // the frame extended by the value (possibly regrown)
+		b = resp.Value // the frame extended by the raw value (possibly regrown)
 	}
-	b, err := wire.FinishReadResp(b, mark, resp.Found, resp.FB)
+	b, err := wire.FinishReadResp(b, mark, resp.Found, resp.Status, resp.FB)
 	if err != nil {
 		putBuf(fb)
 		return
@@ -915,11 +960,22 @@ func (n *Node) readDelay() time.Duration {
 }
 
 // localWrite applies a replica-local write. The key must not alias a frame
-// buffer (the memtable retains it); the value may, Put copies it. In durable
-// mode Put returns only after the write's WAL commit group is fsynced, so
-// OK here — the ack the coordinator counts — genuinely means durable.
+// buffer (the memtable retains it); the value may, the store copies it. In
+// durable mode the put returns only after the write's WAL commit group is
+// fsynced, so OK here — the ack the coordinator counts — genuinely means
+// durable. A stamped write (Version non-zero) lands under the last-write-wins
+// guard; "skipped because newer exists" still acks OK, the idempotent-success
+// contract repair and hint replay rely on.
 func (n *Node) localWrite(m wire.WriteReq) wire.WriteResp {
-	err := n.store.Put(m.Key, m.Value)
+	if n.dropWrites.Load() {
+		return wire.WriteResp{ID: m.ID, OK: false, Status: wire.StatusWriteFailed, FB: n.feedback()}
+	}
+	var err error
+	if m.Version != 0 {
+		_, err = n.store.PutVersioned(m.Key, m.Version, m.Value)
+	} else {
+		err = n.store.Put(m.Key, m.Value)
+	}
 	return wire.WriteResp{ID: m.ID, OK: err == nil, FB: n.feedback()}
 }
 
@@ -1066,6 +1122,11 @@ func (n *Node) raceRead(s core.ServerID, m wire.ReadReq, ch chan<- raceOutcome) 
 		var err error
 		if s == n.id {
 			out = n.localRead(m, (*rb)[:0])
+			if out.Found {
+				// Normalize to the remote-response shape — version split off
+				// the raw stored bytes — so race consumers see one format.
+				out.Version, out.Value = lsm.SplitVersioned(out.Value)
+			}
 		} else {
 			out, err = n.rpcRead(s, m, (*rb)[:0])
 		}
@@ -1126,7 +1187,7 @@ func (n *Node) reap(ch <-chan raceOutcome, pending int) {
 	}()
 }
 
-// maybeReadRepair occasionally consults every replica beyond the selected
+// maybeReadRepair occasionally probes every replica beyond the selected
 // target (Cassandra's anti-entropy read repair). Beyond consistency, it
 // refreshes the coordinator's feedback for replicas it has stopped
 // selecting. Probe accounting pairs every OnSend with OnResponse on success
@@ -1144,30 +1205,76 @@ func (n *Node) maybeReadRepair(m wire.ReadReq, group []core.ServerID, target cor
 	if !repair {
 		return
 	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.repairProbe(m, group, target)
+	}()
+}
+
+// repairProbe is the body of a background read-repair pass: probe the key's
+// versions on every replica except the read's target, then write the newest
+// version back to the probed replicas holding older (or no) data. The probes
+// carry versions, not just values, and the write-back goes through the
+// replica-side last-write-wins guard — so a repair racing a dual-routed write
+// can never roll a replica backward (the guard skips it, which is success).
+// The target itself is not probed or repaired: the foreground read is
+// consulting it concurrently, and the next probe round covers it.
+func (n *Node) repairProbe(m wire.ReadReq, group []core.ServerID, target core.ServerID) {
+	type probe struct {
+		s     core.ServerID
+		found bool
+		ver   uint64
+		val   []byte  // payload; aliases buf's backing array
+		buf   *[]byte // pooled
+	}
+	probes := make([]probe, 0, len(group))
 	for _, s := range group {
-		if s == target || s == n.id {
+		if s == target {
 			continue
 		}
-		s := s
+		rb := getBuf()
+		if s == n.id {
+			// Local probe: straight off the store, no selector traffic.
+			val, ver, ok := n.store.GetVersioned((*rb)[:0], m.Key)
+			*rb = val[:0]
+			probes = append(probes, probe{s: s, found: ok, ver: ver, val: val, buf: rb})
+			continue
+		}
 		n.sel.OnSend(s, time.Now().UnixNano())
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			rb := getBuf()
-			sent := time.Now()
-			if out, err := n.rpcRead(s, m, (*rb)[:0]); err == nil {
-				n.accountReadSuccess(s, out.FB, time.Since(sent), time.Now())
-				if out.Value != nil {
-					*rb = out.Value[:0]
-				}
-			} else {
-				// A probe is a best-effort observation: release its
-				// accounting without synthesizing feedback. Punishing the
-				// replica is the selected path's job.
-				n.sel.OnAbandon(s, time.Now().UnixNano())
-			}
+		sent := time.Now()
+		out, err := n.rpcRead(s, m, (*rb)[:0])
+		if err != nil {
+			// A probe is a best-effort observation: release its accounting
+			// without synthesizing feedback. Punishing the replica is the
+			// selected path's job.
+			n.sel.OnAbandon(s, time.Now().UnixNano())
 			putBuf(rb)
-		}()
+			continue
+		}
+		n.accountReadSuccess(s, out.FB, time.Since(sent), time.Now())
+		if out.Value != nil {
+			*rb = out.Value[:0]
+		}
+		probes = append(probes, probe{s: s, found: out.Found, ver: out.Version, val: out.Value, buf: rb})
+	}
+	win := -1
+	for i, p := range probes {
+		if p.found && (win < 0 || p.ver > probes[win].ver) {
+			win = i
+		}
+	}
+	if win >= 0 {
+		w := probes[win]
+		for _, p := range probes {
+			if p.s == w.s || (p.found && p.ver >= w.ver) {
+				continue
+			}
+			n.repairReplica(p.s, m.Key, w.ver, w.val)
+		}
+	}
+	for _, p := range probes {
+		putBuf(p.buf)
 	}
 }
 
@@ -1380,17 +1487,49 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, v
 	}
 }
 
-// coordinateWrite fans a write to all replicas and acknowledges on the first
-// genuine success (CL=ONE), completing the rest in the background. A failed
-// replica write is never the ack: failures are counted, and only when every
-// replica fails does the write itself fail (OK false). vb, when not nil, is
-// the pooled buffer backing m.Value; it is recycled once every replica write
-// — including the post-ack background ones — has finished with it.
+// coordinateWrite stamps a write with the coordinator's HLC version, fans it
+// to all replicas, and acknowledges once the requested consistency level is
+// met: the first genuine success at ONE, ⌊N/2⌋+1 at QUORUM, every replica at
+// ALL — the rest complete in the background. A failed replica write is never
+// an ack; an unreachable replica's write is banked as a durable hint and
+// replayed when the peer returns, but a hint does not count toward the level
+// (the data has not reached a replica yet). When the level cannot be met the
+// write fails with a status the client maps onto the typed error taxonomy.
+// vb, when not nil, is the pooled buffer backing m.Value; it is recycled once
+// every replica write — including the post-ack background ones — has
+// finished with it.
 func (n *Node) coordinateWrite(m wire.WriteReq, vb *[]byte) wire.WriteResp {
 	// Writes dual-route during a membership transition: the fan-out covers
 	// the union of the old and new owner sets, so an acked write is never
 	// stranded on only the side of the window that loses the range.
 	group := n.topo.Load().writeGroup([]byte(m.Key), nil)
+	lvl := Level(m.CL)
+	need := 1
+	if lvl != One {
+		// W is computed over the key's steady-state owner set, so R+W>N
+		// holds against quorum reads of the same ring even while the write
+		// fans out to a transition window's wider union.
+		owners := n.topo.Load().readRing().ReplicasFor([]byte(m.Key), nil)
+		need = lvl.required(len(owners))
+		if need > len(group) {
+			need = len(group)
+		}
+		// Bounded handoff debt: a group member that is unreachable AND whose
+		// hint queue is already full can neither ack nor absorb a hint.
+		// Refuse up front — deterministically, before dispatching anything —
+		// instead of letting the debt grow without bound.
+		for _, s := range group {
+			if s == n.id || !n.hintFull(s) {
+				continue
+			}
+			if _, up := n.peerReady(s); !up {
+				n.quorumFails.Add(1)
+				putBuf(vb)
+				return wire.WriteResp{ID: m.ID, Status: wire.StatusQuorumUnavailable, FB: n.feedback()}
+			}
+		}
+	}
+	m.Version = n.stampVersion()
 	acks := make(chan wire.WriteResp, len(group))
 	// Refcount the value buffer across the fan-out: the last replica write
 	// to finish recycles it.
@@ -1412,19 +1551,38 @@ func (n *Node) coordinateWrite(m wire.WriteReq, vb *[]byte) wire.WriteResp {
 			}
 			out, err := n.rpcWrite(s, m)
 			if err != nil {
+				// The replica is unreachable: bank the write as a hint (the
+				// copy happens before this goroutine releases its refcount
+				// on m.Value's buffer).
+				n.hintWrite(s, m)
 				out = wire.WriteResp{} // OK false: a failure report
 			}
 			acks <- out
 		}()
 	}
+	oks, fails := 0, 0
 	for i := 0; i < len(group); i++ {
-		if resp := <-acks; resp.OK {
-			resp.ID = m.ID
-			return resp
+		resp := <-acks
+		if resp.OK {
+			if oks++; oks >= need {
+				resp.ID = m.ID
+				resp.Status = wire.StatusOK
+				return resp
+			}
+			continue
+		}
+		if fails++; fails > len(group)-need {
+			break // the level is already unreachable: fail now, not at the end
 		}
 	}
-	n.writeFails.Add(1)
-	return wire.WriteResp{ID: m.ID, OK: false}
+	if oks == 0 {
+		n.writeFails.Add(1)
+	}
+	if lvl != One {
+		n.quorumFails.Add(1)
+		return wire.WriteResp{ID: m.ID, Status: wire.StatusQuorumUnavailable, FB: n.feedback()}
+	}
+	return wire.WriteResp{ID: m.ID, OK: false, Status: wire.StatusWriteFailed, FB: n.feedback()}
 }
 
 var errClosed = errors.New("kvstore: node closed")
@@ -1533,7 +1691,7 @@ func (n *Node) rpcWrite(id core.ServerID, m wire.WriteReq) (wire.WriteResp, erro
 	if err != nil {
 		return wire.WriteResp{}, err
 	}
-	return p.write(m.Key, m.Value)
+	return p.write(m.Key, m.Value, m.Version)
 }
 
 // Cluster is a convenience harness that runs n nodes on loopback.

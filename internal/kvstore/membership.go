@@ -484,14 +484,15 @@ func (n *Node) pullRange(c ring.Change, epoch uint64) error {
 				return fmt.Errorf("kvstore: streaming range (%d, %d]: %w", c.Start, c.End, lastErr)
 			}
 			src++       // a different owner's key set: cursors don't carry over
-			cursor = "" // re-pull the arc from its start (PutIfAbsent dedups)
+			cursor = "" // re-pull the arc from its start (the version guard dedups)
 			time.Sleep(streamRetryPause)
 			continue
 		}
-		// Only absent keys land: the check and write are atomic in the
-		// store, so a dual-routed write racing this page always wins.
+		// Only older-or-absent keys land: the version check and write are
+		// atomic in the store, so a dual-routed write racing this page
+		// always wins.
 		for i, k := range page.keys {
-			if _, err := n.store.PutIfAbsent(k, page.vals[i]); err != nil {
+			if _, err := n.store.PutRawIfNewer(k, page.vals[i]); err != nil {
 				return fmt.Errorf("kvstore: applying streamed page: %w", err)
 			}
 		}
@@ -625,7 +626,7 @@ func (n *Node) streamOut() {
 			}
 			for _, g := range gainers {
 				if p, err := n.peer(g); err == nil {
-					p.batchWrite(wire.MsgStreamPush, chunk, vals, nil)
+					p.batchWrite(wire.MsgStreamPush, 0, 0, chunk, vals, nil)
 				}
 			}
 		}

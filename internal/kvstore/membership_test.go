@@ -264,8 +264,8 @@ func TestAbortedJoinUnblocksMembership(t *testing.T) {
 }
 
 // TestStreamPushDoesNotClobberNewerValue: the decommission push path applies
-// pages only-if-absent — a pre-move value must never overwrite a newer
-// dual-routed write already on the gainer.
+// pages under the version guard — a pre-move value must never overwrite a
+// newer dual-routed write already on the gainer.
 func TestStreamPushDoesNotClobberNewerValue(t *testing.T) {
 	c, _ := startTestCluster(t, 3, Config{Seed: 73})
 	target := c.Nodes[1]
@@ -275,7 +275,7 @@ func TestStreamPushDoesNotClobberNewerValue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oks, _, err := p.batchWrite(wire.MsgStreamPush, []string{"hot", "cold"},
+	oks, _, _, err := p.batchWrite(wire.MsgStreamPush, 0, 0, []string{"hot", "cold"},
 		[][]byte{[]byte("stale"), []byte("cold-v")}, nil)
 	if err != nil || len(oks) != 2 || !oks[0] || !oks[1] {
 		t.Fatalf("stream push: oks=%v err=%v", oks, err)

@@ -54,14 +54,17 @@ type call struct {
 
 	// Batch results (isBatch). Read values are packed into bbuf (grown from
 	// dst) with boffs indexing them — key i's value is bbuf[boffs[i]:
-	// boffs[i+1]] — so copying them out of the frame buffer regrows at most
-	// one allocation, never one per key. bfound/boffs/boks retain capacity
-	// across pooled lives; their contents are valid only until putCall.
-	bfound []bool
-	boffs  []int
-	bbuf   []byte
-	boks   []bool
-	bfb    wire.Feedback
+	// boffs[i+1]] and bvers[i] its stored version — so copying them out of
+	// the frame buffer regrows at most one allocation, never one per key.
+	// bfound/boffs/bvers/boks retain capacity across pooled lives; their
+	// contents are valid only until putCall.
+	bfound  []bool
+	boffs   []int
+	bvers   []uint64
+	bbuf    []byte
+	boks    []bool
+	bstatus uint8
+	bfb     wire.Feedback
 
 	// Membership control results (ctl != ctlNone; cold path, deep copies).
 	ctl  uint8
@@ -111,8 +114,10 @@ func putCall(c *call) {
 	c.isBatch = false
 	c.bfound = c.bfound[:0]
 	c.boffs = c.boffs[:0]
+	c.bvers = c.bvers[:0]
 	c.bbuf = nil
 	c.boks = c.boks[:0]
+	c.bstatus = 0
 	c.bfb = wire.Feedback{}
 	c.ctl = ctlNone
 	c.ru = nil
@@ -250,14 +255,15 @@ func (p *rpcConn) readLoop() {
 				copy(grown, buf)
 				buf = grown
 			}
-			found, offs := c.bfound[:0], c.boffs[:0]
+			found, offs, vers := c.bfound[:0], c.boffs[:0], c.bvers[:0]
 			offs = append(offs, len(buf))
 			for _, it := range m.Items {
 				buf = append(buf, it.Value...)
 				found = append(found, it.Found)
+				vers = append(vers, it.Version)
 				offs = append(offs, len(buf))
 			}
-			c.bfound, c.boffs, c.bbuf, c.bfb = found, offs, buf, m.FB
+			c.bfound, c.boffs, c.bvers, c.bbuf, c.bfb = found, offs, vers, buf, m.FB
 			c.done <- struct{}{}
 		case wire.MsgBatchWriteResp:
 			m, err := wire.ParseBatchWriteResp(payload, oks[:0])
@@ -277,6 +283,7 @@ func (p *rpcConn) readLoop() {
 				return
 			}
 			c.boks = append(c.boks[:0], m.OK...)
+			c.bstatus = m.Status
 			c.bfb = m.FB
 			c.done <- struct{}{}
 		case wire.MsgRingUpdate:
@@ -391,12 +398,13 @@ func (p *rpcConn) abort(c *call, id uint64) {
 // read performs an internal (replica-local) read RPC. The response value is
 // appended to dst; passing nil allocates a fresh caller-owned buffer.
 func (p *rpcConn) read(key string, dst []byte) (wire.ReadResp, error) {
-	return p.readTyped(wire.MsgReadInternal, key, dst)
+	return p.readTyped(wire.MsgReadInternal, wire.LevelOne, key, dst)
 }
 
-// clientRead performs a coordinated read RPC (external client use).
-func (p *rpcConn) clientRead(key string, dst []byte) (wire.ReadResp, error) {
-	return p.readTyped(wire.MsgRead, key, dst)
+// clientRead performs a coordinated read RPC at a consistency level
+// (external client use).
+func (p *rpcConn) clientRead(cl uint8, key string, dst []byte) (wire.ReadResp, error) {
+	return p.readTyped(wire.MsgRead, cl, key, dst)
 }
 
 // readAsync dispatches an internal read RPC without blocking. The returned
@@ -405,10 +413,10 @@ func (p *rpcConn) clientRead(key string, dst []byte) (wire.ReadResp, error) {
 // that adopts the call if the caller stops waiting — the hedged-read
 // escalation path).
 func (p *rpcConn) readAsync(key string, dst []byte) (*call, error) {
-	return p.readAsyncTyped(wire.MsgReadInternal, key, dst)
+	return p.readAsyncTyped(wire.MsgReadInternal, wire.LevelOne, key, dst)
 }
 
-func (p *rpcConn) readAsyncTyped(typ uint8, key string, dst []byte) (*call, error) {
+func (p *rpcConn) readAsyncTyped(typ, cl uint8, key string, dst []byte) (*call, error) {
 	c := getCall(true, dst)
 	id, err := p.register(c)
 	if err != nil {
@@ -416,7 +424,7 @@ func (p *rpcConn) readAsyncTyped(typ uint8, key string, dst []byte) (*call, erro
 		return nil, err
 	}
 	fb := getBuf()
-	b, err := wire.AppendReadReq((*fb)[:0], typ, wire.ReadReq{ID: id, Key: key})
+	b, err := wire.AppendReadReq((*fb)[:0], typ, wire.ReadReq{ID: id, CL: cl, Key: key})
 	if err != nil {
 		putBuf(fb)
 		p.abort(c, id)
@@ -438,8 +446,8 @@ func readResult(c *call) (wire.ReadResp, error) {
 	return resp, err
 }
 
-func (p *rpcConn) readTyped(typ uint8, key string, dst []byte) (wire.ReadResp, error) {
-	c, err := p.readAsyncTyped(typ, key, dst)
+func (p *rpcConn) readTyped(typ, cl uint8, key string, dst []byte) (wire.ReadResp, error) {
+	c, err := p.readAsyncTyped(typ, cl, key, dst)
 	if err != nil {
 		return wire.ReadResp{}, err
 	}
@@ -453,7 +461,7 @@ func (p *rpcConn) readTyped(typ uint8, key string, dst []byte) (wire.ReadResp, e
 // are complete once done signals; the caller consumes them and then recycles
 // the record with putCall exactly once. Read values are packed into a buffer
 // grown from dst.
-func (p *rpcConn) batchReadAsync(typ uint8, keys []string, dst []byte) (*call, error) {
+func (p *rpcConn) batchReadAsync(typ, cl uint8, keys []string, dst []byte) (*call, error) {
 	c := getBatchCall(true, dst)
 	id, err := p.register(c)
 	if err != nil {
@@ -461,7 +469,7 @@ func (p *rpcConn) batchReadAsync(typ uint8, keys []string, dst []byte) (*call, e
 		return nil, err
 	}
 	fb := getBuf()
-	b, err := wire.AppendBatchReadReq((*fb)[:0], typ, wire.BatchReadReq{ID: id, Keys: keys})
+	b, err := wire.AppendBatchReadReq((*fb)[:0], typ, wire.BatchReadReq{ID: id, CL: cl, Keys: keys})
 	if err != nil {
 		putBuf(fb)
 		p.abort(c, id)
@@ -477,8 +485,8 @@ func (p *rpcConn) batchReadAsync(typ uint8, keys []string, dst []byte) (*call, e
 
 // batchRead performs a blocking batch read RPC. See batchReadAsync for the
 // ownership contract of the returned call.
-func (p *rpcConn) batchRead(typ uint8, keys []string, dst []byte) (*call, error) {
-	c, err := p.batchReadAsync(typ, keys, dst)
+func (p *rpcConn) batchRead(typ, cl uint8, keys []string, dst []byte) (*call, error) {
+	c, err := p.batchReadAsync(typ, cl, keys, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -491,43 +499,47 @@ func (p *rpcConn) batchRead(typ uint8, keys []string, dst []byte) (*call, error)
 	return c, nil
 }
 
-// batchWrite performs a blocking batch write RPC, appending the per-key acks
-// to oks (pass a reused scratch slice; nil allocates).
-func (p *rpcConn) batchWrite(typ uint8, keys []string, vals [][]byte, oks []bool) ([]bool, wire.Feedback, error) {
+// batchWrite performs a blocking batch write RPC at the given level and
+// version stamp, appending the per-key acks to oks (pass a reused scratch
+// slice; nil allocates). The returned status classifies a coordinator-level
+// failure (StatusOK on success and on plain per-key failures).
+func (p *rpcConn) batchWrite(typ, cl uint8, ver uint64, keys []string, vals [][]byte, oks []bool) ([]bool, uint8, wire.Feedback, error) {
 	c := getBatchCall(false, nil)
 	id, err := p.register(c)
 	if err != nil {
 		putCall(c)
-		return oks, wire.Feedback{}, err
+		return oks, 0, wire.Feedback{}, err
 	}
 	fb := getBuf()
 	b, err := wire.AppendBatchWriteReq((*fb)[:0], typ,
-		wire.BatchWriteReq{ID: id, Keys: keys, Values: vals})
+		wire.BatchWriteReq{ID: id, CL: cl, Version: ver, Keys: keys, Values: vals})
 	if err != nil {
 		putBuf(fb)
 		p.abort(c, id)
-		return oks, wire.Feedback{}, err
+		return oks, 0, wire.Feedback{}, err
 	}
 	*fb = b
 	if err := p.cw.enqueue(fb); err != nil {
 		p.abort(c, id)
-		return oks, wire.Feedback{}, err
+		return oks, 0, wire.Feedback{}, err
 	}
 	<-c.done
 	oks = append(oks[:0], c.boks...)
-	feedback, err := c.bfb, c.err
+	status, feedback, err := c.bstatus, c.bfb, c.err
 	putCall(c)
-	return oks, feedback, err
+	return oks, status, feedback, err
 }
 
-// write performs an internal write RPC.
-func (p *rpcConn) write(key string, val []byte) (wire.WriteResp, error) {
-	return p.writeTyped(wire.MsgWriteInternal, key, val)
+// write performs an internal write RPC carrying the coordinator's version
+// stamp (the replica applies it under the last-write-wins guard).
+func (p *rpcConn) write(key string, val []byte, ver uint64) (wire.WriteResp, error) {
+	return p.writeTyped(wire.MsgWriteInternal, wire.LevelOne, ver, key, val)
 }
 
-// clientWrite performs a coordinated write RPC.
-func (p *rpcConn) clientWrite(key string, val []byte) (wire.WriteResp, error) {
-	return p.writeTyped(wire.MsgWrite, key, val)
+// clientWrite performs a coordinated write RPC at a consistency level; the
+// coordinator stamps the version.
+func (p *rpcConn) clientWrite(cl uint8, key string, val []byte) (wire.WriteResp, error) {
+	return p.writeTyped(wire.MsgWrite, cl, 0, key, val)
 }
 
 // ctlSend registers and dispatches one membership control call: enc encodes
@@ -629,7 +641,7 @@ func (p *rpcConn) streamPull(req wire.StreamReq) (*streamPage, error) {
 	return page, nil
 }
 
-func (p *rpcConn) writeTyped(typ uint8, key string, val []byte) (wire.WriteResp, error) {
+func (p *rpcConn) writeTyped(typ, cl uint8, ver uint64, key string, val []byte) (wire.WriteResp, error) {
 	c := getCall(false, nil)
 	id, err := p.register(c)
 	if err != nil {
@@ -637,7 +649,8 @@ func (p *rpcConn) writeTyped(typ uint8, key string, val []byte) (wire.WriteResp,
 		return wire.WriteResp{}, err
 	}
 	fb := getBuf()
-	b, err := wire.AppendWriteReq((*fb)[:0], typ, wire.WriteReq{ID: id, Key: key, Value: val})
+	b, err := wire.AppendWriteReq((*fb)[:0], typ,
+		wire.WriteReq{ID: id, CL: cl, Version: ver, Key: key, Value: val})
 	if err != nil {
 		putBuf(fb)
 		p.abort(c, id)

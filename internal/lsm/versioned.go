@@ -1,0 +1,254 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Versioned values. The kvstore coordinator stamps every write with a 64-bit
+// HLC-style version and the engine stores it as an 8-byte little-endian
+// prefix of the value bytes, so the WAL, SST, and manifest formats carry
+// versions without any change: a versioned record is an ordinary record
+// whose value happens to start with its version. PutVersioned applies a
+// last-write-wins guard — the check and the write share one critical
+// section, the same atomicity PutIfAbsent gives membership streaming — so a
+// read-repair write-back or a replayed hint can never clobber a newer value.
+//
+// Because the guard holds s.mu, a key's stored version is non-decreasing
+// over time, which means newest-run-wins (the engine's native shadowing
+// rule) and highest-version-wins coincide: flush and compaction need no
+// version awareness.
+
+// VersionLen is the size of the version prefix inside stored value bytes.
+const VersionLen = 8
+
+// ErrUnreadable reports that the existing value's version could not be read
+// (I/O error on a file-backed run), so a guarded write cannot decide.
+var ErrUnreadable = errors.New("lsm: existing value unreadable")
+
+// AppendVersioned appends the wire/storage encoding of (ver, val) to dst:
+// 8 bytes of little-endian version followed by the payload.
+func AppendVersioned(dst []byte, ver uint64, val []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, ver)
+	return append(dst, val...)
+}
+
+// SplitVersioned splits a raw stored value into its version and payload.
+// Values shorter than the prefix (written by the unversioned API) read as
+// version 0 with the raw bytes as payload.
+func SplitVersioned(raw []byte) (ver uint64, val []byte) {
+	if len(raw) < VersionLen {
+		return 0, raw
+	}
+	return binary.LittleEndian.Uint64(raw), raw[VersionLen:]
+}
+
+// PutVersioned stores val under key at version ver if and only if the key's
+// current version is lower (absent and tombstoned keys always lose).
+// applied=false with a nil error means a value at ver or newer already
+// exists — success for idempotent writers like hint replay and read repair.
+// Durability semantics match Put: a nil return means the record's commit
+// group is on disk.
+func (s *Store) PutVersioned(key string, ver uint64, val []byte) (applied bool, err error) {
+	raw := make([]byte, 0, VersionLen+len(val))
+	raw = AppendVersioned(raw, ver, val)
+	return s.putRawNewer(key, ver, raw)
+}
+
+// PutRawIfNewer stores a raw version-prefixed value (as read back via
+// GetAppend or Get) under the same last-write-wins guard as PutVersioned.
+// Membership streaming and rebuild apply received values with it, so a
+// streamed pre-move value can never shadow a newer concurrent write. Raw
+// values without a prefix carry version 0: they apply only when the key is
+// absent, which is exactly the old PutIfAbsent contract.
+func (s *Store) PutRawIfNewer(key string, raw []byte) (applied bool, err error) {
+	ver, _ := SplitVersioned(raw)
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	return s.putRawNewer(key, ver, cp)
+}
+
+// PutAllVersioned stores vals under keys at one shared version, applying the
+// same last-write-wins guard as PutVersioned per key. Winning records join a
+// single WAL commit group (one fsync for the whole batch, like PutAll); keys
+// whose stored version is already >= ver are skipped silently — idempotent
+// success, the contract batch hint replay and quorum batch writes rely on.
+func (s *Store) PutAllVersioned(keys []string, vals [][]byte, ver uint64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	total := 0
+	for _, v := range vals {
+		total += VersionLen + len(v)
+	}
+	arena := make([]byte, 0, total)
+	cps := make([][]byte, 0, len(keys))
+	wk := make([]string, 0, len(keys))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	for i, k := range keys {
+		cur, present, err := s.versionLocked(k)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		if present && cur >= ver {
+			continue
+		}
+		at := len(arena)
+		arena = AppendVersioned(arena, ver, vals[i])
+		cps = append(cps, arena[at:len(arena):len(arena)])
+		wk = append(wk, k)
+	}
+	if len(wk) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	var cw *walCommit
+	if s.wal != nil {
+		var err error
+		if cw, err = s.wal.addBatch(wk, cps); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	for i := range wk {
+		s.c.puts.Add(1)
+		s.putLocked(wk[i], cps[i])
+	}
+	s.mu.Unlock()
+	return waitCommit(cw)
+}
+
+// putRawNewer is the shared guarded write: cp must be a private copy of the
+// full version-prefixed value.
+func (s *Store) putRawNewer(key string, ver uint64, cp []byte) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	cur, present, err := s.versionLocked(key)
+	if err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	if present && cur >= ver {
+		s.mu.Unlock()
+		return false, nil
+	}
+	var cw *walCommit
+	if s.wal != nil {
+		if cw, err = s.wal.add(walPut, key, cp); err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+	}
+	s.c.puts.Add(1)
+	s.putLocked(key, cp)
+	s.mu.Unlock()
+	return true, waitCommit(cw)
+}
+
+// versionLocked reads the version of key's newest live record. present=false
+// means absent or tombstoned (any versioned write may apply). Unversioned
+// short values read as version 0.
+func (s *Store) versionLocked(key string) (ver uint64, present bool, err error) {
+	if v, ok := s.mem[key]; ok {
+		if v == nil {
+			return 0, false, nil
+		}
+		ver, _ := SplitVersioned(v)
+		return ver, true, nil
+	}
+	for _, r := range s.runs {
+		if !r.bloom.MayContain(key) {
+			continue
+		}
+		if i := r.find(key); i >= 0 {
+			if r.tombstone(i) {
+				return 0, false, nil
+			}
+			return r.version(i)
+		}
+	}
+	return 0, false, nil
+}
+
+// version reads the 8-byte version prefix of entry i, touching at most
+// VersionLen bytes of a file-backed run.
+func (r *run) version(i int) (uint64, bool, error) {
+	if r.vals != nil {
+		ver, _ := SplitVersioned(r.vals[i])
+		return ver, true, nil
+	}
+	n := int(r.vlens[i] &^ tombstoneBit)
+	if n < VersionLen {
+		return 0, true, nil
+	}
+	if r.cache != nil {
+		return binary.LittleEndian.Uint64(r.cache[r.offs[i]:]), true, nil
+	}
+	var b [VersionLen]byte
+	if _, err := r.f.ReadAt(b[:], r.offs[i]); err != nil {
+		return 0, true, ErrUnreadable
+	}
+	return binary.LittleEndian.Uint64(b[:]), true, nil
+}
+
+// GetVersioned appends the newest payload of key to dst (version prefix
+// stripped in place — no extra allocation) and returns the stored version.
+func (s *Store) GetVersioned(dst []byte, key string) (_ []byte, ver uint64, ok bool) {
+	at := len(dst)
+	out, ok := s.GetAppend(dst, key)
+	if !ok {
+		return dst, 0, false
+	}
+	if len(out)-at < VersionLen {
+		return out, 0, true // unversioned legacy value
+	}
+	ver = binary.LittleEndian.Uint64(out[at:])
+	copy(out[at:], out[at+VersionLen:])
+	return out[: len(out)-VersionLen : cap(out)], ver, true
+}
+
+// Version reports the current version of key (0, false when absent).
+func (s *Store) Version(key string) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, false
+	}
+	ver, present, err := s.versionLocked(key)
+	if err != nil || !present {
+		return 0, false
+	}
+	return ver, true
+}
+
+// Sidecar log helpers. The kvstore hint log reuses the WAL record framing
+// ([plen u32][crc32c u32][payload]) for its own durable per-peer queues, so
+// torn-tail and corruption handling behave identically to the WAL proper.
+
+// LogPut is the op byte sidecar logs should use for key/value records.
+const LogPut = walPut
+
+// AppendLogRecord appends one CRC-framed record in the WAL record format.
+func AppendLogRecord(b []byte, op byte, key string, val []byte) []byte {
+	return appendWALRecord(b, op, key, val)
+}
+
+// ReplayLog reads records from path in order, calling apply for each valid
+// one, and returns the length of the valid prefix. Parsing stops without
+// error at the first torn or corrupt record.
+func ReplayLog(path string, apply func(op byte, key string, val []byte)) (int64, error) {
+	return replayWAL(path, apply)
+}
+
+// TruncateLog cuts path down to validLen, discarding a torn tail.
+func TruncateLog(path string, validLen int64) error {
+	return truncateWAL(path, validLen)
+}

@@ -50,13 +50,17 @@ func TestBatchReadReqRoundtrip(t *testing.T) {
 func TestBatchReadRespStreamingRoundtrip(t *testing.T) {
 	vals := [][]byte{[]byte("hello"), nil, bytes.Repeat([]byte{0xCC}, 2048), {}}
 	found := []bool{true, false, true, true}
+	vers := []uint64{3, 0, 99, 7}
 	fb := Feedback{QueueSize: 4.25, ServiceNs: 987654}
 
 	b, mark := BeginBatchReadResp(nil, 31)
 	var err error
 	for i := range vals {
 		b = BeginBatchReadItem(b, &mark)
-		b = append(b, vals[i]...)
+		if found[i] {
+			b = appendU64(b, vers[i]) // found values carry the version prefix
+			b = append(b, vals[i]...)
+		}
 		if b, err = FinishBatchReadItem(b, &mark, found[i]); err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +82,7 @@ func TestBatchReadRespStreamingRoundtrip(t *testing.T) {
 		t.Fatalf("out = %+v", out)
 	}
 	for i, it := range out.Items {
-		if it.Found != found[i] || !bytes.Equal(it.Value, vals[i]) {
+		if it.Found != found[i] || !bytes.Equal(it.Value, vals[i]) || it.Version != vers[i] {
 			t.Fatalf("item %d = %+v", i, it)
 		}
 	}
@@ -88,7 +92,7 @@ func TestBatchReadRespAppendMatchesStreaming(t *testing.T) {
 	in := BatchReadResp{
 		ID: 5,
 		Items: []BatchItem{
-			{Found: true, Value: []byte("v0")},
+			{Found: true, Version: 11, Value: []byte("v0")},
 			{Found: false},
 		},
 		FB: Feedback{QueueSize: 1, ServiceNs: 2},
@@ -100,7 +104,10 @@ func TestBatchReadRespAppendMatchesStreaming(t *testing.T) {
 	b, mark := BeginBatchReadResp(nil, in.ID)
 	for _, it := range in.Items {
 		b = BeginBatchReadItem(b, &mark)
-		b = append(b, it.Value...)
+		if it.Found {
+			b = appendU64(b, it.Version)
+			b = append(b, it.Value...)
+		}
 		if b, err = FinishBatchReadItem(b, &mark, it.Found); err != nil {
 			t.Fatal(err)
 		}

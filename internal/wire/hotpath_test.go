@@ -12,7 +12,7 @@ import (
 // mutating the payload mutates them — anyone retaining them past the frame
 // must copy.
 func TestParseAliasesPayload(t *testing.T) {
-	frame, err := AppendReadResp(nil, ReadResp{ID: 1, Found: true, Value: []byte("aliased")})
+	frame, err := AppendReadResp(nil, ReadResp{ID: 1, Found: true, Version: 9, Value: []byte("aliased")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,11 +21,15 @@ func TestParseAliasesPayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Value starts after id (8) + found (1) + length (4).
-	if len(out.Value) == 0 || &out.Value[0] != &payload[13] {
+	if out.Version != 9 {
+		t.Fatalf("version = %d", out.Version)
+	}
+	// Value starts after id (8) + found (1) + status (1) + length (4) +
+	// version prefix (8).
+	if len(out.Value) == 0 || &out.Value[0] != &payload[22] {
 		t.Fatal("ParseReadResp value does not alias the payload")
 	}
-	payload[13] = 'X'
+	payload[22] = 'X'
 	if string(out.Value) != "Xliased" {
 		t.Fatalf("value = %q after payload mutation, want it to alias", out.Value)
 	}
@@ -47,12 +51,12 @@ func TestParseAliasesPayload(t *testing.T) {
 	if req.Key != "thekey" {
 		t.Fatalf("key = %q", req.Key)
 	}
-	wp[10] = 'T' // first key byte (8 id + 2 len)
+	wp[19] = 'T' // first key byte (8 id + 1 cl + 8 version + 2 len)
 	if req.Key != "Thekey" {
 		t.Fatalf("key = %q after payload mutation, want it to alias", req.Key)
 	}
 	clone := strings.Clone(req.Key)
-	wp[10] = 'Z'
+	wp[19] = 'Z'
 	if clone != "Thekey" {
 		t.Fatalf("strings.Clone did not detach: %q", clone)
 	}
@@ -94,13 +98,15 @@ func TestReaderShrinksRetainedBuffer(t *testing.T) {
 	}
 }
 
-// TestStreamedReadResp exercises the streaming server encode: value bytes
-// are appended straight into the frame between BeginReadResp and
-// FinishReadResp, and the feedback is supplied after the value exists.
+// TestStreamedReadResp exercises the streaming server encode: raw
+// version-prefixed value bytes are appended straight into the frame between
+// BeginReadResp and FinishReadResp, and the feedback is supplied after the
+// value exists.
 func TestStreamedReadResp(t *testing.T) {
 	frame, mark := BeginReadResp(nil, 77)
+	frame = appendU64(frame, 31) // version prefix, as the lsm stores it
 	frame = append(frame, "streamed-value"...)
-	frame, err := FinishReadResp(frame, mark, true, Feedback{QueueSize: 2, ServiceNs: 42})
+	frame, err := FinishReadResp(frame, mark, true, StatusOK, Feedback{QueueSize: 2, ServiceNs: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +119,14 @@ func TestStreamedReadResp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Found || string(out.Value) != "streamed-value" ||
+	if !out.Found || string(out.Value) != "streamed-value" || out.Version != 31 ||
 		out.ID != 77 || out.FB.QueueSize != 2 || out.FB.ServiceNs != 42 {
 		t.Fatalf("out = %+v", out)
 	}
 
 	// Not-found: nothing appended between begin and finish.
 	frame, mark = BeginReadResp(frame[:0], 78)
-	frame, err = FinishReadResp(frame, mark, false, Feedback{})
+	frame, err = FinishReadResp(frame, mark, false, StatusOK, Feedback{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,13 +137,14 @@ func TestStreamedReadResp(t *testing.T) {
 
 	// A caller that truncated the buffer must be rejected, not encoded.
 	frame, mark = BeginReadResp(nil, 1)
-	if _, err := FinishReadResp(frame[:mark.lenAt], mark, true, Feedback{}); err == nil {
+	if _, err := FinishReadResp(frame[:mark.lenAt], mark, true, StatusOK, Feedback{}); err == nil {
 		t.Fatal("truncated buffer accepted")
 	}
-	// Oversized values are rejected.
+	// Oversized values are rejected (the wire bound covers the version
+	// prefix plus the payload limit).
 	frame, mark = BeginReadResp(nil, 1)
-	frame = append(frame, make([]byte, MaxValueLen+1)...)
-	if _, err := FinishReadResp(frame, mark, true, Feedback{}); err == nil {
+	frame = append(frame, make([]byte, VersionPrefix+MaxValueLen+1)...)
+	if _, err := FinishReadResp(frame, mark, true, StatusOK, Feedback{}); err == nil {
 		t.Fatal("oversized value accepted")
 	}
 }

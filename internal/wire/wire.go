@@ -88,8 +88,9 @@ const (
 	// MsgStreamPush carries one page of a decommissioning node's key ranges
 	// to a gainer. Same payload layout as MsgBatchWriteInternal (encode with
 	// AppendBatchWriteReq, decode with ParseBatchWriteReq, acked by
-	// MsgBatchWriteResp), but the receiver applies each pair only when the
-	// key is absent — a streamed pre-move value must never clobber a newer
+	// MsgBatchWriteResp), but the values are raw version-prefixed storage
+	// bytes and the receiver applies each pair under the last-write-wins
+	// guard — a streamed pre-move value must never clobber a newer
 	// dual-routed write.
 	MsgStreamPush
 )
@@ -108,6 +109,46 @@ const (
 	MaxBatchKeys = 4096
 )
 
+// VersionPrefix is the length of the version prefix carried inside the value
+// bytes of read responses and streamed pages: the coordinator stamps every
+// write with a 64-bit HLC-style version, the storage engine keeps it as an
+// 8-byte little-endian prefix of the stored value, and read responses ship
+// the raw prefixed bytes so a server can stream storage output into the
+// frame unchanged. Decoders split the prefix into the Version field.
+const VersionPrefix = 8
+
+// maxWireValue bounds a value field on the wire: the client-facing payload
+// cap plus the version prefix read responses carry.
+const maxWireValue = MaxValueLen + VersionPrefix
+
+// Per-operation consistency levels, carried as one byte on client-facing
+// requests. The zero value is ONE, so old encoders remain valid frames.
+const (
+	// LevelOne acks a read or write after the first replica response — the
+	// latency-optimal default, C3's native regime.
+	LevelOne uint8 = iota
+	// LevelQuorum acks after ⌊N/2⌋+1 replicas; R+W>N read-your-writes.
+	LevelQuorum
+	// LevelAll acks only when every replica responded.
+	LevelAll
+)
+
+// Response status codes: one byte on read/write responses so clients can
+// map failures to a typed error taxonomy. Zero is OK, so old encoders
+// remain valid frames.
+const (
+	// StatusOK reports success at the requested level.
+	StatusOK uint8 = iota
+	// StatusWriteFailed reports that no replica applied a write.
+	StatusWriteFailed
+	// StatusQuorumUnavailable reports fewer live replicas than the level
+	// requires (or a full hint log refusing to accept more debt).
+	StatusQuorumUnavailable
+	// StatusTimeout reports that the operation budget expired before the
+	// level was satisfied.
+	StatusTimeout
+)
+
 // MaxRetainedBuffer caps the frame buffer a Reader keeps across frames. A
 // single MaxFrame-sized frame would otherwise pin megabytes for the
 // connection's lifetime; after serving an oversized frame the Reader shrinks
@@ -123,49 +164,61 @@ type Feedback struct {
 	ServiceNs int64
 }
 
-// ReadReq asks for a key. Internal requests are replica-local reads.
+// ReadReq asks for a key. Internal requests are replica-local reads. CL is
+// the requested consistency level (client frames only; internal reads are
+// always replica-local and ignore it).
 type ReadReq struct {
 	ID  uint64
+	CL  uint8
 	Key string
 }
 
-// ReadResp answers a read.
+// ReadResp answers a read. Version is the stored value's coordinator stamp
+// (0 when absent); Status classifies coordinator-level failures.
 type ReadResp struct {
-	ID    uint64
-	Found bool
-	Value []byte
-	FB    Feedback
+	ID      uint64
+	Found   bool
+	Status  uint8
+	Version uint64
+	Value   []byte
+	FB      Feedback
 }
 
-// WriteReq stores a value.
+// WriteReq stores a value. Client frames carry CL and leave Version zero;
+// coordinator→replica frames carry the stamped Version (CL unused).
 type WriteReq struct {
-	ID    uint64
-	Key   string
-	Value []byte
+	ID      uint64
+	CL      uint8
+	Version uint64
+	Key     string
+	Value   []byte
 }
 
 // WriteResp acknowledges a write. OK distinguishes a genuine ack from a
 // failure report: a replica sets it after applying the write locally, and a
-// coordinator sets it only when at least one replica applied the write — an
-// all-replicas-down write comes back with OK false and must surface as an
-// error, never as an ack.
+// coordinator sets it only when the requested level was met — an
+// under-quorum write comes back with OK false and a Status classifying why,
+// and must surface as an error, never as an ack.
 type WriteResp struct {
-	ID uint64
-	OK bool
-	FB Feedback
+	ID     uint64
+	OK     bool
+	Status uint8
+	FB     Feedback
 }
 
 // BatchReadReq asks for many keys in one frame (MsgBatchRead /
-// MsgBatchReadInternal).
+// MsgBatchReadInternal). CL as in ReadReq.
 type BatchReadReq struct {
 	ID   uint64
+	CL   uint8
 	Keys []string
 }
 
 // BatchItem is one key's result within a batch read response.
 type BatchItem struct {
-	Found bool
-	Value []byte
+	Found   bool
+	Version uint64
+	Value   []byte
 }
 
 // BatchReadResp answers a batch read: per-key results in request order, plus
@@ -179,19 +232,25 @@ type BatchReadResp struct {
 }
 
 // BatchWriteReq stores many key/value pairs in one frame (MsgBatchWrite /
-// MsgBatchWriteInternal).
+// MsgBatchWriteInternal). One Version stamps the whole batch — versions
+// compare per key, so a shared stamp is sound. CL and Version as in
+// WriteReq.
 type BatchWriteReq struct {
-	ID     uint64
-	Keys   []string
-	Values [][]byte
+	ID      uint64
+	CL      uint8
+	Version uint64
+	Keys    []string
+	Values  [][]byte
 }
 
 // BatchWriteResp acknowledges a batch write with per-key OK flags in request
-// order (see WriteResp for the OK contract) and one feedback sample.
+// order (see WriteResp for the OK contract), one batch-level Status, and one
+// feedback sample.
 type BatchWriteResp struct {
-	ID uint64
-	OK []bool
-	FB Feedback
+	ID     uint64
+	Status uint8
+	OK     []bool
+	FB     Feedback
 }
 
 // --- encoding -------------------------------------------------------------
@@ -234,7 +293,7 @@ func appendStr(dst []byte, s string) ([]byte, error) {
 }
 
 func appendBytes(dst []byte, b []byte) ([]byte, error) {
-	if len(b) > MaxValueLen {
+	if len(b) > maxWireValue {
 		return dst, fmt.Errorf("wire: value length %d exceeds limit", len(b))
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
@@ -250,20 +309,29 @@ func appendFeedback(dst []byte, fb Feedback) []byte {
 // (MsgRead or MsgReadInternal) to dst. On error dst is returned unchanged.
 func AppendReadReq(dst []byte, typ uint8, m ReadReq) ([]byte, error) {
 	dst, start := beginFrame(dst, typ)
-	dst, err := appendStr(appendU64(dst, m.ID), m.Key)
+	dst = append(appendU64(dst, m.ID), m.CL)
+	dst, err := appendStr(dst, m.Key)
 	if err != nil {
 		return dst[:start], err
 	}
 	return endFrame(dst, start)
 }
 
-// AppendReadResp appends a complete framed read response to dst.
+// AppendReadResp appends a complete framed read response to dst. A found
+// response's value field carries the version prefix followed by the payload
+// (see VersionPrefix); an absent one carries no value bytes.
 func AppendReadResp(dst []byte, m ReadResp) ([]byte, error) {
 	dst, start := beginFrame(dst, MsgReadResp)
-	dst = appendBool(appendU64(dst, m.ID), m.Found)
-	dst, err := appendBytes(dst, m.Value)
-	if err != nil {
-		return dst[:start], err
+	dst = append(appendBool(appendU64(dst, m.ID), m.Found), m.Status)
+	if m.Found {
+		if len(m.Value) > MaxValueLen {
+			return dst[:start], fmt.Errorf("wire: value length %d exceeds limit", len(m.Value))
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(VersionPrefix+len(m.Value)))
+		dst = appendU64(dst, m.Version)
+		dst = append(dst, m.Value...)
+	} else {
+		dst = binary.LittleEndian.AppendUint32(dst, 0)
 	}
 	return endFrame(appendFeedback(dst, m.FB), start)
 }
@@ -274,33 +342,36 @@ type ReadRespMark struct{ start, foundAt, lenAt int }
 
 // BeginReadResp starts a read-response frame whose value bytes the caller
 // appends directly — the zero-copy server path: the storage engine writes
-// the value straight into the outgoing frame buffer. Append only, then call
-// FinishReadResp with the same mark.
+// the raw version-prefixed value straight into the outgoing frame buffer
+// (lsm stores the 8-byte version prefix inline, so GetAppend output IS the
+// wire value field). Append only, then call FinishReadResp with the same
+// mark.
 func BeginReadResp(dst []byte, id uint64) ([]byte, ReadRespMark) {
 	dst, start := beginFrame(dst, MsgReadResp)
 	dst = appendU64(dst, id)
 	m := ReadRespMark{start: start, foundAt: len(dst)}
-	dst = append(dst, 0)
+	dst = append(dst, 0, 0) // found, status placeholders
 	m.lenAt = len(dst)
 	dst = append(dst, 0, 0, 0, 0)
 	return dst, m
 }
 
 // FinishReadResp completes a frame begun with BeginReadResp: it patches the
-// found flag and value length, then appends the feedback — sampled after the
-// value was produced, so it reflects the post-read server state. On error
-// dst is returned with the partial frame removed.
-func FinishReadResp(dst []byte, m ReadRespMark, found bool, fb Feedback) ([]byte, error) {
+// found flag, status, and value length, then appends the feedback — sampled
+// after the value was produced, so it reflects the post-read server state.
+// On error dst is returned with the partial frame removed.
+func FinishReadResp(dst []byte, m ReadRespMark, found bool, status uint8, fb Feedback) ([]byte, error) {
 	vlen := len(dst) - m.lenAt - 4
 	if vlen < 0 {
 		return dst[:m.start], errors.New("wire: value bytes truncated the buffer")
 	}
-	if vlen > MaxValueLen {
+	if vlen > maxWireValue {
 		return dst[:m.start], fmt.Errorf("wire: value length %d exceeds limit", vlen)
 	}
 	if found {
 		dst[m.foundAt] = 1
 	}
+	dst[m.foundAt+1] = status
 	binary.LittleEndian.PutUint32(dst[m.lenAt:m.lenAt+4], uint32(vlen))
 	return endFrame(appendFeedback(dst, fb), m.start)
 }
@@ -309,7 +380,8 @@ func FinishReadResp(dst []byte, m ReadRespMark, found bool, fb Feedback) ([]byte
 // (MsgWrite or MsgWriteInternal) to dst.
 func AppendWriteReq(dst []byte, typ uint8, m WriteReq) ([]byte, error) {
 	dst, start := beginFrame(dst, typ)
-	dst, err := appendStr(appendU64(dst, m.ID), m.Key)
+	dst = appendU64(append(appendU64(dst, m.ID), m.CL), m.Version)
+	dst, err := appendStr(dst, m.Key)
 	if err != nil {
 		return dst[:start], err
 	}
@@ -322,7 +394,8 @@ func AppendWriteReq(dst []byte, typ uint8, m WriteReq) ([]byte, error) {
 // AppendWriteResp appends a complete framed write acknowledgement to dst.
 func AppendWriteResp(dst []byte, m WriteResp) ([]byte, error) {
 	dst, start := beginFrame(dst, MsgWriteResp)
-	return endFrame(appendFeedback(appendBool(appendU64(dst, m.ID), m.OK), m.FB), start)
+	dst = append(appendBool(appendU64(dst, m.ID), m.OK), m.Status)
+	return endFrame(appendFeedback(dst, m.FB), start)
 }
 
 // --- batch encoding -------------------------------------------------------
@@ -346,7 +419,7 @@ func appendBatchCount(dst []byte, n int) ([]byte, error) {
 // given type (MsgBatchRead or MsgBatchReadInternal) to dst.
 func AppendBatchReadReq(dst []byte, typ uint8, m BatchReadReq) ([]byte, error) {
 	dst, start := beginFrame(dst, typ)
-	dst, err := appendBatchCount(appendU64(dst, m.ID), len(m.Keys))
+	dst, err := appendBatchCount(append(appendU64(dst, m.ID), m.CL), len(m.Keys))
 	if err != nil {
 		return dst[:start], err
 	}
@@ -366,7 +439,8 @@ func AppendBatchWriteReq(dst []byte, typ uint8, m BatchWriteReq) ([]byte, error)
 		return dst, fmt.Errorf("wire: batch write %d keys vs %d values", len(m.Keys), len(m.Values))
 	}
 	dst, start := beginFrame(dst, typ)
-	dst, err := appendBatchCount(appendU64(dst, m.ID), len(m.Keys))
+	dst = appendU64(append(appendU64(dst, m.ID), m.CL), m.Version)
+	dst, err := appendBatchCount(dst, len(m.Keys))
 	if err != nil {
 		return dst[:start], err
 	}
@@ -385,7 +459,7 @@ func AppendBatchWriteReq(dst []byte, typ uint8, m BatchWriteReq) ([]byte, error)
 // to dst.
 func AppendBatchWriteResp(dst []byte, m BatchWriteResp) ([]byte, error) {
 	dst, start := beginFrame(dst, MsgBatchWriteResp)
-	dst, err := appendBatchCount(appendU64(dst, m.ID), len(m.OK))
+	dst, err := appendBatchCount(append(appendU64(dst, m.ID), m.Status), len(m.OK))
 	if err != nil {
 		return dst[:start], err
 	}
@@ -436,7 +510,7 @@ func FinishBatchReadItem(dst []byte, m *BatchReadRespMark, found bool) ([]byte, 
 	if vlen < 0 {
 		return dst[:m.start], errors.New("wire: value bytes truncated the buffer")
 	}
-	if vlen > MaxValueLen {
+	if vlen > maxWireValue {
 		return dst[:m.start], fmt.Errorf("wire: value length %d exceeds limit", vlen)
 	}
 	if found {
@@ -470,7 +544,10 @@ func AppendBatchReadResp(dst []byte, m BatchReadResp) ([]byte, error) {
 	var err error
 	for _, it := range m.Items {
 		dst = BeginBatchReadItem(dst, &mark)
-		dst = append(dst, it.Value...)
+		if it.Found {
+			dst = appendU64(dst, it.Version) // found values carry the prefix
+			dst = append(dst, it.Value...)
+		}
 		if dst, err = FinishBatchReadItem(dst, &mark, it.Found); err != nil {
 			return dst, err
 		}
@@ -653,7 +730,7 @@ func (d *decoder) bytes() []byte {
 	}
 	n := int(binary.LittleEndian.Uint32(d.b))
 	d.b = d.b[4:]
-	if n > MaxValueLen || !d.need(n) {
+	if n > maxWireValue || !d.need(n) {
 		d.err = errors.New("wire: bad value length")
 		return nil
 	}
@@ -662,11 +739,22 @@ func (d *decoder) bytes() []byte {
 	return out
 }
 
+// versionedBytes decodes a value field that carries the version prefix
+// (read responses, batch items), splitting it off. Short fields (absent
+// values, legacy encoders) read as version 0.
+func (d *decoder) versionedBytes() (uint64, []byte) {
+	raw := d.bytes()
+	if len(raw) < VersionPrefix {
+		return 0, raw
+	}
+	return binary.LittleEndian.Uint64(raw), raw[VersionPrefix:]
+}
+
 // ParseReadReq decodes a MsgRead/MsgReadInternal payload. The returned Key
 // aliases b (see the package contract).
 func ParseReadReq(b []byte) (ReadReq, error) {
 	d := decoder{b: b}
-	m := ReadReq{ID: d.u64(), Key: d.str()}
+	m := ReadReq{ID: d.u64(), CL: d.u8(), Key: d.str()}
 	return m, d.err
 }
 
@@ -676,7 +764,8 @@ func ParseReadResp(b []byte) (ReadResp, error) {
 	d := decoder{b: b}
 	m := ReadResp{ID: d.u64()}
 	m.Found = d.u8() == 1
-	m.Value = d.bytes()
+	m.Status = d.u8()
+	m.Version, m.Value = d.versionedBytes()
 	m.FB.QueueSize = d.f64()
 	m.FB.ServiceNs = d.i64()
 	return m, d.err
@@ -686,7 +775,7 @@ func ParseReadResp(b []byte) (ReadResp, error) {
 // Key and Value alias b (see the package contract).
 func ParseWriteReq(b []byte) (WriteReq, error) {
 	d := decoder{b: b}
-	m := WriteReq{ID: d.u64(), Key: d.str()}
+	m := WriteReq{ID: d.u64(), CL: d.u8(), Version: d.u64(), Key: d.str()}
 	m.Value = d.bytes()
 	return m, d.err
 }
@@ -696,6 +785,7 @@ func ParseWriteResp(b []byte) (WriteResp, error) {
 	d := decoder{b: b}
 	m := WriteResp{ID: d.u64()}
 	m.OK = d.u8() == 1
+	m.Status = d.u8()
 	m.FB.QueueSize = d.f64()
 	m.FB.ServiceNs = d.i64()
 	return m, d.err
@@ -721,7 +811,7 @@ func (d *decoder) batchCount() int {
 // (see the package contract).
 func ParseBatchReadReq(b []byte, keys []string) (BatchReadReq, error) {
 	d := decoder{b: b}
-	m := BatchReadReq{ID: d.u64()}
+	m := BatchReadReq{ID: d.u64(), CL: d.u8()}
 	n := d.batchCount()
 	keys = keys[:0]
 	for i := 0; i < n && d.err == nil; i++ {
@@ -741,7 +831,7 @@ func ParseBatchReadResp(b []byte, items []BatchItem) (BatchReadResp, error) {
 	items = items[:0]
 	for i := 0; i < n && d.err == nil; i++ {
 		it := BatchItem{Found: d.u8() == 1}
-		it.Value = d.bytes()
+		it.Version, it.Value = d.versionedBytes()
 		items = append(items, it)
 	}
 	m.Items = items
@@ -755,7 +845,7 @@ func ParseBatchReadResp(b []byte, items []BatchItem) (BatchReadResp, error) {
 // b (see the package contract).
 func ParseBatchWriteReq(b []byte, keys []string, values [][]byte) (BatchWriteReq, error) {
 	d := decoder{b: b}
-	m := BatchWriteReq{ID: d.u64()}
+	m := BatchWriteReq{ID: d.u64(), CL: d.u8(), Version: d.u64()}
 	n := d.batchCount()
 	keys, values = keys[:0], values[:0]
 	for i := 0; i < n && d.err == nil; i++ {
@@ -770,7 +860,7 @@ func ParseBatchWriteReq(b []byte, keys []string, values [][]byte) (BatchWriteReq
 // needed).
 func ParseBatchWriteResp(b []byte, oks []bool) (BatchWriteResp, error) {
 	d := decoder{b: b}
-	m := BatchWriteResp{ID: d.u64()}
+	m := BatchWriteResp{ID: d.u64(), Status: d.u8()}
 	n := d.batchCount()
 	oks = oks[:0]
 	for i := 0; i < n && d.err == nil; i++ {

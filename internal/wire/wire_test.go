@@ -188,6 +188,11 @@ func TestReadRespRoundtripProperty(t *testing.T) {
 		}
 		in := ReadResp{ID: id, Found: found, Value: val,
 			FB: Feedback{QueueSize: q, ServiceNs: svc}}
+		if found {
+			in.Version = id | 1
+		} else {
+			in.Value = nil // absent responses carry no value bytes
+		}
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
 		if err := w.WriteReadResp(in); err != nil {
@@ -207,6 +212,9 @@ func TestReadRespRoundtripProperty(t *testing.T) {
 		}
 		// NaN != NaN; compare bit patterns via stringized check.
 		if out.ID != in.ID || out.Found != in.Found || !bytes.Equal(out.Value, in.Value) {
+			return false
+		}
+		if out.Version != in.Version {
 			return false
 		}
 		if out.FB.ServiceNs != in.FB.ServiceNs {
