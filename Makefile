@@ -1,0 +1,37 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keeping them here means one invocation works identically on a
+# laptop and in the workflow.
+
+GO ?= go
+
+.PHONY: build test race lint vet cover bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The repo-wide race sweep: -short skips the multi-second chaos and
+# simulation suites, which CI runs in full in their dedicated race steps.
+race:
+	$(GO) test -race -short ./...
+
+# c3vet over the whole tree (plus staticcheck/govulncheck when installed).
+lint:
+	./scripts/lint.sh
+
+# go vet with the c3vet analyzers only — the fast inner-loop check.
+vet:
+	mkdir -p bin
+	$(GO) build -o bin/c3vet ./cmd/c3vet
+	$(GO) vet -vettool=$(CURDIR)/bin/c3vet ./...
+
+cover:
+	./scripts/coverage_floor.sh
+
+bench:
+	$(GO) test ./internal/kvstore -run xxx -bench 'BenchmarkCluster' -benchtime 1000x
+
+clean:
+	rm -rf bin

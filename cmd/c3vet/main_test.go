@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistersAllAnalyzers pins the multichecker's suite: dropping an
+// analyzer from the registration list would silently stop enforcing its
+// invariant repo-wide, so the full set is asserted by name.
+func TestRegistersAllAnalyzers(t *testing.T) {
+	want := map[string]bool{
+		"accountpair": false,
+		"aliasretain": false,
+		"poolsafe":    false,
+		"typederr":    false,
+		"lockscope":   false,
+	}
+	for _, a := range analyzers {
+		seen, known := want[a.Name]
+		if !known {
+			t.Errorf("unexpected analyzer %q registered", a.Name)
+			continue
+		}
+		if seen {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		want[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("analyzer %q not registered with cmd/c3vet", name)
+		}
+	}
+}
+
+// TestUsageListsAnalyzers keeps `c3vet help` in sync with the suite.
+func TestUsageListsAnalyzers(t *testing.T) {
+	var sb strings.Builder
+	usage(&sb)
+	out := sb.String()
+	for _, a := range analyzers {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("usage output missing analyzer %q", a.Name)
+		}
+	}
+	if !strings.Contains(out, "lint:allow") {
+		t.Error("usage output missing the suppression syntax")
+	}
+}

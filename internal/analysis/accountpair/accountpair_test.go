@@ -1,0 +1,12 @@
+package accountpair_test
+
+import (
+	"testing"
+
+	"c3/internal/analysis/accountpair"
+	"c3/internal/analysis/analysistest"
+)
+
+func TestAccountPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), accountpair.Analyzer, "accountpair")
+}

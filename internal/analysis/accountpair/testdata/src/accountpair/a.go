@@ -1,0 +1,126 @@
+// Fixture shapes are distilled from internal/kvstore PR 1-7 coordinators:
+// the probe ladder (repairProbe), helper settling (accountReadSuccess), and
+// goroutine settling (raceRead). leakyProbe is the PR 3 read-repair
+// accounting leak, verbatim in miniature.
+package accountpair
+
+type ServerID int
+
+type Feedback struct{}
+
+type sel struct{}
+
+func (s *sel) OnSend(id ServerID, now int64)                               {}
+func (s *sel) OnSendN(id ServerID, n int, now int64)                       {}
+func (s *sel) OnResponse(id ServerID, fb Feedback, rtt, now int64)         {}
+func (s *sel) OnAbandon(id ServerID, now int64)                            {}
+func (s *sel) OnResponseN(id ServerID, n int, fb Feedback, rtt, now int64) {}
+func (s *sel) OnAbandonN(id ServerID, n int, now int64)                    {}
+
+type node struct{ sel *sel }
+
+func (n *node) rpc(id ServerID) (int, error) { return 0, nil }
+
+// leakyProbe is the PR 3 read-repair leak: the error path returns without
+// releasing the outstanding count.
+func (n *node) leakyProbe(id ServerID) {
+	n.sel.OnSend(id, 1) // want `OnSend is not balanced`
+	if _, err := n.rpc(id); err != nil {
+		return
+	}
+	n.sel.OnResponse(id, Feedback{}, 1, 2)
+}
+
+// balancedProbe settles on both paths: the repaired repairProbe shape.
+func (n *node) balancedProbe(id ServerID) {
+	n.sel.OnSend(id, 1)
+	if _, err := n.rpc(id); err != nil {
+		n.sel.OnAbandon(id, 2)
+		return
+	}
+	n.sel.OnResponse(id, Feedback{}, 1, 2)
+}
+
+// settleOK is an accountReadSuccess-style package helper; calling it counts
+// as settling.
+func (n *node) settleOK(id ServerID) { n.sel.OnResponse(id, Feedback{}, 1, 2) }
+
+func (n *node) viaHelper(id ServerID) {
+	n.sel.OnSend(id, 1)
+	if _, err := n.rpc(id); err != nil {
+		n.sel.OnAbandon(id, 2)
+		return
+	}
+	n.settleOK(id)
+}
+
+// viaGoroutine settles in a goroutine spawned on the path (the raceRead
+// shape): the settle eventually runs, so the send is balanced.
+func (n *node) viaGoroutine(id ServerID) {
+	n.sel.OnSendN(id, 3, 1)
+	go func() {
+		n.sel.OnAbandonN(id, 3, 2)
+	}()
+}
+
+// loopLeak: a send inside a loop must settle within its own iteration — the
+// continue path escapes to the next iteration and then out of the function.
+func (n *node) loopLeak(ids []ServerID) {
+	for _, id := range ids {
+		n.sel.OnSend(id, 1) // want `OnSend is not balanced`
+		if _, err := n.rpc(id); err != nil {
+			continue
+		}
+		n.sel.OnResponse(id, Feedback{}, 1, 2)
+	}
+}
+
+// loopBalanced is repairProbe: every iteration settles before looping.
+func (n *node) loopBalanced(ids []ServerID) {
+	for _, id := range ids {
+		n.sel.OnSend(id, 1)
+		if _, err := n.rpc(id); err != nil {
+			n.sel.OnAbandon(id, 2)
+			continue
+		}
+		n.sel.OnResponse(id, Feedback{}, 1, 2)
+	}
+}
+
+// deferSettle: a settle registered with defer covers every later exit.
+func (n *node) deferSettle(id ServerID) {
+	n.sel.OnSend(id, 1)
+	defer n.sel.OnAbandon(id, 2)
+	if _, err := n.rpc(id); err != nil {
+		return
+	}
+}
+
+// eventSend records a send whose settlement lives in another event handler —
+// the discrete-event-simulator shape, suppressed with a reason.
+func (n *node) eventSend(id ServerID) {
+	//lint:allow accountpair settled in the response event handler
+	n.sel.OnSend(id, 1)
+}
+
+// staleSuppression: a directive that suppresses nothing is itself reported.
+func (n *node) staleSuppression(id ServerID) {
+	n.sel.OnSend(id, 1)
+	//lint:allow accountpair left behind after a refactor
+	n.sel.OnResponse(id, Feedback{}, 1, 2) // want `unused suppression for "accountpair"`
+}
+
+// tracker implements the settle side itself: methods on such a type record
+// sends their callers settle, and are exempt.
+type tracker struct {
+	sel *sel
+}
+
+func (t *tracker) OnResponse(id ServerID, fb Feedback, rtt, now int64) {
+	t.sel.OnResponse(id, fb, rtt, now)
+}
+
+func (t *tracker) Pick(id ServerID) ServerID {
+	t.sel.OnSend(id, 1)
+	return id
+}

@@ -1,0 +1,423 @@
+// Package aliasretain enforces the internal/wire zero-copy ownership
+// contract (internal/wire/wire.go, "Ownership"): payloads returned by
+// Reader.Next and the string/[]byte fields of Parse* results alias the
+// connection's frame buffer and are valid only until the next Next call.
+// Storing such a value into a heap structure, sending it on a channel, or
+// capturing it in a goroutine publishes a pointer into a buffer that is
+// about to be overwritten — silent data corruption under load, invisible to
+// the race detector because the reuse is same-goroutine.
+//
+// The analyzer runs a linear, field-sensitive taint scan over each function
+// body. Taint enters via wire Parse*/Next results and rides the documented
+// reference leaves (string and []byte fields). It is laundered by the copy
+// idioms the contract names — append(dst, v...), string(b), []byte(s),
+// strings.Clone — and, conservatively, by passing through any other call
+// (callees are assumed to honor the contract themselves). Branch merging is
+// textual: a kill inside one branch clears the taint for the code below,
+// which can miss a leak on the other branch but never invents one.
+package aliasretain
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"c3/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "aliasretain",
+	Doc: "zero-copy values decoded from internal/wire must not be stored to " +
+		"heap structures, sent on channels, or captured by goroutines " +
+		"without an explicit copy",
+	Run: run,
+}
+
+// taint maps a local variable to its set of tainted reference-leaf paths
+// ("" for a whole []byte, "Value" for a struct field, "FB.Raw" nested).
+type taint map[*types.Var]map[string]bool
+
+func run(pass *analysis.Pass) error {
+	for _, b := range analysis.Bodies(pass.Files) {
+		s := &scan{pass: pass, tt: make(taint)}
+		s.block(b.Body)
+	}
+	return nil
+}
+
+type scan struct {
+	pass *analysis.Pass
+	tt   taint
+}
+
+func (s *scan) info() *types.Info { return s.pass.TypesInfo }
+
+// block walks statements in source order, updating taint and reporting
+// sinks. Function literals are separate bodies except for the capture check
+// at go statements.
+func (s *scan) block(n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // its own body; see run
+		case *ast.AssignStmt:
+			s.assign(x)
+			return false
+		case *ast.SendStmt:
+			if leaves := s.taintOf(x.Value); len(leaves) > 0 {
+				s.pass.Reportf(x.Value.Pos(),
+					"sending frame-aliasing wire data on a channel; copy it first (append/strings.Clone)")
+			}
+			return false
+		case *ast.GoStmt:
+			s.goStmt(x)
+			return false
+		case *ast.RangeStmt:
+			// `for _, v := range tainted.Values` taints v.
+			if leaves := s.taintOf(x.X); len(leaves) > 0 && x.Value != nil {
+				if v := s.lhsVar(x.Value); v != nil {
+					s.tt[v] = map[string]bool{"": true}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// assign is the heart of the scan: sources, kills, propagation, heap-store
+// sinks.
+func (s *scan) assign(a *ast.AssignStmt) {
+	// Multi-value source: m, err := wire.ParseX(b) / typ, payload, err := r.Next().
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			if idx, leaves := s.source(call); idx >= 0 && idx < len(a.Lhs) {
+				for i, lhs := range a.Lhs {
+					v := s.lhsVar(lhs)
+					if v == nil {
+						continue
+					}
+					if i == idx {
+						s.tt[v] = leaves
+					} else {
+						delete(s.tt, v)
+					}
+				}
+				return
+			}
+		}
+	}
+	for i, lhs := range a.Lhs {
+		var rhsTaint map[string]bool
+		if len(a.Rhs) == len(a.Lhs) {
+			rhsTaint = s.taintOf(a.Rhs[i])
+		} else {
+			rhsTaint = nil // multi-value call, not a source: clean
+		}
+		if root, path, heap := s.lhsRoot(lhs); root != nil && !heap {
+			// Local store: retaint or kill the assigned path.
+			s.setPath(root, path, rhsTaint)
+			continue
+		}
+		if len(rhsTaint) > 0 {
+			s.pass.Reportf(lhs.Pos(),
+				"storing frame-aliasing wire data to a heap structure; copy it first (append/strings.Clone)")
+		}
+	}
+}
+
+// goStmt flags tainted arguments and tainted free variables captured by a
+// spawned literal: the goroutine outlives the frame.
+func (s *scan) goStmt(g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if len(s.taintOf(arg)) > 0 {
+			s.pass.Reportf(arg.Pos(),
+				"passing frame-aliasing wire data to a goroutine; copy it first (append/strings.Clone)")
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.info().Uses[id].(*types.Var)
+		if !ok || reported[v] || len(s.tt[v]) == 0 {
+			return true
+		}
+		reported[v] = true
+		s.pass.Reportf(id.Pos(),
+			"goroutine captures %s, which aliases the wire frame; copy it before spawning", v.Name())
+		return true
+	})
+}
+
+// source recognizes the wire decode entry points, returning which result
+// index is tainted and its reference leaves; (-1, nil) otherwise.
+func (s *scan) source(call *ast.CallExpr) (int, map[string]bool) {
+	pkg, name, isMethod := analysis.CalleeName(s.info(), call)
+	if !wirePkg(pkg) {
+		return -1, nil
+	}
+	sig, _ := s.info().TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return -1, nil
+	}
+	switch {
+	case !isMethod && strings.HasPrefix(name, "Parse"):
+		if sig.Results().Len() == 0 {
+			return -1, nil
+		}
+		leaves := refLeaves(sig.Results().At(0).Type(), "")
+		if len(leaves) == 0 {
+			return -1, nil
+		}
+		return 0, leaves
+	case isMethod && name == "Next":
+		// (typ uint8, payload []byte, err error): the payload is the frame.
+		if sig.Results().Len() == 3 && isByteSlice(sig.Results().At(1).Type()) {
+			return 1, map[string]bool{"": true}
+		}
+	}
+	return -1, nil
+}
+
+func wirePkg(path string) bool {
+	return path == "wire" || strings.HasSuffix(path, "/wire")
+}
+
+// taintOf computes the tainted leaf set of an expression; empty means clean.
+func (s *scan) taintOf(e ast.Expr) map[string]bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := s.info().Uses[e].(*types.Var); ok {
+			return s.tt[v]
+		}
+	case *ast.SelectorExpr:
+		base := s.taintOf(e.X)
+		if len(base) == 0 {
+			return nil
+		}
+		return subPaths(base, e.Sel.Name)
+	case *ast.StarExpr:
+		return s.taintOf(e.X)
+	case *ast.UnaryExpr:
+		return s.taintOf(e.X)
+	case *ast.SliceExpr:
+		return s.taintOf(e.X) // reslicing keeps the alias
+	case *ast.IndexExpr:
+		return s.taintOf(e.X) // chunk.Values[i] aliases like chunk.Values
+	case *ast.CompositeLit:
+		out := make(map[string]bool)
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				for leaf := range s.taintOf(kv.Value) {
+					out[join(keyName(kv.Key), leaf)] = true
+				}
+				continue
+			}
+			for range s.taintOf(elt) {
+				out[""] = true
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	case *ast.CallExpr:
+		return s.callTaint(e)
+	}
+	return nil
+}
+
+// callTaint: conversions of aliasing kinds preserve taint; the copy idioms
+// and every other call launder it.
+func (s *scan) callTaint(call *ast.CallExpr) map[string]bool {
+	if len(call.Args) == 1 {
+		if tv, ok := s.info().Types[call.Fun]; ok && tv.IsType() {
+			// A conversion. string(b) and []byte(s) copy; a struct or
+			// same-kind slice conversion preserves the aliases.
+			src := s.info().TypeOf(call.Args[0])
+			dst := tv.Type
+			if (isString(dst) && isByteSlice(src)) || (isByteSlice(dst) && isString(src)) {
+				return nil
+			}
+			return s.taintOf(call.Args[0])
+		}
+	}
+	return nil // append, strings.Clone, and unknown callees: treated as copies
+}
+
+// lhsVar resolves an assignment target to its local variable, nil when the
+// target is not a plain identifier.
+func (s *scan) lhsVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := s.info().Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := s.info().Uses[id].(*types.Var)
+	return v
+}
+
+// lhsRoot decomposes an assignment target into (root variable, field path,
+// heap?). heap is true when the store escapes the frame's lifetime: the root
+// is reached through a pointer, interface, map or package-level variable.
+func (s *scan) lhsRoot(e ast.Expr) (*types.Var, string, bool) {
+	path := ""
+	heap := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v := s.lhsVar(x)
+			if v == nil {
+				return nil, "", true
+			}
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				heap = true // package-level variable
+			}
+			if isPointerLike(v.Type()) && path != "" {
+				heap = true // field store through a pointer-typed root
+			}
+			return v, path, heap
+		case *ast.SelectorExpr:
+			if isPointerLike(s.info().TypeOf(x.X)) {
+				heap = true
+			}
+			path = join(x.Sel.Name, path)
+			e = x.X
+		case *ast.IndexExpr:
+			t := s.info().TypeOf(x.X)
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				heap = true
+			}
+			e = x.X // a slice element store stays with the root's locality
+		case *ast.StarExpr:
+			heap = true
+			e = x.X
+		default:
+			return nil, "", true
+		}
+	}
+}
+
+// setPath overwrites the taint below path on v: nil newLeaves kills it, a
+// non-empty set re-taints it.
+func (s *scan) setPath(v *types.Var, path string, newLeaves map[string]bool) {
+	leaves := s.tt[v]
+	if leaves == nil {
+		if len(newLeaves) == 0 {
+			return
+		}
+		leaves = make(map[string]bool)
+		s.tt[v] = leaves
+	}
+	for leaf := range leaves {
+		if path == "" || leaf == path || strings.HasPrefix(leaf, path+".") {
+			delete(leaves, leaf)
+		}
+	}
+	for leaf := range newLeaves {
+		leaves[join(path, leaf)] = true
+	}
+	if len(leaves) == 0 {
+		delete(s.tt, v)
+	}
+}
+
+// subPaths projects a leaf set through a field selection.
+func subPaths(leaves map[string]bool, field string) map[string]bool {
+	out := make(map[string]bool)
+	for leaf := range leaves {
+		switch {
+		case leaf == field:
+			out[""] = true
+		case strings.HasPrefix(leaf, field+"."):
+			out[strings.TrimPrefix(leaf, field+".")] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// refLeaves collects the reference-leaf field paths of t: string, []byte,
+// []string and [][]byte reach into the frame; scalars do not.
+func refLeaves(t types.Type, prefix string) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(t types.Type, path string, depth int)
+	walk = func(t types.Type, path string, depth int) {
+		if depth > 4 {
+			return
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			if u.Kind() == types.String || u.Kind() == types.UntypedString {
+				out[path] = true
+			}
+		case *types.Slice:
+			if isByteSlice(t) || isString(u.Elem()) || isByteSlice(u.Elem()) {
+				out[path] = true
+			}
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				walk(f.Type(), join(path, f.Name()), depth+1)
+			}
+		}
+	}
+	walk(t, prefix, 0)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func join(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "." + b
+}
+
+func keyName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.String || b.Kind() == types.UntypedString)
+}
+
+func isPointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}

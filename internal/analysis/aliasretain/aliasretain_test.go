@@ -1,0 +1,12 @@
+package aliasretain_test
+
+import (
+	"testing"
+
+	"c3/internal/analysis/aliasretain"
+	"c3/internal/analysis/analysistest"
+)
+
+func TestAliasRetain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), aliasretain.Analyzer, "aliasretain")
+}

@@ -1,0 +1,115 @@
+// Fixture shapes are distilled from internal/kvstore/rpc.go and batch.go:
+// the readLoop dst-copy discipline, MultiGet chunk slicing, and the
+// read-repair goroutines that must not capture frame memory.
+package aliasretain
+
+import "wire"
+
+type cache struct {
+	last []byte
+	key  string
+}
+
+var global []byte
+
+func handle(v []byte) {}
+
+// heapStore publishes the frame-aliasing payload through a pointer: the
+// PR 8 readLoop bug shape (c.read = m before the dst copy).
+func heapStore(c *cache, b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	c.last = resp.Value // want `storing frame-aliasing wire data`
+}
+
+// heapStoreCopied launders through append first — the contract's idiom.
+func heapStoreCopied(c *cache, b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	c.last = append(c.last[:0], resp.Value...)
+}
+
+// stringField: string fields of Parse results alias the frame too.
+func stringField(c *cache, b []byte) {
+	req, _ := wire.ParseWriteReq(b)
+	c.key = req.Key // want `storing frame-aliasing wire data`
+}
+
+// stringFieldCopied: a string<->[]byte conversion is a real copy.
+func stringFieldCopied(c *cache, b []byte) {
+	req, _ := wire.ParseWriteReq(b)
+	c.key = string([]byte(req.Key))
+}
+
+// localOK: same-frame use of the alias is the whole point of zero-copy.
+func localOK(b []byte) int {
+	resp, _ := wire.ParseReadResp(b)
+	v := resp.Value
+	v = v[1:]
+	return len(v)
+}
+
+// killThenStore: overwriting the local with a copy clears its taint.
+func killThenStore(c *cache, b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	v := resp.Value
+	v = append([]byte(nil), v...)
+	c.last = v
+}
+
+func channelSend(ch chan []byte, b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	ch <- resp.Value // want `sending frame-aliasing wire data`
+}
+
+func channelSendCopied(ch chan []byte, b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	ch <- append([]byte(nil), resp.Value...)
+}
+
+// goArg: the goroutine outlives the frame the argument points into.
+func goArg(b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	go handle(resp.Value) // want `passing frame-aliasing wire data to a goroutine`
+}
+
+// goCapture: capturing the tainted local is the same escape by closure.
+func goCapture(b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	go func() {
+		handle(resp.Value) // want `goroutine captures resp`
+	}()
+}
+
+func goCopiedFirst(b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	v := append([]byte(nil), resp.Value...)
+	go func() {
+		handle(v)
+	}()
+}
+
+// nextStore: Reader.Next payloads are the frame itself.
+func nextStore(r *wire.Reader) {
+	_, payload, _ := r.Next()
+	global = payload // want `storing frame-aliasing wire data`
+}
+
+func mapStore(m map[string][]byte, b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	m["k"] = resp.Value // want `storing frame-aliasing wire data`
+}
+
+// rangeChunk: iterating a [][]byte field hands out per-element aliases.
+func rangeChunk(c *cache, b []byte) {
+	chunk, _ := wire.ParseStreamChunk(b)
+	for _, v := range chunk.Values {
+		c.last = v // want `storing frame-aliasing wire data`
+	}
+}
+
+// retainUntilReply holds the alias deliberately: the caller guarantees no
+// intervening Next until the reply is flushed, so the store is suppressed.
+func retainUntilReply(c *cache, b []byte) {
+	resp, _ := wire.ParseReadResp(b)
+	//lint:allow aliasretain reply is flushed before the next frame read reuses the buffer
+	c.last = resp.Value
+}

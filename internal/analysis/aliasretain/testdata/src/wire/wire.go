@@ -1,0 +1,45 @@
+// Package wire is a fixture stand-in for c3/internal/wire: Parse* results
+// and Reader.Next payloads alias the caller's frame buffer. The analyzer
+// matches wire packages by import-path suffix, so this fixture exercises the
+// same source rules as the real package.
+package wire
+
+type Feedback struct {
+	QueueSize float64
+	ServiceNs int64
+}
+
+type ReadResp struct {
+	ID      uint64
+	Found   bool
+	Version uint64
+	Value   []byte
+	FB      Feedback
+}
+
+type WriteReq struct {
+	ID    uint64
+	Key   string
+	Value []byte
+}
+
+type StreamChunk struct {
+	Keys   []string
+	Values [][]byte
+}
+
+func ParseReadResp(b []byte) (ReadResp, error) {
+	return ReadResp{Value: b}, nil
+}
+
+func ParseWriteReq(b []byte) (WriteReq, error) {
+	return WriteReq{Key: string(b), Value: b}, nil
+}
+
+func ParseStreamChunk(b []byte) (StreamChunk, error) {
+	return StreamChunk{Values: [][]byte{b}}, nil
+}
+
+type Reader struct{ buf []byte }
+
+func (r *Reader) Next() (uint8, []byte, error) { return 0, r.buf, nil }

@@ -1,0 +1,246 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer runs over one
+// type-checked package and reports position-anchored diagnostics. It exists
+// because this repository's hot-path invariants — accounting pairing,
+// zero-copy aliasing, pool hygiene, typed errors, lock scope — live in
+// comments and tests until a checker enforces them, and the container
+// building this repo carries no external modules. The API mirrors
+// go/analysis closely enough that the analyzers would port to a *analysis.
+// Pass with mechanical edits.
+//
+// # Suppressions
+//
+// A finding is suppressed by an inline directive on the flagged line or the
+// line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one is itself reported.
+// Suppressions are deliberate, reviewed exceptions — the WAL's ioMu fsync,
+// a cold control-plane path — not an escape hatch, and the reason string is
+// what makes each one auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The runner applies suppression
+	// directives; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic: position mapped through the FileSet
+// and attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// allowDirective is the suppression marker; see the package comment.
+const allowDirective = "//lint:allow"
+
+// suppression is one parsed //lint:allow directive.
+type suppression struct {
+	analyzer string
+	reason   string
+	line     int // the source line the directive suppresses findings on
+	used     bool
+}
+
+// suppressionSet indexes a package's directives by file and line.
+type suppressionSet struct {
+	byFileLine map[string]map[int][]*suppression
+	malformed  []Finding
+}
+
+// collectSuppressions parses every //lint:allow directive in files. A
+// directive trailing a statement suppresses that line; a directive on a line
+// of its own suppresses the next line. A directive without both an analyzer
+// name and a non-empty reason is malformed and reported instead of honored.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{byFileLine: make(map[string]map[int][]*suppression)}
+	for _, f := range files {
+		// Map comment line -> whether any code shares that line, to decide
+		// own-line (suppresses line+1) vs trailing (suppresses own line).
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return false
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return false
+			}
+			if n.Pos().IsValid() {
+				codeLines[fset.Position(n.Pos()).Line] = true
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, allowDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 || !strings.HasPrefix(rest, " ") {
+					set.malformed = append(set.malformed, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				s := &suppression{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					line:     pos.Line,
+				}
+				if !codeLines[pos.Line] {
+					s.line = pos.Line + 1 // own-line directive covers the next line
+				}
+				m := set.byFileLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]*suppression)
+					set.byFileLine[pos.Filename] = m
+				}
+				m[s.line] = append(m[s.line], s)
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether a finding by analyzer at pos is suppressed,
+// marking the matching directive used.
+func (s *suppressionSet) allows(analyzer string, pos token.Position) bool {
+	for _, sup := range s.byFileLine[pos.Filename][pos.Line] {
+		if sup.analyzer == analyzer {
+			sup.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused reports directives that suppressed nothing — stale suppressions
+// rot just like stale invariants, so they fail the build too.
+func (s *suppressionSet) unused() []Finding {
+	var out []Finding
+	for file, lines := range s.byFileLine {
+		for line, sups := range lines {
+			for _, sup := range sups {
+				if !sup.used {
+					out = append(out, Finding{
+						Analyzer: "lint",
+						Pos:      token.Position{Filename: file, Line: line},
+						Message: fmt.Sprintf("unused suppression for %q (%s)",
+							sup.analyzer, sup.reason),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunPackage applies analyzers to one type-checked package and returns the
+// surviving findings: suppressed diagnostics are dropped, malformed and
+// unused suppressions are added, and the result is sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+
+	sups := collectSuppressions(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if sups.allows(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	findings = append(findings, sups.malformed...)
+	findings = append(findings, sups.unused()...)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// NewInfo allocates a types.Info populated with every map the analyzers
+// consult. Loaders share it so no analyzer finds a nil map.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

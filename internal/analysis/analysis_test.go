@@ -1,0 +1,171 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"c3/internal/analysis"
+)
+
+// loadSrc parses and type-checks one import-free source file.
+func loadSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, pkg, info
+}
+
+// lineOf returns the 1-based line of the unique occurrence of marker.
+func lineOf(t *testing.T, src, marker string) int {
+	t.Helper()
+	i := strings.Index(src, marker)
+	if i < 0 || strings.Index(src[i+1:], marker) >= 0 {
+		t.Fatalf("marker %q not unique in source", marker)
+	}
+	return 1 + strings.Count(src[:i], "\n")
+}
+
+// boomAnalyzer flags every call to the local function boom.
+var boomAnalyzer = &analysis.Analyzer{
+	Name: "boom",
+	Doc:  "flags calls to boom",
+	Run: func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+						p.Reportf(call.Pos(), "boom call")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const suppressionSrc = `package p
+
+func boom() {}
+
+func plain() {
+	boom() // finding: no directive
+}
+
+func trailing() {
+	boom() //lint:allow boom accepted risk on this line
+}
+
+func ownLine() {
+	//lint:allow boom accepted risk on the next line
+	boom()
+}
+
+func noReason() {
+	//lint:allow boom
+	boom() // finding: the directive above is malformed and not honored
+}
+
+func wrongAnalyzer() {
+	//lint:allow quux reasons do not transfer across analyzers
+	boom() // finding: directive names another analyzer, and goes stale
+}
+`
+
+func TestSuppressions(t *testing.T) {
+	fset, f, pkg, info := loadSrc(t, suppressionSrc)
+	findings, err := analysis.RunPackage(fset, []*ast.File{f}, pkg, info, []*analysis.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var boomLines []int
+	var lintMsgs []string
+	for _, fd := range findings {
+		switch fd.Analyzer {
+		case "boom":
+			boomLines = append(boomLines, fd.Pos.Line)
+		case "lint":
+			lintMsgs = append(lintMsgs, fd.Message)
+		default:
+			t.Errorf("finding from unexpected analyzer: %s", fd)
+		}
+	}
+
+	wantBoom := []int{
+		lineOf(t, suppressionSrc, "boom() // finding: no directive"),
+		lineOf(t, suppressionSrc, "boom() // finding: the directive above is malformed"),
+		lineOf(t, suppressionSrc, "boom() // finding: directive names another analyzer"),
+	}
+	if len(boomLines) != len(wantBoom) {
+		t.Fatalf("boom findings on lines %v, want %v", boomLines, wantBoom)
+	}
+	for i := range wantBoom {
+		if boomLines[i] != wantBoom[i] {
+			t.Errorf("boom finding %d on line %d, want %d", i, boomLines[i], wantBoom[i])
+		}
+	}
+
+	if len(lintMsgs) != 2 {
+		t.Fatalf("lint findings %q, want a malformed and an unused report", lintMsgs)
+	}
+	var sawMalformed, sawUnused bool
+	for _, msg := range lintMsgs {
+		switch {
+		case strings.Contains(msg, "malformed suppression"):
+			sawMalformed = true
+		case strings.Contains(msg, `unused suppression for "quux"`) &&
+			strings.Contains(msg, "reasons do not transfer across analyzers"):
+			sawUnused = true
+		}
+	}
+	if !sawMalformed || !sawUnused {
+		t.Errorf("lint findings %q missing malformed/unused report", lintMsgs)
+	}
+
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1].Pos, findings[i].Pos
+		if a.Line > b.Line || (a.Line == b.Line && a.Column > b.Column) {
+			t.Errorf("findings not sorted: %s before %s", findings[i-1], findings[i])
+		}
+	}
+}
+
+// TestSuppressionScope pins the directive placement rules: a trailing
+// directive covers its own line only, an own-line directive the next line
+// only — never further.
+func TestSuppressionScope(t *testing.T) {
+	src := `package p
+
+func boom() {}
+
+func twoCalls() {
+	//lint:allow boom covers only the first call
+	boom()
+	boom() // finding: one line past the directive
+}
+`
+	fset, f, pkg, info := loadSrc(t, src)
+	findings, err := analysis.RunPackage(fset, []*ast.File{f}, pkg, info, []*analysis.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "boom" {
+		t.Fatalf("findings = %v, want exactly the second call flagged", findings)
+	}
+	if want := lineOf(t, src, "boom() // finding"); findings[0].Pos.Line != want {
+		t.Errorf("finding on line %d, want %d", findings[0].Pos.Line, want)
+	}
+}

@@ -1,0 +1,239 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib only.
+//
+// Fixtures live in GOPATH-style layout under the test's testdata directory:
+// testdata/src/<importpath>/*.go. Fixture packages may import each other by
+// that import path and may import the standard library, which is
+// type-checked from GOROOT source (CGO_ENABLED=0 file set, so no compiled
+// artifacts are needed).
+//
+// A want comment names one expected diagnostic on its own line:
+//
+//	c.read = m // want `storing frame-aliasing wire data`
+//
+// Several quoted regexps on one line expect several diagnostics. Suppression
+// directives (//lint:allow) are honored exactly as in production, so
+// fixtures exercise the allowed cases and the unused-suppression report
+// (analyzer name "lint") too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"c3/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package, applies the analyzer, and reports
+// mismatches between produced findings and want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, pkgPath := range pkgs {
+		tp, fx, err := l.load(pkgPath, dir)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkgPath, err)
+			continue
+		}
+		if fx == nil {
+			t.Errorf("fixture %s resolved outside testdata/src", pkgPath)
+			continue
+		}
+		findings, err := analysis.RunPackage(l.fset, fx.files, tp, fx.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		checkWants(t, l.fset, fx.files, findings)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, "want")
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment %q", pos, c.Text)
+						break
+					}
+					rest = rest[len(q):]
+					unq, _ := strconv.Unquote(q)
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, unq, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: unq})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// fixturePkg keeps the syntax and type info of an analyzed fixture package
+// (standard-library dependencies are type-checked but not retained).
+type fixturePkg struct {
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset *token.FileSet
+	ctx  build.Context
+	dir  string // testdata root
+	pkgs map[string]*types.Package
+	fix  map[string]*fixturePkg
+}
+
+func newLoader(dir string) *loader {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	ctx.GOPATH = ""
+	return &loader{
+		fset: token.NewFileSet(),
+		ctx:  ctx,
+		dir:  dir,
+		pkgs: map[string]*types.Package{"unsafe": types.Unsafe},
+		fix:  make(map[string]*fixturePkg),
+	}
+}
+
+// load type-checks path (recursively loading its imports), returning the
+// fixture view when the package came from testdata/src.
+func (l *loader) load(path, srcDir string) (*types.Package, *fixturePkg, error) {
+	if tp, ok := l.pkgs[path]; ok {
+		return tp, l.fix[path], nil
+	}
+	var files []*ast.File
+	var pkgDir string
+	if fixDir := filepath.Join(l.dir, "src", filepath.FromSlash(path)); isDir(fixDir) {
+		entries, err := os.ReadDir(fixDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgDir = fixDir
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			af, err := l.parse(filepath.Join(fixDir, e.Name()))
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, af)
+		}
+	} else {
+		bp, err := l.ctx.Import(path, srcDir, 0)
+		if err != nil {
+			// Standard-library vendored dependency (net and friends).
+			bp, err = l.ctx.Import("vendor/"+path, srcDir, 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("resolving import %q: %v", path, err)
+			}
+		}
+		pkgDir = bp.Dir
+		for _, name := range bp.GoFiles {
+			af, err := l.parse(filepath.Join(bp.Dir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, af)
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("package %q has no Go files", path)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			tp, _, err := l.load(imp, pkgDir)
+			return tp, err
+		}),
+		Error: func(error) {}, // tolerate quirks in std source; ours fail below
+	}
+	tp, err := conf.Check(path, l.fset, files, info)
+	isFixture := strings.HasPrefix(pkgDir, filepath.Join(l.dir, "src"))
+	if err != nil && isFixture {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	l.pkgs[path] = tp
+	if isFixture {
+		l.fix[path] = &fixturePkg{files: files, info: info}
+	}
+	return tp, l.fix[path], nil
+}
+
+func (l *loader) parse(path string) (*ast.File, error) {
+	return parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

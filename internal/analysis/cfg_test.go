@@ -1,0 +1,159 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"c3/internal/analysis"
+)
+
+const cfgSrc = `package p
+
+func acquire() {}
+func release() {}
+
+func balanced(c bool) {
+	acquire()
+	if c {
+		release()
+		return
+	}
+	release()
+}
+
+func leaky(c bool) {
+	acquire()
+	if c {
+		return
+	}
+	release()
+}
+
+func panicPath(c bool) {
+	acquire()
+	if !c {
+		panic("x")
+	}
+	release()
+}
+
+func loopEscape(xs []bool) {
+	acquire()
+	for _, x := range xs {
+		if x {
+			continue
+		}
+	}
+	release()
+}
+`
+
+func funcBody(t *testing.T, f *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func callStmt(t *testing.T, body *ast.BlockStmt, name string) ast.Stmt {
+	t.Helper()
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name && found == nil {
+				found = es
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no call to %s", name)
+	}
+	return found
+}
+
+func releaseHit(info *types.Info) func(*analysis.Node) bool {
+	return func(n *analysis.Node) bool {
+		return analysis.NodeContainsCall(info, n, false, func(call *ast.CallExpr) bool {
+			_, name, _ := analysis.CalleeName(info, call)
+			return name == "release"
+		})
+	}
+}
+
+func TestAllPathsPass(t *testing.T) {
+	_, f, _, info := loadSrc(t, cfgSrc)
+	term := analysis.Terminator(info)
+	for _, tc := range []struct {
+		fn   string
+		want bool
+	}{
+		{"balanced", true},
+		{"leaky", false},
+		{"panicPath", true}, // the panic path never reaches Exit, so it cannot fail the rule
+		{"loopEscape", true},
+	} {
+		g := analysis.BuildCFG(funcBody(t, f, tc.fn), term)
+		if got := g.AllPathsPass(releaseHit(info)); got != tc.want {
+			t.Errorf("%s: AllPathsPass = %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+}
+
+func TestReachesExitAvoiding(t *testing.T) {
+	_, f, _, info := loadSrc(t, cfgSrc)
+	term := analysis.Terminator(info)
+	for _, tc := range []struct {
+		fn   string
+		want bool
+	}{
+		{"balanced", false},
+		{"leaky", true}, // the early return escapes without a release
+		{"panicPath", false},
+	} {
+		body := funcBody(t, f, tc.fn)
+		g := analysis.BuildCFG(body, term)
+		from := callStmt(t, body, "acquire")
+		if got := g.ReachesExitAvoiding(from, releaseHit(info)); got != tc.want {
+			t.Errorf("%s: ReachesExitAvoiding = %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+}
+
+// TestWalkFromStops checks that a true return prunes the walk at that node:
+// stopping on the release calls in balanced leaves the then-branch return
+// statement unvisited.
+func TestWalkFromStops(t *testing.T) {
+	_, f, _, info := loadSrc(t, cfgSrc)
+	body := funcBody(t, f, "balanced")
+	g := analysis.BuildCFG(body, analysis.Terminator(info))
+	hit := releaseHit(info)
+
+	releases := 0
+	sawReturn := false
+	g.WalkFrom(callStmt(t, body, "acquire"), func(n *analysis.Node) bool {
+		if _, ok := n.Stmt.(*ast.ReturnStmt); ok {
+			sawReturn = true
+		}
+		if hit(n) {
+			releases++
+			return true
+		}
+		return false
+	})
+	if releases != 2 {
+		t.Errorf("visited %d release nodes, want both branches", releases)
+	}
+	if sawReturn {
+		t.Error("walk continued past a stopping node into the return statement")
+	}
+}

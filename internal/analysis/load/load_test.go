@@ -1,0 +1,44 @@
+package load_test
+
+import (
+	"testing"
+
+	"c3/internal/analysis/load"
+)
+
+// TestLoadRingPackage type-checks one small real package (and its std
+// closure) through the source loader and checks the analyzer-facing
+// contract: module packages come back with syntax, types and a populated
+// Info, and a package with tests arrives as its test variant.
+func TestLoadRingPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the std closure from source")
+	}
+	pkgs, err := load.Load("../../..", "./internal/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, p := range pkgs {
+		if !p.Module {
+			t.Errorf("%s: loader returned a non-module package", p.ImportPath)
+		}
+		if p.Types == nil || p.Types.Path() != "c3/internal/ring" {
+			continue
+		}
+		found = true
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no syntax", p.ImportPath)
+		}
+		if p.Info == nil || len(p.Info.Uses) == 0 {
+			t.Errorf("%s: types.Info not populated", p.ImportPath)
+		}
+		if p.ForTest != "c3/internal/ring" {
+			t.Errorf("%s: ForTest = %q, want the test variant to shadow the plain package",
+				p.ImportPath, p.ForTest)
+		}
+	}
+	if !found {
+		t.Fatalf("no package for c3/internal/ring in %d results", len(pkgs))
+	}
+}

@@ -1,0 +1,237 @@
+// Package lockscope enforces the latency discipline around the repository's
+// short critical sections: no blocking operation — network dial or I/O,
+// file fsync, time.Sleep, or a send on a channel known to be unbuffered —
+// while holding a mutex. The WAL's group-commit mutex and the coordinator's
+// topology RWMutex sit on every request path; one fsync or dial under them
+// turns a lock designed for nanoseconds into a convoy, which is exactly the
+// queueing behavior the C3 feedback loop exists to avoid.
+//
+// The check is intraprocedural: a region starts at an explicit Lock/RLock
+// statement and extends along every CFG path until the matching
+// Unlock/RUnlock on the same rendered receiver ("w.mu", "n.peersMu"). A
+// deferred unlock leaves the region open to function exit, matching its
+// runtime behavior. Calls inside nested function literals do not count —
+// a spawned goroutine does not hold the caller's lock. Designs that hold a
+// dedicated I/O mutex across I/O on purpose (the WAL's ioMu) suppress with
+// a reason.
+package lockscope
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"c3/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "no blocking call (net I/O, fsync, time.Sleep, unbuffered channel " +
+		"send) while holding a mutex",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	terminates := analysis.Terminator(pass.TypesInfo)
+	for _, b := range analysis.Bodies(pass.Files) {
+		unbuffered := unbufferedChans(pass.TypesInfo, b.Body)
+		var g *analysis.CFG
+		analysis.InspectShallow(b.Body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			key, kind := mutexOp(pass.TypesInfo, stmt.X)
+			if kind != opLock {
+				return true
+			}
+			if g == nil {
+				g = analysis.BuildCFG(b.Body, terminates)
+			}
+			if g.NodeFor(stmt) == nil {
+				return true
+			}
+			g.WalkFrom(stmt, func(node *analysis.Node) bool {
+				if es, ok := node.Stmt.(*ast.ExprStmt); ok {
+					if k, op := mutexOp(pass.TypesInfo, es.X); k == key && op == opUnlock {
+						return true // region ends here
+					}
+				}
+				reportBlocking(pass, node, key, unbuffered)
+				return false
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+type op int
+
+const (
+	opNone op = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp recognizes X.Lock()/X.RLock()/X.Unlock()/X.RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the rendered receiver expression
+// as the region key.
+func mutexOp(info *types.Info, e ast.Expr) (string, op) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	recv := analysis.ReceiverType(info, call)
+	if recv == nil ||
+		(!analysis.IsNamedType(recv, "sync", "Mutex") && !analysis.IsNamedType(recv, "sync", "RWMutex")) {
+		return "", opNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return render(sel.X), opLock
+	case "Unlock", "RUnlock":
+		return render(sel.X), opUnlock
+	}
+	return "", opNone
+}
+
+// reportBlocking flags the blocking operations executed at node (shallow:
+// literals run on other goroutines or after unlock).
+func reportBlocking(pass *analysis.Pass, node *analysis.Node, lockKey string, unbuffered map[*types.Var]bool) {
+	for _, part := range node.Parts {
+		if _, isDefer := part.(*ast.DeferStmt); isDefer {
+			continue // runs at exit, after any deferred unlock ordering choice
+		}
+		analysis.InspectShallow(part, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if id, ok := ast.Unparen(n.Chan).(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && unbuffered[v] {
+						pass.Reportf(n.Arrow,
+							"send on unbuffered channel %s while holding %s", v.Name(), lockKey)
+					}
+				}
+			case *ast.CallExpr:
+				if what := blockingCall(pass.TypesInfo, n); what != "" {
+					pass.Reportf(n.Pos(), "%s while holding %s", what, lockKey)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// blockingCall names the blocking operation a call performs, "" for none.
+// The denylist is deliberately tight — only operations that are
+// unconditionally slow — so every finding is actionable.
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	pkg, name, isMethod := analysis.CalleeName(info, call)
+	if !isMethod {
+		if pkg == "time" && name == "Sleep" {
+			return "time.Sleep"
+		}
+		if pkg == "net" {
+			switch name {
+			case "Dial", "DialTimeout", "DialTCP", "DialUDP", "Listen", "ListenTCP", "ListenPacket":
+				return "net." + name
+			}
+		}
+		return ""
+	}
+	recv := analysis.ReceiverType(info, call)
+	if recv == nil {
+		return ""
+	}
+	if name == "Sync" && analysis.IsNamedType(recv, "os", "File") {
+		return "File.Sync (fsync)"
+	}
+	if (name == "Read" || name == "Write") && isNetConn(info, call) {
+		return "net.Conn." + name
+	}
+	return ""
+}
+
+// isNetConn reports whether the call's receiver is the net.Conn interface or
+// a concrete net connection type.
+func isNetConn(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	return analysis.IsNamedType(t, "net", "Conn") ||
+		analysis.IsNamedType(t, "net", "TCPConn") ||
+		analysis.IsNamedType(t, "net", "UDPConn")
+}
+
+// unbufferedChans finds channels the body provably makes unbuffered:
+// v := make(chan T) or make(chan T, 0).
+func unbufferedChans(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+			return true
+		}
+		if _, isChan := info.TypeOf(call).Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		size := int64(0)
+		if len(call.Args) == 2 {
+			tv, ok := info.Types[call.Args[1]]
+			if !ok || tv.Value == nil {
+				return true // dynamic size: unknown, stay quiet
+			}
+			var exact bool
+			size, exact = constInt(tv)
+			if !exact {
+				return true
+			}
+		}
+		if size != 0 {
+			return true
+		}
+		if id, ok := ast.Unparen(a.Lhs[0]).(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				out[v] = true
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func constInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// render prints an expression compactly for use as a region key.
+func render(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"c3/internal/analysis/analysistest"
+	"c3/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockscope.Analyzer, "lockscope")
+}

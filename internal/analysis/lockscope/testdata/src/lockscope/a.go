@@ -1,0 +1,99 @@
+// Fixture shapes are distilled from internal/lsm/wal.go (the group-commit
+// mu/ioMu pair) and internal/kvstore's topology RWMutex: blocking work must
+// happen outside the nanosecond-scale locks, with the WAL's dedicated I/O
+// lock as the one suppressed design exception. time.Sleep stands in for the
+// fsync/dial calls so the fixture stays off the os/net std closure.
+package lockscope
+
+import (
+	"sync"
+	"time"
+)
+
+type wal struct {
+	mu   sync.Mutex
+	ioMu sync.Mutex
+}
+
+type topo struct {
+	mu sync.RWMutex
+}
+
+func (w *wal) sleepUnderLock() {
+	w.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding w.mu`
+	w.mu.Unlock()
+}
+
+func (w *wal) sleepAfterUnlock() {
+	w.mu.Lock()
+	w.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// deferredUnlock: the region runs to function exit, as at runtime.
+func (w *wal) deferredUnlock() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding w.mu`
+}
+
+func (t *topo) readLockSleep() {
+	t.mu.RLock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding t.mu`
+	t.mu.RUnlock()
+}
+
+// twoLocks: releasing the inner lock does not end the outer region.
+func (w *wal) twoLocks() {
+	w.mu.Lock()
+	w.ioMu.Lock()
+	w.ioMu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding w.mu`
+	w.mu.Unlock()
+}
+
+func (w *wal) unbufferedSend() {
+	ch := make(chan int)
+	w.mu.Lock()
+	ch <- 1 // want `send on unbuffered channel ch while holding w.mu`
+	w.mu.Unlock()
+	<-ch
+}
+
+// bufferedSend cannot block on a waiting receiver.
+func (w *wal) bufferedSend() {
+	ch := make(chan int, 1)
+	w.mu.Lock()
+	ch <- 1
+	w.mu.Unlock()
+}
+
+// spawnUnderLock: the goroutine does not hold the caller's lock.
+func (w *wal) spawnUnderLock() {
+	w.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	w.mu.Unlock()
+}
+
+// branchUnlock: each path's region ends at its own unlock.
+func (w *wal) branchUnlock(fast bool) {
+	w.mu.Lock()
+	if fast {
+		w.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	w.mu.Unlock()
+}
+
+// groupCommit holds the dedicated I/O lock across the blocking call on
+// purpose — the WAL design — and is suppressed with the reason.
+func (w *wal) groupCommit() {
+	w.ioMu.Lock()
+	//lint:allow lockscope ioMu is the dedicated I/O lock; serializing the slow path under it is the group-commit design
+	time.Sleep(time.Millisecond)
+	w.ioMu.Unlock()
+}

@@ -1,0 +1,274 @@
+// Package poolsafe enforces sync.Pool discipline on the hot-path object
+// pools (connection write buffers, RPC call records, hedge timers): once an
+// object is returned to its pool — directly via Pool.Put or through a
+// releaser wrapper like putBuf/putCall/putTimer — no path may touch it again
+// before the variable is rebound. A use-after-Put is a data race with
+// whichever goroutine gets the object next, and like all pool races it
+// corrupts silently because the memory stays valid.
+//
+// Releasers are computed by a same-package fixpoint: a function releases
+// parameter i (or its receiver) when the body passes it to Pool.Put or to
+// another releaser. The check is then flow-sensitive per body: from each
+// release statement, every CFG path is scanned until the released variable
+// is reassigned; any intervening read is flagged. Aliases (a second variable
+// or a field holding the same pointer) are out of scope — the repository
+// convention is that the releasing variable is the owner.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"c3/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc: "no use of a pooled object after it is returned to its pool " +
+		"(Pool.Put or a releaser wrapper such as putBuf/putCall)",
+	Run: run,
+}
+
+// releaser describes which argument a function releases: an index into its
+// parameters, or -1 for the method receiver.
+type releaser struct {
+	obj types.Object
+	arg int
+}
+
+func run(pass *analysis.Pass) error {
+	bodies := analysis.Bodies(pass.Files)
+	releasers := releaserSet(pass, bodies)
+	terminates := analysis.Terminator(pass.TypesInfo)
+
+	for _, b := range bodies {
+		var g *analysis.CFG
+		analysis.InspectShallow(b.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			v := releasedVar(pass.TypesInfo, releasers, call)
+			if v == nil {
+				return true
+			}
+			if g == nil {
+				g = analysis.BuildCFG(b.Body, terminates)
+			}
+			stmt := owningStmt(g, b.Body, call)
+			if stmt == nil {
+				return true
+			}
+			if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+				// A deferred release runs after every use in the body.
+				return true
+			}
+			checkAfterRelease(pass, g, stmt, call, v)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAfterRelease walks the CFG from the release statement and reports
+// reads of v before any rebinding.
+func checkAfterRelease(pass *analysis.Pass, g *analysis.CFG, release ast.Stmt, relCall *ast.CallExpr, v *types.Var) {
+	g.WalkFrom(release, func(n *analysis.Node) bool {
+		rebound := false
+		for _, part := range n.Parts {
+			// Uses anywhere in the statement — including inside literals a
+			// later `go func(){...}` spawns — touch freed memory.
+			ast.Inspect(part, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pass.TypesInfo.Uses[id] == v && !isRebindTarget(part, id) {
+					pass.Reportf(id.Pos(), "use of %s after it was released to its pool", v.Name())
+				}
+				if pass.TypesInfo.Defs[id] == v {
+					rebound = true
+				}
+				return true
+			})
+			if a, ok := part.(*ast.AssignStmt); ok {
+				for _, lhs := range a.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+						rebound = true
+					}
+				}
+			}
+		}
+		return rebound // a fresh binding ends the hazard on this path
+	})
+}
+
+// isRebindTarget reports whether id is the assignment target itself (the
+// LHS of `v = fresh()` reads nothing).
+func isRebindTarget(stmt ast.Node, id *ast.Ident) bool {
+	a, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range a.Lhs {
+		if ast.Unparen(lhs) == id {
+			return true
+		}
+	}
+	return false
+}
+
+// releasedVar resolves a call to the plain local variable it releases, nil
+// when the call is not a release or the argument is not an identifier.
+func releasedVar(info *types.Info, releasers map[types.Object]int, call *ast.CallExpr) *types.Var {
+	// Direct Pool.Put(x).
+	if _, name, isMethod := analysis.CalleeName(info, call); isMethod && name == "Put" {
+		if recv := analysis.ReceiverType(info, call); recv != nil && analysis.IsNamedType(recv, "sync", "Pool") {
+			if len(call.Args) == 1 {
+				return identVar(info, call.Args[0])
+			}
+		}
+	}
+	obj := calleeObj(info, call)
+	arg, ok := releasers[obj]
+	if !ok {
+		return nil
+	}
+	if arg == -1 {
+		// Receiver release: ca.abort() frees ca.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return identVar(info, sel.X)
+		}
+		return nil
+	}
+	if arg < len(call.Args) {
+		return identVar(info, call.Args[arg])
+	}
+	return nil
+}
+
+// releaserSet runs the fixpoint described in the package comment. A
+// function qualifies only when it releases the same parameter on EVERY
+// non-panicking exit path: a conditional release (ctlWait aborting the call
+// on timeout but not on success) reports the outcome through its error
+// return, and callers that use the object only on the success arm are
+// correct — flagging them would force suppressions on sound code.
+func releaserSet(pass *analysis.Pass, bodies []analysis.FuncBody) map[types.Object]int {
+	set := make(map[types.Object]int)
+	terminates := analysis.Terminator(pass.TypesInfo)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range bodies {
+			if b.Lit != nil || b.Decl == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[b.Decl.Name]
+			if obj == nil {
+				continue
+			}
+			if _, done := set[obj]; done {
+				continue
+			}
+			params := paramVars(pass.TypesInfo, b.Decl)
+			var released *types.Var
+			arg := 0
+			ast.Inspect(b.Decl.Body, func(n ast.Node) bool {
+				if released != nil {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				v := releasedVar(pass.TypesInfo, set, call)
+				if v == nil {
+					return true
+				}
+				for i, p := range params {
+					if p != nil && p == v {
+						released, arg = v, i-1 // params[0] is the receiver slot
+						return false
+					}
+				}
+				return true
+			})
+			if released == nil {
+				continue
+			}
+			g := analysis.BuildCFG(b.Decl.Body, terminates)
+			v := released
+			always := g.AllPathsPass(func(n *analysis.Node) bool {
+				return analysis.NodeContainsCall(pass.TypesInfo, n, true, func(call *ast.CallExpr) bool {
+					return releasedVar(pass.TypesInfo, set, call) == v
+				})
+			})
+			if always {
+				set[obj] = arg
+				changed = true
+			}
+		}
+	}
+	return set
+}
+
+// paramVars returns [receiver, param0, param1, ...] with nil holes for
+// missing or unnamed entries.
+func paramVars(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	out := []*types.Var{nil}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		out[0], _ = info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, _ := info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func identVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// owningStmt finds the innermost CFG-anchored statement whose executed parts
+// contain the call.
+func owningStmt(g *analysis.CFG, body *ast.BlockStmt, call *ast.CallExpr) ast.Stmt {
+	var best ast.Stmt
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		node := g.NodeFor(stmt)
+		if node == nil {
+			return true
+		}
+		for _, part := range node.Parts {
+			if part.Pos() <= call.Pos() && call.End() <= part.End() {
+				best = stmt
+				break
+			}
+		}
+		return true
+	})
+	return best
+}

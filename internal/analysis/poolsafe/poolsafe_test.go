@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"c3/internal/analysis/analysistest"
+	"c3/internal/analysis/poolsafe"
+)
+
+func TestPoolSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolsafe.Analyzer, "poolsafe")
+}

@@ -1,0 +1,115 @@
+// Fixture shapes are distilled from internal/kvstore/rpc.go pooling: the
+// call-record pool with its putCall wrapper, the receiver-style abort
+// release, and the ctlWait conditional release that must NOT count as a
+// releaser.
+package poolsafe
+
+import "sync"
+
+type callRec struct {
+	id  uint64
+	buf []byte
+}
+
+var callPool = sync.Pool{New: func() any { return new(callRec) }}
+
+// putCall is an unconditional releaser wrapper: every exit returns c.
+func putCall(c *callRec) {
+	c.buf = c.buf[:0]
+	callPool.Put(c)
+}
+
+// abort is the receiver-style release (ca.abort() frees ca).
+func (c *callRec) abort() {
+	putCall(c)
+}
+
+// tryPut releases only on failure and reports the outcome; it is NOT a
+// releaser, so callers may touch c on the success arm (the ctlWait shape).
+func tryPut(c *callRec, ok bool) bool {
+	if !ok {
+		putCall(c)
+		return false
+	}
+	return true
+}
+
+func useAfterPut() uint64 {
+	c := callPool.Get().(*callRec)
+	callPool.Put(c)
+	return c.id // want `use of c after it was released to its pool`
+}
+
+func useAfterWrapper() int {
+	c := callPool.Get().(*callRec)
+	putCall(c)
+	return len(c.buf) // want `use of c after it was released to its pool`
+}
+
+func useAfterAbort() {
+	c := callPool.Get().(*callRec)
+	c.abort()
+	c.id = 0 // want `use of c after it was released to its pool`
+}
+
+func doublePut() {
+	c := callPool.Get().(*callRec)
+	putCall(c)
+	putCall(c) // want `use of c after it was released to its pool`
+}
+
+// goUseAfterPut: the goroutine body races the pool's next owner.
+func goUseAfterPut() {
+	c := callPool.Get().(*callRec)
+	putCall(c)
+	go func() {
+		_ = c.buf // want `use of c after it was released to its pool`
+	}()
+}
+
+// rebindOK: a fresh Get rebinds the variable and ends the hazard.
+func rebindOK() int {
+	c := callPool.Get().(*callRec)
+	putCall(c)
+	c = callPool.Get().(*callRec)
+	return len(c.buf)
+}
+
+// branchOK: each path releases exactly once, after its last use.
+func branchOK(fail bool) int {
+	c := callPool.Get().(*callRec)
+	if fail {
+		putCall(c)
+		return 0
+	}
+	n := len(c.buf)
+	putCall(c)
+	return n
+}
+
+// deferredPut runs after every use in the body by construction.
+func deferredPut() int {
+	c := callPool.Get().(*callRec)
+	defer putCall(c)
+	return len(c.buf)
+}
+
+// condCaller uses c only when tryPut kept it alive — sound, not flagged.
+func condCaller() int {
+	c := callPool.Get().(*callRec)
+	if !tryPut(c, true) {
+		return 0
+	}
+	n := len(c.buf)
+	putCall(c)
+	return n
+}
+
+// pipelinedPut: the ring protocol still owns the slot after the put; the
+// deliberate post-release read is suppressed with the reason.
+func pipelinedPut() uint64 {
+	c := callPool.Get().(*callRec)
+	putCall(c)
+	//lint:allow poolsafe the ring still owns the slot until the cursor advances past it
+	return c.id
+}

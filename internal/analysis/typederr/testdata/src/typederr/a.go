@@ -1,0 +1,89 @@
+// Fixture shapes are distilled from the PR 7 error-taxonomy call sites in
+// internal/kvstore and internal/lsm: sentinel comparisons, error switches,
+// and the error-text matching that broke when messages were reworded.
+package typederr
+
+import (
+	"errors"
+	"strings"
+)
+
+var (
+	ErrQuorumUnavailable = errors.New("kvstore: quorum unavailable")
+	ErrTimeout           = errors.New("kvstore: timeout")
+	ErrWriteFailed       = errors.New("kvstore: write failed on every replica")
+	ErrClosed            = errors.New("lsm: store closed")
+
+	errOther = errors.New("kvstore: something else")
+)
+
+func work() error { return nil }
+
+func eqSentinel() bool {
+	err := work()
+	return err == ErrTimeout // want `comparing ErrTimeout with == breaks on wrapped errors; use errors.Is`
+}
+
+func neqSentinel() {
+	if err := work(); err != ErrClosed { // want `comparing ErrClosed with != breaks on wrapped errors; use errors.Is`
+		return
+	}
+}
+
+func switchSentinel() int {
+	err := work()
+	switch err {
+	case ErrQuorumUnavailable: // want `switch case compares ErrQuorumUnavailable by identity and breaks on wrapped errors; use errors.Is`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func textMatch() bool {
+	err := work()
+	return err.Error() == "kvstore: timeout" // want `matching on err.Error\(\) text is brittle; use errors.Is with a sentinel`
+}
+
+func textContains() bool {
+	err := work()
+	return strings.Contains(err.Error(), "quorum") // want `matching on err.Error\(\) text is brittle; use errors.Is with a sentinel`
+}
+
+// errorsIs is the contract: wrapped sentinels keep matching.
+func errorsIs() bool {
+	err := work()
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrQuorumUnavailable)
+}
+
+// nilChecks are identity tests against nil, not a sentinel.
+func nilChecks() bool {
+	err := work()
+	if err != nil {
+		return false
+	}
+	return err == nil
+}
+
+// nonSentinel: package-level errors outside the taxonomy are out of scope.
+func nonSentinel() bool {
+	err := work()
+	return err == errOther
+}
+
+// localShadow: a local that happens to share a sentinel's name is unrelated.
+func localShadow() bool {
+	ErrTimeout := errors.New("local")
+	err := work()
+	return err == ErrTimeout
+}
+
+// bareIdentity deliberately tests for the unwrapped sentinel itself — the
+// multi-classification shape where errors.Is would also match richer
+// statuses — and is suppressed with the reason.
+func bareIdentity() bool {
+	err := work()
+	//lint:allow typederr identity test for the bare sentinel; classified statuses are handled above
+	return err == ErrWriteFailed
+}

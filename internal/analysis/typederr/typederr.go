@@ -1,0 +1,131 @@
+// Package typederr enforces the PR 7 error taxonomy: the sentinel errors
+// ErrQuorumUnavailable, ErrTimeout, ErrWriteFailed and ErrClosed are part of
+// the public failure contract and must be tested with errors.Is — never ==,
+// != or a switch case, all of which break the moment a sentinel is wrapped
+// with fmt.Errorf("...: %w", err) — and never by matching on error text,
+// which breaks when a message is reworded.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"c3/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "sentinel errors (ErrQuorumUnavailable, ErrTimeout, ErrWriteFailed, " +
+		"ErrClosed) must be compared with errors.Is, not == or string matching",
+	Run: run,
+}
+
+func sentinelName(name string) bool {
+	switch name {
+	case "ErrQuorumUnavailable", "ErrTimeout", "ErrWriteFailed", "ErrClosed":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// sentinel reports whether e names one of the taxonomy sentinels.
+	sentinel := func(e ast.Expr) (string, bool) {
+		var id *ast.Ident
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return "", false
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !sentinelName(obj.Name()) {
+			return "", false
+		}
+		// Only error-typed package-level sentinels count; an unrelated local
+		// that happens to share the name is left alone.
+		if obj.Parent() == nil || obj.Parent().Parent() != types.Universe {
+			return "", false
+		}
+		return obj.Name(), isErrorType(obj.Type())
+	}
+
+	// errorText reports whether e is a call to Error() on an error value —
+	// the root of every string-matching pattern.
+	errorText := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			return false
+		}
+		s, ok := info.Selections[sel]
+		return ok && isErrorType(s.Recv())
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinel(side); ok {
+						pass.Reportf(n.Pos(),
+							"comparing %s with %s breaks on wrapped errors; use errors.Is", name, n.Op)
+						return true
+					}
+				}
+				if errorText(n.X) || errorText(n.Y) {
+					pass.Reportf(n.Pos(),
+						"matching on err.Error() text is brittle; use errors.Is with a sentinel")
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(info.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					for _, e := range clause.(*ast.CaseClause).List {
+						if name, ok := sentinel(e); ok {
+							pass.Reportf(e.Pos(),
+								"switch case compares %s by identity and breaks on wrapped errors; use errors.Is", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				pkg, name, _ := analysis.CalleeName(info, n)
+				if pkg != "strings" {
+					return true
+				}
+				switch name {
+				case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+					for _, arg := range n.Args {
+						if errorText(arg) {
+							pass.Reportf(n.Pos(),
+								"matching on err.Error() text is brittle; use errors.Is with a sentinel")
+							return true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	it, ok := t.Underlying().(*types.Interface)
+	return ok && it.NumMethods() == 1 && it.Method(0).Name() == "Error"
+}

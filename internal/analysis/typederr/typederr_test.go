@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"c3/internal/analysis/analysistest"
+	"c3/internal/analysis/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), typederr.Analyzer, "typederr")
+}

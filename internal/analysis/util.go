@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared call- and type-matching helpers for the analyzers.
+
+// CalleeName resolves a call expression to (package path, function or
+// method name, isMethod). The package path is the defining package of the
+// callee object, "" for builtins and indirect calls through function
+// values.
+func CalleeName(info *types.Info, call *ast.CallExpr) (pkgPath, name string, isMethod bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return objPkgPath(obj), obj.Name(), obj.Type().(*types.Signature).Recv() != nil
+		}
+		return "", fun.Name, false // builtin (panic, append) or func value
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return objPkgPath(f), f.Name(), true
+			}
+			return "", fun.Sel.Name, true
+		}
+		// Qualified identifier pkg.Fn.
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return objPkgPath(obj), obj.Name(), obj.Type().(*types.Signature).Recv() != nil
+		}
+		return "", fun.Sel.Name, false
+	}
+	return "", "", false
+}
+
+func objPkgPath(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path()
+	}
+	return ""
+}
+
+// ReceiverType returns the (pointer-stripped) receiver type of a method
+// call, or nil when call is not a method call.
+func ReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	t := s.Recv()
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		return t
+	}
+}
+
+// IsNamedType reports whether t (after stripping pointers) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// Terminator returns a predicate reporting statements that never return
+// control to the enclosing function: panic, runtime.Goexit, os.Exit,
+// log.Fatal*/log.Panic*, and testing's FailNow family (Fatal, Fatalf,
+// FailNow, Skip, Skipf, SkipNow on any receiver — tests are analyzed too).
+// A statement terminates when it is an expression statement consisting of
+// such a call.
+func Terminator(info *types.Info) func(ast.Stmt) bool {
+	return func(s ast.Stmt) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		pkg, name, isMethod := CalleeName(info, call)
+		if !isMethod {
+			switch {
+			case pkg == "" && name == "panic":
+				return true
+			case pkg == "os" && name == "Exit":
+				return true
+			case pkg == "runtime" && name == "Goexit":
+				return true
+			case pkg == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+				name == "Panic" || name == "Panicf" || name == "Panicln"):
+				return true
+			}
+			return false
+		}
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			// The testing.TB contract: these call runtime.Goexit. Matching
+			// by name keeps the CFG honest inside _test.go files without a
+			// dependency on the testing package's identity.
+			return true
+		}
+		return false
+	}
+}
+
+// FuncBody is one analyzable body: a declared function/method or a function
+// literal. Literals are separate bodies — a goroutine's interior is its own
+// control-flow world.
+type FuncBody struct {
+	// Name is the declared name, "" for literals.
+	Name string
+	// Decl is the enclosing declaration (also set for literals, for
+	// context); nil for literals at file scope (impossible in Go).
+	Decl *ast.FuncDecl
+	// Lit is the literal, nil for declared functions.
+	Lit *ast.FuncLit
+	// Body is the statement block to analyze.
+	Body *ast.BlockStmt
+}
+
+// Bodies enumerates every function body in the files: each FuncDecl with a
+// body, and each FuncLit nested anywhere within it.
+func Bodies(files []*ast.File) []FuncBody {
+	var out []FuncBody
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, FuncBody{Name: fd.Name.Name, Decl: fd, Body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, FuncBody{Decl: fd, Lit: lit, Body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// InspectShallow walks n without descending into function literals: the
+// caller is reasoning about one body's control flow, and a literal's
+// interior belongs to a different body.
+func InspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return f(x)
+	})
+}
+
+// NodeContainsCall reports whether a CFG node's executed parts contain a
+// call for which match returns true. Calls inside nested function literals
+// are excluded unless includeLits is set (a deferred or spawned closure
+// runs later — "will eventually run" credit is the caller's choice).
+func NodeContainsCall(info *types.Info, n *Node, includeLits bool, match func(call *ast.CallExpr) bool) bool {
+	found := false
+	for _, part := range n.Parts {
+		walk := func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := x.(*ast.CallExpr); ok && match(call) {
+				found = true
+				return false
+			}
+			return true
+		}
+		if includeLits {
+			ast.Inspect(part, walk)
+		} else {
+			InspectShallow(part, walk)
+		}
+	}
+	return found
+}

@@ -5,6 +5,9 @@ import "testing"
 // TestAllRunnersQuick executes every experiment at Quick scale: each must
 // produce lines and headline metrics without panicking.
 func TestAllRunnersQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every simulation experiment; skipped under -short")
+	}
 	o := Options{Scale: Quick, Seeds: 1}
 	for _, rn := range All() {
 		rn := rn

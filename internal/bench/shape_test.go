@@ -9,8 +9,21 @@ import "testing"
 
 func opts() Options { return Options{Scale: Quick, Seeds: 2} }
 
-func TestShapeFig02_DSOscillatesMore(t *testing.T) {
+// shapeTest marks a shape assertion: parallel (the simulations are
+// independent) and skipped under -short, where the repo-wide race sweep
+// runs every package and a multi-second simulation times the race
+// detector's overhead is pure latency. The plain Test step and the
+// dedicated CI steps still run them in full.
+func shapeTest(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped under -short")
+	}
 	t.Parallel()
+}
+
+func TestShapeFig02_DSOscillatesMore(t *testing.T) {
+	shapeTest(t)
 	rep := Fig02(opts())
 	if rep.Metrics["oscillation_DS"] <= rep.Metrics["oscillation_C3"] {
 		t.Fatalf("DS should oscillate more than C3: %v", rep.Metrics)
@@ -18,7 +31,7 @@ func TestShapeFig02_DSOscillatesMore(t *testing.T) {
 }
 
 func TestShapeFig06_C3ShrinksTailGap(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	rep := Fig06(opts())
 	// The headline: p99.9−p50 is larger under DS for the read-heavy mix.
 	if rep.Metrics["tailgap_ratio_Read-Heavy"] <= 1.2 {
@@ -28,7 +41,7 @@ func TestShapeFig06_C3ShrinksTailGap(t *testing.T) {
 }
 
 func TestShapeFig07_C3RaisesThroughput(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	rep := Fig07(opts())
 	for _, mix := range []string{"Read-Heavy", "Read-Only", "Update-Heavy"} {
 		if rep.Metrics["throughput_gain_pct_"+mix] <= 0 {
@@ -38,7 +51,7 @@ func TestShapeFig07_C3RaisesThroughput(t *testing.T) {
 }
 
 func TestShapeFig08_C3ConditionsLoad(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	rep := Fig08(opts())
 	if rep.Metrics["range_ratio_DS_over_C3"] <= 1 {
 		t.Fatalf("DS hottest-node load range should exceed C3's: %v", rep.Metrics)
@@ -46,7 +59,7 @@ func TestShapeFig08_C3ConditionsLoad(t *testing.T) {
 }
 
 func TestShapeFig12_SSDKeepsTheGap(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	rep := Fig12(opts())
 	if rep.Metrics["ssd_p999_ratio"] <= 1 {
 		t.Fatalf("DS p99.9 should exceed C3's on SSDs too: %v", rep.Metrics)
@@ -57,7 +70,7 @@ func TestShapeFig12_SSDKeepsTheGap(t *testing.T) {
 }
 
 func TestShapeFig13_RateDropsUnderDegradation(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	rep := Fig13(opts())
 	if rep.Metrics["srate_degraded"] >= rep.Metrics["srate_healthy"] {
 		t.Fatalf("srate toward the degraded node should drop: %v", rep.Metrics)
@@ -65,7 +78,7 @@ func TestShapeFig13_RateDropsUnderDegradation(t *testing.T) {
 }
 
 func TestShapeFig14_Orderings(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	rep := Fig14(opts())
 	// At T=500ms, 70% utilization: LOR worse than C3, RR worse than LOR,
 	// C3 above but within sight of the oracle.
@@ -85,7 +98,7 @@ func TestShapeFig14_Orderings(t *testing.T) {
 }
 
 func TestShapeFig15_SkewDoesNotFlipOrdering(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	rep := Fig15(opts())
 	// At mild skew (20% of clients), the hot clients' outstanding counts
 	// make C3 behave LOR-like; it must not lose materially. At heavy
@@ -99,7 +112,7 @@ func TestShapeFig15_SkewDoesNotFlipOrdering(t *testing.T) {
 }
 
 func TestShapeAblations(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	comp := AblationConcurrencyComp(opts())
 	if comp.Metrics["penalty"] <= 1 {
 		t.Fatalf("removing concurrency compensation should hurt: %v", comp.Metrics)
@@ -115,7 +128,7 @@ func TestShapeAblations(t *testing.T) {
 }
 
 func TestShapeExtensions(t *testing.T) {
-	t.Parallel()
+	shapeTest(t)
 	tok := ExtTokenAware(opts())
 	// Token awareness saves a hop on self-selection but concentrates
 	// coordination; it must at least not hurt materially.

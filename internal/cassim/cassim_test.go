@@ -16,6 +16,15 @@ func small(strategy string, seed uint64) Config {
 	return cfg
 }
 
+// simTest marks a multi-second simulation test: skipped under -short (the
+// repo-wide race sweep runs with -short; the full Test step still runs these).
+func simTest(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped under -short")
+	}
+}
+
 func TestAllStrategiesComplete(t *testing.T) {
 	for _, st := range []string{StratC3, StratDS, StratDSSpec, StratLOR, StratRR} {
 		st := st
@@ -39,6 +48,7 @@ func TestAllStrategiesComplete(t *testing.T) {
 }
 
 func TestOpMixRatios(t *testing.T) {
+	simTest(t)
 	cfg := small(StratC3, 2)
 	cfg.Mix = workload.UpdateHeavy
 	res := Run(cfg)
@@ -54,6 +64,7 @@ func TestOpMixRatios(t *testing.T) {
 }
 
 func TestDeterminismSameSeed(t *testing.T) {
+	simTest(t)
 	a := Run(small(StratC3, 42))
 	b := Run(small(StratC3, 42))
 	if a.Reads.Mean != b.Reads.Mean || a.Reads.P999 != b.Reads.P999 ||
@@ -63,6 +74,7 @@ func TestDeterminismSameSeed(t *testing.T) {
 }
 
 func TestC3BeatsDynamicSnitching(t *testing.T) {
+	simTest(t)
 	// The headline §5 result, averaged over seeds: C3 improves the tail
 	// and throughput over DS.
 	var c3p99, dsp99, c3thr, dsthr float64
@@ -86,6 +98,7 @@ func TestC3BeatsDynamicSnitching(t *testing.T) {
 }
 
 func TestDSOscillatesMoreThanC3(t *testing.T) {
+	simTest(t)
 	// Fig. 2 / Fig. 9: the request-arrival series of DS shows herd
 	// oscillation that C3 lacks.
 	var dsOsc, c3Osc float64
@@ -105,6 +118,7 @@ func TestDSOscillatesMoreThanC3(t *testing.T) {
 }
 
 func TestSSDFasterThanSpinning(t *testing.T) {
+	simTest(t)
 	sp := small(StratC3, 3)
 	ssd := small(StratC3, 3)
 	ssd.Disk = SSD
@@ -119,6 +133,7 @@ func TestSSDFasterThanSpinning(t *testing.T) {
 }
 
 func TestReadOnlySlowerThanReadHeavy(t *testing.T) {
+	simTest(t)
 	// §5: "the read-heavy workload results in lower latencies than the
 	// read-only workload (since the latter causes more random seeks)".
 	// The margin is small at this scale, so average over seeds like the
@@ -139,6 +154,7 @@ func TestReadOnlySlowerThanReadHeavy(t *testing.T) {
 }
 
 func TestMoreGeneratorsDegradeLatency(t *testing.T) {
+	simTest(t)
 	// Fig. 10: 120 → 210 generators.
 	lo := small(StratC3, 5)
 	hi := small(StratC3, 5)
@@ -157,6 +173,7 @@ func TestMoreGeneratorsDegradeLatency(t *testing.T) {
 }
 
 func TestPhasesAndTimeline(t *testing.T) {
+	simTest(t)
 	// Fig. 11 machinery: an update-heavy wave joins mid-run; the read
 	// timeline must contain points before and after the join.
 	cfg := DefaultConfig()
@@ -190,6 +207,7 @@ func TestPhasesAndTimeline(t *testing.T) {
 }
 
 func TestDurationBoundedRunStops(t *testing.T) {
+	simTest(t)
 	cfg := DefaultConfig()
 	cfg.Seed = 7
 	cfg.Ops = 0
@@ -204,6 +222,7 @@ func TestDurationBoundedRunStops(t *testing.T) {
 }
 
 func TestSlowdownAndRateTrace(t *testing.T) {
+	simTest(t)
 	// Fig. 13 machinery: a 7-node cluster, one node slowed mid-run; the
 	// coordinators' send rates toward it must dip during the window.
 	cfg := DefaultConfig()
@@ -245,6 +264,7 @@ func TestSlowdownAndRateTrace(t *testing.T) {
 }
 
 func TestSpeculativeRetriesFire(t *testing.T) {
+	simTest(t)
 	cfg := small(StratDSSpec, 9)
 	cfg.Ops = 40_000
 	res := Run(cfg)
@@ -258,6 +278,7 @@ func TestSpeculativeRetriesFire(t *testing.T) {
 }
 
 func TestSkewedRecordSizes(t *testing.T) {
+	simTest(t)
 	cfg := small(StratC3, 10)
 	cfg.Sizer = workload.NewZipfianFields(10, 2048)
 	res := Run(cfg)
@@ -267,6 +288,7 @@ func TestSkewedRecordSizes(t *testing.T) {
 }
 
 func TestPerNodeAccounting(t *testing.T) {
+	simTest(t)
 	cfg := small(StratC3, 11)
 	cfg.ReadRepair = 0
 	res := Run(cfg)
@@ -292,6 +314,7 @@ func TestPerNodeAccounting(t *testing.T) {
 }
 
 func TestReadRepairIncreasesReplicaLoad(t *testing.T) {
+	simTest(t)
 	base := small(StratC3, 12)
 	base.ReadRepair = 0
 	rep := small(StratC3, 12)
@@ -322,6 +345,7 @@ func TestUnknownStrategyPanics(t *testing.T) {
 }
 
 func TestMostLoadedNodeIndexValid(t *testing.T) {
+	simTest(t)
 	res := Run(small(StratDS, 13))
 	i, w := res.MostLoadedNode()
 	if i < 0 || i >= len(res.PerNodeReads) || w == nil {
@@ -344,6 +368,7 @@ func BenchmarkRunC3_10kOps(b *testing.B) {
 }
 
 func TestTokenAwareCompletes(t *testing.T) {
+	simTest(t)
 	cfg := small(StratC3, 20)
 	cfg.TokenAware = true
 	res := Run(cfg)
@@ -361,6 +386,7 @@ func TestTokenAwareCompletes(t *testing.T) {
 }
 
 func TestQuorumReadsSlowerThanOne(t *testing.T) {
+	simTest(t)
 	one := small(StratC3, 21)
 	two := small(StratC3, 21)
 	two.ReadConsistency = 2
@@ -375,6 +401,7 @@ func TestQuorumReadsSlowerThanOne(t *testing.T) {
 }
 
 func TestReadConsistencyClampedToRF(t *testing.T) {
+	simTest(t)
 	cfg := small(StratC3, 22)
 	cfg.ReadConsistency = 99 // must clamp to RF=3
 	res := Run(cfg)
@@ -384,6 +411,7 @@ func TestReadConsistencyClampedToRF(t *testing.T) {
 }
 
 func TestC3SpecFiresRetries(t *testing.T) {
+	simTest(t)
 	cfg := small(StratC3Spec, 23)
 	cfg.Ops = 40_000
 	res := Run(cfg)

@@ -166,6 +166,7 @@ func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutc
 		}
 		if err == nil && len(ca.bfound) != nk {
 			putCall(ca)
+			ca = nil // released: a later touch must fault, not race the pool
 			err = errMismatchedResp
 		}
 		now := time.Now()

@@ -43,13 +43,24 @@ func Dial(addrs []string) (*Client, error) {
 
 func (c *Client) conn(i int) (*rpcConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if p := c.conns[i]; p != nil && !p.dead() {
+		c.mu.Unlock()
 		return p, nil
 	}
+	c.mu.Unlock()
+	// Dial outside c.mu: the mutex guards every address slot, so a slow
+	// dial to one dead replica must not stall the client's traffic to the
+	// healthy ones.
 	nc, err := net.DialTimeout("tcp", c.addrs[i], time.Second)
 	if err != nil {
 		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.conns[i]; p != nil && !p.dead() {
+		// Lost a dial race; keep the established winner.
+		nc.Close()
+		return p, nil
 	}
 	p := newRPCConn(nc)
 	c.conns[i] = p
@@ -145,7 +156,10 @@ func (c *Client) PutAt(key string, val []byte, lvl Level) error {
 			continue
 		}
 		if !resp.OK {
-			if err := writeStatusErr(resp.Status); err != nil && err != ErrWriteFailed {
+			// A classified shortfall is definitive — retrying another
+			// coordinator cannot conjure the missing replicas or un-expire
+			// the budget. Only the bare write failure rotates.
+			if err := writeStatusErr(resp.Status); errors.Is(err, ErrQuorumUnavailable) || errors.Is(err, ErrTimeout) {
 				return err
 			}
 			lastErr = ErrWriteFailed

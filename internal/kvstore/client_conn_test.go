@@ -1,0 +1,85 @@
+package kvstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestClientConnDialRace: concurrent first uses of one address slot must
+// converge on a single connection. The dial happens outside c.mu (so a slow
+// dial to one dead replica cannot stall healthy traffic); losers of the
+// resulting race detect the established winner under the lock and close
+// their redundant conn instead of clobbering it.
+func TestClientConnDialRace(t *testing.T) {
+	c, err := StartCluster(1, Config{Seed: 81, RF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cl, err := Dial(c.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	const goroutines = 16
+	conns := make([]*rpcConn, goroutines)
+	dialErrs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conns[g], dialErrs[g] = cl.conn(0)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if dialErrs[g] != nil {
+			t.Fatalf("conn %d: %v", g, dialErrs[g])
+		}
+		if conns[g] != conns[0] {
+			t.Fatalf("conn %d got a different connection than conn 0: racing dials must converge", g)
+		}
+	}
+	// The surviving winner carries traffic.
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.Get("k"); err != nil || !ok {
+		t.Fatalf("Get after racing dials = %v, %v", ok, err)
+	}
+}
+
+// TestPutAtShortfallReturnsClassified: with several coordinators configured,
+// a coordinator that answered with a definitive level shortfall returns the
+// classified error (ErrQuorumUnavailable, also ErrWriteFailed) — rotating to
+// another coordinator cannot conjure the missing replicas, and the caller
+// must be able to errors.Is the shortfall even when dead coordinators were
+// skipped along the way.
+func TestPutAtShortfallReturnsClassified(t *testing.T) {
+	c, err := StartCluster(3, Config{Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cl, err := Dial(c.Addrs()) // all coordinators in rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.PutAt("pre", []byte("v"), Quorum); err != nil {
+		t.Fatalf("healthy quorum write: %v", err)
+	}
+	c.Nodes[1].Crash()
+	c.Nodes[2].Crash()
+
+	err = cl.PutAt("k", []byte("v"), Quorum)
+	if !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("quorum write via rotating coordinators: err = %v, want ErrQuorumUnavailable", err)
+	}
+	if !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("classified shortfall must still match ErrWriteFailed, got %v", err)
+	}
+}

@@ -422,6 +422,9 @@ func TestBatchQuorumRepairsStaleReplica(t *testing.T) {
 // restart over their data directories. Quorum failures during churn are
 // fine; going back in time is not.
 func TestConsistencyChaosQuorum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/restart churn chaos; the dedicated race step runs it in full")
+	}
 	for _, seed := range []uint64{1, 2} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

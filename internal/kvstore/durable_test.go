@@ -198,6 +198,9 @@ func TestRebuildFromPeersAfterDiskLoss(t *testing.T) {
 // storage the invariant is strict — every acked write is readable once the
 // dust settles, even when the crashed node was the only replica that acked.
 func TestDurableChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/restart churn chaos; the dedicated race step runs it in full")
+	}
 	for _, seed := range []uint64{1, 2, 3} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

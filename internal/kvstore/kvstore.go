@@ -1667,6 +1667,7 @@ func (n *Node) peer(id core.ServerID) (*rpcConn, error) {
 	if addr == "" {
 		return nil, errUnknownPeer
 	}
+	//lint:allow lockscope slot.mu is this one peer's private dial lock — serializing concurrent redials to a dead peer is the point; request paths only graze it for the conn check
 	conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
 	if err != nil {
 		slot.lastFail = time.Now()

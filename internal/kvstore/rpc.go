@@ -201,10 +201,12 @@ func (p *rpcConn) readLoop() {
 				p.failAll()
 				return
 			}
-			c.read = m
 			// Copy the value out of the frame buffer into the waiter's
-			// destination before the buffer is reused by the next frame.
-			c.read.Value = append(c.dst, m.Value...)
+			// destination before anything aliasing the frame is published
+			// to the call record — c.read must never hold frame memory,
+			// even transiently.
+			m.Value = append(c.dst, m.Value...)
+			c.read = m
 			c.done <- struct{}{}
 		case wire.MsgWriteResp:
 			m, err := wire.ParseWriteResp(payload)

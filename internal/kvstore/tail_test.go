@@ -314,6 +314,9 @@ func TestPeerDialFailFast(t *testing.T) {
 // 50 ms slowdown must not surface in read latency when hedging is on, and
 // must surface when it is off.
 func TestHedgedReadCutsTailUnderSlowReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds of injected slowness; the dedicated race step runs it in full")
+	}
 	run := func(disabled bool) (maxLatency time.Duration, hedges, wins uint64) {
 		cfg := Config{Seed: 27, Strategy: StratRND}
 		cfg.Hedge.Disabled = disabled

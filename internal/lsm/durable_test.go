@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -64,7 +65,7 @@ func TestDurableRestartRoundtrip(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if err := s.Put("late", []byte("x")); err != ErrClosed {
+	if err := s.Put("late", []byte("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Put after Close = %v, want ErrClosed", err)
 	}
 
@@ -113,7 +114,7 @@ func TestCrashLosesNothingAcked(t *testing.T) {
 		mustPut(t, s, fmt.Sprintf("k-%03d", i), fmt.Sprintf("v%d", i))
 	}
 	s.Crash()
-	if err := s.Put("post", []byte("x")); err != ErrClosed {
+	if err := s.Put("post", []byte("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Put after Crash = %v, want ErrClosed", err)
 	}
 

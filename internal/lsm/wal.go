@@ -253,6 +253,7 @@ func (w *wal) commitOnce() {
 			w.dirty = w.dirty || err == nil
 		}
 		if err == nil && !w.nosync && !w.periodic() {
+			//lint:allow lockscope ioMu is the WAL's dedicated I/O lock; fsync under it is the group-commit design — the hot-path mu was released above
 			err = f.Sync()
 			w.dirty = err != nil
 			w.syncs.Add(1)
@@ -303,6 +304,7 @@ func (w *wal) fsyncNow() error {
 	if !w.dirty {
 		return nil
 	}
+	//lint:allow lockscope ioMu exists to serialize exactly this fsync against group commits; appenders never block on it
 	err := w.f.Sync()
 	if err == nil {
 		w.dirty = false
