@@ -35,6 +35,8 @@ func main() {
 		"path for the machine-readable durability benchmark record (written when the durable experiment runs; empty disables)")
 	consistencyjson := flag.String("consistencyjson", "BENCH_consistency.json",
 		"path for the machine-readable tunable-consistency benchmark record (written when the consistency experiment runs; empty disables)")
+	shards := flag.Int("shards", 0,
+		"per-node shard count for live-cluster experiments (0 = GOMAXPROCS; 1 reproduces the pre-sharding layout)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -52,7 +54,7 @@ func main() {
 	o := bench.Options{Scale: sc, Seeds: *seeds, KVJSONPath: *kvjson,
 		TailJSONPath: *tailjson, BatchJSONPath: *batchjson,
 		ElasticJSONPath: *elasticjson, DurableJSONPath: *durablejson,
-		ConsistencyJSONPath: *consistencyjson}
+		ConsistencyJSONPath: *consistencyjson, Shards: *shards}
 
 	runners := bench.All()
 	if *fig != "all" {

@@ -39,6 +39,7 @@ func main() {
 	join := flag.Bool("join", false, "with -tcp: grow the cluster by one node mid-run, then decommission it")
 	data := flag.String("data", "", "with -tcp: durable storage root (node i stores under <data>/node-<i>; rerun with the same dir to demo recovery)")
 	consistency := flag.String("consistency", "one", "with -tcp: consistency level for the demo workload (one | quorum | all)")
+	shards := flag.Int("shards", 0, "with -tcp: per-node storage/request shards (0 = GOMAXPROCS; 1 reproduces the pre-sharding layout)")
 	flag.Parse()
 
 	if *tcp {
@@ -48,9 +49,9 @@ func main() {
 			os.Exit(2)
 		}
 		if *join {
-			runTCPJoin(*nodes, *strategy, *ops, *data, lvl)
+			runTCPJoin(*nodes, *strategy, *ops, *data, lvl, *shards)
 		} else {
-			runTCP(*nodes, *strategy, *ops, *data, lvl)
+			runTCP(*nodes, *strategy, *ops, *data, lvl, *shards)
 		}
 		return
 	}
@@ -101,7 +102,7 @@ func main() {
 // one node mid-run, and show C3 shifting traffic away and back. With dataDir
 // set the nodes are durable; a rerun over the same directory recovers the
 // previous run's keys from WAL + SSTs instead of reloading.
-func runTCP(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Level) {
+func runTCP(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Level, shards int) {
 	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s, consistency %s)...\n",
 		nodes, strategy, lvl)
 	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
@@ -109,6 +110,7 @@ func runTCP(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Lev
 		Seed:          1,
 		ReadDelayMean: 300 * time.Microsecond,
 		DataDir:       dataDir,
+		Shards:        shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -178,7 +180,7 @@ func runTCP(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Lev
 // runTCPJoin is the elasticity demo: boot a loaded cluster, grow it by one
 // node WHILE serving (the joiner streams its key ranges live and only then
 // takes reads), then decommission the same node — all with zero downtime.
-func runTCPJoin(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Level) {
+func runTCPJoin(nodes int, strategy string, ops int, dataDir string, lvl kvstore.Level, shards int) {
 	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s, consistency %s)...\n",
 		nodes, strategy, lvl)
 	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
@@ -186,6 +188,7 @@ func runTCPJoin(nodes int, strategy string, ops int, dataDir string, lvl kvstore
 		Seed:          1,
 		ReadDelayMean: 300 * time.Microsecond,
 		DataDir:       dataDir,
+		Shards:        shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -239,6 +242,7 @@ func runTCPJoin(nodes int, strategy string, ops int, dataDir string, lvl kvstore
 		Seed:          2,
 		ReadDelayMean: 300 * time.Microsecond,
 		DataDir:       dataDir,
+		Shards:        shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "join:", err)

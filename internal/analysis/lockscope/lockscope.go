@@ -23,14 +23,22 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"c3/internal/analysis"
 )
 
+// The shard-per-core runtime adds a second discipline: shards are
+// independent by construction, so code holding one shard's mutex (a lock
+// whose receiver is indexed, "n.st[i].mu") must never acquire a sibling
+// shard's ("n.st[j].mu"). There is no legitimate cross-shard critical
+// section — batch paths partition first and visit one shard at a time — and
+// two goroutines locking shards in opposite orders would deadlock.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockscope",
 	Doc: "no blocking call (net I/O, fsync, time.Sleep, unbuffered channel " +
-		"send) while holding a mutex",
+		"send) while holding a mutex; no cross-shard lock acquisition while " +
+		"holding a shard mutex",
 	Run: run,
 }
 
@@ -60,6 +68,7 @@ func run(pass *analysis.Pass) error {
 						return true // region ends here
 					}
 				}
+				reportCrossShard(pass, node, key)
 				reportBlocking(pass, node, key, unbuffered)
 				return false
 			})
@@ -101,6 +110,53 @@ func mutexOp(info *types.Info, e ast.Expr) (string, op) {
 		return render(sel.X), opUnlock
 	}
 	return "", opNone
+}
+
+// reportCrossShard flags Lock acquisitions of a sibling shard's mutex while
+// a shard mutex is held: same indexed base and field path, different index
+// expression. Same-key re-lock is left to the runtime's deadlock detector —
+// this rule is about lock-order cycles between shards.
+func reportCrossShard(pass *analysis.Pass, node *analysis.Node, lockKey string) {
+	heldBase, heldIdx, heldRest, ok := splitIndexed(lockKey)
+	if !ok {
+		return
+	}
+	for _, part := range node.Parts {
+		if _, isDefer := part.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		analysis.InspectShallow(part, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			k, op := mutexOp(pass.TypesInfo, call)
+			if op != opLock {
+				return true
+			}
+			base, idx, rest, indexed := splitIndexed(k)
+			if indexed && base == heldBase && rest == heldRest && idx != heldIdx {
+				pass.Reportf(call.Pos(),
+					"acquiring %s while holding shard lock %s (cross-shard lock order)", k, lockKey)
+			}
+			return true
+		})
+	}
+}
+
+// splitIndexed decomposes a rendered lock key of the form "base[idx]rest"
+// (e.g. "n.st[sh].mu" -> "n.st", "sh", ".mu"). ok is false for keys with no
+// index expression.
+func splitIndexed(key string) (base, idx, rest string, ok bool) {
+	i := strings.IndexByte(key, '[')
+	if i < 0 {
+		return "", "", "", false
+	}
+	j := strings.IndexByte(key[i:], ']')
+	if j < 0 {
+		return "", "", "", false
+	}
+	return key[:i], key[i+1 : i+j], key[i+j+1:], true
 }
 
 // reportBlocking flags the blocking operations executed at node (shallow:

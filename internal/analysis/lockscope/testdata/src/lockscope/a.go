@@ -97,3 +97,53 @@ func (w *wal) groupCommit() {
 	time.Sleep(time.Millisecond)
 	w.ioMu.Unlock()
 }
+
+// Shard-per-core fixtures, distilled from the sharded store's per-shard
+// state: holding one shard's mutex while acquiring a sibling's is a
+// lock-order cycle waiting for the opposite interleaving.
+
+type shardState struct {
+	mu sync.Mutex
+}
+
+type shardedNode struct {
+	st []shardState
+}
+
+// crossShardLock acquires shard j's lock under shard i's: the forbidden
+// cross-shard critical section.
+func (n *shardedNode) crossShardLock(i, j int) {
+	n.st[i].mu.Lock()
+	n.st[j].mu.Lock() // want `acquiring n.st\[j\].mu while holding shard lock n.st\[i\].mu \(cross-shard lock order\)`
+	n.st[j].mu.Unlock()
+	n.st[i].mu.Unlock()
+}
+
+// sequentialShards releases shard i before touching shard j — the batch
+// partitioning discipline, never two shards at once.
+func (n *shardedNode) sequentialShards(i, j int) {
+	n.st[i].mu.Lock()
+	n.st[i].mu.Unlock()
+	n.st[j].mu.Lock()
+	n.st[j].mu.Unlock()
+}
+
+// sameShardRegions re-enters the same shard's lock in separate regions; the
+// rendered index matches, so no cross-shard pairing exists.
+func (n *shardedNode) sameShardRegions(i int) {
+	n.st[i].mu.Lock()
+	n.st[i].mu.Unlock()
+	n.st[i].mu.Lock()
+	n.st[i].mu.Unlock()
+}
+
+// spawnOtherShard hands the sibling shard to a goroutine: the spawned work
+// does not hold the caller's shard lock.
+func (n *shardedNode) spawnOtherShard(i, j int) {
+	n.st[i].mu.Lock()
+	go func() {
+		n.st[j].mu.Lock()
+		n.st[j].mu.Unlock()
+	}()
+	n.st[i].mu.Unlock()
+}

@@ -58,6 +58,11 @@ type Options struct {
 	// ConsistencyJSONPath, when non-empty, makes the consistency runner also
 	// write its machine-readable result (BENCH_consistency.json) to this path.
 	ConsistencyJSONPath string
+	// Shards overrides the per-node shard count for the live-cluster
+	// benchmarks. 0 takes the kvstore default (GOMAXPROCS); 1 reproduces
+	// the pre-sharding single-writer layout, making the sharding win
+	// ablatable from the command line.
+	Shards int
 }
 
 func (o Options) seeds() int {

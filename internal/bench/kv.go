@@ -18,6 +18,7 @@ import (
 // the repo's own hot-path trajectory, tracked across PRs in BENCH_kv.json.
 type KVResult struct {
 	Nodes         int     `json:"nodes"`
+	Shards        int     `json:"shards"`
 	Durable       bool    `json:"durable"`
 	Workers       int     `json:"workers"`
 	Keys          int     `json:"keys"`
@@ -31,6 +32,16 @@ type KVResult struct {
 	ReadP999Us    float64 `json:"read_p999_us"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 	BytesPerOp    float64 `json:"bytes_per_op"`
+
+	// Write-only phase: the same cluster and workers, 100% Puts, run after
+	// the mixed phase so the mixed numbers stay comparable across the
+	// trajectory. Saturated durable write throughput is the shard-per-core
+	// runtime's headline number.
+	WriteOps           int     `json:"write_ops"`
+	WriteSeconds       float64 `json:"write_seconds"`
+	WriteThroughputOps float64 `json:"write_throughput_ops_per_sec"`
+	WriteP50Us         float64 `json:"write_p50_us"`
+	WriteP99Us         float64 `json:"write_p99_us"`
 }
 
 // kvOps reports the live-store operation budget for the scale.
@@ -69,7 +80,7 @@ func RunKV(o Options) (KVResult, error) {
 	}
 	defer os.RemoveAll(dataDir)
 	cluster, err := kvstore.StartCluster(nodes, kvstore.Config{
-		Seed: 1, ReadRepair: -1, DataDir: dataDir})
+		Seed: 1, ReadRepair: -1, DataDir: dataDir, Shards: o.Shards})
 	if err != nil {
 		return KVResult{}, err
 	}
@@ -157,8 +168,51 @@ func RunKV(o Options) (KVResult, error) {
 		}
 	}
 	total := perWorker * workers
+
+	// Write-only phase: saturate the write path with the same workers and
+	// Zipfian key pattern. Runs after the mixed phase so mixed throughput
+	// is measured against the same LSM state as every prior trajectory
+	// point.
+	writeOps := ops / 3
+	writePerWorker := writeOps / workers
+	wlat := make([][]float64, workers)
+	wstart := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := sim.RNG(uint64(o.seeds()), uint64(w)+31)
+			samples := make([]float64, 0, writePerWorker)
+			for i := 0; i < writePerWorker; i++ {
+				k := keys[int(zipf.Next(r))%nKeys]
+				t0 := time.Now()
+				if err := cl.Put(k, val); err != nil {
+					errs[w] = err
+					return
+				}
+				samples = append(samples, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+			wlat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	welapsed := time.Since(wstart)
+	for _, err := range errs {
+		if err != nil {
+			return KVResult{}, err
+		}
+	}
+	writes := stats.NewSample(writeOps)
+	for _, s := range wlat {
+		for _, x := range s {
+			writes.Add(x)
+		}
+	}
+	wtotal := writePerWorker * workers
+
 	return KVResult{
 		Nodes:         nodes,
+		Shards:        cluster.Nodes[0].Shards(),
 		Durable:       true,
 		Workers:       workers,
 		Keys:          nKeys,
@@ -172,6 +226,12 @@ func RunKV(o Options) (KVResult, error) {
 		ReadP999Us:    reads.Percentile(99.9),
 		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(total),
 		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(total),
+
+		WriteOps:           wtotal,
+		WriteSeconds:       welapsed.Seconds(),
+		WriteThroughputOps: float64(wtotal) / welapsed.Seconds(),
+		WriteP50Us:         writes.Percentile(50),
+		WriteP99Us:         writes.Percentile(99),
 	}, nil
 }
 
@@ -199,7 +259,10 @@ func KV(o Options) *Report {
 		res.Nodes, res.Durable, res.Workers, res.Keys, res.ValueBytes, res.ReadFraction*100, res.Ops, res.Seconds)
 	r.printf("throughput %.0f ops/s; read latency p50 %.0fµs p99 %.0fµs p99.9 %.0fµs; %.1f allocs/op, %.0f B/op",
 		res.ThroughputOps, res.ReadP50Us, res.ReadP99Us, res.ReadP999Us, res.AllocsPerOp, res.BytesPerOp)
+	r.printf("write-only: %d ops in %.2fs, %.0f ops/s; write latency p50 %.0fµs p99 %.0fµs (shards=%d)",
+		res.WriteOps, res.WriteSeconds, res.WriteThroughputOps, res.WriteP50Us, res.WriteP99Us, res.Shards)
 	r.Metric("kv_throughput_ops_per_sec", res.ThroughputOps)
+	r.Metric("kv_write_throughput_ops_per_sec", res.WriteThroughputOps)
 	r.Metric("kv_read_p99_us", res.ReadP99Us)
 	r.Metric("kv_allocs_per_op", res.AllocsPerOp)
 	if o.KVJSONPath != "" {

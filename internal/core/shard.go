@@ -1,0 +1,84 @@
+package core
+
+// This file is the shard-per-core fan-out of coordinator selection state.
+//
+// A sharded node partitions request handling by key hash; each shard gets its
+// own Client (and therefore its own ranker with its own dense scratch slices
+// keyed by the shared Registry's indices — a [shard][denseIndex]
+// slice-of-slices layout). Shards never contend on one selector mutex, and
+// padding keeps two shards' hot state off shared cache lines. The C3
+// estimators stay correct per shard: each shard's client observes exactly the
+// feedback of the requests it dispatched, the same property every simulated
+// client in the paper has.
+
+// cacheLine is the padding unit for per-shard slots: 128 bytes — two 64-byte
+// lines — so adjacent-line prefetchers never couple two shards' state either.
+const cacheLine = 128
+
+// clientSlot pads each shard's Client pointer to a cache-line pair.
+type clientSlot struct {
+	c *Client
+	_ [cacheLine - 8]byte
+}
+
+// ShardedClients is a per-shard array of Clients sharing one Registry. Hot
+// paths index it by shard; diagnostics aggregate across shards.
+type ShardedClients struct {
+	slots []clientSlot
+}
+
+// NewShardedClients builds n clients via mk (called once per shard; mk must
+// give every shard its own Client — typically over one shared Registry with a
+// shard-salted seed).
+func NewShardedClients(n int, mk func(shard int) *Client) *ShardedClients {
+	if n < 1 {
+		n = 1
+	}
+	sc := &ShardedClients{slots: make([]clientSlot, n)}
+	for i := range sc.slots {
+		sc.slots[i].c = mk(i)
+	}
+	return sc
+}
+
+// Len reports the shard count.
+func (sc *ShardedClients) Len() int { return len(sc.slots) }
+
+// Shard returns shard i's client.
+func (sc *ShardedClients) Shard(i int) *Client { return sc.slots[i].c }
+
+// Each visits every shard's client.
+func (sc *ShardedClients) Each(f func(*Client)) {
+	for i := range sc.slots {
+		f(sc.slots[i].c)
+	}
+}
+
+// Outstanding sums the shards' in-flight accounting toward s. The
+// zero-residual invariant is per shard, so the sum obeys it too.
+func (sc *ShardedClients) Outstanding(s ServerID) float64 {
+	total := 0.0
+	for i := range sc.slots {
+		total += sc.slots[i].c.Outstanding(s)
+	}
+	return total
+}
+
+// SendRate sums the shards' current send rates toward s — the node's total
+// dispatch rate at that server.
+func (sc *ShardedClients) SendRate(s ServerID) float64 {
+	total := 0.0
+	for i := range sc.slots {
+		total += sc.slots[i].c.SendRate(s)
+	}
+	return total
+}
+
+// HedgesSent sums speculative duplicates across shards.
+func (sc *ShardedClients) HedgesSent() uint64 {
+	var total uint64
+	for i := range sc.slots {
+		total += sc.slots[i].c.HedgesSent()
+	}
+	return total
+}

@@ -41,6 +41,13 @@ type subBatch struct {
 	keys  []string
 	pos   []int
 
+	// sel is the shard selector the sub-batch dispatches and accounts
+	// through — the shard of the sub-batch's first key. Sub-batches
+	// partition by replica group, not by shard, so this is an attribution
+	// choice, the same one beginBatchRead makes for replica-side queue
+	// accounting.
+	sel *core.Client
+
 	// Read results: key j's value is (*vbuf)[offs[j]:offs[j+1]] when
 	// found[j], stored at version vers[j] — the payload split from its
 	// version prefix, re-joined at the gather. A nil found means the
@@ -76,7 +83,7 @@ func (n *Node) partitionBatch(t *topology, keys []string) ([]*subBatch, []subRef
 		gi := r.GroupIndexFor(tok)
 		sb := byGroup[gi]
 		if sb == nil {
-			sb = &subBatch{group: r.ReplicasForToken(tok, nil)}
+			sb = &subBatch{group: r.ReplicasForToken(tok, nil), sel: n.selFor(k)}
 			byGroup[gi] = sb
 			subs = append(subs, sb)
 		}
@@ -104,7 +111,8 @@ type batchOutcome struct {
 // (which arrive already split). Queue accounting and feedback weight are the
 // batch size (beginBatchRead/finishBatchRead).
 func (n *Node) localBatchReadInto(buf []byte, keys []string) ([]bool, []int, []uint64, []byte, wire.Feedback) {
-	start := n.beginBatchRead(len(keys))
+	sh := n.shardOf(keys[0])
+	start := n.beginBatchRead(sh, len(keys))
 	found := make([]bool, len(keys))
 	vers := make([]uint64, len(keys))
 	offs := make([]int, len(keys)+1)
@@ -112,14 +120,14 @@ func (n *Node) localBatchReadInto(buf []byte, keys []string) ([]bool, []int, []u
 		buf, vers[i], found[i] = n.store.GetVersioned(buf, k)
 		offs[i+1] = len(buf)
 	}
-	return found, offs, vers, buf, n.finishBatchRead(start, len(keys))
+	return found, offs, vers, buf, n.finishBatchRead(sh, start, len(keys))
 }
 
 // accountBatchReadSuccess feeds a sub-batch's piggybacked feedback to the
 // selector with weight nk — the single sample describes the post-batch server
 // state, and the replica just shed nk outstanding reads.
-func (n *Node) accountBatchReadSuccess(s core.ServerID, nk int, fb wire.Feedback, rtt time.Duration, now time.Time) {
-	n.sel.OnResponseN(s, nk, core.Feedback{
+func (n *Node) accountBatchReadSuccess(sel *core.Client, s core.ServerID, nk int, fb wire.Feedback, rtt time.Duration, now time.Time) {
+	sel.OnResponseN(s, nk, core.Feedback{
 		QueueSize:   fb.QueueSize,
 		ServiceTime: time.Duration(fb.ServiceNs),
 	}, rtt, now.UnixNano())
@@ -129,11 +137,11 @@ func (n *Node) accountBatchReadSuccess(s core.ServerID, nk int, fb wire.Feedback
 // own shutdown abandons the nk keys, as does a failure toward a server the
 // topology has retired (see accountReadFailure), while a real failure of a
 // live member feeds the punishing penalty with batch weight.
-func (n *Node) accountBatchReadFailure(s core.ServerID, nk int, now time.Time) {
+func (n *Node) accountBatchReadFailure(sel *core.Client, s core.ServerID, nk int, now time.Time) {
 	if n.isClosed() || !n.topo.Load().serves(s) {
-		n.sel.OnAbandonN(s, nk, now.UnixNano())
+		sel.OnAbandonN(s, nk, now.UnixNano())
 	} else {
-		n.sel.OnResponseN(s, nk, core.Feedback{QueueSize: failPenaltyQueue,
+		sel.OnResponseN(s, nk, core.Feedback{QueueSize: failPenaltyQueue,
 			ServiceTime: failPenaltyRTT}, failPenaltyRTT, now.UnixNano())
 	}
 }
@@ -143,7 +151,7 @@ func (n *Node) accountBatchReadFailure(s core.ServerID, nk int, now time.Time) {
 // own selector accounting as it resolves, so the OnSendN recorded at dispatch
 // is balanced no matter whether the sub-batch ladder is still listening.
 // ch must be buffered for the whole race so a late loser never blocks.
-func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutcome) {
+func (n *Node) raceBatchRead(sel *core.Client, s core.ServerID, keys []string, ch chan<- batchOutcome) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -155,7 +163,7 @@ func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutc
 			*rb = buf
 			now := time.Now()
 			rtt := now.Sub(sent)
-			n.accountBatchReadSuccess(s, nk, fb, rtt, now)
+			n.accountBatchReadSuccess(sel, s, nk, fb, rtt, now)
 			ch <- batchOutcome{from: s, found: found, offs: offs, vers: vers, buf: rb, rtt: rtt}
 			return
 		}
@@ -172,7 +180,7 @@ func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutc
 		now := time.Now()
 		if err != nil {
 			putBuf(rb)
-			n.accountBatchReadFailure(s, nk, now)
+			n.accountBatchReadFailure(sel, s, nk, now)
 			ch <- batchOutcome{from: s, err: err}
 			return
 		}
@@ -183,7 +191,7 @@ func (n *Node) raceBatchRead(s core.ServerID, keys []string, ch chan<- batchOutc
 		fb := ca.bfb
 		putCall(ca)
 		rtt := now.Sub(sent)
-		n.accountBatchReadSuccess(s, nk, fb, rtt, now)
+		n.accountBatchReadSuccess(sel, s, nk, fb, rtt, now)
 		ch <- batchOutcome{from: s, found: found, offs: offs, vers: vers, buf: rb, rtt: rtt}
 	}()
 }
@@ -211,7 +219,7 @@ func (n *Node) reapBatch(ch <-chan batchOutcome, pending int) {
 // accounting carries batch weights and pairs every OnSendN with exactly one
 // OnResponseN (success) or OnAbandonN (failure — a probe is best-effort and
 // must not poison the estimators or leak outstanding counts).
-func (n *Node) maybeBatchReadRepair(keys []string, group []core.ServerID, target core.ServerID) {
+func (n *Node) maybeBatchReadRepair(sel *core.Client, keys []string, group []core.ServerID, target core.ServerID) {
 	if n.cfg.ReadRepair <= 0 {
 		return
 	}
@@ -227,7 +235,7 @@ func (n *Node) maybeBatchReadRepair(keys []string, group []core.ServerID, target
 			continue
 		}
 		s := s
-		n.sel.OnSendN(s, nk, time.Now().UnixNano())
+		sel.OnSendN(s, nk, time.Now().UnixNano())
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
@@ -242,9 +250,9 @@ func (n *Node) maybeBatchReadRepair(keys []string, group []core.ServerID, target
 				*rb = ca.bbuf
 				fb := ca.bfb
 				putCall(ca)
-				n.accountBatchReadSuccess(s, nk, fb, time.Since(sent), time.Now())
+				n.accountBatchReadSuccess(sel, s, nk, fb, time.Since(sent), time.Now())
 			} else {
-				n.sel.OnAbandonN(s, nk, time.Now().UnixNano())
+				sel.OnAbandonN(s, nk, time.Now().UnixNano())
 			}
 			putBuf(rb)
 		}()
@@ -262,7 +270,7 @@ func (n *Node) runSubBatch(sb *subBatch) {
 	waited := false
 	for {
 		now := time.Now().UnixNano()
-		s, ok, retryAt := n.sel.PickBatch(sb.group, nk, now)
+		s, ok, retryAt := sb.sel.PickBatch(sb.group, nk, now)
 		if ok {
 			target = s
 			break
@@ -270,7 +278,7 @@ func (n *Node) runSubBatch(sb *subBatch) {
 		waited = true
 		if time.Now().After(deadline) {
 			// Fail open like the point path: ranked best, no token.
-			target, _ = n.sel.PickBestN(sb.group, nk, now)
+			target, _ = sb.sel.PickBestN(sb.group, nk, now)
 			break
 		}
 		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
@@ -278,7 +286,7 @@ func (n *Node) runSubBatch(sb *subBatch) {
 	if waited {
 		n.waited.Add(1)
 	}
-	n.maybeBatchReadRepair(sb.keys, sb.group, target)
+	n.maybeBatchReadRepair(sb.sel, sb.keys, sb.group, target)
 
 	// Inline local fast path: an in-memory sub-batch with no configured delay
 	// has nothing a hedge could rescue; serve it on this goroutine.
@@ -288,7 +296,7 @@ func (n *Node) runSubBatch(sb *subBatch) {
 		found, offs, vers, buf, fb := n.localBatchReadInto((*rb)[:0], sb.keys)
 		*rb = buf
 		now := time.Now()
-		n.accountBatchReadSuccess(target, nk, fb, now.Sub(sent), now)
+		n.accountBatchReadSuccess(sb.sel, target, nk, fb, now.Sub(sent), now)
 		sb.found, sb.offs, sb.vers, sb.vbuf = found, offs, vers, rb
 		return
 	}
@@ -296,7 +304,7 @@ func (n *Node) runSubBatch(sb *subBatch) {
 	var triedBuf [8]core.ServerID
 	tried := append(triedBuf[:0], target)
 	ch := make(chan batchOutcome, len(sb.group))
-	n.raceBatchRead(target, sb.keys, ch)
+	n.raceBatchRead(sb.sel, target, sb.keys, ch)
 	pending := 1
 	hedged := core.ServerID(-1)
 
@@ -324,19 +332,19 @@ func (n *Node) runSubBatch(sb *subBatch) {
 			// Ranked failover: replace the dead sub-batch dispatch with the
 			// next-best untried replica (no hedge count — it duplicates
 			// nothing).
-			if s, ok := n.sel.PickNextN(sb.group, tried, nk, time.Now().UnixNano()); ok {
+			if s, ok := sb.sel.PickNextN(sb.group, tried, nk, time.Now().UnixNano()); ok {
 				tried = append(tried, s)
-				n.raceBatchRead(s, sb.keys, ch)
+				n.raceBatchRead(sb.sel, s, sb.keys, ch)
 				pending++
 			} else if pending == 0 {
 				return // every replica failed
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if s, ok := n.sel.PickHedgeN(sb.group, tried, nk, time.Now().UnixNano()); ok {
+			if s, ok := sb.sel.PickHedgeN(sb.group, tried, nk, time.Now().UnixNano()); ok {
 				hedged = s
 				tried = append(tried, s)
-				n.raceBatchRead(s, sb.keys, ch)
+				n.raceBatchRead(sb.sel, s, sb.keys, ch)
 				pending++
 			}
 		case <-budget.C:
@@ -363,14 +371,14 @@ func (n *Node) runSubBatchQuorum(sb *subBatch, need int) {
 	waited := false
 	for {
 		now := time.Now().UnixNano()
-		s, ok, retryAt := n.sel.PickBatch(sb.group, nk, now)
+		s, ok, retryAt := sb.sel.PickBatch(sb.group, nk, now)
 		if ok {
 			target = s
 			break
 		}
 		waited = true
 		if time.Now().After(deadline) {
-			target, _ = n.sel.PickBestN(sb.group, nk, now)
+			target, _ = sb.sel.PickBestN(sb.group, nk, now)
 			break
 		}
 		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
@@ -383,13 +391,13 @@ func (n *Node) runSubBatchQuorum(sb *subBatch, need int) {
 	now := time.Now().UnixNano()
 	for _, s := range sb.group {
 		if s != target {
-			n.sel.OnSendN(s, nk, now)
+			sb.sel.OnSendN(s, nk, now)
 		}
 	}
-	n.raceBatchRead(target, sb.keys, ch)
+	n.raceBatchRead(sb.sel, target, sb.keys, ch)
 	for _, s := range sb.group {
 		if s != target {
-			n.raceBatchRead(s, sb.keys, ch)
+			n.raceBatchRead(sb.sel, s, sb.keys, ch)
 		}
 	}
 

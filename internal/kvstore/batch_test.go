@@ -469,15 +469,17 @@ func TestBatchAccountingUsesWeights(t *testing.T) {
 	// The ranker's q̄ must have digested batch feedback without going
 	// negative or NaN: probe a score read under the lock.
 	for _, n := range c.Nodes {
-		n.sel.Inspect(func(r core.Ranker) {
-			if cr, ok := r.(*core.CubicRanker); ok {
-				for p := 0; p < 5; p++ {
-					q := cr.QueueEstimate(core.ServerID(p))
-					if q < 1 || q != q {
-						t.Fatalf("node %d q̂ toward %d = %v", n.ID(), p, q)
+		n.sels.Each(func(c *core.Client) {
+			c.Inspect(func(r core.Ranker) {
+				if cr, ok := r.(*core.CubicRanker); ok {
+					for p := 0; p < 5; p++ {
+						q := cr.QueueEstimate(core.ServerID(p))
+						if q < 1 || q != q {
+							t.Fatalf("node %d q̂ toward %d = %v", n.ID(), p, q)
+						}
 					}
 				}
-			}
+			})
 		})
 	}
 }

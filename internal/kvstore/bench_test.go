@@ -85,9 +85,10 @@ func BenchmarkClusterRead(b *testing.B) {
 }
 
 // BenchmarkClusterReadDurable is BenchmarkClusterRead over WAL-backed nodes:
-// the point-read fast path must keep its allocation budget (≤5 allocs/op)
-// with durability enabled — reads never touch the WAL, and flushed runs
-// serve from the retained SST data section, not the file.
+// the point-read fast path must keep its allocation budget (≤3 allocs/op,
+// enforced by TestClusterReadAllocBudget) with durability enabled — reads
+// never touch the WAL, and flushed runs serve from the retained SST data
+// section, not the file.
 func BenchmarkClusterReadDurable(b *testing.B) {
 	const nKeys = 256
 	_, cl := benchClusterCfg(b, 3, nKeys, 128,

@@ -214,7 +214,9 @@ type quorumVote struct {
 // their accounting intact.
 func (n *Node) coordinateQuorumRead(m wire.ReadReq) (wire.ReadResp, *[]byte) {
 	n.coord.Add(1)
-	group := n.topo.Load().readRing().ReplicasFor([]byte(m.Key), nil)
+	sel := n.selFor(m.Key)
+	var gbuf [8]core.ServerID
+	group := n.topo.Load().readRing().ReplicasFor(keyBytes(m.Key), gbuf[:0])
 	need := Level(m.CL).required(len(group))
 
 	// Backpressure: one rate token admits the fan-out, paid at the ranked
@@ -226,14 +228,14 @@ func (n *Node) coordinateQuorumRead(m wire.ReadReq) (wire.ReadResp, *[]byte) {
 	waited := false
 	for {
 		now := time.Now().UnixNano()
-		s, ok, retryAt := n.sel.Pick(group, now)
+		s, ok, retryAt := sel.Pick(group, now)
 		if ok {
 			target = s
 			break
 		}
 		waited = true
 		if time.Now().After(deadline) {
-			target, _ = n.sel.PickBest(group, now)
+			target, _ = sel.PickBest(group, now)
 			break
 		}
 		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
@@ -246,13 +248,13 @@ func (n *Node) coordinateQuorumRead(m wire.ReadReq) (wire.ReadResp, *[]byte) {
 	now := time.Now().UnixNano()
 	for _, s := range group {
 		if s != target {
-			n.sel.OnSend(s, now)
+			sel.OnSend(s, now)
 		}
 	}
-	n.raceRead(target, m, ch)
+	n.raceRead(sel, target, m, ch)
 	for _, s := range group {
 		if s != target {
-			n.raceRead(s, m, ch)
+			n.raceRead(sel, s, m, ch)
 		}
 	}
 

@@ -201,17 +201,23 @@ func TestDurableChaosKillRestart(t *testing.T) {
 	if testing.Short() {
 		t.Skip("kill/restart churn chaos; the dedicated race step runs it in full")
 	}
-	for _, seed := range []uint64{1, 2, 3} {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+	// Each seed runs a different shard-per-core width, so the crash/restart
+	// cycles cover the unsharded layout and true multi-WAL parallel recovery
+	// (4 and 8 WALs replaying concurrently on every restart).
+	for _, tc := range []struct {
+		seed   uint64
+		shards int
+	}{{1, 1}, {2, 4}, {3, 8}} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d,shards=%d", tc.seed, tc.shards), func(t *testing.T) {
 			t.Parallel()
-			runDurableChaos(t, seed)
+			runDurableChaos(t, tc.seed, tc.shards)
 		})
 	}
 }
 
-func runDurableChaos(t *testing.T, seed uint64) {
-	cfg := Config{Seed: seed, ReadBudget: time.Second, DataDir: t.TempDir()}
+func runDurableChaos(t *testing.T, seed uint64, shards int) {
+	cfg := Config{Seed: seed, ReadBudget: time.Second, DataDir: t.TempDir(), Shards: shards}
 	c, err := StartCluster(5, cfg)
 	if err != nil {
 		t.Fatalf("StartCluster: %v", err)
@@ -267,6 +273,9 @@ func runDurableChaos(t *testing.T, seed uint64) {
 		c.Nodes[id].Crash()
 		time.Sleep(time.Duration(20+rng.Uint64()%60) * time.Millisecond)
 		c.Nodes[id] = restartNode(t, addrs, id, cfg)
+		if got := c.Nodes[id].Shards(); got != shards {
+			t.Fatalf("node %d recovered with %d shards, want %d", id, got, shards)
+		}
 	}
 
 	time.Sleep(100 * time.Millisecond)

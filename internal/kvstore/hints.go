@@ -279,14 +279,15 @@ func (h *hintStore) deliver(target core.ServerID, rec hintRec) bool {
 	if err != nil {
 		return false
 	}
-	n.sel.OnSend(target, time.Now().UnixNano())
+	sel := n.selFor(rec.key)
+	sel.OnSend(target, time.Now().UnixNano())
 	sent := time.Now()
 	out, err := p.write(rec.key, rec.val, rec.ver)
 	if err != nil || !out.OK {
-		n.sel.OnAbandon(target, time.Now().UnixNano())
+		sel.OnAbandon(target, time.Now().UnixNano())
 		return false
 	}
-	n.accountReadSuccess(target, out.FB, time.Since(sent), time.Now())
+	n.accountReadSuccess(sel, target, out.FB, time.Since(sent), time.Now())
 	return true
 }
 

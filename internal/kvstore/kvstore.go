@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -87,6 +88,14 @@ type Config struct {
 	// AND its hint queue is full, quorum-level writes covering it fail with
 	// StatusQuorumUnavailable instead of growing the debt without bound.
 	HintCap int
+	// Shards partitions the node's storage and request handling into
+	// consistent-hash sub-shards, each with its own memtable, WAL,
+	// writer goroutine, queue accounting, and ranker scratch state —
+	// unrelated keys never share a lock or an fsync group. Zero means
+	// runtime.GOMAXPROCS(0); 1 reproduces the unsharded single-store
+	// layout. A durable directory remembers its shard count: reopening
+	// it ignores a different setting rather than scattering the data.
+	Shards int
 	// Seed drives the node's randomness.
 	Seed uint64
 }
@@ -136,6 +145,9 @@ func (c Config) withDefaults() Config {
 	} else if c.ReadRepair < 0 {
 		c.ReadRepair = 0
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -151,10 +163,17 @@ type Node struct {
 	memberMu sync.Mutex // serializes topology adoption and membership ops
 	reg      *core.Registry
 
-	store *lsm.Store
+	store *lsm.Sharded
 	ln    net.Listener
 
-	sel *core.Client
+	// Per-shard coordinator and replica state, all indexed by the storage
+	// shard of a key: sels holds one selection client per shard (padded
+	// slots over one shared registry — the ranker's dense scratch becomes a
+	// [shard][denseIndex] slice-of-slices), st the padded replica-side
+	// accounting and write queues.
+	sels  *core.ShardedClients
+	st    []shardSt
+	readq chan *readTask // unbuffered rendezvous with the read workers
 
 	peersMu sync.RWMutex
 	peers   []*peerSlot // outbound RPC links, indexed by peer node id; grown on adoption
@@ -164,9 +183,7 @@ type Node struct {
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{} // inbound connections, closed on shutdown
 
-	pendingReads atomic.Int64  // queue-size feedback
-	svcNs        atomic.Uint64 // smoothed service time feedback
-	slowNs       atomic.Int64  // injected extra delay per read (demos/tests)
+	slowNs atomic.Int64 // injected extra delay per read (demos/tests)
 
 	// Smoothed replica-read RTT driving the adaptive hedge delay (see
 	// hedgeDelay; RFC 6298 estimators). CAS-free like svcNs: concurrent
@@ -192,6 +209,36 @@ type Node struct {
 	closed  chan struct{}
 	wg      sync.WaitGroup
 	closing sync.Once
+}
+
+// shardSt is one shard's replica-side hot state: the queue-size and
+// service-time feedback the shard's reads sample, and the shard writer's
+// task queue. Padded to a cache-line pair so two shards' counters — updated
+// concurrently on a multi-core node — never false-share.
+type shardSt struct {
+	pendingReads atomic.Int64  // queue-size feedback, this shard's keys only
+	svcNs        atomic.Uint64 // smoothed per-read service time
+	wq           chan *writeTask
+	_            [104]byte
+}
+
+var errWriteDropped = errors.New("kvstore: write dropped by fault injection")
+
+// shardOf routes a key to its shard — identical on every node (the hash has
+// no per-node salt), so a coordinator's shard-s selector observes exactly
+// the replicas' shard-s queues.
+func (n *Node) shardOf(key string) int { return n.store.ShardFor(key) }
+
+// selFor is the selection client owning key's shard.
+func (n *Node) selFor(key string) *core.Client { return n.sels.Shard(n.store.ShardFor(key)) }
+
+// feedbackAt samples shard sh's C3 feedback fields — what this shard's read
+// responses piggyback.
+func (n *Node) feedbackAt(sh int) wire.Feedback {
+	return wire.Feedback{
+		QueueSize: float64(n.st[sh].pendingReads.Load()),
+		ServiceNs: int64(n.st[sh].svcNs.Load()),
+	}
 }
 
 // newRanker builds the strategy for a coordinator in a cluster of the given
@@ -278,35 +325,58 @@ func newNode(id core.ServerID, t *topology, ln net.Listener, cfg Config) (*Node,
 	if st.SyncInterval < 0 {
 		st.SyncInterval = 0
 	}
-	store, err := lsm.Open(st)
+	store, err := lsm.OpenSharded(st, cfg.Shards)
 	if err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("kvstore: open store for node %d: %w", id, err)
 	}
+	// A durable directory's persisted shard count wins over the config (see
+	// lsm.OpenSharded); everything downstream sizes off the store.
+	shards := store.ShardCount()
 	// Pre-register the whole cluster view so steady-state selection never
 	// takes the registry's intern slow path; later adoptions intern joiners
 	// on the same registry, extending every ranker's dense state in place.
 	members := t.v.Members()
 	reg := core.NewRegistry(members...)
-	ranker, rc := newRanker(cfg.Strategy, reg, len(members), cfg.Seed^uint64(id)<<8)
 	n := &Node{
-		id:     id,
-		cfg:    cfg,
-		reg:    reg,
-		store:  store,
-		ln:     ln,
-		sel:    core.NewClient(ranker, core.ClientConfig{RateControl: rc, Rate: cfg.Rate}),
+		id:    id,
+		cfg:   cfg,
+		reg:   reg,
+		store: store,
+		ln:    ln,
+		// One selection client per shard over the shared registry: C3's
+		// concurrency weight counts coordinating clients, which sharding
+		// multiplies. Each shard's ranker gets its own seed so tie-breaks
+		// decorrelate across shards.
+		sels: core.NewShardedClients(shards, func(sh int) *core.Client {
+			ranker, rc := newRanker(cfg.Strategy, reg, len(members)*shards,
+				cfg.Seed^uint64(id)<<8^uint64(sh)*0x9e3779b97f4a7c15)
+			return core.NewClient(ranker, core.ClientConfig{RateControl: rc, Rate: cfg.Rate})
+		}),
+		st:     make([]shardSt, shards),
+		readq:  make(chan *readTask),
 		peers:  make([]*peerSlot, len(t.addrs)),
 		conns:  make(map[net.Conn]struct{}),
 		rng:    sim.RNG(cfg.Seed, 0xfeed+uint64(id)),
 		closed: make(chan struct{}),
 	}
 	n.topo.Store(t)
-	n.svcNs.Store(uint64(time.Millisecond)) // prior before first read
+	for sh := range n.st {
+		n.st[sh].svcNs.Store(uint64(time.Millisecond)) // prior before first read
+		n.st[sh].wq = make(chan *writeTask, writeQueueDepth)
+	}
 	if n.hints, err = openHints(n, st.Dir, cfg.HintCap); err != nil {
 		store.Close()
 		ln.Close()
 		return nil, fmt.Errorf("kvstore: open hint log for node %d: %w", id, err)
+	}
+	for sh := range n.st {
+		n.wg.Add(1)
+		go n.writeWorker(sh)
+	}
+	for i := 0; i < readWorkerCount(shards); i++ {
+		n.wg.Add(1)
+		go n.readWorker()
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -322,8 +392,12 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 // ID reports the node's cluster id.
 func (n *Node) ID() int { return int(n.id) }
 
-// Store exposes the underlying LSM engine (diagnostics).
-func (n *Node) Store() *lsm.Store { return n.store }
+// Store exposes the underlying sharded LSM engine (diagnostics).
+func (n *Node) Store() *lsm.Sharded { return n.store }
+
+// Shards reports the node's effective shard count (a durable directory's
+// persisted count wins over the config).
+func (n *Node) Shards() int { return n.store.ShardCount() }
 
 // ReadsServed reports reads served by this node's storage.
 func (n *Node) ReadsServed() uint64 { return n.served.Load() }
@@ -342,7 +416,7 @@ func (n *Node) SetSlowdown(d time.Duration) { n.slowNs.Store(int64(d)) }
 // the numerator of the duplicate-load overhead a deployment watches. The
 // count lives in the selector (PickHedge records it); failovers after an
 // error go through PickNext and are not counted.
-func (n *Node) HedgesIssued() uint64 { return n.sel.HedgesSent() }
+func (n *Node) HedgesIssued() uint64 { return n.sels.HedgesSent() }
 
 // HedgeWins reports coordinated reads that were answered by their hedge
 // rather than their primary replica.
@@ -352,15 +426,17 @@ func (n *Node) HedgeWins() uint64 { return n.hedgeWins.Load() }
 func (n *Node) WriteFailures() uint64 { return n.writeFails.Load() }
 
 // OutstandingToward reports the selector's in-flight accounting toward a
-// peer. Quiescent clusters must report zero for every pair — the accounting
-// invariant the failure-scenario tests and the tail benchmark assert.
+// peer, summed over shards. Quiescent clusters must report zero for every
+// pair — the accounting invariant the failure-scenario tests and the tail
+// benchmark assert, which per-shard accounting preserves shard by shard.
 func (n *Node) OutstandingToward(peer int) float64 {
-	return n.sel.Outstanding(core.ServerID(peer))
+	return n.sels.Outstanding(core.ServerID(peer))
 }
 
-// SendRateToward exposes the coordinator's current srate toward a peer.
+// SendRateToward exposes the coordinator's current srate toward a peer,
+// summed over shards.
 func (n *Node) SendRateToward(peer int) float64 {
-	return n.sel.SendRate(core.ServerID(peer))
+	return n.sels.SendRate(core.ServerID(peer))
 }
 
 // Close shuts the node down cleanly: sever the network, wait for in-flight
@@ -474,12 +550,21 @@ func (n *Node) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			m.Key = strings.Clone(m.Key)
+			t := getReadTask()
+			t.cw = cw
+			if m.CL == wire.LevelOne {
+				// The key rides in a pooled buffer; the fast path never
+				// clones it (escalation paths clone on first spawn).
+				kb := getBuf()
+				*kb = append((*kb)[:0], m.Key...)
+				t.kb = kb
+				m.Key = pooledString(*kb)
+			} else {
+				m.Key = strings.Clone(m.Key)
+			}
+			t.m = m
 			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				n.respondCoordRead(cw, m)
-			}()
+			n.dispatchRead(t)
 		case wire.MsgReadInternal:
 			m, err := wire.ParseReadReq(payload)
 			if err != nil {
@@ -500,32 +585,32 @@ func (n *Node) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
+			// Handled inline: launchCoordWrite only dispatches legs (shard
+			// queues, async RPCs) and returns; the ack is enqueued by the
+			// leg that decides the level. The key is retained by the gather
+			// and possibly the memtable, so it must be cloned.
 			m.Key = strings.Clone(m.Key)
 			vb := getBuf()
 			*vb = append((*vb)[:0], m.Value...)
 			m.Value = *vb
-			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				n.respondCoordWrite(cw, m, vb)
-			}()
+			n.launchCoordWrite(cw, m, vb)
 		case wire.MsgWriteInternal:
 			m, err := wire.ParseWriteReq(payload)
 			if err != nil {
 				return
 			}
-			// Dispatched, unlike local reads: a Put can trigger a memtable
-			// flush or compaction, which must not stall every pipelined
-			// frame on this link.
-			m.Key = strings.Clone(m.Key)
+			// Queued to the key's shard writer, which folds pipelined
+			// writes into one WAL commit group. A flush or compaction
+			// stalls only that shard's queue, never this link's reads.
+			t := getWriteTask()
+			t.kind = taskInternal
+			t.key = strings.Clone(m.Key) // the memtable retains it
+			t.ver = m.Version
 			vb := getBuf()
 			*vb = append((*vb)[:0], m.Value...)
-			m.Value = *vb
-			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				n.respondLocalWrite(cw, m, vb)
-			}()
+			t.val, t.vb = *vb, vb
+			t.cw, t.id = cw, m.ID
+			n.enqueueWriteTask(n.shardOf(t.key), t)
 		case wire.MsgBatchRead:
 			m, err := wire.ParseBatchReadReq(payload, bkeys[:0])
 			if err != nil {
@@ -706,11 +791,12 @@ func (n *Node) inlineLocalReads() bool {
 // streaming the value straight from the LSM store into the frame buffer —
 // no intermediate value copy.
 func (n *Node) respondLocalRead(cw *connWriter, m wire.ReadReq) {
-	start := n.beginRead()
+	sh := n.shardOf(m.Key)
+	start := n.beginRead(sh)
 	fb := getBuf()
 	b, mark := wire.BeginReadResp((*fb)[:0], m.ID)
-	b, found := n.store.GetAppend(b, m.Key)
-	b, err := wire.FinishReadResp(b, mark, found, wire.StatusOK, n.finishRead(start))
+	b, found := n.store.Shard(sh).GetAppend(b, m.Key)
+	b, err := wire.FinishReadResp(b, mark, found, wire.StatusOK, n.finishRead(sh, start))
 	if err != nil {
 		putBuf(fb)
 		return
@@ -742,7 +828,8 @@ func (n *Node) respondLocalBatchRead(cw *connWriter, id uint64, keys []string) {
 // into dst — the shared storage-to-frame path of remote sub-batches
 // (respondLocalBatchRead) and the coordinator's own local sub-batches.
 func (n *Node) serveBatchRead(dst []byte, id uint64, keys []string) ([]byte, error) {
-	start := n.beginBatchRead(len(keys))
+	sh := n.shardOf(keys[0])
+	start := n.beginBatchRead(sh, len(keys))
 	b, mark := wire.BeginBatchReadResp(dst, id)
 	var err error
 	for _, k := range keys {
@@ -750,20 +837,21 @@ func (n *Node) serveBatchRead(dst []byte, id uint64, keys []string) ([]byte, err
 		var found bool
 		b, found = n.store.GetAppend(b, k)
 		if b, err = wire.FinishBatchReadItem(b, &mark, found); err != nil {
-			n.finishBatchRead(start, len(keys))
+			n.finishBatchRead(sh, start, len(keys))
 			return dst, err
 		}
 	}
-	return wire.FinishBatchReadResp(b, mark, n.finishBatchRead(start, len(keys)))
+	return wire.FinishBatchReadResp(b, mark, n.finishBatchRead(sh, start, len(keys)))
 }
 
 // beginBatchRead is beginRead for a coalesced sub-batch: the queue
 // accounting moves by the batch size — count keys, not frames, or the
 // feedback would tell coordinators a loaded replica was idle — while the
 // artificial storage delay is paid once, the modelled seek a coalesced batch
-// amortizes.
-func (n *Node) beginBatchRead(count int) time.Time {
-	n.pendingReads.Add(int64(count))
+// amortizes. A sub-batch may span shards; its accounting is charged to the
+// first key's shard (sub-batches partition by replica group, not shard).
+func (n *Node) beginBatchRead(sh, count int) time.Time {
+	n.st[sh].pendingReads.Add(int64(count))
 	start := time.Now()
 	if d := n.readDelay(); d > 0 {
 		time.Sleep(d)
@@ -774,14 +862,14 @@ func (n *Node) beginBatchRead(count int) time.Time {
 // finishBatchRead completes the server half of a sub-batch: queue accounting
 // released, the smoothed per-key service time updated (the batch's elapsed
 // time spread over its keys), and a post-batch feedback sample.
-func (n *Node) finishBatchRead(start time.Time, count int) wire.Feedback {
+func (n *Node) finishBatchRead(sh int, start time.Time, count int) wire.Feedback {
 	svc := time.Since(start)
-	n.pendingReads.Add(-int64(count))
+	n.st[sh].pendingReads.Add(-int64(count))
 	n.served.Add(uint64(count))
 	per := float64(svc) / float64(count)
-	old := n.svcNs.Load()
-	n.svcNs.Store(uint64(0.2*per + 0.8*float64(old)))
-	return n.feedback()
+	old := n.st[sh].svcNs.Load()
+	n.st[sh].svcNs.Store(uint64(0.2*per + 0.8*float64(old)))
+	return n.feedbackAt(sh)
 }
 
 // respondStreamPush applies one re-homing page from a decommissioning peer:
@@ -874,41 +962,20 @@ func (n *Node) respondCoordRead(cw *connWriter, m wire.ReadReq) {
 	cw.enqueue(fb)
 }
 
-// respondLocalWrite applies a replica-local write and enqueues the ack. vb
-// is the pooled buffer holding m.Value, recycled here.
-func (n *Node) respondLocalWrite(cw *connWriter, m wire.WriteReq, vb *[]byte) {
-	resp := n.localWrite(m)
-	putBuf(vb)
-	fb := getBuf()
-	b, err := wire.AppendWriteResp((*fb)[:0], resp)
-	if err != nil {
-		putBuf(fb)
-		return
-	}
-	*fb = b
-	cw.enqueue(fb)
-}
-
-// respondCoordWrite coordinates a client write and enqueues the ack. vb is
-// the pooled buffer holding m.Value; coordinateWrite recycles it once every
-// replica write has finished with it.
-func (n *Node) respondCoordWrite(cw *connWriter, m wire.WriteReq, vb *[]byte) {
-	resp := n.coordinateWrite(m, vb)
-	fb := getBuf()
-	b, err := wire.AppendWriteResp((*fb)[:0], resp)
-	if err != nil {
-		putBuf(fb)
-		return
-	}
-	*fb = b
-	cw.enqueue(fb)
-}
-
-// feedback samples the node's current C3 feedback fields.
+// feedback samples the node's current C3 feedback fields aggregated over
+// shards: queue sizes sum; service time averages. Replica read responses
+// carry the per-shard sample (feedbackAt) instead — a coordinator's shard-s
+// selector paces against the replicas' shard-s queues.
 func (n *Node) feedback() wire.Feedback {
+	var q int64
+	var svc uint64
+	for sh := range n.st {
+		q += n.st[sh].pendingReads.Load()
+		svc += n.st[sh].svcNs.Load()
+	}
 	return wire.Feedback{
-		QueueSize: float64(n.pendingReads.Load()),
-		ServiceNs: int64(n.svcNs.Load()),
+		QueueSize: float64(q),
+		ServiceNs: int64(svc / uint64(len(n.st))),
 	}
 }
 
@@ -917,17 +984,24 @@ func (n *Node) feedback() wire.Feedback {
 // value is appended to dst (the coordinator's open response frame when it
 // serves one of its own keys).
 func (n *Node) localRead(m wire.ReadReq, dst []byte) wire.ReadResp {
-	start := n.beginRead()
-	val, ok := n.store.GetAppend(dst, m.Key)
-	return wire.ReadResp{ID: m.ID, Found: ok, Value: val, FB: n.finishRead(start)}
+	sh := n.shardOf(m.Key)
+	start := n.beginRead(sh)
+	val, ok := n.store.Shard(sh).GetAppend(dst, m.Key)
+	return wire.ReadResp{ID: m.ID, Found: ok, Value: val, FB: n.finishRead(sh, start)}
 }
 
-// beginRead is the server half's prologue: queue accounting plus the
-// artificial storage delay. Every beginRead pairs with exactly one
-// finishRead, which undoes the queue accounting.
-func (n *Node) beginRead() time.Time {
-	n.pendingReads.Add(1)
-	start := time.Now()
+// beginRead is the server half's prologue: queue accounting on the key's
+// shard plus the artificial storage delay. Every beginRead pairs with
+// exactly one finishRead, which undoes the queue accounting.
+func (n *Node) beginRead(sh int) time.Time {
+	return n.beginReadAt(sh, time.Now())
+}
+
+// beginReadAt is beginRead with the caller supplying the start timestamp, so
+// a path that already holds a fresh clock sample (the inline local fast path)
+// does not pay a second one.
+func (n *Node) beginReadAt(sh int, start time.Time) time.Time {
+	n.st[sh].pendingReads.Add(1)
 	if d := n.readDelay(); d > 0 {
 		time.Sleep(d)
 	}
@@ -935,16 +1009,22 @@ func (n *Node) beginRead() time.Time {
 }
 
 // finishRead completes the server half of a read: queue accounting, the
-// smoothed service-time update, and a post-read feedback sample.
-func (n *Node) finishRead(start time.Time) wire.Feedback {
-	svc := time.Since(start)
-	n.pendingReads.Add(-1)
+// smoothed service-time update, and a post-read per-shard feedback sample.
+func (n *Node) finishRead(sh int, start time.Time) wire.Feedback {
+	return n.finishReadAt(sh, start, time.Now())
+}
+
+// finishReadAt is finishRead with the caller supplying the completion
+// timestamp; the same sample then serves the RTT and the ranker clock.
+func (n *Node) finishReadAt(sh int, start, end time.Time) wire.Feedback {
+	svc := end.Sub(start)
+	n.st[sh].pendingReads.Add(-1)
 	n.served.Add(1)
 	// Smoothed service time: new = 0.2·sample + 0.8·old, CAS-free since
 	// small races only blur the estimate.
-	old := n.svcNs.Load()
-	n.svcNs.Store(uint64(0.2*float64(svc) + 0.8*float64(old)))
-	return n.feedback()
+	old := n.st[sh].svcNs.Load()
+	n.st[sh].svcNs.Store(uint64(0.2*float64(svc) + 0.8*float64(old)))
+	return n.feedbackAt(sh)
 }
 
 // readDelay draws the configured artificial storage delay plus any injected
@@ -957,26 +1037,6 @@ func (n *Node) readDelay() time.Duration {
 		n.rngMu.Unlock()
 	}
 	return time.Duration(d + n.slowNs.Load())
-}
-
-// localWrite applies a replica-local write. The key must not alias a frame
-// buffer (the memtable retains it); the value may, the store copies it. In
-// durable mode the put returns only after the write's WAL commit group is
-// fsynced, so OK here — the ack the coordinator counts — genuinely means
-// durable. A stamped write (Version non-zero) lands under the last-write-wins
-// guard; "skipped because newer exists" still acks OK, the idempotent-success
-// contract repair and hint replay rely on.
-func (n *Node) localWrite(m wire.WriteReq) wire.WriteResp {
-	if n.dropWrites.Load() {
-		return wire.WriteResp{ID: m.ID, OK: false, Status: wire.StatusWriteFailed, FB: n.feedback()}
-	}
-	var err error
-	if m.Version != 0 {
-		_, err = n.store.PutVersioned(m.Key, m.Version, m.Value)
-	} else {
-		err = n.store.Put(m.Key, m.Value)
-	}
-	return wire.WriteResp{ID: m.ID, OK: err == nil, FB: n.feedback()}
 }
 
 // Failure penalty fed to the ranker when a selected replica's RPC fails: an
@@ -1078,19 +1138,19 @@ func (n *Node) hedgeDelay() time.Duration {
 // dying links must not poison the EWMAs its dense index may still share with
 // diagnostics — while a real failure of a live member feeds the punishing
 // penalty.
-func (n *Node) accountReadFailure(s core.ServerID, now time.Time) {
+func (n *Node) accountReadFailure(sel *core.Client, s core.ServerID, now time.Time) {
 	if n.isClosed() || !n.topo.Load().serves(s) {
-		n.sel.OnAbandon(s, now.UnixNano())
+		sel.OnAbandon(s, now.UnixNano())
 	} else {
-		n.sel.OnResponse(s, core.Feedback{QueueSize: failPenaltyQueue,
+		sel.OnResponse(s, core.Feedback{QueueSize: failPenaltyQueue,
 			ServiceTime: failPenaltyRTT}, failPenaltyRTT, now.UnixNano())
 	}
 }
 
 // accountReadSuccess feeds a replica read's piggybacked feedback and
-// observed round trip to the selector.
-func (n *Node) accountReadSuccess(s core.ServerID, fb wire.Feedback, rtt time.Duration, now time.Time) {
-	n.sel.OnResponse(s, core.Feedback{
+// observed round trip to the shard's selector.
+func (n *Node) accountReadSuccess(sel *core.Client, s core.ServerID, fb wire.Feedback, rtt time.Duration, now time.Time) {
+	sel.OnResponse(s, core.Feedback{
 		QueueSize:   fb.QueueSize,
 		ServiceTime: time.Duration(fb.ServiceNs),
 	}, rtt, now.UnixNano())
@@ -1112,7 +1172,7 @@ type raceOutcome struct {
 // a racer is balanced by exactly one OnResponse/OnAbandon no matter whether
 // the coordinator is still listening when the racer finishes. ch must be
 // buffered for the whole race so a late loser never blocks.
-func (n *Node) raceRead(s core.ServerID, m wire.ReadReq, ch chan<- raceOutcome) {
+func (n *Node) raceRead(sel *core.Client, s core.ServerID, m wire.ReadReq, ch chan<- raceOutcome) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -1133,7 +1193,7 @@ func (n *Node) raceRead(s core.ServerID, m wire.ReadReq, ch chan<- raceOutcome) 
 		now := time.Now()
 		if err != nil {
 			putBuf(rb)
-			n.accountReadFailure(s, now)
+			n.accountReadFailure(sel, s, now)
 			ch <- raceOutcome{from: s, err: err}
 			return
 		}
@@ -1141,7 +1201,7 @@ func (n *Node) raceRead(s core.ServerID, m wire.ReadReq, ch chan<- raceOutcome) 
 			*rb = out.Value[:0] // the value append may have regrown the buffer
 		}
 		rtt := now.Sub(sent)
-		n.accountReadSuccess(s, out.FB, rtt, now)
+		n.accountReadSuccess(sel, s, out.FB, rtt, now)
 		ch <- raceOutcome{from: s, resp: out, rtt: rtt, buf: rb}
 	}()
 }
@@ -1152,7 +1212,7 @@ func (n *Node) raceRead(s core.ServerID, m wire.ReadReq, ch chan<- raceOutcome) 
 // penalized, our own shutdown abandons — and recycles its buffers. The
 // winner already trained the hedge-delay estimate, so the adopted loser
 // does not (its slowness is exactly what the hedge routed around).
-func (n *Node) adoptCall(s core.ServerID, ca *call, rb *[]byte, sent time.Time) {
+func (n *Node) adoptCall(sel *core.Client, s core.ServerID, ca *call, rb *[]byte, sent time.Time) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -1160,12 +1220,12 @@ func (n *Node) adoptCall(s core.ServerID, ca *call, rb *[]byte, sent time.Time) 
 		out, err := readResult(ca)
 		now := time.Now()
 		if err != nil {
-			n.accountReadFailure(s, now)
+			n.accountReadFailure(sel, s, now)
 		} else {
 			if out.Value != nil {
 				*rb = out.Value[:0]
 			}
-			n.accountReadSuccess(s, out.FB, now.Sub(sent), now)
+			n.accountReadSuccess(sel, s, out.FB, now.Sub(sent), now)
 		}
 		putBuf(rb)
 	}()
@@ -1205,6 +1265,11 @@ func (n *Node) maybeReadRepair(m wire.ReadReq, group []core.ServerID, target cor
 	if !repair {
 		return
 	}
+	// The probe goroutine outlives the request frame: the key may view a
+	// pooled buffer and the group a stack scratch array, so both are cloned
+	// here — repair is rare enough that the copies never show on the profile.
+	m.Key = strings.Clone(m.Key)
+	group = append([]core.ServerID(nil), group...)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -1221,6 +1286,7 @@ func (n *Node) maybeReadRepair(m wire.ReadReq, group []core.ServerID, target cor
 // The target itself is not probed or repaired: the foreground read is
 // consulting it concurrently, and the next probe round covers it.
 func (n *Node) repairProbe(m wire.ReadReq, group []core.ServerID, target core.ServerID) {
+	sel := n.selFor(m.Key)
 	type probe struct {
 		s     core.ServerID
 		found bool
@@ -1241,18 +1307,18 @@ func (n *Node) repairProbe(m wire.ReadReq, group []core.ServerID, target core.Se
 			probes = append(probes, probe{s: s, found: ok, ver: ver, val: val, buf: rb})
 			continue
 		}
-		n.sel.OnSend(s, time.Now().UnixNano())
+		sel.OnSend(s, time.Now().UnixNano())
 		sent := time.Now()
 		out, err := n.rpcRead(s, m, (*rb)[:0])
 		if err != nil {
 			// A probe is a best-effort observation: release its accounting
 			// without synthesizing feedback. Punishing the replica is the
 			// selected path's job.
-			n.sel.OnAbandon(s, time.Now().UnixNano())
+			sel.OnAbandon(s, time.Now().UnixNano())
 			putBuf(rb)
 			continue
 		}
-		n.accountReadSuccess(s, out.FB, time.Since(sent), time.Now())
+		n.accountReadSuccess(sel, s, out.FB, time.Since(sent), time.Now())
 		if out.Value != nil {
 			*rb = out.Value[:0]
 		}
@@ -1284,6 +1350,7 @@ func (n *Node) repairProbe(m wire.ReadReq, group []core.ServerID, target core.Se
 // happens, so the common escalation-free read pays for none of them.
 type readRace struct {
 	n       *Node
+	sel     *core.Client
 	m       wire.ReadReq
 	group   []core.ServerID
 	tried   []core.ServerID // backed by triedBuf
@@ -1294,13 +1361,17 @@ type readRace struct {
 	triedBuf [8]core.ServerID
 }
 
-// spawn launches a racer toward s.
+// spawn launches a racer toward s. The first spawn materializes the race:
+// the outcome channel is created and the key — which on the fast path views
+// a pooled frame buffer — is cloned, because racer goroutines can outlive
+// the request frame that owns that buffer.
 func (r *readRace) spawn(s core.ServerID) {
 	if r.ch == nil {
 		r.ch = make(chan raceOutcome, len(r.group))
+		r.m.Key = strings.Clone(r.m.Key)
 	}
 	r.tried = append(r.tried, s)
-	r.n.raceRead(s, r.m, r.ch)
+	r.n.raceRead(r.sel, s, r.m, r.ch)
 	r.pending++
 }
 
@@ -1315,9 +1386,9 @@ func (r *readRace) escalate(isHedge bool) bool {
 	var s core.ServerID
 	var ok bool
 	if isHedge {
-		s, ok = r.n.sel.PickHedge(r.group, r.tried, now)
+		s, ok = r.sel.PickHedge(r.group, r.tried, now)
 	} else {
-		s, ok = r.n.sel.PickNext(r.group, r.tried, now)
+		s, ok = r.sel.PickNext(r.group, r.tried, now)
 	}
 	if !ok {
 		return false
@@ -1343,46 +1414,52 @@ func (r *readRace) escalate(isHedge bool) bool {
 // recycles after encoding.
 func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, vbuf *[]byte) {
 	n.coord.Add(1)
-	group := n.topo.Load().readRing().ReplicasFor([]byte(m.Key), nil)
-	deadline := time.Now().Add(n.cfg.BackpressureTimeout)
-	var target core.ServerID
-	waited := false
-	for {
-		now := time.Now().UnixNano()
-		s, ok, retryAt := n.sel.Pick(group, now)
-		if ok {
-			target = s
-			break
-		}
-		waited = true
-		if time.Now().After(deadline) {
-			// Fail open: take the ranker's current best without
-			// consuming a token so the request cannot starve. Unlike
-			// sending to group[0], timeout traffic still spreads by
-			// replica quality instead of piling onto one server.
-			target, _ = n.sel.PickBest(group, now)
-			break
-		}
-		time.Sleep(time.Duration(retryAt-now) + 100*time.Microsecond)
-	}
-	if waited {
+	sel := n.selFor(m.Key)
+	var gbuf [8]core.ServerID
+	group := n.topo.Load().readRing().ReplicasFor(keyBytes(m.Key), gbuf[:0])
+	nowT := time.Now()
+	target, ok, retryAt := sel.Pick(group, nowT.UnixNano())
+	if !ok {
+		// Backpressure: wait for a rate token, bounded by the configured
+		// timeout. The common admitted case above pays one clock read.
 		n.waited.Add(1)
+		deadline := nowT.Add(n.cfg.BackpressureTimeout)
+		for {
+			now := time.Now()
+			if now.After(deadline) {
+				// Fail open: take the ranker's current best without
+				// consuming a token so the request cannot starve. Unlike
+				// sending to group[0], timeout traffic still spreads by
+				// replica quality instead of piling onto one server.
+				target, _ = sel.PickBest(group, now.UnixNano())
+				break
+			}
+			time.Sleep(time.Duration(retryAt-now.UnixNano()) + 100*time.Microsecond)
+			if target, ok, retryAt = sel.Pick(group, time.Now().UnixNano()); ok {
+				break
+			}
+		}
 	}
 	n.maybeReadRepair(m, group, target)
 
 	// Inline local fast path: an in-memory read with no configured delay
 	// has nothing a hedge could rescue, and the race scaffolding would cost
 	// more than the read itself. The value goes straight into the caller's
-	// frame — zero copy, as before the tail-tolerance layer.
+	// frame — zero copy, as before the tail-tolerance layer — and the whole
+	// read pays two clock samples: the admission timestamp doubles as the
+	// service start, the completion timestamp covers service time, RTT, and
+	// the ranker's feedback clock.
 	if target == n.id && n.inlineLocalReads() {
-		sent := time.Now()
-		out := n.localRead(m, dst)
-		n.accountReadSuccess(target, out.FB, time.Since(sent), time.Now())
-		out.ID = m.ID
-		return out, nil
+		sh := n.shardOf(m.Key)
+		start := n.beginReadAt(sh, nowT)
+		val, found := n.store.Shard(sh).GetAppend(dst, m.Key)
+		end := time.Now()
+		fb := n.finishReadAt(sh, start, end)
+		n.accountReadSuccess(sel, target, fb, end.Sub(start), end)
+		return wire.ReadResp{ID: m.ID, Found: found, Value: val, FB: fb}, nil
 	}
 
-	race := readRace{n: n, m: m, group: group, hedged: -1}
+	race := readRace{n: n, sel: sel, m: m, group: group, hedged: -1}
 	race.tried = race.triedBuf[:0]
 
 	// Dispatch the primary. A remote target whose connection is already up
@@ -1410,7 +1487,7 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, v
 			// The link died under us: penalize and fail over now.
 			putBuf(caBuf)
 			caBuf = nil
-			n.accountReadFailure(target, time.Now())
+			n.accountReadFailure(sel, target, time.Now())
 			if !race.escalate(false) {
 				return wire.ReadResp{ID: m.ID}, nil
 			}
@@ -1436,7 +1513,7 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, v
 			now := time.Now()
 			if err == nil {
 				rtt := now.Sub(sent)
-				n.accountReadSuccess(target, out.FB, rtt, now)
+				n.accountReadSuccess(sel, target, out.FB, rtt, now)
 				if out.Value != nil {
 					*caBuf = out.Value[:0]
 				}
@@ -1450,7 +1527,7 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, v
 			}
 			putBuf(caBuf)
 			caBuf = nil
-			n.accountReadFailure(target, now)
+			n.accountReadFailure(sel, target, now)
 			if !race.escalate(false) && race.pending == 0 {
 				return wire.ReadResp{ID: m.ID}, nil // every replica failed
 			}
@@ -1463,7 +1540,7 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, v
 				n.observeReadRTT(out.rtt)
 				n.reap(race.ch, race.pending)
 				if ca != nil {
-					n.adoptCall(target, ca, caBuf, sent)
+					n.adoptCall(sel, target, ca, caBuf, sent)
 				}
 				out.resp.ID = m.ID
 				return out.resp, out.buf
@@ -1480,109 +1557,11 @@ func (n *Node) coordinateRead(m wire.ReadReq, dst []byte) (resp wire.ReadResp, v
 			// background.
 			n.reap(race.ch, race.pending)
 			if ca != nil {
-				n.adoptCall(target, ca, caBuf, sent)
+				n.adoptCall(sel, target, ca, caBuf, sent)
 			}
 			return wire.ReadResp{ID: m.ID}, nil
 		}
 	}
-}
-
-// coordinateWrite stamps a write with the coordinator's HLC version, fans it
-// to all replicas, and acknowledges once the requested consistency level is
-// met: the first genuine success at ONE, ⌊N/2⌋+1 at QUORUM, every replica at
-// ALL — the rest complete in the background. A failed replica write is never
-// an ack; an unreachable replica's write is banked as a durable hint and
-// replayed when the peer returns, but a hint does not count toward the level
-// (the data has not reached a replica yet). When the level cannot be met the
-// write fails with a status the client maps onto the typed error taxonomy.
-// vb, when not nil, is the pooled buffer backing m.Value; it is recycled once
-// every replica write — including the post-ack background ones — has
-// finished with it.
-func (n *Node) coordinateWrite(m wire.WriteReq, vb *[]byte) wire.WriteResp {
-	// Writes dual-route during a membership transition: the fan-out covers
-	// the union of the old and new owner sets, so an acked write is never
-	// stranded on only the side of the window that loses the range.
-	group := n.topo.Load().writeGroup([]byte(m.Key), nil)
-	lvl := Level(m.CL)
-	need := 1
-	if lvl != One {
-		// W is computed over the key's steady-state owner set, so R+W>N
-		// holds against quorum reads of the same ring even while the write
-		// fans out to a transition window's wider union.
-		owners := n.topo.Load().readRing().ReplicasFor([]byte(m.Key), nil)
-		need = lvl.required(len(owners))
-		if need > len(group) {
-			need = len(group)
-		}
-		// Bounded handoff debt: a group member that is unreachable AND whose
-		// hint queue is already full can neither ack nor absorb a hint.
-		// Refuse up front — deterministically, before dispatching anything —
-		// instead of letting the debt grow without bound.
-		for _, s := range group {
-			if s == n.id || !n.hintFull(s) {
-				continue
-			}
-			if _, up := n.peerReady(s); !up {
-				n.quorumFails.Add(1)
-				putBuf(vb)
-				return wire.WriteResp{ID: m.ID, Status: wire.StatusQuorumUnavailable, FB: n.feedback()}
-			}
-		}
-	}
-	m.Version = n.stampVersion()
-	acks := make(chan wire.WriteResp, len(group))
-	// Refcount the value buffer across the fan-out: the last replica write
-	// to finish recycles it.
-	remaining := new(atomic.Int32)
-	remaining.Store(int32(len(group)))
-	for _, s := range group {
-		s := s
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			defer func() {
-				if remaining.Add(-1) == 0 {
-					putBuf(vb)
-				}
-			}()
-			if s == n.id {
-				acks <- n.localWrite(m)
-				return
-			}
-			out, err := n.rpcWrite(s, m)
-			if err != nil {
-				// The replica is unreachable: bank the write as a hint (the
-				// copy happens before this goroutine releases its refcount
-				// on m.Value's buffer).
-				n.hintWrite(s, m)
-				out = wire.WriteResp{} // OK false: a failure report
-			}
-			acks <- out
-		}()
-	}
-	oks, fails := 0, 0
-	for i := 0; i < len(group); i++ {
-		resp := <-acks
-		if resp.OK {
-			if oks++; oks >= need {
-				resp.ID = m.ID
-				resp.Status = wire.StatusOK
-				return resp
-			}
-			continue
-		}
-		if fails++; fails > len(group)-need {
-			break // the level is already unreachable: fail now, not at the end
-		}
-	}
-	if oks == 0 {
-		n.writeFails.Add(1)
-	}
-	if lvl != One {
-		n.quorumFails.Add(1)
-		return wire.WriteResp{ID: m.ID, Status: wire.StatusQuorumUnavailable, FB: n.feedback()}
-	}
-	return wire.WriteResp{ID: m.ID, OK: false, Status: wire.StatusWriteFailed, FB: n.feedback()}
 }
 
 var errClosed = errors.New("kvstore: node closed")

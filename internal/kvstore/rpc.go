@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"c3/internal/core"
 	"c3/internal/wire"
 )
 
@@ -51,6 +52,12 @@ type call struct {
 	read    wire.ReadResp
 	write   wire.WriteResp
 	err     error
+
+	// Event-driven completion (writeAsync): a call carrying a gather is
+	// delivered by calling g.complete on the connection's read loop instead
+	// of signalling done — no goroutine ever waits on it.
+	g    *writeGather
+	from core.ServerID
 
 	// Batch results (isBatch). Read values are packed into bbuf (grown from
 	// dst) with boffs indexing them — key i's value is bbuf[boffs[i]:
@@ -112,6 +119,8 @@ func putCall(c *call) {
 	c.write = wire.WriteResp{}
 	c.err = nil
 	c.isBatch = false
+	c.g = nil
+	c.from = 0
 	c.bfound = c.bfound[:0]
 	c.boffs = c.boffs[:0]
 	c.bvers = c.bvers[:0]
@@ -172,6 +181,21 @@ func (p *rpcConn) take(id uint64) *call {
 	return c
 }
 
+// deliver completes a taken call: a waiter-style call is signalled on its
+// done channel; a gather-style call (writeAsync) is consumed here — on the
+// read loop — by feeding its outcome to the write gather. Every delivery
+// site (response matched, mismatched type, failAll) routes through this, so
+// a gather leg is completed exactly once no matter how the call resolves.
+func deliver(c *call) {
+	if g := c.g; g != nil {
+		from, ok, transport := c.from, c.write.OK, c.err != nil
+		putCall(c)
+		g.complete(from, ok, transport)
+		return
+	}
+	c.done <- struct{}{}
+}
+
 // readLoop demultiplexes responses to their waiters; on error it fails every
 // outstanding call.
 func (p *rpcConn) readLoop() {
@@ -197,7 +221,7 @@ func (p *rpcConn) readLoop() {
 			}
 			if !c.isRead || c.isBatch {
 				c.err = errMismatchedResp
-				c.done <- struct{}{}
+				deliver(c)
 				p.failAll()
 				return
 			}
@@ -207,7 +231,7 @@ func (p *rpcConn) readLoop() {
 			// even transiently.
 			m.Value = append(c.dst, m.Value...)
 			c.read = m
-			c.done <- struct{}{}
+			deliver(c)
 		case wire.MsgWriteResp:
 			m, err := wire.ParseWriteResp(payload)
 			if err != nil {
@@ -220,12 +244,12 @@ func (p *rpcConn) readLoop() {
 			}
 			if c.isRead || c.isBatch || c.ctl != ctlNone {
 				c.err = errMismatchedResp
-				c.done <- struct{}{}
+				deliver(c)
 				p.failAll()
 				return
 			}
 			c.write = m
-			c.done <- struct{}{}
+			deliver(c)
 		case wire.MsgBatchReadResp:
 			m, err := wire.ParseBatchReadResp(payload, items[:0]) // Values alias payload
 			if err != nil {
@@ -239,7 +263,7 @@ func (p *rpcConn) readLoop() {
 			}
 			if !c.isRead || !c.isBatch {
 				c.err = errMismatchedResp
-				c.done <- struct{}{}
+				deliver(c)
 				p.failAll()
 				return
 			}
@@ -266,7 +290,7 @@ func (p *rpcConn) readLoop() {
 				offs = append(offs, len(buf))
 			}
 			c.bfound, c.boffs, c.bvers, c.bbuf, c.bfb = found, offs, vers, buf, m.FB
-			c.done <- struct{}{}
+			deliver(c)
 		case wire.MsgBatchWriteResp:
 			m, err := wire.ParseBatchWriteResp(payload, oks[:0])
 			if err != nil {
@@ -280,14 +304,14 @@ func (p *rpcConn) readLoop() {
 			}
 			if c.isRead || !c.isBatch {
 				c.err = errMismatchedResp
-				c.done <- struct{}{}
+				deliver(c)
 				p.failAll()
 				return
 			}
 			c.boks = append(c.boks[:0], m.OK...)
 			c.bstatus = m.Status
 			c.bfb = m.FB
-			c.done <- struct{}{}
+			deliver(c)
 		case wire.MsgRingUpdate:
 			// The response to a join handshake. Deep-copied: announcement
 			// addresses alias the frame buffer.
@@ -302,7 +326,7 @@ func (p *rpcConn) readLoop() {
 			}
 			if c.ctl != ctlRing {
 				c.err = errMismatchedResp
-				c.done <- struct{}{}
+				deliver(c)
 				p.failAll()
 				return
 			}
@@ -312,7 +336,7 @@ func (p *rpcConn) readLoop() {
 				cp.Nodes[i].Addr = strings.Clone(cp.Nodes[i].Addr)
 			}
 			c.ru = &cp
-			c.done <- struct{}{}
+			deliver(c)
 		case wire.MsgRingAck:
 			m, err := wire.ParseRingAck(payload)
 			if err != nil {
@@ -325,12 +349,12 @@ func (p *rpcConn) readLoop() {
 			}
 			if c.ctl != ctlAck {
 				c.err = errMismatchedResp
-				c.done <- struct{}{}
+				deliver(c)
 				p.failAll()
 				return
 			}
 			c.ack = m
-			c.done <- struct{}{}
+			deliver(c)
 		case wire.MsgStreamChunk:
 			m, err := wire.ParseStreamChunk(payload, nil, nil) // aliases payload
 			if err != nil {
@@ -343,7 +367,7 @@ func (p *rpcConn) readLoop() {
 			}
 			if c.ctl != ctlChunk {
 				c.err = errMismatchedResp
-				c.done <- struct{}{}
+				deliver(c)
 				p.failAll()
 				return
 			}
@@ -354,7 +378,7 @@ func (p *rpcConn) readLoop() {
 				pg.vals[i] = append([]byte(nil), m.Values[i]...)
 			}
 			c.page = pg
-			c.done <- struct{}{}
+			deliver(c)
 		default:
 			p.failAll()
 			return
@@ -382,7 +406,7 @@ func (p *rpcConn) failAll() {
 		s.mu.Unlock()
 		for _, c := range calls {
 			c.err = errConnDead
-			c.done <- struct{}{}
+			deliver(c)
 		}
 	}
 }
@@ -536,6 +560,45 @@ func (p *rpcConn) batchWrite(typ, cl uint8, ver uint64, keys []string, vals [][]
 // stamp (the replica applies it under the last-write-wins guard).
 func (p *rpcConn) write(key string, val []byte, ver uint64) (wire.WriteResp, error) {
 	return p.writeTyped(wire.MsgWriteInternal, wire.LevelOne, ver, key, val)
+}
+
+// writeAsync dispatches an internal write RPC whose completion is delivered
+// straight to g.complete(from, ...) — on this connection's read loop for a
+// response, or wherever failAll runs for connection death. No goroutine is
+// spawned and nothing ever waits: this is the event-driven leg of the write
+// fan-out. A non-nil error means the dispatch never started and the caller
+// still owns the gather leg (it must complete it as a transport failure); a
+// nil return transfers that responsibility to the delivery machinery, even
+// when the frame never made it out (the writer only fails alongside the
+// connection, whose failAll drains the pending table).
+func (p *rpcConn) writeAsync(key string, val []byte, ver uint64, g *writeGather, from core.ServerID) error {
+	c := getCall(false, nil)
+	c.g, c.from = g, from
+	id, err := p.register(c)
+	if err != nil {
+		c.g = nil
+		putCall(c)
+		return err
+	}
+	fb := getBuf()
+	b, err := wire.AppendWriteReq((*fb)[:0], wire.MsgWriteInternal,
+		wire.WriteReq{ID: id, CL: wire.LevelOne, Version: ver, Key: key, Value: val})
+	if err != nil {
+		putBuf(fb)
+		if c2 := p.take(id); c2 != nil {
+			c2.g = nil
+			putCall(c2)
+			return err
+		}
+		return nil // a concurrent failAll claimed the call and will deliver it
+	}
+	*fb = b
+	if err := p.cw.enqueue(fb); err != nil {
+		// The writer closes only as part of connection teardown: failAll is
+		// running (or about to) and delivers every registered call.
+		return nil
+	}
+	return nil
 }
 
 // clientWrite performs a coordinated write RPC at a consistency level; the

@@ -101,6 +101,65 @@ func TestRPCConnRoundTripZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestClusterReadAllocBudget pins the end-to-end point-read allocation
+// budget over a live durable cluster: client, coordinator, and replica share
+// the process, so AllocsPerRun (which reads whole-process malloc counters)
+// charges the entire serving path to each Get. The shard-per-core runtime
+// brought the path from ~5.9 to ~2 allocs/op; the floor is pinned at 3 to
+// leave headroom for background flush/compaction noise, and any regression
+// above it fails here before it shows up in BENCH_kv.json.
+func TestClusterReadAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on channel handoffs")
+	}
+	c, err := StartCluster(3, Config{Seed: 7, ReadRepair: -1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer c.Close()
+	cl, err := Dial(c.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	const nKeys = 64
+	val := []byte("alloc-budget-value-0123456789abcdef")
+	for i := 0; i < nKeys; i++ {
+		if err := cl.Put(fmt.Sprintf("alloc-key-%03d", i), val); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("alloc-key-%03d", i)
+		for attempt := 0; ; attempt++ {
+			if _, ok, err := cl.Get(keys[i]); err == nil && ok {
+				break
+			} else if attempt > 100 {
+				t.Fatalf("warm Get(%s): ok=%v err=%v", keys[i], ok, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	i := 0
+	get := func() {
+		k := keys[i%nKeys]
+		i++
+		if _, ok, err := cl.Get(k); err != nil || !ok {
+			t.Fatalf("Get(%s): ok=%v err=%v", k, ok, err)
+		}
+	}
+	for j := 0; j < 128; j++ {
+		get() // warm pools and buffer growth out of the measurement
+	}
+	if n := testing.AllocsPerRun(500, get); n > 3 {
+		t.Errorf("cluster point read allocates %.2f/op, want <= 3", n)
+	}
+}
+
 // TestRPCConnPoolReuseUnderFailure hammers connections with concurrent
 // reads while killing the transport mid-flight, across enough rounds that
 // call records recycle through the pool between failures. Every read must

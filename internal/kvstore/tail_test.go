@@ -184,9 +184,15 @@ func TestRepairProbeAccountingSurvivesCrash(t *testing.T) {
 	t.Cleanup(n2.Close)
 	c.Nodes[2] = nil // the cluster cleanup must not double-close the old node
 
+	// Worst shard governs: every shard selector that sent traffic toward the
+	// restarted node must pull its estimate back down.
 	qhat := func() (q float64) {
-		coordinator.sel.Inspect(func(r core.Ranker) {
-			q = r.(*core.CubicRanker).QueueEstimate(core.ServerID(2))
+		coordinator.sels.Each(func(c *core.Client) {
+			c.Inspect(func(r core.Ranker) {
+				if e := r.(*core.CubicRanker).QueueEstimate(core.ServerID(2)); e > q {
+					q = e
+				}
+			})
 		})
 		return q
 	}

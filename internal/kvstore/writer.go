@@ -3,6 +3,7 @@ package kvstore
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 
 	"c3/internal/wire"
@@ -87,6 +88,7 @@ func (cw *connWriter) enqueue(frame *[]byte) error {
 // connection (unblocking the read side) and discards further frames.
 func (cw *connWriter) loop() {
 	defer close(cw.done)
+	yielded := false
 	cw.mu.Lock()
 	for {
 		for len(cw.queue) == 0 && cw.err == nil && !cw.closed {
@@ -123,8 +125,24 @@ func (cw *connWriter) loop() {
 		if len(cw.queue) != 0 || cw.w.Buffered() == 0 {
 			continue // more to coalesce before paying the flush
 		}
+		if !yielded {
+			// Yield once before paying the flush syscall: a runnable
+			// handler about to enqueue gets to run now and its frame joins
+			// this flush. On a saturated box this folds many responses into
+			// one write(); idle, the yield returns immediately. Bounded to
+			// one yield per flush so a steady producer stream cannot
+			// postpone the flush indefinitely.
+			yielded = true
+			cw.mu.Unlock()
+			runtime.Gosched()
+			cw.mu.Lock()
+			if len(cw.queue) != 0 {
+				continue // the yield produced more frames: write them first
+			}
+		}
 		cw.mu.Unlock()
 		err = cw.w.Flush()
+		yielded = false
 		cw.mu.Lock()
 		if err != nil {
 			cw.fail(err)

@@ -26,11 +26,12 @@ import (
 // whose outcome is legitimately ambiguous.
 
 const (
-	crashChildEnvDir  = "LSM_CRASH_CHILD_DIR"
-	crashChildEnvSeed = "LSM_CRASH_CHILD_SEED"
-	crashChildEnvSync = "LSM_CRASH_CHILD_SYNC" // "periodic" opts into periodic WAL sync
-	crashWriters      = 3
-	crashKeysPerW     = 40
+	crashChildEnvDir    = "LSM_CRASH_CHILD_DIR"
+	crashChildEnvSeed   = "LSM_CRASH_CHILD_SEED"
+	crashChildEnvSync   = "LSM_CRASH_CHILD_SYNC"   // "periodic" opts into periodic WAL sync
+	crashChildEnvShards = "LSM_CRASH_CHILD_SHARDS" // >1 opens a sharded store
+	crashWriters        = 3
+	crashKeysPerW       = 40
 )
 
 func TestMain(m *testing.M) {
@@ -98,7 +99,17 @@ func crashChild(dir string, seed uint64) {
 	if os.Getenv(crashChildEnvSync) == "periodic" {
 		opts.SyncInterval = 5 * time.Millisecond
 	}
-	s, err := Open(opts)
+	shards, _ := strconv.Atoi(os.Getenv(crashChildEnvShards))
+	var s interface {
+		Put(key string, val []byte) error
+		Delete(key string) error
+	}
+	var err error
+	if shards > 0 {
+		s, err = OpenSharded(opts, shards)
+	} else {
+		s, err = Open(opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "child open:", err)
 		os.Exit(2)
@@ -154,7 +165,7 @@ func TestKillNineChaos(t *testing.T) {
 			kills := sim.RNG(seed, 999)
 			for round := 0; round < 3; round++ {
 				roundSeed := seed*1000 + uint64(round)
-				acks := runCrashChild(t, dir, roundSeed, 60+kills.IntN(240), sync)
+				acks := runCrashChild(t, dir, roundSeed, 60+kills.IntN(240), sync, 0)
 
 				// Regenerate each writer's stream: ops [0, acks[w]) are
 				// acked and must be durable; op acks[w] may or may not have
@@ -203,6 +214,83 @@ func TestKillNineChaos(t *testing.T) {
 	}
 }
 
+// TestKillNineChaosSharded is TestKillNineChaos over the shard-per-core
+// layout: the child runs a sharded store (N independent WALs, committers,
+// and flush schedules), the parent kills it mid-write and checks that
+// parallel per-shard WAL replay recovers every acked op at shard counts 1,
+// 4, and 8. Shard count 1 exercises the marker-less legacy layout through
+// the sharded open path; the others exercise true multi-WAL recovery, with
+// round 2 reopening round 1's directory so the persisted SHARDS marker —
+// not the knob — picks the layout.
+func TestKillNineChaosSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos is not -short friendly")
+	}
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		// Periodic sync on the widest layout: eight WAL buffers in flight
+		// when the SIGKILL lands, none allowed to lose an acked write.
+		sync := ""
+		if shards == 8 {
+			sync = "periodic"
+		}
+		t.Run(fmt.Sprintf("shards=%d,sync=%s", shards, sync), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			expected := map[string]string{}
+			kills := sim.RNG(uint64(shards), 777)
+			for round := 0; round < 2; round++ {
+				roundSeed := uint64(shards)*10000 + uint64(round)
+				acks := runCrashChild(t, dir, roundSeed, 60+kills.IntN(240), sync, shards)
+
+				maybe := map[string]crashOp{}
+				for w := 0; w < crashWriters; w++ {
+					g := newCrashGen(roundSeed, w)
+					for i := 0; i < acks[w]; i++ {
+						op := g.next()
+						if op.del {
+							expected[op.key] = ""
+						} else {
+							expected[op.key] = op.val
+						}
+					}
+					in := g.next()
+					maybe[in.key] = in
+				}
+
+				s, err := OpenSharded(Options{Dir: dir}, shards)
+				if err != nil {
+					t.Fatalf("round %d: OpenSharded: %v", round, err)
+				}
+				if got := s.ShardCount(); got != shards {
+					t.Fatalf("round %d: recovered %d shards, want %d", round, got, shards)
+				}
+				for key, want := range expected {
+					got, ok := s.Get(key)
+					if matchState(want, string(got), ok) {
+						continue
+					}
+					if in, ambiguous := maybe[key]; ambiguous {
+						alt := ""
+						if !in.del {
+							alt = in.val
+						}
+						if matchState(alt, string(got), ok) {
+							expected[key] = alt
+							continue
+						}
+					}
+					t.Fatalf("round %d: key %s = %q,%v; want %q (acked) or the in-flight op",
+						round, key, got, ok, want)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("round %d: Close: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
 // matchState reports whether an observed Get result equals a model state
 // (empty string = must be absent).
 func matchState(want, got string, ok bool) bool {
@@ -215,13 +303,14 @@ func matchState(want, got string, ok bool) bool {
 // runCrashChild re-execs the test binary as a crash child over dir, lets it
 // run for roughly lifeMs, SIGKILLs it, and returns per-writer ack counts
 // drained from the pipe.
-func runCrashChild(t *testing.T, dir string, seed uint64, lifeMs int, sync string) []int {
+func runCrashChild(t *testing.T, dir string, seed uint64, lifeMs int, sync string, shards int) []int {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		crashChildEnvDir+"="+dir,
 		crashChildEnvSeed+"="+strconv.FormatUint(seed, 10),
-		crashChildEnvSync+"="+sync)
+		crashChildEnvSync+"="+sync,
+		crashChildEnvShards+"="+strconv.Itoa(shards))
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {

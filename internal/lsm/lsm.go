@@ -304,8 +304,20 @@ func (s *Store) Put(key string, val []byte) error {
 // single WAL commit group, so a replica-side MultiPut pays one fsync
 // regardless of batch size.
 func (s *Store) PutAll(keys []string, vals [][]byte) error {
+	cw, err := s.putAllStart(keys, vals)
+	if err != nil {
+		return err
+	}
+	return waitCommit(cw)
+}
+
+// putAllStart is PutAll up to (not including) the commit wait: the batch is
+// in the memtable and its WAL commit group is enqueued. A sharded store
+// starts every touched shard's sub-batch before waiting on any of them, so
+// the shards' group commits overlap.
+func (s *Store) putAllStart(keys []string, vals [][]byte) (*walCommit, error) {
 	if len(keys) == 0 {
-		return nil
+		return nil, nil
 	}
 	total := 0
 	for _, v := range vals {
@@ -321,14 +333,14 @@ func (s *Store) PutAll(keys []string, vals [][]byte) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	var cw *walCommit
 	if s.wal != nil {
 		var err error
 		if cw, err = s.wal.addBatch(keys, cps); err != nil {
 			s.mu.Unlock()
-			return err
+			return nil, err
 		}
 	}
 	for i := range keys {
@@ -336,7 +348,7 @@ func (s *Store) PutAll(keys []string, vals [][]byte) error {
 		s.putLocked(keys[i], cps[i])
 	}
 	s.mu.Unlock()
-	return waitCommit(cw)
+	return cw, nil
 }
 
 // PutIfAbsent stores a copy of val under key only when the key has no live

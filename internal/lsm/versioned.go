@@ -74,8 +74,18 @@ func (s *Store) PutRawIfNewer(key string, raw []byte) (applied bool, err error) 
 // whose stored version is already >= ver are skipped silently — idempotent
 // success, the contract batch hint replay and quorum batch writes rely on.
 func (s *Store) PutAllVersioned(keys []string, vals [][]byte, ver uint64) error {
+	cw, err := s.putAllVersionedStart(keys, vals, ver)
+	if err != nil {
+		return err
+	}
+	return waitCommit(cw)
+}
+
+// putAllVersionedStart is PutAllVersioned up to (not including) the commit
+// wait — the sharded store's overlap point, like putAllStart.
+func (s *Store) putAllVersionedStart(keys []string, vals [][]byte, ver uint64) (*walCommit, error) {
 	if len(keys) == 0 {
-		return nil
+		return nil, nil
 	}
 	total := 0
 	for _, v := range vals {
@@ -87,13 +97,13 @@ func (s *Store) PutAllVersioned(keys []string, vals [][]byte, ver uint64) error 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	for i, k := range keys {
 		cur, present, err := s.versionLocked(k)
 		if err != nil {
 			s.mu.Unlock()
-			return err
+			return nil, err
 		}
 		if present && cur >= ver {
 			continue
@@ -105,14 +115,14 @@ func (s *Store) PutAllVersioned(keys []string, vals [][]byte, ver uint64) error 
 	}
 	if len(wk) == 0 {
 		s.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 	var cw *walCommit
 	if s.wal != nil {
 		var err error
 		if cw, err = s.wal.addBatch(wk, cps); err != nil {
 			s.mu.Unlock()
-			return err
+			return nil, err
 		}
 	}
 	for i := range wk {
@@ -120,7 +130,77 @@ func (s *Store) PutAllVersioned(keys []string, vals [][]byte, ver uint64) error 
 		s.putLocked(wk[i], cps[i])
 	}
 	s.mu.Unlock()
+	return cw, nil
+}
+
+// PutMulti applies a heterogeneous write batch in one WAL commit group:
+// record i lands under the last-write-wins guard at version vers[i] when
+// non-zero (stored version-prefixed, exactly PutVersioned) and
+// unconditionally raw when zero (exactly Put). Guard-skipped records are
+// silent idempotent successes. This is the per-shard writer's batch-apply
+// primitive: pipelined single-key writes drained from a shard's queue share
+// one group commit here instead of paying one each.
+func (s *Store) PutMulti(keys []string, vers []uint64, vals [][]byte) error {
+	cw, err := s.putMultiStart(keys, vers, vals)
+	if err != nil {
+		return err
+	}
 	return waitCommit(cw)
+}
+
+// putMultiStart is PutMulti up to (not including) the commit wait.
+func (s *Store) putMultiStart(keys []string, vers []uint64, vals [][]byte) (*walCommit, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	total := 0
+	for _, v := range vals {
+		total += VersionLen + len(v)
+	}
+	arena := make([]byte, 0, total)
+	cps := make([][]byte, 0, len(keys))
+	wk := make([]string, 0, len(keys))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for i, k := range keys {
+		at := len(arena)
+		if ver := vers[i]; ver != 0 {
+			cur, present, err := s.versionLocked(k)
+			if err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+			if present && cur >= ver {
+				continue
+			}
+			arena = AppendVersioned(arena, ver, vals[i])
+		} else {
+			arena = append(arena, vals[i]...)
+		}
+		cps = append(cps, arena[at:len(arena):len(arena)])
+		wk = append(wk, k)
+	}
+	if len(wk) == 0 {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	var cw *walCommit
+	if s.wal != nil {
+		var err error
+		if cw, err = s.wal.addBatch(wk, cps); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	for i := range wk {
+		s.c.puts.Add(1)
+		s.putLocked(wk[i], cps[i])
+	}
+	s.mu.Unlock()
+	return cw, nil
 }
 
 // putRawNewer is the shared guarded write: cp must be a private copy of the

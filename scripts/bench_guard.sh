@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Bench regression guard for the live-store hot path. Runs the kv bench and
+# compares it against the committed trajectory record (BENCH_kv.json) at
+# the same medium scale the record is generated at (quick scale is warmup-
+# dominated and reads ~40% low, so it would compare apples to oranges): the
+# build fails if mixed or write-only throughput drops more than
+# BENCH_GUARD_DROP percent (default 20 — the committed record is a best
+# run, so the floor must absorb run-to-run scatter) below them, or if
+# allocs/op rises more than BENCH_GUARD_ALLOC_MARGIN percent (default 10 —
+# GC noise headroom; the committed value is the budget) above them. The
+# committed record is regenerated deliberately with
+#   go run ./cmd/c3bench -fig kv -scale medium
+# never adjusted to make a red build green: a slower run on comparable
+# hardware means the hot path regressed.
+#
+# Throughput on a shared runner is noisy (single runs scatter ±20%), so
+# the guard takes the best of BENCH_GUARD_RUNS trials (default 3): a real
+# regression drags every trial down, while scheduler noise rarely hits
+# all of them. allocs/op is deterministic, so the first trial's value is
+# as good as any.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${BENCH_GUARD_BASELINE:-BENCH_kv.json}
+SCALE=${BENCH_GUARD_SCALE:-medium}
+DROP=${BENCH_GUARD_DROP:-20}
+ALLOC_MARGIN=${BENCH_GUARD_ALLOC_MARGIN:-10}
+RUNS=${BENCH_GUARD_RUNS:-3}
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench guard: no baseline at $BASELINE" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/c3bench" ./cmd/c3bench
+for ((i = 1; i <= RUNS; i++)); do
+  echo "bench guard: trial $i/$RUNS"
+  "$tmpdir/c3bench" -fig kv -scale "$SCALE" -kvjson "$tmpdir/trial$i.json" \
+    -tailjson '' -batchjson '' -elasticjson '' -durablejson '' -consistencyjson ''
+done
+
+python3 - "$BASELINE" "$DROP" "$ALLOC_MARGIN" "$tmpdir"/trial*.json <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+drop = float(sys.argv[2]) / 100.0
+alloc_margin = float(sys.argv[3]) / 100.0
+trials = [json.load(open(p)) for p in sys.argv[4:]]
+# Best trial per throughput metric; first trial for the deterministic allocs.
+new = dict(trials[0])
+for key in ("throughput_ops_per_sec", "write_throughput_ops_per_sec"):
+    vals = [t[key] for t in trials if t.get(key)]
+    if vals:
+        new[key] = max(vals)
+fail = False
+
+def check_floor(name, key):
+    global fail
+    b, n = base.get(key), new.get(key)
+    if not b:
+        print(f"bench guard: SKIP {name}: baseline has no {key}")
+        return
+    floor = b * (1.0 - drop)
+    status = "OK  " if n >= floor else "FAIL"
+    if n < floor:
+        fail = True
+    print(f"bench guard: {status} {name}: {n:.0f} ops/s vs committed {b:.0f} (floor {floor:.0f})")
+
+def check_ceiling(name, key):
+    global fail
+    b, n = base.get(key), new.get(key)
+    if not b:
+        print(f"bench guard: SKIP {name}: baseline has no {key}")
+        return
+    ceil = b * (1.0 + alloc_margin)
+    status = "OK  " if n <= ceil else "FAIL"
+    if n > ceil:
+        fail = True
+    print(f"bench guard: {status} {name}: {n:.2f}/op vs committed {b:.2f} (ceiling {ceil:.2f})")
+
+check_floor("mixed throughput", "throughput_ops_per_sec")
+check_floor("write throughput", "write_throughput_ops_per_sec")
+check_ceiling("allocs", "allocs_per_op")
+sys.exit(1 if fail else 0)
+EOF
