@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"c3/internal/kvstore"
+	"c3/internal/obs"
+	"c3/internal/resp"
+)
+
+// attachFrontends puts a RESP gateway and/or an ops HTTP endpoint in front of
+// every node: node i listens on respBase+i / obsBase+i (0 disables either).
+// Returns a closer that tears the listeners down.
+func attachFrontends(cl *kvstore.Cluster, respBase, obsBase int, lvl kvstore.Level) (func(), error) {
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	for i, node := range cl.Nodes {
+		if node == nil {
+			continue
+		}
+		if respBase > 0 {
+			ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", respBase+i))
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("resp listener for node %d: %w", i, err)
+			}
+			srv := resp.NewServer(node.RESPBackend(lvl))
+			go srv.Serve(ln)
+			closers = append(closers, srv.Close)
+			fmt.Printf("node %d: RESP on %s\n", i, ln.Addr())
+		}
+		if obsBase > 0 {
+			ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", obsBase+i))
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("ops listener for node %d: %w", i, err)
+			}
+			n := node
+			go obs.Serve(ln, obs.Handler(func() any { return n.StatsSnapshot() }))
+			closers = append(closers, func() { ln.Close() })
+			fmt.Printf("node %d: ops HTTP on http://%s (/stats, /debug/vars, /debug/pprof)\n", i, ln.Addr())
+		}
+	}
+	return closeAll, nil
+}
+
+// runServe boots a cluster and serves the gateway/ops frontends until
+// SIGINT/SIGTERM — the mode CI's gateway smoke and redis-benchmark drive.
+func runServe(nodes int, strategy, dataDir string, lvl kvstore.Level, shards, respBase, obsBase int) {
+	if respBase == 0 && obsBase == 0 {
+		fmt.Fprintln(os.Stderr, "-serve needs -resp and/or -obs to expose something")
+		os.Exit(2)
+	}
+	fmt.Printf("booting %d-node TCP cluster on loopback (strategy %s, consistency %s)...\n",
+		nodes, strategy, lvl)
+	cl, err := kvstore.StartCluster(nodes, kvstore.Config{
+		Strategy: strategy,
+		Seed:     1,
+		DataDir:  dataDir,
+		Shards:   shards,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	closeFronts, err := attachFrontends(cl, respBase, obsBase, lvl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer closeFronts()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Println("serving; Ctrl-C to stop")
+	<-sig
+	fmt.Println("shutting down")
+}
+
+// cmdStats fetches a node's /stats endpoint and renders it. With -watch it
+// polls until interrupted.
+func cmdStats(argv []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	watch := fs.Duration("watch", 0, "poll interval (0 = fetch once)")
+	raw := fs.Bool("json", false, "print the raw JSON instead of the rendered view")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: c3cluster stats [-watch 1s] [-json] host:port")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	addr := fs.Arg(0)
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	fetch := func() error {
+		resp, err := http.Get(addr + "/stats")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", resp.Status, body)
+		}
+		if *raw {
+			os.Stdout.Write(body)
+			return nil
+		}
+		var st kvstore.NodeStats
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("decode /stats: %w", err)
+		}
+		fmt.Print(st.InfoText())
+		return nil
+	}
+	for {
+		if err := fetch(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Println("---")
+	}
+}
+
+// cmdProbe drives a short correctness workload through a RESP gateway — the
+// minimal client CI's smoke step uses in place of redis-benchmark. Exits
+// non-zero on the first wrong answer.
+func cmdProbe(argv []string) {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	ops := fs.Int("ops", 200, "SET+GET pairs to run after the correctness checks")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: c3cluster probe [-ops 200] host:port")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	c, err := resp.DialClient(fs.Arg(0), 5*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "probe: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	do := func(args ...string) resp.Reply {
+		r, err := c.Do(args...)
+		if err != nil {
+			die("%v: %v", args, err)
+		}
+		if e := r.Err(); e != nil {
+			die("%v: %v", args, e)
+		}
+		return r
+	}
+
+	if r := do("PING"); r.Str != "PONG" {
+		die("PING = %+v", r)
+	}
+	if r := do("SET", "probe:k", "v1"); r.Str != "OK" {
+		die("SET = %+v", r)
+	}
+	if r := do("GET", "probe:k"); r.IsNil || r.Str != "v1" {
+		die("GET = %+v, want v1", r)
+	}
+	if r := do("GET", "probe:missing"); !r.IsNil {
+		die("GET missing = %+v, want nil", r)
+	}
+	do("SET", "probe:empty", "")
+	if r := do("GET", "probe:empty"); r.IsNil || r.Str != "" {
+		die("GET empty = %+v, want zero-length bulk", r)
+	}
+	if r := do("DEL", "probe:k", "probe:missing"); r.Int != 1 {
+		die("DEL = %+v, want 1", r)
+	}
+	if r := do("GET", "probe:k"); !r.IsNil {
+		die("GET after DEL = %+v, want nil", r)
+	}
+	do("MSET", "probe:a", "1", "probe:b", "2")
+	r := do("MGET", "probe:a", "probe:gone", "probe:b")
+	if len(r.Elems) != 3 || r.Elems[0].Str != "1" || !r.Elems[1].IsNil || r.Elems[2].Str != "2" {
+		die("MGET = %+v", r.Elems)
+	}
+	for i := 0; i < *ops; i++ {
+		k := fmt.Sprintf("probe:op%d", i)
+		do("SET", k, "x")
+		if r := do("GET", k); r.Str != "x" {
+			die("GET %s = %+v", k, r)
+		}
+	}
+	fmt.Printf("probe ok: correctness checks + %d SET/GET pairs, 0 errors\n", *ops)
+}

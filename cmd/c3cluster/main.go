@@ -11,6 +11,9 @@
 //	c3cluster -tcp -consistency quorum        # quorum reads/writes end to end
 //	c3cluster -tcp -join -nodes 4 -ops 3000   # live join + decommission demo
 //	c3cluster -tcp -data /tmp/c3data          # durable nodes; rerun to recover
+//	c3cluster -tcp -serve -resp 6379 -obs 7070  # RESP gateway + ops HTTP, serve until ^C
+//	c3cluster stats 127.0.0.1:7070            # render a node's /stats snapshot
+//	c3cluster probe 127.0.0.1:6379            # RESP correctness probe (CI smoke)
 package main
 
 import (
@@ -28,6 +31,18 @@ import (
 )
 
 func main() {
+	// Subcommands dispatch before flag.Parse so they own their flag sets.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats":
+			cmdStats(os.Args[2:])
+			return
+		case "probe":
+			cmdProbe(os.Args[2:])
+			return
+		}
+	}
+
 	strategy := flag.String("strategy", "C3", "C3 | DS | DS-SPEC | LOR | RR")
 	mix := flag.String("mix", "read-heavy", "read-heavy | read-only | update-heavy")
 	gens := flag.Int("generators", 120, "closed-loop workload generators")
@@ -40,6 +55,9 @@ func main() {
 	data := flag.String("data", "", "with -tcp: durable storage root (node i stores under <data>/node-<i>; rerun with the same dir to demo recovery)")
 	consistency := flag.String("consistency", "one", "with -tcp: consistency level for the demo workload (one | quorum | all)")
 	shards := flag.Int("shards", 0, "with -tcp: per-node storage/request shards (0 = GOMAXPROCS; 1 reproduces the pre-sharding layout)")
+	respBase := flag.Int("resp", 0, "with -tcp: base RESP gateway port (node i listens on port+i; 0 = off)")
+	obsBase := flag.Int("obs", 0, "with -tcp: base ops HTTP port serving /stats, /debug/vars, /debug/pprof (node i on port+i; 0 = off)")
+	serve := flag.Bool("serve", false, "with -tcp: skip the demo workload and serve -resp/-obs frontends until interrupted")
 	flag.Parse()
 
 	if *tcp {
@@ -47,6 +65,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if *serve {
+			runServe(*nodes, *strategy, *data, lvl, *shards, *respBase, *obsBase)
+			return
 		}
 		if *join {
 			runTCPJoin(*nodes, *strategy, *ops, *data, lvl, *shards)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,7 @@ type BatchRow struct {
 // (BENCH_batch.json): MultiGet vs pipelined point gets across batch sizes,
 // strategies, and hedging.
 type BatchResult struct {
+	Config          Meta       `json:"config"`
 	Nodes           int        `json:"nodes"`
 	Workers         int        `json:"workers"`
 	Keys            int        `json:"keys"`
@@ -250,6 +252,7 @@ func runBatchRow(o Options, strategy string, hedged bool, batch int, mode string
 // RunBatch executes the full strategy × hedging × batch-size × mode grid.
 func RunBatch(o Options) (BatchResult, error) {
 	res := BatchResult{
+		Config:          o.meta(runtime.GOMAXPROCS(0), SyncInMemory),
 		Nodes:           batchNodes,
 		Workers:         batchWorkers,
 		Keys:            batchKeyspace,

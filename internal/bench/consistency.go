@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ type ConsRow struct {
 // ConsResult is the machine-readable record of the consistency benchmark
 // (BENCH_consistency.json).
 type ConsResult struct {
+	Config         Meta      `json:"config"`
 	Nodes          int       `json:"nodes"`
 	RF             int       `json:"rf"`
 	Workers        int       `json:"workers"`
@@ -223,6 +225,7 @@ func runConsRow(o Options, strategy string, wl, rl kvstore.Level, readFraction f
 // RunConsistency executes the strategy × level-pair × mix grid.
 func RunConsistency(o Options) (ConsResult, error) {
 	res := ConsResult{
+		Config:         o.meta(runtime.GOMAXPROCS(0), SyncInMemory),
 		Nodes:          consNodes,
 		RF:             consNodes,
 		Workers:        consWorkers,

@@ -34,6 +34,7 @@ type DurableRecovery struct {
 // DurableResult is the machine-readable record of the durability benchmark,
 // tracked across PRs in BENCH_durable.json.
 type DurableResult struct {
+	Config     Meta              `json:"config"`
 	Ops        int               `json:"ops"`
 	Writers    int               `json:"writers"`
 	ValueBytes int               `json:"value_bytes"`
@@ -213,7 +214,7 @@ func RunDurable(o Options) (DurableResult, error) {
 		valueBytes = 256
 	)
 	ops := o.durableOps()
-	res := DurableResult{Ops: ops, Writers: writers, ValueBytes: valueBytes}
+	res := DurableResult{Config: o.meta(1, "per-mode"), Ops: ops, Writers: writers, ValueBytes: valueBytes}
 	for _, mode := range []string{"inmem", "nosync", "periodic", "fsync"} {
 		m, err := runDurableMode(mode, ops, writers, valueBytes)
 		if err != nil {

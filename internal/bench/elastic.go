@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,7 @@ type ElasticRow struct {
 // ElasticResult is the machine-readable record of the elastic benchmark
 // (BENCH_elastic.json).
 type ElasticResult struct {
+	Config          Meta         `json:"config"`
 	Nodes           int          `json:"nodes"`
 	Workers         int          `json:"workers"`
 	Keys            int          `json:"keys"`
@@ -303,6 +305,7 @@ func percentileOf(lats []float64, p float64) float64 {
 // RunElastic executes the strategy sweep.
 func RunElastic(o Options) (ElasticResult, error) {
 	res := ElasticResult{
+		Config:          o.meta(runtime.GOMAXPROCS(0), SyncInMemory),
 		Nodes:           elasticNodes,
 		Workers:         elasticWorkers,
 		Keys:            elasticKeys,

@@ -3,12 +3,15 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"c3/internal/kvstore"
+	"c3/internal/obs"
+	"c3/internal/resp"
 	"c3/internal/sim"
 	"c3/internal/stats"
 	"c3/internal/workload"
@@ -17,6 +20,7 @@ import (
 // KVResult is the machine-readable record of the live TCP store benchmark —
 // the repo's own hot-path trajectory, tracked across PRs in BENCH_kv.json.
 type KVResult struct {
+	Config        Meta    `json:"config"`
 	Nodes         int     `json:"nodes"`
 	Shards        int     `json:"shards"`
 	Durable       bool    `json:"durable"`
@@ -90,6 +94,24 @@ func RunKV(o Options) (KVResult, error) {
 		return KVResult{}, err
 	}
 	defer cl.Close()
+
+	// The RESP gateway and ops endpoint ride along idle on every run: the
+	// bench guard's numbers certify that their mere presence (listeners,
+	// backend, snapshot closure) does not tax the hot path.
+	respLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return KVResult{}, err
+	}
+	gw := resp.NewServer(cluster.Nodes[0].RESPBackend(kvstore.One))
+	go gw.Serve(respLn)
+	defer gw.Close()
+	obsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return KVResult{}, err
+	}
+	n0 := cluster.Nodes[0]
+	go obs.Serve(obsLn, obs.Handler(func() any { return n0.StatsSnapshot() }))
+	defer obsLn.Close()
 
 	keys := make([]string, nKeys)
 	val := make([]byte, valueBytes)
@@ -211,6 +233,7 @@ func RunKV(o Options) (KVResult, error) {
 	wtotal := writePerWorker * workers
 
 	return KVResult{
+		Config:        o.meta(cluster.Nodes[0].Shards(), SyncPeriodic),
 		Nodes:         nodes,
 		Shards:        cluster.Nodes[0].Shards(),
 		Durable:       true,

@@ -1,0 +1,56 @@
+package bench
+
+import "runtime"
+
+// Meta records the configuration that produced a BENCH_*.json record, so
+// cross-PR comparisons (scripts/bench_guard.sh) can refuse to compare runs
+// that measured different things. Hardware-ish fields (gomaxprocs, num_cpu,
+// go_version) are advisory — the guard warns on them; semantic fields
+// (scale, shards, sync_policy) are hard mismatches.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Scale      string `json:"scale"`
+	Shards     int    `json:"shards"`
+	SyncPolicy string `json:"sync_policy"`
+}
+
+// Sync policies a benchmark cluster can run under. These name what the
+// emitting runner actually configured, not an lsm option verbatim.
+const (
+	// SyncInMemory: no DataDir, no WAL — nothing to sync.
+	SyncInMemory = "in-memory"
+	// SyncPeriodic: WAL-backed with the kvstore serving default (ack after
+	// write(2), background fsync every 20ms).
+	SyncPeriodic = "periodic-20ms"
+)
+
+func scaleName(s Scale) string {
+	switch s {
+	case Full:
+		return "full"
+	case Medium:
+		return "medium"
+	default:
+		return "quick"
+	}
+}
+
+// meta stamps the run environment plus the runner-specific semantic knobs.
+// shards is the RESOLVED per-node shard count (after the 0 → GOMAXPROCS
+// default), so records from different default environments compare honestly.
+func (o Options) meta(shards int, syncPolicy string) Meta {
+	return Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      scaleName(o.Scale),
+		Shards:     shards,
+		SyncPolicy: syncPolicy,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,7 @@ type TailRow struct {
 // (BENCH_tail.json): hedging on/off across strategies under injected
 // failures.
 type TailResult struct {
+	Config          Meta      `json:"config"`
 	Nodes           int       `json:"nodes"`
 	Workers         int       `json:"workers"`
 	Keys            int       `json:"keys"`
@@ -278,6 +280,7 @@ func runTailRow(o Options, scenario, strategy string, hedged bool, seed uint64) 
 // RunTail executes the full scenario × strategy × hedging grid.
 func RunTail(o Options) (TailResult, error) {
 	res := TailResult{
+		Config:          o.meta(runtime.GOMAXPROCS(0), SyncInMemory),
 		Nodes:           tailNodes,
 		Workers:         tailWorkers,
 		Keys:            tailKeys,

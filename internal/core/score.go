@@ -203,6 +203,42 @@ func (c *CubicRanker) Outstanding(s ServerID) float64 {
 	return 0
 }
 
+// PeerSignals is one replica's ranker-visible state, exported for
+// observability: the C3 signals behind Ψ at the moment of the snapshot.
+type PeerSignals struct {
+	Outstanding float64 // requests in flight from this client
+	QHat        float64 // q̂ = 1 + outstanding·w + q̄
+	QBar        float64 // EWMA of server-reported queue size
+	TBar        float64 // EWMA of server-reported service time, seconds
+	RBar        float64 // EWMA of client-observed response time, seconds
+	Score       float64 // Ψ (−Inf until the first feedback sample)
+	Seen        bool    // false: this ranker never sent to s
+}
+
+// SignalsReporter is the optional interface a Ranker implements to expose
+// per-server signals for stats snapshots. Callers must hold whatever lock
+// guards the ranker (core.Client.Inspect does).
+type SignalsReporter interface {
+	Signals(s ServerID) PeerSignals
+}
+
+// Signals implements SignalsReporter. It is a pure read and does not intern s.
+func (c *CubicRanker) Signals(s ServerID) PeerSignals {
+	st := c.stateRO(s)
+	if st == nil {
+		return PeerSignals{QHat: 1, Score: math.Inf(-1)}
+	}
+	return PeerSignals{
+		Outstanding: st.outstanding,
+		QHat:        1 + st.outstanding*c.cfg.ConcurrencyWeight + st.qbar.Value(),
+		QBar:        st.qbar.Value(),
+		TBar:        st.tbar.Value(),
+		RBar:        st.rbar.Value(),
+		Score:       c.scoreState(st),
+		Seen:        true,
+	}
+}
+
 // scoreState evaluates Ψ for one state entry: the allocation-free inner-loop
 // form of CubicScore, with the paper's b = 3 specialized to three multiplies.
 func (c *CubicRanker) scoreState(st *c3State) float64 {

@@ -615,12 +615,34 @@ func (n *Node) runWriteSub(sb *subBatch, need int, ver uint64, release func()) {
 }
 
 // respondCoordBatchWrite coordinates a client batch write at the requested
-// level and enqueues the per-key acks: one coordinator stamp covers the whole
-// batch, each sub-batch fans to its replica group, and key i acks only when
-// the level's W replicas applied it. arena is the pooled buffer backing vals,
-// recycled once every replica attempt of every sub-batch is done with the
-// values.
+// level and enqueues the per-key acks. See coordinateBatchWrite for the
+// coordination and ownership contract.
 func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, cl uint8, keys []string, vals [][]byte, arena *[]byte) {
+	oks, status := n.coordinateBatchWrite(cl, keys, vals, arena)
+	if oks == nil {
+		oks = allFail[:len(keys)]
+	}
+	fb := getBuf()
+	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
+		ID: id, Status: status, OK: oks, FB: n.feedback()})
+	if err != nil {
+		putBuf(fb)
+		cw.sever(err)
+		return
+	}
+	*fb = b
+	cw.enqueue(fb)
+}
+
+// coordinateBatchWrite coordinates a batch write at the requested level: one
+// coordinator stamp covers the whole batch, each sub-batch fans to its
+// replica group, and key i acks (oks[i]) only when the level's W replicas
+// applied it. A nil oks with a non-OK status is a wholesale refusal (every
+// key failed). arena is the pooled buffer backing vals, recycled once every
+// replica attempt of every sub-batch is done with the values — ownership
+// transfers on entry, including on refusal. The RESP gateway's MSET calls
+// this directly; the wire path wraps it in respondCoordBatchWrite.
+func (n *Node) coordinateBatchWrite(cl uint8, keys []string, vals [][]byte, arena *[]byte) ([]bool, uint8) {
 	t := n.topo.Load()
 	subs, where := n.partitionBatch(t, keys)
 	// W is computed per sub-batch over the steady-state owner group — before
@@ -657,18 +679,7 @@ func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, cl uint8, keys 
 				if _, up := n.peerReady(s); !up {
 					n.quorumFails.Add(1)
 					putBuf(arena)
-					fb := getBuf()
-					b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
-						ID: id, Status: wire.StatusQuorumUnavailable,
-						OK: allFail[:len(keys)], FB: n.feedback()})
-					if err != nil {
-						putBuf(fb)
-						cw.sever(err)
-						return
-					}
-					*fb = b
-					cw.enqueue(fb)
-					return
+					return nil, wire.StatusQuorumUnavailable
 				}
 			}
 		}
@@ -720,14 +731,5 @@ func (n *Node) respondCoordBatchWrite(cw *connWriter, id uint64, cl uint8, keys 
 	if status != wire.StatusOK {
 		n.quorumFails.Add(1)
 	}
-	fb := getBuf()
-	b, err := wire.AppendBatchWriteResp((*fb)[:0], wire.BatchWriteResp{
-		ID: id, Status: status, OK: oks, FB: n.feedback()})
-	if err != nil {
-		putBuf(fb)
-		cw.sever(err)
-		return
-	}
-	*fb = b
-	cw.enqueue(fb)
+	return oks, status
 }

@@ -143,6 +143,23 @@ func (c *Client) Put(key string, val []byte) error {
 // level shortfall (errors.Is: ErrQuorumUnavailable, ErrTimeout — both also
 // ErrWriteFailed) returns immediately.
 func (c *Client) PutAt(key string, val []byte, lvl Level) error {
+	return c.writeAt(key, val, lvl, false)
+}
+
+// Delete removes key through a coordinator at consistency level One.
+func (c *Client) Delete(key string) error {
+	return c.DeleteAt(key, One)
+}
+
+// DeleteAt removes key through a coordinator at the given consistency level.
+// A delete travels the write path end to end — version-stamped, replicated
+// to the key's whole group, hint-banked on transport failure — so its
+// level/retry semantics are exactly PutAt's.
+func (c *Client) DeleteAt(key string, lvl Level) error {
+	return c.writeAt(key, nil, lvl, true)
+}
+
+func (c *Client) writeAt(key string, val []byte, lvl Level, del bool) error {
 	var lastErr error
 	for attempt := 0; attempt < len(c.addrs); attempt++ {
 		p, err := c.conn(c.pick(key))
@@ -150,7 +167,7 @@ func (c *Client) PutAt(key string, val []byte, lvl Level) error {
 			lastErr = err
 			continue
 		}
-		resp, err := p.clientWrite(uint8(lvl), key, val)
+		resp, err := p.clientWrite(uint8(lvl), key, val, del)
 		if err != nil {
 			lastErr = err
 			continue

@@ -363,6 +363,6 @@ func (n *Node) repairReplica(s core.ServerID, key string, ver uint64, val []byte
 		return
 	}
 	if p, err := n.peer(s); err == nil {
-		p.write(key, val, ver)
+		p.write(key, val, ver, false)
 	}
 }

@@ -1,0 +1,323 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"c3/internal/obs"
+	"c3/internal/resp"
+)
+
+// startGateway boots an n-node cluster and fronts node 0 with a RESP server
+// at the given level, returning a connected RESP client.
+func startGateway(t *testing.T, n int, cfg Config, lvl Level) (*Cluster, *resp.Client) {
+	t.Helper()
+	c, err := StartCluster(n, cfg)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	srv := resp.NewServer(c.Nodes[0].RESPBackend(lvl))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	rc, err := resp.DialClient(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	return c, rc
+}
+
+func do(t *testing.T, rc *resp.Client, args ...string) resp.Reply {
+	t.Helper()
+	r, err := rc.Do(args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := r.Err(); e != nil {
+		t.Fatal(e)
+	}
+	return r
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	// Quorum so the SET→GET assertions have read-your-writes; CL=ONE does
+	// not promise the next read sees the write (the native-client loop
+	// below polls for exactly that reason).
+	c, rc := startGateway(t, 3, Config{Seed: 91}, Quorum)
+
+	if r := do(t, rc, "PING"); r.Str != "PONG" {
+		t.Fatalf("PING = %+v", r)
+	}
+	if r := do(t, rc, "SET", "k1", "v1"); r.Str != "OK" {
+		t.Fatalf("SET = %+v", r)
+	}
+	if r := do(t, rc, "GET", "k1"); r.Str != "v1" || r.IsNil {
+		t.Fatalf("GET = %+v", r)
+	}
+	// The write went through the real replication path: readable through the
+	// native client via another coordinator.
+	cl, err := Dial(c.Addrs()[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(time.Second)
+	for {
+		val, ok, err := cl.Get("k1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && string(val) == "v1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("k1 not visible via native client: %q %v", val, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Miss vs empty, through the full coordinated read path.
+	if r := do(t, rc, "GET", "never-set"); !r.IsNil {
+		t.Fatalf("GET missing = %+v, want nil", r)
+	}
+	do(t, rc, "SET", "empty", "")
+	if r := do(t, rc, "GET", "empty"); r.IsNil || r.Str != "" {
+		t.Fatalf("GET empty = %+v, want zero-length bulk", r)
+	}
+
+	// DEL: present key counts, absent key does not, and the tombstone wins.
+	if r := do(t, rc, "DEL", "k1", "never-set"); r.Int != 1 {
+		t.Fatalf("DEL = %+v, want 1", r)
+	}
+	if r := do(t, rc, "GET", "k1"); !r.IsNil {
+		t.Fatalf("GET after DEL = %+v, want nil", r)
+	}
+
+	// MSET/MGET through the batch paths, empty value kept distinct from miss.
+	do(t, rc, "MSET", "b1", "x", "b2", "", "b3", "zz")
+	r := do(t, rc, "MGET", "b1", "b2", "missing", "b3")
+	if len(r.Elems) != 4 {
+		t.Fatalf("MGET elems = %d", len(r.Elems))
+	}
+	if r.Elems[0].Str != "x" || r.Elems[0].IsNil {
+		t.Fatalf("MGET[0] = %+v", r.Elems[0])
+	}
+	if r.Elems[1].IsNil || r.Elems[1].Str != "" {
+		t.Fatalf("MGET[1] = %+v, want empty bulk", r.Elems[1])
+	}
+	if !r.Elems[2].IsNil {
+		t.Fatalf("MGET[2] = %+v, want nil", r.Elems[2])
+	}
+	if r.Elems[3].Str != "zz" {
+		t.Fatalf("MGET[3] = %+v", r.Elems[3])
+	}
+
+	// INFO carries the stats snapshot.
+	if r := do(t, rc, "INFO"); !strings.Contains(r.Str, "node_id:0") {
+		t.Fatalf("INFO missing node_id: %q", r.Str)
+	}
+}
+
+func TestGatewayQuorum(t *testing.T) {
+	c, rc := startGateway(t, 3, Config{Seed: 92}, Quorum)
+	do(t, rc, "SET", "qk", "qv")
+	if r := do(t, rc, "GET", "qk"); r.Str != "qv" {
+		t.Fatalf("GET = %+v", r)
+	}
+	// A quorum read observes the write immediately (R+W > N).
+	cl, err := Dial(c.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	val, ok, err := cl.GetAt("qk", Quorum)
+	if err != nil || !ok || string(val) != "qv" {
+		t.Fatalf("GetAt = %q %v %v", val, ok, err)
+	}
+	// Quorum DEL then quorum GET: the tombstone is immediately visible.
+	if r := do(t, rc, "DEL", "qk"); r.Int != 1 {
+		t.Fatalf("DEL = %+v", r)
+	}
+	if r := do(t, rc, "GET", "qk"); !r.IsNil {
+		t.Fatalf("GET after quorum DEL = %+v", r)
+	}
+}
+
+// TestDeleteReplicates pins the native-client delete path: a DeleteAt at
+// QUORUM makes the key unreadable at QUORUM via any coordinator.
+func TestDeleteReplicates(t *testing.T) {
+	_, cl := startTestCluster(t, 3, Config{Seed: 93})
+	if err := cl.PutAt("dk", []byte("dv"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DeleteAt("dk", Quorum); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.GetAt("dk", Quorum); err != nil || ok {
+		t.Fatalf("GetAt after delete: found=%v err=%v", ok, err)
+	}
+	// Deleting an already-absent key is a guarded no-op, not an error.
+	if err := cl.Delete("dk"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayOpsEndpoint drives traffic through the gateway and asserts the
+// ops surface exposes live per-peer C3 signals and coordinator counters.
+func TestGatewayOpsEndpoint(t *testing.T) {
+	c, rc := startGateway(t, 3, Config{Seed: 94}, One)
+	node := c.Nodes[0]
+	ops := httptest.NewServer(obs.Handler(func() any { return node.StatsSnapshot() }))
+	defer ops.Close()
+
+	for i := 0; i < 64; i++ {
+		do(t, rc, "SET", fmt.Sprintf("ok%d", i), "v")
+		do(t, rc, "GET", fmt.Sprintf("ok%d", i))
+	}
+
+	resp, err := http.Get(ops.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars struct {
+		Node NodeStats `json:"node"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars: %v\n%s", err, body)
+	}
+	st := vars.Node
+	if st.ReadsCoordinated == 0 {
+		t.Fatalf("reads_coordinated = 0 after traffic: %+v", st)
+	}
+	if len(st.Peers) != 3 {
+		t.Fatalf("peers = %d, want 3", len(st.Peers))
+	}
+	for _, p := range st.Peers {
+		if p.QHat < 1 {
+			t.Fatalf("peer %d qhat = %v, want >= 1", p.ID, p.QHat)
+		}
+	}
+	if len(st.Shards) == 0 {
+		t.Fatal("no shard stats")
+	}
+	if st.Store.Puts == 0 {
+		t.Fatalf("store puts = 0 after traffic")
+	}
+
+	// Quiescence: with no in-flight commands, outstanding must drain to 0 —
+	// the residual-accounting check the CI smoke repeats.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		total := 0.0
+		for _, p := range node.StatsSnapshot().Peers {
+			total += p.Outstanding
+		}
+		if total == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding residual %v after quiescence", total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsSnapshotRace hammers StatsSnapshot concurrently with a chaos
+// workload (mixed-level puts/gets/deletes, slowdown and drop-writes toggles)
+// so `go test -race` can catch torn reads in the snapshot path.
+func TestStatsSnapshotRace(t *testing.T) {
+	c, err := StartCluster(3, Config{Seed: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cl, err := Dial(c.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Chaos workload: writes, reads, deletes at mixed levels + fault toggles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lvls := []Level{One, Quorum}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("rk%d", i%64)
+			lvl := lvls[i%2]
+			switch i % 5 {
+			case 0, 1:
+				cl.PutAt(key, []byte("v"), lvl)
+			case 2, 3:
+				cl.GetAt(key, lvl)
+			case 4:
+				cl.DeleteAt(key, lvl)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Nodes[1].SetSlowdown(time.Duration(i%3) * time.Millisecond)
+			c.Nodes[2].SetDropWrites(i%4 == 0)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// The snapshot hammer: every node, concurrently, plus JSON encoding (the
+	// obs handler's actual read pattern).
+	for _, n := range c.Nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := n.StatsSnapshot()
+				if _, err := json.Marshal(st); err != nil {
+					t.Errorf("snapshot not marshalable: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	c.Nodes[1].SetSlowdown(0)
+	c.Nodes[2].SetDropWrites(false)
+}

@@ -53,6 +53,7 @@ type hintRec struct {
 	key string
 	ver uint64
 	val []byte // payload (no version prefix); private copy
+	del bool   // banked delete: replayed as a guarded tombstone
 }
 
 // hintStore is a node's handoff state: per-target FIFO queues (authoritative)
@@ -115,13 +116,14 @@ func openHints(n *Node, storeDir string, capacity int) (*hintStore, error) {
 		target := core.ServerID(id)
 		path := filepath.Join(h.dir, name)
 		valid, err := lsm.ReplayLog(path, func(op byte, key string, val []byte) {
-			if op != lsm.LogPut {
+			if op != lsm.LogPut && op != lsm.LogDelete {
 				return
 			}
 			ver, payload := lsm.SplitVersioned(val)
 			cp := make([]byte, len(payload))
 			copy(cp, payload)
-			h.q[target] = append(h.q[target], hintRec{key: strings.Clone(key), ver: ver, val: cp})
+			h.q[target] = append(h.q[target], hintRec{
+				key: strings.Clone(key), ver: ver, val: cp, del: op == lsm.LogDelete})
 		})
 		if err != nil {
 			return nil, err
@@ -151,8 +153,10 @@ func (h *hintStore) kickAll() {
 // add banks one write toward target, appending it to the target's sidecar log
 // on durable nodes, and ensures a replay goroutine is chasing the queue. It
 // reports false — and counts a drop — when the target's queue is at cap.
-// key must be a durable string; val is copied.
-func (h *hintStore) add(target core.ServerID, key string, ver uint64, val []byte) bool {
+// key must be a durable string; val is copied. del banks a guarded delete
+// (val ignored): logged as LogDelete, whose payload still carries the
+// version stamp so recovery keeps the replay guard.
+func (h *hintStore) add(target core.ServerID, key string, ver uint64, val []byte, del bool) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.shut {
@@ -162,12 +166,19 @@ func (h *hintStore) add(target core.ServerID, key string, ver uint64, val []byte
 		h.dropped.Add(1)
 		return false
 	}
+	if del {
+		val = nil
+	}
 	cp := make([]byte, len(val))
 	copy(cp, val)
-	h.q[target] = append(h.q[target], hintRec{key: key, ver: ver, val: cp})
+	h.q[target] = append(h.q[target], hintRec{key: key, ver: ver, val: cp, del: del})
 	h.stored.Add(1)
 	if f := h.fileForLocked(target); f != nil {
-		rec := lsm.AppendLogRecord(nil, lsm.LogPut, key, lsm.AppendVersioned(nil, ver, val))
+		op := byte(lsm.LogPut)
+		if del {
+			op = lsm.LogDelete
+		}
+		rec := lsm.AppendLogRecord(nil, op, key, lsm.AppendVersioned(nil, ver, val))
 		f.Write(rec) // best-effort: the queue is authoritative while we live
 	}
 	h.startReplayLocked(target)
@@ -282,7 +293,7 @@ func (h *hintStore) deliver(target core.ServerID, rec hintRec) bool {
 	sel := n.selFor(rec.key)
 	sel.OnSend(target, time.Now().UnixNano())
 	sent := time.Now()
-	out, err := p.write(rec.key, rec.val, rec.ver)
+	out, err := p.write(rec.key, rec.val, rec.ver, rec.del)
 	if err != nil || !out.OK {
 		sel.OnAbandon(target, time.Now().UnixNano())
 		return false
@@ -319,7 +330,7 @@ func (n *Node) hintWrite(s core.ServerID, m wire.WriteReq) {
 	if n.hints == nil {
 		return
 	}
-	n.hints.add(s, m.Key, m.Version, m.Value)
+	n.hints.add(s, m.Key, m.Version, m.Value, m.Del)
 }
 
 // hintValues banks one hint per key of a failed sub-batch write.
@@ -328,7 +339,7 @@ func (n *Node) hintValues(s core.ServerID, ver uint64, keys []string, vals [][]b
 		return
 	}
 	for i := range keys {
-		n.hints.add(s, keys[i], ver, vals[i])
+		n.hints.add(s, keys[i], ver, vals[i], false)
 	}
 }
 

@@ -606,6 +606,7 @@ func (n *Node) serveConn(conn net.Conn) {
 			t.kind = taskInternal
 			t.key = strings.Clone(m.Key) // the memtable retains it
 			t.ver = m.Version
+			t.del = m.Del
 			vb := getBuf()
 			*vb = append((*vb)[:0], m.Value...)
 			t.val, t.vb = *vb, vb
@@ -1671,7 +1672,7 @@ func (n *Node) rpcWrite(id core.ServerID, m wire.WriteReq) (wire.WriteResp, erro
 	if err != nil {
 		return wire.WriteResp{}, err
 	}
-	return p.write(m.Key, m.Value, m.Version)
+	return p.write(m.Key, m.Value, m.Version, m.Del)
 }
 
 // Cluster is a convenience harness that runs n nodes on loopback.

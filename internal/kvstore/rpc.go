@@ -557,9 +557,10 @@ func (p *rpcConn) batchWrite(typ, cl uint8, ver uint64, keys []string, vals [][]
 }
 
 // write performs an internal write RPC carrying the coordinator's version
-// stamp (the replica applies it under the last-write-wins guard).
-func (p *rpcConn) write(key string, val []byte, ver uint64) (wire.WriteResp, error) {
-	return p.writeTyped(wire.MsgWriteInternal, wire.LevelOne, ver, key, val)
+// stamp (the replica applies it under the last-write-wins guard). del marks
+// a guarded tombstone: the replica deletes instead of storing (val ignored).
+func (p *rpcConn) write(key string, val []byte, ver uint64, del bool) (wire.WriteResp, error) {
+	return p.writeTyped(wire.MsgWriteInternal, wire.LevelOne, ver, key, val, del)
 }
 
 // writeAsync dispatches an internal write RPC whose completion is delivered
@@ -571,7 +572,7 @@ func (p *rpcConn) write(key string, val []byte, ver uint64) (wire.WriteResp, err
 // nil return transfers that responsibility to the delivery machinery, even
 // when the frame never made it out (the writer only fails alongside the
 // connection, whose failAll drains the pending table).
-func (p *rpcConn) writeAsync(key string, val []byte, ver uint64, g *writeGather, from core.ServerID) error {
+func (p *rpcConn) writeAsync(key string, val []byte, ver uint64, del bool, g *writeGather, from core.ServerID) error {
 	c := getCall(false, nil)
 	c.g, c.from = g, from
 	id, err := p.register(c)
@@ -582,7 +583,7 @@ func (p *rpcConn) writeAsync(key string, val []byte, ver uint64, g *writeGather,
 	}
 	fb := getBuf()
 	b, err := wire.AppendWriteReq((*fb)[:0], wire.MsgWriteInternal,
-		wire.WriteReq{ID: id, CL: wire.LevelOne, Version: ver, Key: key, Value: val})
+		wire.WriteReq{ID: id, CL: wire.LevelOne, Version: ver, Key: key, Value: val, Del: del})
 	if err != nil {
 		putBuf(fb)
 		if c2 := p.take(id); c2 != nil {
@@ -602,9 +603,9 @@ func (p *rpcConn) writeAsync(key string, val []byte, ver uint64, g *writeGather,
 }
 
 // clientWrite performs a coordinated write RPC at a consistency level; the
-// coordinator stamps the version.
-func (p *rpcConn) clientWrite(cl uint8, key string, val []byte) (wire.WriteResp, error) {
-	return p.writeTyped(wire.MsgWrite, cl, 0, key, val)
+// coordinator stamps the version. del requests a coordinated delete.
+func (p *rpcConn) clientWrite(cl uint8, key string, val []byte, del bool) (wire.WriteResp, error) {
+	return p.writeTyped(wire.MsgWrite, cl, 0, key, val, del)
 }
 
 // ctlSend registers and dispatches one membership control call: enc encodes
@@ -706,7 +707,7 @@ func (p *rpcConn) streamPull(req wire.StreamReq) (*streamPage, error) {
 	return page, nil
 }
 
-func (p *rpcConn) writeTyped(typ, cl uint8, ver uint64, key string, val []byte) (wire.WriteResp, error) {
+func (p *rpcConn) writeTyped(typ, cl uint8, ver uint64, key string, val []byte, del bool) (wire.WriteResp, error) {
 	c := getCall(false, nil)
 	id, err := p.register(c)
 	if err != nil {
@@ -715,7 +716,7 @@ func (p *rpcConn) writeTyped(typ, cl uint8, ver uint64, key string, val []byte) 
 	}
 	fb := getBuf()
 	b, err := wire.AppendWriteReq((*fb)[:0], typ,
-		wire.WriteReq{ID: id, CL: cl, Version: ver, Key: key, Value: val})
+		wire.WriteReq{ID: id, CL: cl, Version: ver, Key: key, Value: val, Del: del})
 	if err != nil {
 		putBuf(fb)
 		p.abort(c, id)

@@ -82,7 +82,7 @@ func TestRPCConnRoundTripZeroAllocs(t *testing.T) {
 		dst = resp.Value[:0]
 	}
 	write := func() {
-		if _, err := p.write("steady-key", fixed, 0); err != nil {
+		if _, err := p.write("steady-key", fixed, 0, false); err != nil {
 			t.Fatal(err)
 		}
 	}

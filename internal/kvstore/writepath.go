@@ -73,7 +73,13 @@ type writeGather struct {
 	key string
 	ver uint64
 	val []byte
+	del bool
 	vb  *[]byte
+
+	// done, when non-nil, routes the decision to a blocked caller (the RESP
+	// gateway's synchronous write) instead of encoding onto cw. Buffered(1):
+	// the deciding leg never blocks on a slow caller.
+	done chan wire.WriteResp
 
 	refs int32 // touched under mu; complete may run from any goroutine
 }
@@ -86,7 +92,7 @@ var writeGatherPool = sync.Pool{New: func() any { return new(writeGather) }}
 func (g *writeGather) complete(from core.ServerID, ok bool, transport bool) {
 	n := g.n
 	if transport {
-		n.hintWrite(from, wire.WriteReq{Key: g.key, Version: g.ver, Value: g.val})
+		n.hintWrite(from, wire.WriteReq{Key: g.key, Version: g.ver, Value: g.val, Del: g.del})
 	}
 	g.mu.Lock()
 	decide := 0
@@ -102,7 +108,7 @@ func (g *writeGather) complete(from core.ServerID, ok bool, transport bool) {
 	oks := g.oks
 	g.refs--
 	last := g.refs == 0
-	cw, id, lvl := g.cw, g.id, g.lvl
+	cw, id, lvl, done := g.cw, g.id, g.lvl, g.done
 	g.mu.Unlock()
 	if decide != 0 {
 		resp := wire.WriteResp{ID: id, OK: decide == 1, Status: wire.StatusOK, FB: n.feedback()}
@@ -117,17 +123,21 @@ func (g *writeGather) complete(from core.ServerID, ok bool, transport bool) {
 				resp.Status = wire.StatusWriteFailed
 			}
 		}
-		fb := getBuf()
-		if b, err := wire.AppendWriteResp((*fb)[:0], resp); err != nil {
-			putBuf(fb)
+		if done != nil {
+			done <- resp
 		} else {
-			*fb = b
-			cw.enqueue(fb)
+			fb := getBuf()
+			if b, err := wire.AppendWriteResp((*fb)[:0], resp); err != nil {
+				putBuf(fb)
+			} else {
+				*fb = b
+				cw.enqueue(fb)
+			}
 		}
 	}
 	if last {
 		putBuf(g.vb)
-		g.vb, g.val, g.key, g.cw, g.n = nil, nil, "", nil, nil
+		g.vb, g.val, g.key, g.cw, g.n, g.done = nil, nil, "", nil, nil, nil
 		writeGatherPool.Put(g)
 	}
 }
@@ -141,6 +151,23 @@ func (g *writeGather) complete(from core.ServerID, ok bool, transport bool) {
 // hints that never count toward the level; a down replica with a full hint
 // queue fails a quorum write deterministically up front.
 func (n *Node) launchCoordWrite(cw *connWriter, m wire.WriteReq, vb *[]byte) {
+	n.launchWrite(cw, nil, m, vb)
+}
+
+// coordinateWriteSync runs a coordinated write and blocks for the decision —
+// the RESP gateway's entry point (a RESP reply is synchronous by protocol).
+// Ownership of vb (backing m.Value) transfers to the gather exactly as on
+// the async path: legs may outlive the decision, so the buffer is released
+// by the last leg, not by this return.
+func (n *Node) coordinateWriteSync(m wire.WriteReq, vb *[]byte) wire.WriteResp {
+	done := make(chan wire.WriteResp, 1)
+	n.launchWrite(nil, done, m, vb)
+	return <-done
+}
+
+// launchWrite is the shared body: exactly one of cw (async ack route) and
+// done (synchronous decision route) is non-nil.
+func (n *Node) launchWrite(cw *connWriter, done chan wire.WriteResp, m wire.WriteReq, vb *[]byte) {
 	var gbuf [8]core.ServerID
 	group := n.topo.Load().writeGroup(keyBytes(m.Key), gbuf[:0])
 	lvl := Level(m.CL)
@@ -158,9 +185,13 @@ func (n *Node) launchCoordWrite(cw *connWriter, m wire.WriteReq, vb *[]byte) {
 			if _, up := n.peerReady(s); !up {
 				n.quorumFails.Add(1)
 				putBuf(vb)
+				resp := wire.WriteResp{ID: m.ID, Status: wire.StatusQuorumUnavailable, FB: n.feedback()}
+				if done != nil {
+					done <- resp
+					return
+				}
 				fb := getBuf()
-				b, err := wire.AppendWriteResp((*fb)[:0], wire.WriteResp{
-					ID: m.ID, Status: wire.StatusQuorumUnavailable, FB: n.feedback()})
+				b, err := wire.AppendWriteResp((*fb)[:0], resp)
 				if err != nil {
 					putBuf(fb)
 					return
@@ -174,19 +205,20 @@ func (n *Node) launchCoordWrite(cw *connWriter, m wire.WriteReq, vb *[]byte) {
 	m.Version = n.stampVersion()
 	g := writeGatherPool.Get().(*writeGather)
 	g.n, g.cw, g.id, g.lvl, g.need = n, cw, m.ID, lvl, need
+	g.done = done
 	g.oks, g.fails, g.decided = 0, 0, false
 	g.total, g.refs = len(group), int32(len(group))
-	g.key, g.ver, g.val, g.vb = m.Key, m.Version, m.Value, vb
+	g.key, g.ver, g.val, g.del, g.vb = m.Key, m.Version, m.Value, m.Del, vb
 	for _, s := range group {
 		if s == n.id {
 			t := getWriteTask()
 			t.kind = taskGather
-			t.key, t.ver, t.val, t.g = m.Key, m.Version, m.Value, g
+			t.key, t.ver, t.val, t.del, t.g = m.Key, m.Version, m.Value, m.Del, g
 			n.enqueueWriteTask(n.shardOf(m.Key), t)
 			continue
 		}
 		if p, ok := n.peerReady(s); ok {
-			if err := p.writeAsync(m.Key, m.Value, m.Version, g, s); err != nil {
+			if err := p.writeAsync(m.Key, m.Value, m.Version, m.Del, g, s); err != nil {
 				g.complete(s, false, true) // dispatch never started: transport failure
 			}
 			continue
@@ -217,6 +249,7 @@ type writeTask struct {
 	key  string
 	ver  uint64
 	val  []byte
+	del  bool
 
 	// taskInternal: the response route and the pooled buffer backing val.
 	cw *connWriter
@@ -264,6 +297,8 @@ func (n *Node) applyDirect(sh int, t *writeTask) {
 	var err error
 	if n.dropWrites.Load() {
 		err = errWriteDropped
+	} else if t.del {
+		_, err = n.store.Shard(sh).DeleteVersioned(t.key, t.ver)
 	} else if t.ver != 0 {
 		_, err = n.store.Shard(sh).PutVersioned(t.key, t.ver, t.val)
 	} else {
@@ -284,6 +319,7 @@ func (n *Node) writeWorker(sh int) {
 	keys := make([]string, 0, maxApplyBatch)
 	vers := make([]uint64, 0, maxApplyBatch)
 	vals := make([][]byte, 0, maxApplyBatch)
+	dels := make([]bool, 0, maxApplyBatch)
 	for {
 		var t *writeTask
 		select {
@@ -318,15 +354,20 @@ func (n *Node) writeWorker(sh int) {
 				runtime.Gosched()
 			}
 		}
-		keys, vers, vals = keys[:0], vers[:0], vals[:0]
+		keys, vers, vals, dels = keys[:0], vers[:0], vals[:0], dels[:0]
+		anyDel := false
 		for _, t := range tasks {
 			keys = append(keys, t.key)
 			vers = append(vers, t.ver)
 			vals = append(vals, t.val)
+			dels = append(dels, t.del)
+			anyDel = anyDel || t.del
 		}
 		var err error
 		if n.dropWrites.Load() {
 			err = errWriteDropped
+		} else if anyDel {
+			err = shard.ApplyMulti(keys, vers, vals, dels)
 		} else {
 			err = shard.PutMulti(keys, vers, vals)
 		}

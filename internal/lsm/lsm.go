@@ -338,7 +338,7 @@ func (s *Store) putAllStart(keys []string, vals [][]byte) (*walCommit, error) {
 	var cw *walCommit
 	if s.wal != nil {
 		var err error
-		if cw, err = s.wal.addBatch(keys, cps); err != nil {
+		if cw, err = s.wal.addBatch(keys, cps, nil); err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}

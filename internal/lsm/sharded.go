@@ -233,8 +233,36 @@ func (t *Sharded) PutMulti(keys []string, vers []uint64, vals [][]byte) error {
 		for j, i := range idx {
 			(*sc)[j] = vers[i]
 		}
-		return s.putMultiStart(keys, *sc, vals)
+		return s.applyMultiStart(keys, *sc, vals, nil)
 	})
+}
+
+// ApplyMulti is PutMulti extended with per-record deletes (dels[i] marks a
+// version-guarded tombstone), routed by shard like PutMulti. dels may be nil.
+func (t *Sharded) ApplyMulti(keys []string, vers []uint64, vals [][]byte, dels []bool) error {
+	if t.n == 1 {
+		return t.shards[0].ApplyMulti(keys, vers, vals, dels)
+	}
+	return t.partitioned(keys, vals, func(s *Store, keys []string, vals [][]byte, idx []int) (*walCommit, error) {
+		sc := scratchVers(len(idx))
+		defer putScratchVers(sc)
+		var sd []bool
+		if dels != nil {
+			sd = make([]bool, len(idx))
+		}
+		for j, i := range idx {
+			(*sc)[j] = vers[i]
+			if sd != nil {
+				sd[j] = dels[i]
+			}
+		}
+		return s.applyMultiStart(keys, *sc, vals, sd)
+	})
+}
+
+// DeleteVersioned delegates to the key's shard.
+func (t *Sharded) DeleteVersioned(key string, ver uint64) (bool, error) {
+	return t.shard(key).DeleteVersioned(key, ver)
 }
 
 // PutAll partitions the batch by shard; per-shard sub-batches commit
@@ -267,8 +295,8 @@ type batchScratch struct {
 	keys []string
 	vals [][]byte
 	idx  []int
-	offs []int          // per-shard [start,end) offsets, len n+1
-	cws  []*walCommit   // started commit groups awaiting waitCommit
+	offs []int        // per-shard [start,end) offsets, len n+1
+	cws  []*walCommit // started commit groups awaiting waitCommit
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}

@@ -120,7 +120,7 @@ func (s *Store) putAllVersionedStart(keys []string, vals [][]byte, ver uint64) (
 	var cw *walCommit
 	if s.wal != nil {
 		var err error
-		if cw, err = s.wal.addBatch(wk, cps); err != nil {
+		if cw, err = s.wal.addBatch(wk, cps, nil); err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
@@ -141,15 +141,28 @@ func (s *Store) putAllVersionedStart(keys []string, vals [][]byte, ver uint64) (
 // primitive: pipelined single-key writes drained from a shard's queue share
 // one group commit here instead of paying one each.
 func (s *Store) PutMulti(keys []string, vers []uint64, vals [][]byte) error {
-	cw, err := s.putMultiStart(keys, vers, vals)
+	cw, err := s.applyMultiStart(keys, vers, vals, nil)
 	if err != nil {
 		return err
 	}
 	return waitCommit(cw)
 }
 
-// putMultiStart is PutMulti up to (not including) the commit wait.
-func (s *Store) putMultiStart(keys []string, vers []uint64, vals [][]byte) (*walCommit, error) {
+// ApplyMulti is PutMulti extended with deletes: record i with dels[i] set is
+// a version-guarded tombstone (vals[i] ignored) instead of a put, sharing the
+// batch's single WAL commit group. A guarded delete whose key already stores
+// a version >= vers[i] is skipped silently — the same idempotent contract as
+// guarded puts, so a replayed delete hint can never clobber a newer value.
+func (s *Store) ApplyMulti(keys []string, vers []uint64, vals [][]byte, dels []bool) error {
+	cw, err := s.applyMultiStart(keys, vers, vals, dels)
+	if err != nil {
+		return err
+	}
+	return waitCommit(cw)
+}
+
+// applyMultiStart is ApplyMulti up to (not including) the commit wait.
+func (s *Store) applyMultiStart(keys []string, vers []uint64, vals [][]byte, dels []bool) (*walCommit, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
@@ -160,6 +173,7 @@ func (s *Store) putMultiStart(keys []string, vers []uint64, vals [][]byte) (*wal
 	arena := make([]byte, 0, total)
 	cps := make([][]byte, 0, len(keys))
 	wk := make([]string, 0, len(keys))
+	var wdel []bool
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -167,6 +181,7 @@ func (s *Store) putMultiStart(keys []string, vers []uint64, vals [][]byte) (*wal
 	}
 	for i, k := range keys {
 		at := len(arena)
+		del := dels != nil && dels[i]
 		if ver := vers[i]; ver != 0 {
 			cur, present, err := s.versionLocked(k)
 			if err != nil {
@@ -176,12 +191,24 @@ func (s *Store) putMultiStart(keys []string, vers []uint64, vals [][]byte) (*wal
 			if present && cur >= ver {
 				continue
 			}
-			arena = AppendVersioned(arena, ver, vals[i])
-		} else {
+			if !del {
+				arena = AppendVersioned(arena, ver, vals[i])
+			}
+		} else if !del {
 			arena = append(arena, vals[i]...)
 		}
-		cps = append(cps, arena[at:len(arena):len(arena)])
+		if del {
+			cps = append(cps, nil)
+		} else {
+			cps = append(cps, arena[at:len(arena):len(arena)])
+		}
 		wk = append(wk, k)
+		if del && wdel == nil {
+			wdel = make([]bool, len(wk)-1, len(keys))
+		}
+		if wdel != nil {
+			wdel = append(wdel, del)
+		}
 	}
 	if len(wk) == 0 {
 		s.mu.Unlock()
@@ -190,17 +217,56 @@ func (s *Store) putMultiStart(keys []string, vers []uint64, vals [][]byte) (*wal
 	var cw *walCommit
 	if s.wal != nil {
 		var err error
-		if cw, err = s.wal.addBatch(wk, cps); err != nil {
+		if cw, err = s.wal.addBatch(wk, cps, wdel); err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
 	}
 	for i := range wk {
-		s.c.puts.Add(1)
+		if wdel != nil && wdel[i] {
+			s.c.deletes.Add(1)
+		} else {
+			s.c.puts.Add(1)
+		}
 		s.putLocked(wk[i], cps[i])
 	}
 	s.mu.Unlock()
 	return cw, nil
+}
+
+// DeleteVersioned removes key if and only if its current version is lower
+// than ver — the replica-side apply of a coordinated DELETE. applied=false
+// with a nil error means a newer value exists (idempotent success for hint
+// replay). The tombstone itself stores no version (versionLocked reports
+// tombstoned keys absent), so any later versioned write may land; the window
+// this opens for a delayed pre-delete write is documented in DESIGN.md and
+// closed by anti-entropy, not by this guard.
+func (s *Store) DeleteVersioned(key string, ver uint64) (applied bool, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	cur, present, err := s.versionLocked(key)
+	if err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	if ver != 0 && present && cur >= ver {
+		s.mu.Unlock()
+		return false, nil
+	}
+	var cw *walCommit
+	if s.wal != nil {
+		if cw, err = s.wal.add(walDel, key, nil); err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+	}
+	s.c.deletes.Add(1)
+	s.putLocked(key, nil)
+	s.mu.Unlock()
+	return true, waitCommit(cw)
 }
 
 // putRawNewer is the shared guarded write: cp must be a private copy of the
@@ -315,6 +381,13 @@ func (s *Store) Version(key string) (uint64, bool) {
 
 // LogPut is the op byte sidecar logs should use for key/value records.
 const LogPut = walPut
+
+// LogDelete is the op byte sidecar logs should use for tombstone records.
+// Unlike the store WAL's own delete records, a sidecar tombstone carries a
+// value section exactly like LogPut — the kvstore hint log stores the
+// coordinator's version stamp there, so a recovered delete hint replays
+// under the same last-write-wins guard as a fresh one.
+const LogDelete = walDelHint
 
 // AppendLogRecord appends one CRC-framed record in the WAL record format.
 func AppendLogRecord(b []byte, op byte, key string, val []byte) []byte {

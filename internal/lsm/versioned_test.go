@@ -201,3 +201,155 @@ func TestSidecarLogRoundtripAndTruncate(t *testing.T) {
 		t.Fatalf("replay after truncate: %d records, %v", n, err)
 	}
 }
+
+func TestDeleteVersionedGuard(t *testing.T) {
+	s := mustOpen(t, Options{})
+	if _, err := s.PutVersioned("k", 10, []byte("ten")); err != nil {
+		t.Fatal(err)
+	}
+	// An older delete loses to the stored version — idempotent no-op.
+	if applied, err := s.DeleteVersioned("k", 9); err != nil || applied {
+		t.Fatalf("older delete applied: %v, %v", applied, err)
+	}
+	if _, _, ok := s.GetVersioned(nil, "k"); !ok {
+		t.Fatal("older delete removed the key")
+	}
+	// An equal delete loses too (>= guard, same as PutVersioned).
+	if applied, _ := s.DeleteVersioned("k", 10); applied {
+		t.Fatal("equal-version delete applied")
+	}
+	// A newer delete wins.
+	if applied, err := s.DeleteVersioned("k", 11); err != nil || !applied {
+		t.Fatalf("newer delete: %v, %v", applied, err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key readable after newer delete")
+	}
+	// Deleting an absent key is an applied no-op (tombstone written).
+	if applied, err := s.DeleteVersioned("ghost", 5); err != nil || !applied {
+		t.Fatalf("delete of absent key: %v, %v", applied, err)
+	}
+	// Version-0 deletes are unconditional, matching the ver==0 put contract.
+	if _, err := s.PutVersioned("u", 99, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := s.DeleteVersioned("u", 0); err != nil || !applied {
+		t.Fatalf("unversioned delete: %v, %v", applied, err)
+	}
+	if _, ok := s.Get("u"); ok {
+		t.Fatal("key readable after unversioned delete")
+	}
+}
+
+func TestApplyMultiMixedPutsAndDeletes(t *testing.T) {
+	s := mustOpen(t, Options{})
+	if _, err := s.PutVersioned("old", 100, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutVersioned("gone", 1, []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a", "gone", "old", "b"}
+	vers := []uint64{5, 6, 50, 0}
+	vals := [][]byte{[]byte("va"), nil, []byte("late"), []byte("vb")}
+	dels := []bool{false, true, false, false}
+	if err := s.ApplyMulti(keys, vers, vals, dels); err != nil {
+		t.Fatal(err)
+	}
+	// Put applied, delete applied, guarded put skipped — one commit group.
+	if v, ver, ok := s.GetVersioned(nil, "a"); !ok || ver != 5 || string(v) != "va" {
+		t.Fatalf("a = %q, %d, %v", v, ver, ok)
+	}
+	if _, ok := s.Get("gone"); ok {
+		t.Fatal("deleted key still readable")
+	}
+	if v, ver, _ := s.GetVersioned(nil, "old"); ver != 100 || string(v) != "keep" {
+		t.Fatalf("guarded key clobbered: %q at %d", v, ver)
+	}
+	if v, ok := s.Get("b"); !ok || string(v) != "vb" {
+		t.Fatalf("b = %q, %v", v, ok)
+	}
+	if s.Stats().Deletes == 0 {
+		t.Fatal("delete not counted")
+	}
+}
+
+func TestApplyMultiDeletesSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if _, err := s.PutVersioned("k", 1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyMulti([]string{"k"}, []uint64{2}, [][]byte{nil}, []bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, Options{Dir: dir})
+	defer s.Close()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("batched delete lost across reopen")
+	}
+}
+
+// TestMissVsEmpty pins the three distinct read outcomes the RESP gateway
+// depends on: present-empty, tombstoned, and never-written.
+func TestMissVsEmpty(t *testing.T) {
+	s := mustOpen(t, Options{})
+	if err := s.Put("empty", []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("empty"); !ok || v == nil || len(v) != 0 {
+		t.Fatalf("present-empty = %v, %v (want non-nil zero-length, true)", v, ok)
+	}
+	if err := s.Put("tomb", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("tomb")
+	if _, ok := s.Get("tomb"); ok {
+		t.Fatal("tombstoned key reported present")
+	}
+	if _, ok := s.Get("never"); ok {
+		t.Fatal("absent key reported present")
+	}
+	// Present-empty survives a flush to disk.
+	s.Flush()
+	if v, ok := s.Get("empty"); !ok || len(v) != 0 {
+		t.Fatalf("present-empty after flush = %v, %v", v, ok)
+	}
+}
+
+// TestSidecarLogDeleteRecords pins the walDelHint framing: sidecar delete
+// records are put-shaped (they carry the version stamp in the value section)
+// and replay with op == LogDelete.
+func TestSidecarLogDeleteRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer-2.log")
+	var b []byte
+	b = AppendLogRecord(b, LogPut, "alive", AppendVersioned(nil, 7, []byte("v")))
+	b = AppendLogRecord(b, LogDelete, "dead", AppendVersioned(nil, 8, nil))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		op  byte
+		key string
+		ver uint64
+	}
+	var got []rec
+	if _, err := ReplayLog(path, func(op byte, key string, val []byte) {
+		ver, _ := SplitVersioned(val)
+		got = append(got, rec{op, key, ver})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	if got[0] != (rec{LogPut, "alive", 7}) {
+		t.Fatalf("rec 0 = %+v", got[0])
+	}
+	if got[1] != (rec{LogDelete, "dead", 8}) {
+		t.Fatalf("rec 1 = %+v (delete hint lost its version)", got[1])
+	}
+}

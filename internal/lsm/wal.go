@@ -16,17 +16,23 @@ import (
 //
 //	[payload len u32][crc32c(payload) u32][payload]
 //	payload = [op u8][klen u32][key bytes]            op = walDel
-//	        | [op u8][klen u32][key][vlen u32][value] op = walPut
+//	        | [op u8][klen u32][key][vlen u32][value] op = walPut | walDelHint
 //
 // Everything is little-endian. A record is valid only when its CRC matches,
 // so recovery can detect a torn tail (a crash mid-write) and truncate it.
 // Records after a torn record were never acked — Put does not return until
 // the group fsync covering its record succeeds — so truncation never drops
 // an acknowledged write.
+//
+// walDelHint never appears in a store WAL: it exists for sidecar logs (the
+// kvstore hint queues) whose tombstone records must carry a value section —
+// the coordinator's version stamp rides in the payload, and a recovered
+// delete hint without its version would replay unguarded.
 
 const (
-	walPut byte = 1
-	walDel byte = 2
+	walPut     byte = 1
+	walDel     byte = 2
+	walDelHint byte = 3
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -134,7 +140,7 @@ func (w *wal) periodic() bool { return !w.nosync && w.syncEvery > 0 }
 // appendWALRecord encodes one record onto b.
 func appendWALRecord(b []byte, op byte, key string, val []byte) []byte {
 	plen := 1 + 4 + len(key)
-	if op == walPut {
+	if op != walDel {
 		plen += 4 + len(val)
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(plen))
@@ -143,7 +149,7 @@ func appendWALRecord(b []byte, op byte, key string, val []byte) []byte {
 	b = append(b, op)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(key)))
 	b = append(b, key...)
-	if op == walPut {
+	if op != walDel {
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(val)))
 		b = append(b, val...)
 	}
@@ -173,9 +179,10 @@ func (w *wal) add(op byte, key string, val []byte) (*walCommit, error) {
 	return cw, nil
 }
 
-// addBatch is add for a batch of puts: all records join one commit group,
-// so a MultiPut pays one fsync regardless of size.
-func (w *wal) addBatch(keys []string, vals [][]byte) (*walCommit, error) {
+// addBatch is add for a batch of records: all join one commit group, so a
+// MultiPut pays one fsync regardless of size. dels marks records to log as
+// tombstones (nil means all puts).
+func (w *wal) addBatch(keys []string, vals [][]byte, dels []bool) (*walCommit, error) {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -187,7 +194,11 @@ func (w *wal) addBatch(keys []string, vals [][]byte) (*walCommit, error) {
 		return nil, err
 	}
 	for i := range keys {
-		w.buf = appendWALRecord(w.buf, walPut, keys[i], vals[i])
+		op := walPut
+		if dels != nil && dels[i] {
+			op = walDel
+		}
+		w.buf = appendWALRecord(w.buf, op, keys[i], vals[i])
 	}
 	w.appds.Add(uint64(len(keys)))
 	cw := w.openGroupLocked()
@@ -443,7 +454,7 @@ func replayWAL(path string, apply func(op byte, key string, val []byte)) (validL
 		}
 		key := string(payload[5 : 5+klen])
 		switch op {
-		case walPut:
+		case walPut, walDelHint:
 			if 5+klen+4 > len(payload) {
 				return int64(off), nil
 			}
@@ -453,7 +464,7 @@ func replayWAL(path string, apply func(op byte, key string, val []byte)) (validL
 			}
 			val := make([]byte, vlen)
 			copy(val, payload[9+klen:])
-			apply(walPut, key, val)
+			apply(op, key, val)
 		case walDel:
 			if 5+klen != len(payload) {
 				return int64(off), nil

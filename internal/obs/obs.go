@@ -1,0 +1,82 @@
+// Package obs is the per-node ops surface: an HTTP handler serving expvar
+// JSON, net/http/pprof profiles, and a coherent node stats snapshot. It is
+// deliberately dependency-free toward the store — the node hands it a
+// snapshot closure, so obs never reaches into kvstore state and every value
+// it serves went through the node's own copy-under-lock discipline.
+//
+// Endpoints:
+//
+//	/debug/vars     process-global expvar variables plus the node snapshot
+//	                under the "node" key — one curl shows q̂/srtt per peer,
+//	                hedge/hint counters, and shard queue depths mid-run
+//	/debug/pprof/   the standard pprof index (profile, heap, trace, ...)
+//	/stats          the node snapshot alone, as JSON
+//	/healthz        200 ok
+//
+// The handler is per-instance, not process-global: tests and multi-node
+// demos run many nodes in one process, so nothing here registers on
+// http.DefaultServeMux or in the global expvar table.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the ops surface for one node. snapshot is called per request
+// and must be safe for concurrent use; its result is rendered with
+// encoding/json.
+func Handler(snapshot func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		if snapshot != nil {
+			if b, err := json.Marshal(snapshot()); err == nil {
+				if !first {
+					fmt.Fprintf(w, ",\n")
+				}
+				fmt.Fprintf(w, "%q: %s", "node", b)
+			}
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if snapshot == nil {
+			w.Write([]byte("null\n"))
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve runs an HTTP server for h on ln until the listener closes. It blocks;
+// run it on its own goroutine.
+func Serve(ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	return srv.Serve(ln)
+}

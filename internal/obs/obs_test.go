@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type snap struct {
+	Reads int    `json:"reads"`
+	Name  string `json:"name"`
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	calls := 0
+	h := Handler(func() any { calls++; return snap{Reads: 7, Name: "n0"} })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	var node snap
+	if err := json.Unmarshal(vars["node"], &node); err != nil {
+		t.Fatalf("node key: %v", err)
+	}
+	if node.Reads != 7 || node.Name != "n0" {
+		t.Fatalf("node = %+v", node)
+	}
+
+	code, body = get(t, srv, "/stats")
+	if code != 200 {
+		t.Fatalf("/stats = %d", code)
+	}
+	var direct snap
+	if err := json.Unmarshal(body, &direct); err != nil || direct.Reads != 7 {
+		t.Fatalf("/stats = %s (err %v)", body, err)
+	}
+
+	if code, body = get(t, srv, "/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	if code, _ = get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+
+	if calls == 0 {
+		t.Fatal("snapshot closure never called")
+	}
+}
+
+func TestHandlerNilSnapshot(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	if code, body := get(t, srv, "/stats"); code != 200 || string(body) != "null\n" {
+		t.Fatalf("/stats = %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+}
+
+// TestHandlerPerInstance pins the no-global-state contract: two handlers with
+// different snapshots serve different node payloads.
+func TestHandlerPerInstance(t *testing.T) {
+	a := httptest.NewServer(Handler(func() any { return snap{Name: "a"} }))
+	defer a.Close()
+	b := httptest.NewServer(Handler(func() any { return snap{Name: "b"} }))
+	defer b.Close()
+	_, ab := get(t, a, "/stats")
+	_, bb := get(t, b, "/stats")
+	var sa, sb snap
+	json.Unmarshal(ab, &sa)
+	json.Unmarshal(bb, &sb)
+	if sa.Name != "a" || sb.Name != "b" {
+		t.Fatalf("per-instance snapshots leaked: %q %q", sa.Name, sb.Name)
+	}
+}

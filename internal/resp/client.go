@@ -1,0 +1,40 @@
+package resp
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// Client is a minimal RESP client — enough for the CI gateway smoke, the
+// package tests, and c3cluster's probe mode. One request in flight at a time;
+// callers serialize.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+	wb []byte
+}
+
+// DialClient connects to a RESP server.
+func DialClient(addr string, timeout time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, br: bufio.NewReader(c)}, nil
+}
+
+// Do issues one command (args as strings) and returns the reply.
+func (c *Client) Do(args ...string) (Reply, error) {
+	c.wb = AppendArray(c.wb[:0], len(args))
+	for _, a := range args {
+		c.wb = AppendBulk(c.wb, []byte(a))
+	}
+	if _, err := c.c.Write(c.wb); err != nil {
+		return Reply{}, err
+	}
+	return ReadReply(c.br)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,331 @@
+// Package resp implements the subset of RESP2 (the Redis serialization
+// protocol) the gateway speaks: command decoding on the server side, reply
+// encoding, and a minimal client for tests, smoke probes, and tooling.
+//
+// The command Reader follows internal/wire's zero-copy contract: the argument
+// slices returned by Next alias the Reader's internal arena and are valid
+// only until the next call. The decoder is strict — multibulk counts and bulk
+// lengths must be canonical ASCII decimals (no leading zeros, no signs) — so
+// every successfully decoded array-form command re-encodes bit-exactly via
+// AppendCommand, the invariant FuzzRESPDecode pins.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Protocol bounds. Commands beyond these are protocol errors: the connection
+// is answered with -ERR and closed, exactly like a malformed frame.
+const (
+	// MaxArgs bounds the number of arguments in one command.
+	MaxArgs = 1 << 16
+	// MaxBulk bounds one bulk argument's byte length.
+	MaxBulk = 16 << 20
+	// MaxInline bounds one inline command line.
+	MaxInline = 1 << 16
+)
+
+// ErrProtocol reports a malformed command. The connection cannot resync after
+// one (framing is lost) and must close.
+var ErrProtocol = errors.New("resp: protocol error")
+
+func protoErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}
+
+// Reader decodes commands from a connection. Not safe for concurrent use.
+type Reader struct {
+	r    *bufio.Reader
+	buf  []byte // argument arena, reused across commands
+	offs []int  // argument boundaries within buf (len = args+1)
+	args [][]byte
+	inl  bool // last command was inline (not canonical array form)
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10), offs: make([]int, 0, 8)}
+}
+
+// Inline reports whether the last command returned by Next was inline rather
+// than array form. Inline commands do not re-encode bit-exactly.
+func (r *Reader) Inline() bool { return r.inl }
+
+// line reads one CRLF-terminated line, returning it without the terminator.
+// The slice aliases the bufio buffer and is valid only until the next read.
+func (r *Reader) line() ([]byte, error) {
+	b, err := r.r.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, protoErr("line exceeds %d bytes", MaxInline)
+		}
+		return nil, err
+	}
+	if len(b) < 2 || b[len(b)-2] != '\r' {
+		return nil, protoErr("line not CRLF-terminated")
+	}
+	return b[:len(b)-2], nil
+}
+
+// parseLen parses a canonical non-negative decimal: digits only, no leading
+// zeros (except "0" itself). Strictness is what makes decode→re-encode
+// bit-exact.
+func parseLen(b []byte) (int, error) {
+	if len(b) == 0 || len(b) > 10 {
+		return 0, protoErr("bad length %q", b)
+	}
+	if b[0] == '0' && len(b) > 1 {
+		return 0, protoErr("non-canonical length %q", b)
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, protoErr("bad length %q", b)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+// finish materializes the arg slices over the (now stable) arena.
+func (r *Reader) finish() [][]byte {
+	r.args = r.args[:0]
+	for i := 0; i+1 < len(r.offs); i++ {
+		r.args = append(r.args, r.buf[r.offs[i]:r.offs[i+1]:r.offs[i+1]])
+	}
+	return r.args
+}
+
+// Next decodes one command and returns its arguments. The returned slices
+// alias the Reader's arena and are valid only until the next call — retainers
+// must copy. io.EOF is returned verbatim on a clean connection close.
+func (r *Reader) Next() ([][]byte, error) {
+	r.buf, r.offs = r.buf[:0], append(r.offs[:0], 0)
+	first, err := r.line()
+	if err != nil {
+		return nil, err
+	}
+	if len(first) == 0 {
+		return nil, protoErr("empty command line")
+	}
+	if first[0] != '*' {
+		// Inline command: fields split on spaces, for telnet-style probing.
+		r.inl = true
+		if len(first) > MaxInline {
+			return nil, protoErr("inline command exceeds %d bytes", MaxInline)
+		}
+		for i := 0; i < len(first); {
+			for i < len(first) && first[i] == ' ' {
+				i++
+			}
+			if i == len(first) {
+				break
+			}
+			j := i
+			for j < len(first) && first[j] != ' ' {
+				j++
+			}
+			r.buf = append(r.buf, first[i:j]...)
+			r.offs = append(r.offs, len(r.buf))
+			i = j
+		}
+		if len(r.offs) == 1 {
+			return nil, protoErr("empty inline command")
+		}
+		return r.finish(), nil
+	}
+	r.inl = false
+	n, err := parseLen(first[1:])
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 || n > MaxArgs {
+		return nil, protoErr("multibulk count %d outside [1, %d]", n, MaxArgs)
+	}
+	for i := 0; i < n; i++ {
+		hdr, err := r.line()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, protoErr("expected bulk header, got %q", hdr)
+		}
+		ln, err := parseLen(hdr[1:])
+		if err != nil {
+			return nil, err
+		}
+		if ln > MaxBulk {
+			return nil, protoErr("bulk of %d bytes exceeds %d", ln, MaxBulk)
+		}
+		at := len(r.buf)
+		r.buf = append(r.buf, make([]byte, ln+2)...)
+		if _, err := io.ReadFull(r.r, r.buf[at:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if r.buf[at+ln] != '\r' || r.buf[at+ln+1] != '\n' {
+			return nil, protoErr("bulk not CRLF-terminated")
+		}
+		r.buf = r.buf[:at+ln]
+		r.offs = append(r.offs, len(r.buf))
+	}
+	return r.finish(), nil
+}
+
+// --- reply encoding --------------------------------------------------------
+
+var crlf = []byte("\r\n")
+
+// AppendSimple appends a simple-string reply (+s).
+func AppendSimple(dst []byte, s string) []byte {
+	dst = append(dst, '+')
+	dst = append(dst, s...)
+	return append(dst, crlf...)
+}
+
+// AppendError appends an error reply (-msg).
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, '-')
+	dst = append(dst, msg...)
+	return append(dst, crlf...)
+}
+
+// AppendInt appends an integer reply (:n).
+func AppendInt(dst []byte, n int64) []byte {
+	dst = append(dst, ':')
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, crlf...)
+}
+
+// AppendBulk appends a bulk-string reply ($len\r\nbytes). A nil and an empty
+// slice both encode as $0 — use AppendNil for the absent value; the two are
+// distinct states on the wire and must never collapse (the miss-vs-empty
+// contract the gateway tests pin).
+func AppendBulk(dst []byte, b []byte) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, crlf...)
+	dst = append(dst, b...)
+	return append(dst, crlf...)
+}
+
+// AppendNil appends the null bulk reply ($-1) — the RESP2 "no such key".
+func AppendNil(dst []byte) []byte {
+	return append(dst, "$-1\r\n"...)
+}
+
+// AppendArray appends an array header (*n); the caller appends n replies.
+func AppendArray(dst []byte, n int) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, crlf...)
+}
+
+// AppendCommand appends a command in canonical array-of-bulk-strings form —
+// the encoder the Reader's strict decode round-trips with bit-exactly.
+func AppendCommand(dst []byte, args [][]byte) []byte {
+	dst = AppendArray(dst, len(args))
+	for _, a := range args {
+		dst = AppendBulk(dst, a)
+	}
+	return dst
+}
+
+// --- reply decoding (client side) ------------------------------------------
+
+// Reply is one decoded server reply.
+type Reply struct {
+	Kind  byte   // '+', '-', ':', '$', '*'
+	IsNil bool   // null bulk ($-1) or null array (*-1)
+	Str   string // simple, error, and bulk payloads
+	Int   int64  // integer replies
+	Elems []Reply
+}
+
+// Err returns the reply as an error when it is an error reply.
+func (r Reply) Err() error {
+	if r.Kind == '-' {
+		return errors.New(r.Str)
+	}
+	return nil
+}
+
+// ReadReply decodes one reply. Unlike the command Reader it copies payloads
+// (client convenience beats allocation discipline here).
+func ReadReply(br *bufio.Reader) (Reply, error) {
+	line, err := readReplyLine(br)
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, protoErr("empty reply line")
+	}
+	kind, rest := line[0], line[1:]
+	switch kind {
+	case '+', '-':
+		return Reply{Kind: kind, Str: string(rest)}, nil
+	case ':':
+		n, err := strconv.ParseInt(string(rest), 10, 64)
+		if err != nil {
+			return Reply{}, protoErr("bad integer %q", rest)
+		}
+		return Reply{Kind: kind, Int: n}, nil
+	case '$':
+		if string(rest) == "-1" {
+			return Reply{Kind: kind, IsNil: true}, nil
+		}
+		ln, err := parseLen(rest)
+		if err != nil || ln > MaxBulk {
+			return Reply{}, protoErr("bad bulk length %q", rest)
+		}
+		b := make([]byte, ln+2)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return Reply{}, err
+		}
+		if b[ln] != '\r' || b[ln+1] != '\n' {
+			return Reply{}, protoErr("bulk not CRLF-terminated")
+		}
+		return Reply{Kind: kind, Str: string(b[:ln])}, nil
+	case '*':
+		if string(rest) == "-1" {
+			return Reply{Kind: kind, IsNil: true}, nil
+		}
+		n, err := parseLen(rest)
+		if err != nil || n > MaxArgs {
+			return Reply{}, protoErr("bad array length %q", rest)
+		}
+		out := Reply{Kind: kind, Elems: make([]Reply, 0, n)}
+		for i := 0; i < n; i++ {
+			e, err := ReadReply(br)
+			if err != nil {
+				return Reply{}, err
+			}
+			out.Elems = append(out.Elems, e)
+		}
+		return out, nil
+	}
+	return Reply{}, protoErr("unknown reply type %q", kind)
+}
+
+func readReplyLine(br *bufio.Reader) ([]byte, error) {
+	b, err := br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, protoErr("reply line too long")
+		}
+		return nil, err
+	}
+	if len(b) < 2 || b[len(b)-2] != '\r' {
+		return nil, protoErr("reply line not CRLF-terminated")
+	}
+	return b[:len(b)-2], nil
+}

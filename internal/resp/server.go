@@ -1,0 +1,313 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Backend is what a Server fronts: the five data commands the gateway maps
+// onto the store's point and batch paths, plus an INFO payload. Argument
+// slices alias the connection's parse arena and are valid only for the call —
+// implementations retain copies. Returned values are owned by the caller.
+//
+// The miss-vs-empty contract: Get/MGet report existence through the found
+// flag, never through value length — a present empty value is ([]byte{},
+// true) and a missing key is (nil, false), and the server encodes them as $0
+// and $-1 respectively.
+type Backend interface {
+	Get(key []byte) (val []byte, found bool, err error)
+	Set(key, val []byte) error
+	Del(key []byte) (deleted bool, err error)
+	MGet(keys [][]byte) (vals [][]byte, found []bool, err error)
+	MSet(keys, vals [][]byte) error
+	Info() string
+}
+
+// Server accepts RESP connections and drives a Backend. Each connection runs
+// as a goroutine pair mirroring the kvstore conn-writer pattern: the read
+// loop decodes, executes, and enqueues encoded replies; the write loop drains
+// the queue and flushes once it runs dry, so pipelined commands coalesce into
+// few write syscalls while replies stay in command order.
+type Server struct {
+	b Backend
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server fronting b.
+func NewServer(b Backend) *Server {
+	return &Server{
+		b:     b,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// errServerClosed reports an accept loop ended by Close.
+var errServerClosed = errors.New("resp: server closed")
+
+// Serve accepts connections on ln until the listener fails or the server is
+// closed. It blocks; run it on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return errServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return errServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops every listener, severs every connection, and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// replyPool recycles encoded-reply buffers between the read and write loops.
+var replyPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+const replyRetainCap = 64 << 10
+
+func getReply() *[]byte { return replyPool.Get().(*[]byte) }
+
+func putReply(b *[]byte) {
+	if b == nil || cap(*b) > replyRetainCap {
+		return
+	}
+	*b = (*b)[:0]
+	replyPool.Put(b)
+}
+
+// handle runs one connection's goroutine pair until the client disconnects,
+// errs at the protocol level, or sends QUIT.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	out := make(chan *[]byte, 128)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		w := bufio.NewWriterSize(conn, 64<<10)
+		for b := range out {
+			w.Write(*b)
+			putReply(b)
+			if len(out) == 0 {
+				if w.Flush() != nil {
+					// Drain without writing; the read loop notices the dead
+					// connection on its own.
+					for b := range out {
+						putReply(b)
+					}
+					return
+				}
+			}
+		}
+		w.Flush()
+	}()
+	defer wwg.Wait()
+	defer close(out)
+
+	r := NewReader(conn)
+	var scratch []byte // upper-cased command name
+	for {
+		args, err := r.Next()
+		if err != nil {
+			if errors.Is(err, ErrProtocol) {
+				rb := getReply()
+				*rb = AppendError((*rb)[:0], "ERR "+err.Error())
+				out <- rb
+			}
+			return
+		}
+		rb := getReply()
+		var quit bool
+		*rb, scratch, quit = s.dispatch((*rb)[:0], scratch, args)
+		out <- rb
+		if quit {
+			return
+		}
+	}
+}
+
+// upperInto upper-cases b into dst (grown as needed) without allocating in
+// steady state.
+func upperInto(dst, b []byte) []byte {
+	dst = append(dst[:0], b...)
+	for i, c := range dst {
+		if 'a' <= c && c <= 'z' {
+			dst[i] = c - ('a' - 'A')
+		}
+	}
+	return dst
+}
+
+// dispatch executes one command and appends its encoded reply to dst. quit
+// reports a QUIT (reply enqueued, then the connection closes).
+func (s *Server) dispatch(dst, scratch []byte, args [][]byte) (_, _ []byte, quit bool) {
+	scratch = upperInto(scratch, args[0])
+	cmd := string(scratch) // does not allocate in switch comparisons below
+	switch cmd {
+	case "PING":
+		if len(args) >= 2 {
+			return AppendBulk(dst, args[1]), scratch, false
+		}
+		return AppendSimple(dst, "PONG"), scratch, false
+	case "ECHO":
+		if len(args) != 2 {
+			return wrongArity(dst, "echo"), scratch, false
+		}
+		return AppendBulk(dst, args[1]), scratch, false
+	case "GET":
+		if len(args) != 2 {
+			return wrongArity(dst, "get"), scratch, false
+		}
+		val, found, err := s.b.Get(args[1])
+		if err != nil {
+			return AppendError(dst, "ERR "+err.Error()), scratch, false
+		}
+		if !found {
+			return AppendNil(dst), scratch, false
+		}
+		return AppendBulk(dst, val), scratch, false
+	case "SET":
+		// SET key value [EX ...|PX ...|NX|XX] — options are accepted and
+		// ignored (the store has no TTLs), which keeps redis-benchmark and
+		// memtier command lines working.
+		if len(args) < 3 {
+			return wrongArity(dst, "set"), scratch, false
+		}
+		if err := s.b.Set(args[1], args[2]); err != nil {
+			return AppendError(dst, "ERR "+err.Error()), scratch, false
+		}
+		return AppendSimple(dst, "OK"), scratch, false
+	case "DEL":
+		if len(args) < 2 {
+			return wrongArity(dst, "del"), scratch, false
+		}
+		n := int64(0)
+		for _, k := range args[1:] {
+			deleted, err := s.b.Del(k)
+			if err != nil {
+				return AppendError(dst, "ERR "+err.Error()), scratch, false
+			}
+			if deleted {
+				n++
+			}
+		}
+		return AppendInt(dst, n), scratch, false
+	case "MGET":
+		if len(args) < 2 {
+			return wrongArity(dst, "mget"), scratch, false
+		}
+		vals, found, err := s.b.MGet(args[1:])
+		if err != nil {
+			return AppendError(dst, "ERR "+err.Error()), scratch, false
+		}
+		dst = AppendArray(dst, len(args)-1)
+		for i := range vals {
+			if i < len(found) && found[i] {
+				dst = AppendBulk(dst, vals[i])
+			} else {
+				dst = AppendNil(dst)
+			}
+		}
+		return dst, scratch, false
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return wrongArity(dst, "mset"), scratch, false
+		}
+		pairs := (len(args) - 1) / 2
+		keys := make([][]byte, 0, pairs)
+		vals := make([][]byte, 0, pairs)
+		for i := 1; i+1 < len(args); i += 2 {
+			keys = append(keys, args[i])
+			vals = append(vals, args[i+1])
+		}
+		if err := s.b.MSet(keys, vals); err != nil {
+			return AppendError(dst, "ERR "+err.Error()), scratch, false
+		}
+		return AppendSimple(dst, "OK"), scratch, false
+	case "INFO":
+		return AppendBulk(dst, []byte(s.b.Info())), scratch, false
+	case "CONFIG":
+		// CONFIG GET answers benchmark-compatible stubs; everything else is
+		// an acked no-op.
+		if len(args) >= 3 && string(upperInto(nil, args[1])) == "GET" {
+			dst = AppendArray(dst, 2)
+			dst = AppendBulk(dst, args[2])
+			switch string(upperInto(nil, args[2])) {
+			case "MAXMEMORY":
+				return AppendBulk(dst, []byte("0")), scratch, false
+			case "APPENDONLY":
+				return AppendBulk(dst, []byte("no")), scratch, false
+			default: // "save" and friends
+				return AppendBulk(dst, nil), scratch, false
+			}
+		}
+		return AppendSimple(dst, "OK"), scratch, false
+	case "SELECT":
+		return AppendSimple(dst, "OK"), scratch, false
+	case "COMMAND":
+		return AppendArray(dst, 0), scratch, false
+	case "QUIT":
+		return AppendSimple(dst, "OK"), scratch, true
+	}
+	return AppendError(dst, fmt.Sprintf("ERR unknown command '%s'", args[0])), scratch, false
+}
+
+func wrongArity(dst []byte, cmd string) []byte {
+	return AppendError(dst, fmt.Sprintf("ERR wrong number of arguments for '%s' command", cmd))
+}

@@ -51,12 +51,12 @@ func TestParseAliasesPayload(t *testing.T) {
 	if req.Key != "thekey" {
 		t.Fatalf("key = %q", req.Key)
 	}
-	wp[19] = 'T' // first key byte (8 id + 1 cl + 8 version + 2 len)
+	wp[20] = 'T' // first key byte (8 id + 1 cl + 8 version + 1 flags + 2 len)
 	if req.Key != "Thekey" {
 		t.Fatalf("key = %q after payload mutation, want it to alias", req.Key)
 	}
 	clone := strings.Clone(req.Key)
-	wp[19] = 'Z'
+	wp[20] = 'Z'
 	if clone != "Thekey" {
 		t.Fatalf("strings.Clone did not detach: %q", clone)
 	}

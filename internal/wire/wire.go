@@ -184,15 +184,23 @@ type ReadResp struct {
 	FB      Feedback
 }
 
-// WriteReq stores a value. Client frames carry CL and leave Version zero;
-// coordinator→replica frames carry the stamped Version (CL unused).
+// WriteReq stores a value — or, with Del set, removes one: a delete travels
+// the write path end to end (same fan-out, same hints, same version stamp)
+// and the replica applies it as a version-guarded tombstone. Client frames
+// carry CL and leave Version zero; coordinator→replica frames carry the
+// stamped Version (CL unused). On the wire Del rides in a mandatory flags
+// byte between Version and Key.
 type WriteReq struct {
 	ID      uint64
 	CL      uint8
 	Version uint64
+	Del     bool
 	Key     string
 	Value   []byte
 }
+
+// writeFlagDel is the Del bit inside WriteReq's flags byte.
+const writeFlagDel = 1 << 0
 
 // WriteResp acknowledges a write. OK distinguishes a genuine ack from a
 // failure report: a replica sets it after applying the write locally, and a
@@ -381,6 +389,11 @@ func FinishReadResp(dst []byte, m ReadRespMark, found bool, status uint8, fb Fee
 func AppendWriteReq(dst []byte, typ uint8, m WriteReq) ([]byte, error) {
 	dst, start := beginFrame(dst, typ)
 	dst = appendU64(append(appendU64(dst, m.ID), m.CL), m.Version)
+	var flags uint8
+	if m.Del {
+		flags |= writeFlagDel
+	}
+	dst = append(dst, flags)
 	dst, err := appendStr(dst, m.Key)
 	if err != nil {
 		return dst[:start], err
@@ -775,7 +788,13 @@ func ParseReadResp(b []byte) (ReadResp, error) {
 // Key and Value alias b (see the package contract).
 func ParseWriteReq(b []byte) (WriteReq, error) {
 	d := decoder{b: b}
-	m := WriteReq{ID: d.u64(), CL: d.u8(), Version: d.u64(), Key: d.str()}
+	m := WriteReq{ID: d.u64(), CL: d.u8(), Version: d.u64()}
+	flags := d.u8()
+	if flags&^writeFlagDel != 0 {
+		d.err = errors.New("wire: unknown write flags")
+	}
+	m.Del = flags&writeFlagDel != 0
+	m.Key = d.str()
 	m.Value = d.bytes()
 	return m, d.err
 }

@@ -42,12 +42,39 @@ for ((i = 1; i <= RUNS; i++)); do
 done
 
 python3 - "$BASELINE" "$DROP" "$ALLOC_MARGIN" "$tmpdir"/trial*.json <<'EOF'
-import json, sys
+import json, os, sys
 
 base = json.load(open(sys.argv[1]))
 drop = float(sys.argv[2]) / 100.0
 alloc_margin = float(sys.argv[3]) / 100.0
 trials = [json.load(open(p)) for p in sys.argv[4:]]
+
+# Config gate: throughput comparisons are meaningless across different
+# measurement configs. Semantic knobs are hard mismatches (refuse, exit 2);
+# hardware/toolchain drift is warn-only (the drop margin absorbs it).
+# BENCH_GUARD_ALLOW_MISMATCH=1 downgrades hard mismatches to warnings for
+# deliberate cross-config looks.
+HARD = ("scale", "shards", "sync_policy", "goos", "goarch")
+WARN = ("go_version", "gomaxprocs", "num_cpu")
+allow = os.environ.get("BENCH_GUARD_ALLOW_MISMATCH") == "1"
+bcfg = base.get("config")
+if bcfg is None:
+    print("bench guard: WARN baseline has no config block (pre-stamping record); skipping config gate")
+else:
+    mismatched = False
+    for t in trials:
+        tcfg = t.get("config", {})
+        for key in HARD:
+            if bcfg.get(key) != tcfg.get(key):
+                print(f"bench guard: CONFIG MISMATCH {key}: baseline {bcfg.get(key)!r} vs run {tcfg.get(key)!r}")
+                mismatched = True
+        for key in WARN:
+            if bcfg.get(key) != tcfg.get(key):
+                print(f"bench guard: WARN config drift {key}: baseline {bcfg.get(key)!r} vs run {tcfg.get(key)!r}")
+    if mismatched and not allow:
+        print("bench guard: refusing to compare mismatched configs "
+              "(set BENCH_GUARD_ALLOW_MISMATCH=1 to override)")
+        sys.exit(2)
 # Best trial per throughput metric; first trial for the deterministic allocs.
 new = dict(trials[0])
 for key in ("throughput_ops_per_sec", "write_throughput_ops_per_sec"):
